@@ -1,0 +1,189 @@
+(* Command-line interface: generate a synthetic document database, pose
+   VQL queries interactively or one-shot, and inspect what the semantic
+   optimizer does — the closest thing to the paper's interactive VQL
+   mode with the tracing demonstrator (Section 7). *)
+
+open Cmdliner
+open Soqm_core
+
+let docs_arg =
+  let doc = "Number of documents in the synthetic database." in
+  Arg.(value & opt int 40 & info [ "docs" ] ~docv:"N" ~doc)
+
+let hit_arg =
+  let doc = "Probability that a paragraph contains the query word." in
+  Arg.(value & opt float 0.05 & info [ "hit-probability" ] ~docv:"P" ~doc)
+
+let seed_arg =
+  let doc = "Random seed of the data generator." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let make_db docs hit_probability seed =
+  Db.create
+    ~params:{ Datagen.default with n_docs = docs; hit_probability; seed }
+    ()
+
+let classes_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun c -> String.equal (Doc_knowledge.class_name c) s)
+        Doc_knowledge.all_classes
+    with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown knowledge class %S (expected one of %s)" s
+              (String.concat ", "
+                 (List.map Doc_knowledge.class_name Doc_knowledge.all_classes))))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Doc_knowledge.class_name c))
+
+let disable_arg =
+  let doc =
+    "Disable a knowledge class (repeatable): path-methods, \
+     index-equivalences, inverse-links, query-method-equivs, implications."
+  in
+  Arg.(value & opt_all classes_conv [] & info [ "disable" ] ~docv:"CLASS" ~doc)
+
+let trace_arg =
+  let doc = "Print the full optimization trace (the Section 7 demonstrator)." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let naive_arg =
+  let doc = "Also run the query without optimization and compare costs." in
+  Arg.(value & flag & info [ "naive" ] ~doc)
+
+let dot_arg =
+  let doc =
+    "Write the optimization derivation as a Graphviz graph to $(docv) \
+     (render with dot -Tsvg)."
+  in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let query_arg =
+  let doc = "The VQL query to run." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let print_report label (r : Engine.report) =
+  Printf.printf "%s: %d tuple(s), logical cost %.1f, %.1f ms\n" label
+    (Soqm_algebra.Relation.cardinality r.Engine.result)
+    (Soqm_vml.Counters.total_cost r.Engine.counters)
+    (r.Engine.elapsed_s *. 1000.)
+
+let run_cmd =
+  let run query docs hit seed disabled trace naive dot =
+    try
+      let db = make_db docs hit seed in
+      let classes =
+        List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
+      in
+      let engine = Engine.generate ~classes db in
+      let opt = Engine.run_optimized engine query in
+      (match opt.Engine.opt with
+      | Some o when trace -> Format.printf "%a@." Soqm_optimizer.Trace.pp_result o
+      | Some o -> Format.printf "%a@." Soqm_optimizer.Trace.pp_summary o
+      | None -> ());
+      (match opt.Engine.opt, dot with
+      | Some o, Some path ->
+        let oc = open_out path in
+        output_string oc (Soqm_optimizer.Dot.of_derivation o);
+        close_out oc;
+        Printf.printf "derivation graph written to %s\n" path
+      | _ -> ());
+      Format.printf "%a@." Soqm_algebra.Relation.pp opt.Engine.result;
+      print_report "optimized" opt;
+      if naive then (
+        let nv = Engine.run_naive db query in
+        print_report "naive" nv;
+        if not (Soqm_algebra.Relation.equal nv.Engine.result opt.Engine.result) then (
+          prerr_endline "ERROR: naive and optimized results differ!";
+          exit 2));
+      `Ok ()
+    with
+    | Soqm_vql.Parser.Error msg -> `Error (false, "parse error: " ^ msg)
+    | Soqm_vql.Typecheck.Error msg -> `Error (false, "type error: " ^ msg)
+    | Soqm_algebra.Eval.Error msg | Soqm_physical.Exec.Error msg ->
+      `Error (false, "execution error: " ^ msg)
+  in
+  let doc = "Run a VQL query against a synthetic document database." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ query_arg $ docs_arg $ hit_arg $ seed_arg $ disable_arg
+       $ trace_arg $ naive_arg $ dot_arg))
+
+let schema_cmd =
+  let show () =
+    Format.printf "%a@." Soqm_vml.Schema.pp Doc_schema.schema;
+    Printf.printf "schema-specific knowledge:\n";
+    List.iter
+      (fun spec -> Format.printf "  %a@." Soqm_semantics.Equivalence.pp spec)
+      (Doc_knowledge.specs ())
+  in
+  let doc = "Print the document schema and its method knowledge." in
+  Cmd.v (Cmd.info "schema" ~doc) Term.(const show $ const ())
+
+let repl_cmd =
+  let repl docs hit seed disabled trace =
+    let db = make_db docs hit seed in
+    let classes =
+      List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
+    in
+    let engine = Engine.generate ~classes db in
+    Printf.printf
+      "soqm interactive VQL (document schema, %d documents, %d rules)\n\
+       type a query, or :schema / :quit\n"
+      docs (Engine.rule_count engine);
+    let rec loop () =
+      print_string "vql> ";
+      match read_line () with
+      | exception End_of_file -> print_newline ()
+      | ":quit" | ":q" -> ()
+      | ":schema" ->
+        Format.printf "%a@." Soqm_vml.Schema.pp Doc_schema.schema;
+        loop ()
+      | "" -> loop ()
+      | query ->
+        (try
+           let opt = Engine.run_optimized engine query in
+           (match opt.Engine.opt with
+           | Some o when trace ->
+             Format.printf "%a@." Soqm_optimizer.Trace.pp_result o
+           | Some o -> Format.printf "%a@." Soqm_optimizer.Trace.pp_summary o
+           | None -> ());
+           Format.printf "%a@." Soqm_algebra.Relation.pp opt.Engine.result;
+           print_report "optimized" opt
+         with
+        | Soqm_vql.Parser.Error msg -> Printf.printf "parse error: %s\n" msg
+        | Soqm_vql.Typecheck.Error msg -> Printf.printf "type error: %s\n" msg
+        | Soqm_algebra.Eval.Error msg | Soqm_physical.Exec.Error msg ->
+          Printf.printf "execution error: %s\n" msg);
+        loop ()
+    in
+    loop ()
+  in
+  let doc = "Interactive VQL session (the paper's interactive mode)." in
+  Cmd.v
+    (Cmd.info "repl" ~doc)
+    Term.(const repl $ docs_arg $ hit_arg $ seed_arg $ disable_arg $ trace_arg)
+
+let rules_cmd =
+  let show docs hit seed =
+    let db = make_db docs hit seed in
+    let engine = Engine.generate db in
+    Printf.printf "generated optimizer has %d rule(s)\n" (Engine.rule_count engine)
+  in
+  let doc = "Report the size of the generated optimizer's rule set." in
+  Cmd.v (Cmd.info "rules" ~doc) Term.(const show $ docs_arg $ hit_arg $ seed_arg)
+
+let main =
+  let doc =
+    "semantic query optimization for methods in an object-oriented database"
+  in
+  Cmd.group (Cmd.info "soqm" ~version:"1.0.0" ~doc)
+    [ run_cmd; repl_cmd; schema_cmd; rules_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/document_retrieval.ml: Datagen Db Doc_knowledge Engine Format List Printf Soqm_algebra Soqm_core Soqm_optimizer Soqm_semantics Soqm_vml

@@ -1,0 +1,1 @@
+examples/extensible_operators.ml: Expr Format List Object_store Printf Runtime Schema Soqm_algebra Soqm_vml Value Vtype

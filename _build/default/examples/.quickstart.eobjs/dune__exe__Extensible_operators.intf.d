@@ -1,0 +1,1 @@
+examples/extensible_operators.mli:

@@ -1,0 +1,1 @@
+examples/inverse_links.ml: Counters Datagen Db Doc_knowledge Doc_schema Engine Format List Object_store Oid Printf Soqm_algebra Soqm_core Soqm_semantics Soqm_vml Value

@@ -1,0 +1,1 @@
+examples/inverse_links.mli:

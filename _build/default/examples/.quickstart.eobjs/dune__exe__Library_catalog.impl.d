@@ -1,0 +1,1 @@
+examples/library_catalog.ml: Counters Format Hash_index List Object_store Printf Runtime Soqm_algebra Soqm_core Soqm_optimizer Soqm_physical Soqm_semantics Soqm_storage Soqm_vml Soqm_vql Value

@@ -1,0 +1,1 @@
+examples/precomputed_predicates.ml: Counters Datagen Db Doc_knowledge Engine List Printf Soqm_algebra Soqm_core Soqm_vml

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Datagen Db Engine Format Printf Soqm_algebra Soqm_core Soqm_optimizer Soqm_physical Soqm_vml

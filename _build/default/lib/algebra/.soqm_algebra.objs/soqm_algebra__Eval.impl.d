@@ -1,0 +1,1 @@
+lib/algebra/eval.ml: Expr Format General List Object_store Relation Runtime Soqm_vml String Value

@@ -1,0 +1,1 @@
+lib/algebra/eval.mli: Expr General Object_store Relation Soqm_vml Value

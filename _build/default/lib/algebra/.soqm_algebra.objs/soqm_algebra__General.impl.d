@@ -1,0 +1,1 @@
+lib/algebra/general.ml: Expr Format List Soqm_vml Stdlib String

@@ -1,0 +1,1 @@
+lib/algebra/general.mli: Expr Format Soqm_vml

@@ -1,0 +1,1 @@
+lib/algebra/relation.ml: Format List Soqm_vml String Value

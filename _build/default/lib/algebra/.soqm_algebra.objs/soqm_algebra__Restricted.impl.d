@@ -1,0 +1,1 @@
+lib/algebra/restricted.ml: Expr Format General Hashtbl List Option Printf Schema Soqm_vml Stdlib String Value Vtype

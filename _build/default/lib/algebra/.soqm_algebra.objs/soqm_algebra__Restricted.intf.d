@@ -1,0 +1,1 @@
+lib/algebra/restricted.mli: Expr Format General Schema Soqm_vml Value Vtype

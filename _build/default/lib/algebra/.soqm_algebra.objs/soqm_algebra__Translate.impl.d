@@ -1,0 +1,1 @@
+lib/algebra/translate.ml: Expr Format General List Option Restricted Soqm_vml String Value

@@ -1,0 +1,1 @@
+lib/algebra/translate.mli: General Restricted Soqm_vml

@@ -1,0 +1,123 @@
+open Soqm_vml
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let eval_expr store tuple e =
+  let binding r = List.assoc_opt r tuple in
+  try Runtime.eval (Runtime.env ~binding store) e
+  with Runtime.Error msg -> error "expression %s: %s" (Expr.to_string e) msg
+
+let rec run store (t : General.t) : Relation.t =
+  let refs_of t = try General.refs t with Invalid_argument msg -> error "%s" msg in
+  match t with
+  | Unit -> Relation.make ~refs:[] [ [] ]
+  | Get (a, cls) ->
+    let oids =
+      try Object_store.extent store cls
+      with Invalid_argument msg -> error "%s" msg
+    in
+    Relation.of_values a (List.map (fun o -> Value.Obj o) oids)
+  | MethodSource (a, e) -> (
+    match eval_expr store [] e with
+    | Value.Set vs -> Relation.of_values a vs
+    | v -> error "source expression produced non-set %s" (Value.to_string v))
+  | Select (cond, s) ->
+    let input = run store s in
+    let keep tup = Value.truthy (eval_expr store tup cond) in
+    Relation.make ~refs:(Relation.refs input)
+      (List.filter keep (Relation.tuples input))
+  | NaturalJoin (s1, s2) ->
+    let r1 = run store s1 and r2 = run store s2 in
+    let shared =
+      List.filter (fun r -> List.mem r (Relation.refs r2)) (Relation.refs r1)
+    in
+    let out_refs =
+      List.sort_uniq String.compare (Relation.refs r1 @ Relation.refs r2)
+    in
+    let joins t1 t2 =
+      List.for_all
+        (fun r -> Value.equal (Relation.field t1 r) (Relation.field t2 r))
+        shared
+    in
+    let merge t1 t2 =
+      let extra =
+        List.filter (fun (r, _) -> not (List.mem_assoc r t1)) t2
+      in
+      Relation.tuple_make (t1 @ extra)
+    in
+    Relation.make ~refs:out_refs
+      (List.concat_map
+         (fun t1 ->
+           List.filter_map
+             (fun t2 -> if joins t1 t2 then Some (merge t1 t2) else None)
+             (Relation.tuples r2))
+         (Relation.tuples r1))
+  | Union (s1, s2) ->
+    let r1 = run store s1 and r2 = run store s2 in
+    if not (Relation.same_refs r1 r2) then
+      error "union arguments have differing references";
+    Relation.make ~refs:(Relation.refs r1)
+      (Relation.tuples r1 @ Relation.tuples r2)
+  | Diff (s1, s2) ->
+    let r1 = run store s1 and r2 = run store s2 in
+    if not (Relation.same_refs r1 r2) then
+      error "diff arguments have differing references";
+    let in_r2 tup = List.exists (fun t2 -> t2 = tup) (Relation.tuples r2) in
+    Relation.make ~refs:(Relation.refs r1)
+      (List.filter (fun tup -> not (in_r2 tup)) (Relation.tuples r1))
+  | Join (cond, s1, s2) ->
+    let r1 = run store s1 and r2 = run store s2 in
+    let out_refs =
+      List.sort_uniq String.compare (Relation.refs r1 @ Relation.refs r2)
+    in
+    if
+      List.length out_refs
+      <> List.length (Relation.refs r1) + List.length (Relation.refs r2)
+    then error "join arguments share references";
+    Relation.make ~refs:out_refs
+      (List.concat_map
+         (fun t1 ->
+           List.filter_map
+             (fun t2 ->
+               let merged = Relation.tuple_make (t1 @ t2) in
+               if Value.truthy (eval_expr store merged cond) then Some merged
+               else None)
+             (Relation.tuples r2))
+         (Relation.tuples r1))
+  | Map (a, e, s) ->
+    let input = run store s in
+    if List.mem a (Relation.refs input) then
+      error "map target reference %S already present" a;
+    Relation.make ~refs:(a :: Relation.refs input)
+      (List.map
+         (fun tup -> Relation.tuple_make ((a, eval_expr store tup e) :: tup))
+         (Relation.tuples input))
+  | Flat (a, e, s) ->
+    let input = run store s in
+    if List.mem a (Relation.refs input) then
+      error "flat target reference %S already present" a;
+    Relation.make ~refs:(a :: Relation.refs input)
+      (List.concat_map
+         (fun tup ->
+           match eval_expr store tup e with
+           | Value.Set vs ->
+             List.map (fun v -> Relation.tuple_make ((a, v) :: tup)) vs
+           | Value.Null -> []
+           | v ->
+             error "flat expression produced non-set %s" (Value.to_string v))
+         (Relation.tuples input))
+  | Project (rs, s) ->
+    let input = run store s in
+    let rs = List.sort_uniq String.compare rs in
+    List.iter
+      (fun r ->
+        if not (List.mem r (Relation.refs input)) then
+          error "projection reference %S not present" r)
+      rs;
+    ignore (refs_of t);
+    Relation.make ~refs:rs
+      (List.map
+         (fun tup -> List.filter (fun (r, _) -> List.mem r rs) tup)
+         (Relation.tuples input))

@@ -1,0 +1,22 @@
+(** Reference interpreter for the general algebra.
+
+    Evaluates an algebra expression directly by its set-comprehension
+    definition (Section 4.1) against a store.  This is the
+    "straightforward evaluation of the query without transformation" the
+    paper's worked example compares against, and the semantic oracle all
+    rewrites and physical plans are tested against: [join<true>] really
+    builds the Cartesian product, [select] calls every method in its
+    condition once per input tuple, and nothing is indexed. *)
+
+open Soqm_vml
+
+exception Error of string
+
+val run : Object_store.t -> General.t -> Relation.t
+(** Evaluate the expression.  @raise Error on dynamic failure (including
+    [Runtime.Error]s from expression parameters and ill-formed algebra
+    terms). *)
+
+val eval_expr : Object_store.t -> Relation.tuple -> Expr.t -> Value.t
+(** Evaluate an operator-parameter expression with references bound by
+    the given tuple. *)

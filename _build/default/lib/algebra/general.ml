@@ -1,0 +1,132 @@
+open Soqm_vml
+
+type t =
+  | Unit
+  | Get of string * string
+  | NaturalJoin of t * t
+  | Union of t * t
+  | Diff of t * t
+  | Select of Expr.t * t
+  | Join of Expr.t * t * t
+  | Map of string * Expr.t * t
+  | Flat of string * Expr.t * t
+  | Project of string list * t
+  | MethodSource of string * Expr.t
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let union_sorted a b = List.sort_uniq String.compare (a @ b)
+
+let rec refs = function
+  | Unit -> []
+  | Get (a, _) | MethodSource (a, _) -> [ a ]
+  | NaturalJoin (s1, s2) -> union_sorted (refs s1) (refs s2)
+  | Union (s1, s2) | Diff (s1, s2) ->
+    let r1 = refs s1 and r2 = refs s2 in
+    if r1 <> r2 then
+      fail "General.refs: union/diff arguments have differing references";
+    r1
+  | Select (_, s) -> refs s
+  | Join (_, s1, s2) ->
+    let r1 = refs s1 and r2 = refs s2 in
+    if List.exists (fun r -> List.mem r r2) r1 then
+      fail "General.refs: join arguments share references";
+    union_sorted r1 r2
+  | Map (a, _, s) | Flat (a, _, s) ->
+    let r = refs s in
+    if List.mem a r then fail "General.refs: map/flat reuses reference %S" a;
+    union_sorted [ a ] r
+  | Project (rs, _) -> List.sort_uniq String.compare rs
+
+let rec well_formed t =
+  let check_sub s k = match well_formed s with Error _ as e -> e | Ok () -> k () in
+  let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+  match t with
+  | Unit | Get _ -> Ok ()
+  | MethodSource (_, e) ->
+    if Expr.refs e = [] then Ok ()
+    else Error "MethodSource expression must be closed (no references)"
+  | NaturalJoin (s1, s2) -> check_sub s1 (fun () -> well_formed s2)
+  | Union (s1, s2) | Diff (s1, s2) ->
+    check_sub s1 (fun () ->
+        check_sub s2 (fun () ->
+            if refs s1 = refs s2 then Ok ()
+            else Error "union/diff arguments must have equal references"))
+  | Select (cond, s) ->
+    check_sub s (fun () ->
+        if subset (Expr.refs cond) (refs s) then Ok ()
+        else Error "select condition uses unavailable references")
+  | Join (cond, s1, s2) ->
+    check_sub s1 (fun () ->
+        check_sub s2 (fun () ->
+            let r1 = refs s1 and r2 = refs s2 in
+            if List.exists (fun r -> List.mem r r2) r1 then
+              Error "join arguments must have disjoint references"
+            else if subset (Expr.refs cond) (union_sorted r1 r2) then Ok ()
+            else Error "join condition uses unavailable references"))
+  | Map (a, e, s) | Flat (a, e, s) ->
+    check_sub s (fun () ->
+        let r = refs s in
+        if List.mem a r then Error "map/flat target reference already present"
+        else if subset (Expr.refs e) r then Ok ()
+        else Error "map/flat expression uses unavailable references")
+  | Project (rs, s) ->
+    check_sub s (fun () ->
+        if subset rs (refs s) then Ok ()
+        else Error "projection references not all present")
+
+let rec size = function
+  | Unit | Get _ | MethodSource _ -> 1
+  | Select (_, s) | Map (_, _, s) | Flat (_, _, s) | Project (_, s) -> 1 + size s
+  | NaturalJoin (s1, s2) | Union (s1, s2) | Diff (s1, s2) | Join (_, s1, s2) ->
+    1 + size s1 + size s2
+
+let rec subexpressions t =
+  t
+  ::
+  (match t with
+  | Unit | Get _ | MethodSource _ -> []
+  | Select (_, s) | Map (_, _, s) | Flat (_, _, s) | Project (_, s) ->
+    subexpressions s
+  | NaturalJoin (s1, s2) | Union (s1, s2) | Diff (s1, s2) | Join (_, s1, s2) ->
+    subexpressions s1 @ subexpressions s2)
+
+let rec rename_ref ~old_ref ~new_ref t =
+  let rn = rename_ref ~old_ref ~new_ref in
+  let rne = Expr.rename_ref ~old_ref ~new_ref in
+  let rnr r = if String.equal r old_ref then new_ref else r in
+  match t with
+  | Unit -> Unit
+  | Get (a, c) -> Get (rnr a, c)
+  | MethodSource (a, e) -> MethodSource (rnr a, rne e)
+  | NaturalJoin (s1, s2) -> NaturalJoin (rn s1, rn s2)
+  | Union (s1, s2) -> Union (rn s1, rn s2)
+  | Diff (s1, s2) -> Diff (rn s1, rn s2)
+  | Select (c, s) -> Select (rne c, rn s)
+  | Join (c, s1, s2) -> Join (rne c, rn s1, rn s2)
+  | Map (a, e, s) -> Map (rnr a, rne e, rn s)
+  | Flat (a, e, s) -> Flat (rnr a, rne e, rn s)
+  | Project (rs, s) -> Project (List.map rnr rs, rn s)
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "unit"
+  | Get (a, c) -> Format.fprintf ppf "get<%s, %s>" a c
+  | MethodSource (a, e) -> Format.fprintf ppf "source<%s, %a>" a Expr.pp e
+  | NaturalJoin (s1, s2) ->
+    Format.fprintf ppf "@[<v2>natural_join(@,%a,@,%a)@]" pp s1 pp s2
+  | Union (s1, s2) -> Format.fprintf ppf "@[<v2>union(@,%a,@,%a)@]" pp s1 pp s2
+  | Diff (s1, s2) -> Format.fprintf ppf "@[<v2>diff(@,%a,@,%a)@]" pp s1 pp s2
+  | Select (c, s) -> Format.fprintf ppf "@[<v2>select<%a>(@,%a)@]" Expr.pp c pp s
+  | Join (c, s1, s2) ->
+    Format.fprintf ppf "@[<v2>join<%a>(@,%a,@,%a)@]" Expr.pp c pp s1 pp s2
+  | Map (a, e, s) ->
+    Format.fprintf ppf "@[<v2>map<%s, %a>(@,%a)@]" a Expr.pp e pp s
+  | Flat (a, e, s) ->
+    Format.fprintf ppf "@[<v2>flat<%s, %a>(@,%a)@]" a Expr.pp e pp s
+  | Project (rs, s) ->
+    Format.fprintf ppf "@[<v2>project<%s>(@,%a)@]" (String.concat ", " rs) pp s
+
+let to_string t = Format.asprintf "%a" pp t

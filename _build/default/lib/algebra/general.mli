@@ -1,0 +1,73 @@
+(** The general query algebra of Section 4.1.
+
+    Operators are applied to complex values of type
+    [{ [a1: D1, ..., an: Dn] }]; operator parameters (enclosed in [<...>]
+    in the paper) may be arbitrarily complex expressions.  Methods enter
+    the algebra as operator {e parameters} here (Section 3.1); methods as
+    physical {e operators} appear in the physical algebra and through
+    {!const:MethodSource}. *)
+
+open Soqm_vml
+
+type t =
+  | Unit
+      (** the relation [{[]}] over no references — one empty tuple; the
+          neutral element of [join<true>], used to host tuple-independent
+          operator chains *)
+  | Get of string * string
+      (** [get<a, class> = { [a: o] | o ∈ extension(class) }] *)
+  | NaturalJoin of t * t
+      (** join on the shared references; with equal reference sets this is
+          set intersection (used by the implication rules of Section 4.2) *)
+  | Union of t * t  (** same reference sets *)
+  | Diff of t * t  (** same reference sets *)
+  | Select of Expr.t * t
+      (** [select<condition(a1,...,an)>(S)] — keep tuples whose condition
+          evaluates to [TRUE] *)
+  | Join of Expr.t * t * t
+      (** theta-join of disjointly-referenced arguments; [Join (Const
+          (Bool true))] is the Cartesian product used by the canonical
+          VQL translation *)
+  | Map of string * Expr.t * t
+      (** [map<a, expression>(S)] — extend each tuple with [a] bound to
+          the expression's value; [a ∉ Ref(S)] *)
+  | Flat of string * Expr.t * t
+      (** [flat<a, expression>(S)] — expression is set-valued; one output
+          tuple per element (dual of map w.r.t. set nesting) *)
+  | Project of string list * t  (** [project<a1,...,ai>(S)] *)
+  | MethodSource of string * Expr.t
+      (** [{ [a: v] | v ∈ eval(expression) }] for a closed, set-valued
+          expression — a set-returning method call used as a source, e.g.
+          a FROM range [p IN Paragraph→retrieve_by_string(s)] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val refs : t -> string list
+(** [Ref(S)] — output references, sorted.  Computed structurally:
+    [Get]/[MethodSource] produce their reference, [Map]/[Flat] add one,
+    [Project] restricts, joins merge.
+    @raise Invalid_argument on ill-formed operands (e.g. [Union] of
+    differently-referenced arguments, [Map] reusing an existing
+    reference). *)
+
+val well_formed : t -> (unit, string) result
+(** Check all structural side conditions of Section 4.1 (reference
+    disjointness/equality requirements, [a ∉ Ref(S)], condition references
+    available, projection references present). *)
+
+val size : t -> int
+(** Operator count. *)
+
+val subexpressions : t -> t list
+(** The expression and all its operator subtrees (preorder). *)
+
+val rename_ref : old_ref:string -> new_ref:string -> t -> t
+(** Rename a reference throughout the tree, including inside expression
+    parameters. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line, indented, paper-style rendering:
+    [select<cond>(get<p, Paragraph>)]. *)
+
+val to_string : t -> string

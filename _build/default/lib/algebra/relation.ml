@@ -1,0 +1,63 @@
+open Soqm_vml
+
+type tuple = (string * Value.t) list
+
+type t = { refs : string list; tuples : tuple list }
+
+let tuple_make fields =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+
+let rec compare_tuple (a : tuple) (b : tuple) =
+  match a, b with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (ra, va) :: a', (rb, vb) :: b' ->
+    let c = String.compare ra rb in
+    if c <> 0 then c
+    else
+      let c = Value.compare va vb in
+      if c <> 0 then c else compare_tuple a' b'
+
+let make ~refs tuples =
+  let refs = List.sort_uniq String.compare refs in
+  let tuples = List.map tuple_make tuples in
+  List.iter
+    (fun tup ->
+      let names = List.map fst tup in
+      if names <> refs then
+        invalid_arg
+          (Format.asprintf "Relation.make: tuple refs {%s} differ from {%s}"
+             (String.concat ", " names) (String.concat ", " refs)))
+    tuples;
+  { refs; tuples = List.sort_uniq compare_tuple tuples }
+
+let empty ~refs = make ~refs []
+let refs t = t.refs
+let tuples t = t.tuples
+let cardinality t = List.length t.tuples
+let field tup r = List.assoc r tup
+let same_refs a b = a.refs = b.refs
+
+let equal a b =
+  same_refs a b
+  && List.length a.tuples = List.length b.tuples
+  && List.for_all2 (fun x y -> compare_tuple x y = 0) a.tuples b.tuples
+
+let of_values a vs =
+  make ~refs:[ a ] (List.map (fun v -> [ (a, v) ]) (List.sort_uniq Value.compare vs))
+
+let column t r = List.map (fun tup -> field tup r) t.tuples
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>{%s} (%d tuples)@," (String.concat ", " t.refs)
+    (cardinality t);
+  List.iter
+    (fun tup ->
+      Format.fprintf ppf "  [%a]@,"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (r, v) -> Format.fprintf ppf "%s: %a" r Value.pp v))
+        tup)
+    t.tuples;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Relations: bulk values of type [set[tuple[domains]]].
+
+    The query algebra of Section 4.1 manipulates complex values of type
+    [{ [a1: D1, ..., an: Dn] }].  A relation here is a set of tuples over
+    a fixed list of references [Ref(S) = {a1, ..., an}]; tuple components
+    are unordered (we keep them sorted by reference name) and the tuple
+    set is duplicate-free. *)
+
+open Soqm_vml
+
+type tuple = (string * Value.t) list
+(** One tuple, sorted by reference name. *)
+
+type t
+
+val make : refs:string list -> tuple list -> t
+(** Canonicalize (sort refs, sort tuple components, deduplicate tuples)
+    and validate that every tuple binds exactly the declared references.
+    @raise Invalid_argument on mismatched tuples. *)
+
+val empty : refs:string list -> t
+
+val refs : t -> string list
+(** [Ref(S)], sorted. *)
+
+val tuples : t -> tuple list
+val cardinality : t -> int
+
+val field : tuple -> string -> Value.t
+(** @raise Not_found when the reference is absent. *)
+
+val tuple_make : (string * Value.t) list -> tuple
+
+val same_refs : t -> t -> bool
+val equal : t -> t -> bool
+(** Set equality over identical reference lists. *)
+
+val of_values : string -> Value.t list -> t
+(** [of_values a vs] is the unary relation [{ [a: v] | v in vs }]. *)
+
+val column : t -> string -> Value.t list
+(** Values of one reference, in tuple order (duplicates preserved). *)
+
+val pp : Format.formatter -> t -> unit

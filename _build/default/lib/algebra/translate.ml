@@ -1,0 +1,239 @@
+open Soqm_vml
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+open Restricted
+
+(* Ensure an operand is a reference, materializing constants/parameters
+   through an identity map step. *)
+let as_ref plan operand =
+  match operand with
+  | ORef r -> (plan, r)
+  | OConst _ | OParam _ ->
+    let t = temp_ref () in
+    (MapOperator (t, OpIdent, [ operand ], plan), t)
+
+let rec compile_operand plan (e : Expr.t) : Restricted.t * operand =
+  match e with
+  | Expr.Const v -> (plan, OConst v)
+  | Expr.Ref r -> (plan, ORef r)
+  | Expr.Param p -> (plan, OParam p)
+  | Expr.ClassObj c -> (plan, OConst (Value.Cls c))
+  | Expr.Self -> unsupported "SELF cannot appear in an operator parameter"
+  | Expr.If _ -> unsupported "IF cannot appear in an operator parameter"
+  | Expr.Prop (e', p) ->
+    let plan, x = compile_operand plan e' in
+    let plan, r = as_ref plan x in
+    let t = temp_ref () in
+    (MapProperty (t, p, r, plan), ORef t)
+  | Expr.Call (Expr.ClassObj c, m, args) ->
+    let plan, xs = compile_operands plan args in
+    let t = temp_ref () in
+    (MapMethod (t, m, RClass c, xs, plan), ORef t)
+  | Expr.Call (recv, m, args) ->
+    let plan, rx = compile_operand plan recv in
+    let plan, r = as_ref plan rx in
+    let plan, xs = compile_operands plan args in
+    let t = temp_ref () in
+    (MapMethod (t, m, RRef r, xs, plan), ORef t)
+  | Expr.Binop (op, e1, e2) ->
+    let plan, x1 = compile_operand plan e1 in
+    let plan, x2 = compile_operand plan e2 in
+    let t = temp_ref () in
+    (MapOperator (t, OpBin op, [ x1; x2 ], plan), ORef t)
+  | Expr.Not e' ->
+    let plan, x = compile_operand plan e' in
+    let t = temp_ref () in
+    (MapOperator (t, OpNot, [ x ], plan), ORef t)
+  | Expr.TupleE fields ->
+    let labels = List.map fst fields in
+    let plan, xs = compile_operands plan (List.map snd fields) in
+    let t = temp_ref () in
+    (MapOperator (t, OpTuple labels, xs, plan), ORef t)
+  | Expr.SetE es ->
+    let plan, xs = compile_operands plan es in
+    let t = temp_ref () in
+    (MapOperator (t, OpSet, xs, plan), ORef t)
+
+and compile_operands plan args =
+  List.fold_left
+    (fun (plan, acc) arg ->
+      let plan, x = compile_operand plan arg in
+      (plan, acc @ [ x ]))
+    (plan, []) args
+
+let compile_map ~target plan (e : Expr.t) =
+  match e with
+  | Expr.Prop (e', p) ->
+    let plan, x = compile_operand plan e' in
+    let plan, r = as_ref plan x in
+    MapProperty (target, p, r, plan)
+  | Expr.Call (Expr.ClassObj c, m, args) ->
+    let plan, xs = compile_operands plan args in
+    MapMethod (target, m, RClass c, xs, plan)
+  | Expr.Call (recv, m, args) ->
+    let plan, rx = compile_operand plan recv in
+    let plan, r = as_ref plan rx in
+    let plan, xs = compile_operands plan args in
+    MapMethod (target, m, RRef r, xs, plan)
+  | Expr.Binop (op, e1, e2) ->
+    let plan, x1 = compile_operand plan e1 in
+    let plan, x2 = compile_operand plan e2 in
+    MapOperator (target, OpBin op, [ x1; x2 ], plan)
+  | Expr.Not e' ->
+    let plan, x = compile_operand plan e' in
+    MapOperator (target, OpNot, [ x ], plan)
+  | Expr.TupleE fields ->
+    let labels = List.map fst fields in
+    let plan, xs = compile_operands plan (List.map snd fields) in
+    MapOperator (target, OpTuple labels, xs, plan)
+  | Expr.SetE es ->
+    let plan, xs = compile_operands plan es in
+    MapOperator (target, OpSet, xs, plan)
+  | Expr.Const _ | Expr.Ref _ | Expr.Param _ | Expr.ClassObj _ ->
+    let plan, x = compile_operand plan e in
+    MapOperator (target, OpIdent, [ x ], plan)
+  | Expr.Self | Expr.If _ ->
+    let plan, x = compile_operand plan e in
+    MapOperator (target, OpIdent, [ x ], plan)
+
+let compile_flat ~target plan (e : Expr.t) =
+  match e with
+  | Expr.Prop (e', p) ->
+    let plan, x = compile_operand plan e' in
+    let plan, r = as_ref plan x in
+    FlatProperty (target, p, r, plan)
+  | Expr.Call (Expr.ClassObj c, m, args) ->
+    let plan, xs = compile_operands plan args in
+    FlatMethod (target, m, RClass c, xs, plan)
+  | Expr.Call (recv, m, args) ->
+    let plan, rx = compile_operand plan recv in
+    let plan, r = as_ref plan rx in
+    let plan, xs = compile_operands plan args in
+    FlatMethod (target, m, RRef r, xs, plan)
+  | _ ->
+    (* General set-valued expression: compute it, then unnest through an
+       identity flat_operator. *)
+    let plan, x = compile_operand plan e in
+    FlatOperator (target, OpIdent, [ x ], plan)
+
+let rec compile_select plan (cond : Expr.t) =
+  match cond with
+  | Expr.Binop (Expr.And, c1, c2) ->
+    compile_select (compile_select plan c1) c2
+  | Expr.Const (Value.Bool true) -> plan
+  | Expr.Binop (op, e1, e2) -> (
+    match Restricted.binop_to_cmp op with
+    | Some cmp ->
+      let plan, x1 = compile_operand plan e1 in
+      let plan, x2 = compile_operand plan e2 in
+      SelectCmp (cmp, x1, x2, plan)
+    | None ->
+      (* e.g. an OR: compute the boolean and compare against TRUE *)
+      let plan, x = compile_operand plan cond in
+      SelectCmp (CEq, x, OConst (Value.Bool true), plan))
+  | _ ->
+    let plan, x = compile_operand plan cond in
+    SelectCmp (CEq, x, OConst (Value.Bool true), plan)
+
+(* Project away compiler temporaries when any were introduced, so the
+   translated term keeps exactly the references of the general term. *)
+let dropping_temps ~want plan =
+  let have = Restricted.refs plan in
+  if have = want then plan else Project (want, plan)
+
+(* Find a conjunct [Ref a1 θ Ref a2] usable as a restricted join
+   predicate between inputs with reference sets [r1] and [r2]; returns
+   the join triple and the remaining condition. *)
+let rec split_join_cond r1 r2 (cond : Expr.t) =
+  match cond with
+  | Expr.Binop (op, Expr.Ref a, Expr.Ref b) -> (
+    match Restricted.binop_to_cmp op with
+    | Some cmp ->
+      if List.mem a r1 && List.mem b r2 then Some ((cmp, a, b), None)
+      else if List.mem b r1 && List.mem a r2 then
+        (* swap operands; only symmetric comparisons can be swapped
+           directly, others flip *)
+        let flipped =
+          match cmp with
+          | CEq -> Some CEq
+          | CNeq -> Some CNeq
+          | CLt -> Some CGt
+          | CLe -> Some CGe
+          | CGt -> Some CLt
+          | CGe -> Some CLe
+          | CIsIn | CIsSubset -> None
+        in
+        Option.map (fun c -> ((c, b, a), None)) flipped
+      else None
+    | None -> None)
+  | Expr.Binop (Expr.And, c1, c2) -> (
+    match split_join_cond r1 r2 c1 with
+    | Some (j, rest) ->
+      let rest' =
+        match rest with None -> Some c2 | Some r -> Some (Expr.Binop (Expr.And, r, c2))
+      in
+      Some (j, rest')
+    | None -> (
+      match split_join_cond r1 r2 c2 with
+      | Some (j, rest) ->
+        let rest' =
+          match rest with
+          | None -> Some c1
+          | Some r -> Some (Expr.Binop (Expr.And, c1, r))
+        in
+        Some (j, rest')
+      | None -> None))
+  | _ -> None
+
+let rec of_general (g : General.t) : Restricted.t =
+  match g with
+  | General.Unit -> Unit
+  | General.Get (a, c) -> Get (a, c)
+  | General.MethodSource (a, Expr.Call (Expr.ClassObj c, m, args)) ->
+    let consts =
+      List.map
+        (function
+          | Expr.Const v -> OConst v
+          | Expr.Param p -> OParam p
+          | arg ->
+            unsupported "source argument %s is not a constant"
+              (Expr.to_string arg))
+        args
+    in
+    MethodSource (a, c, m, consts)
+  | General.MethodSource (a, e) when Expr.refs e = [] ->
+    (* a complex closed set expression (e.g. the INTERSECTION of plan
+       PQ): compute it once over [unit] and unnest into [a] *)
+    dropping_temps ~want:[ a ] (compile_flat ~target:a Unit e)
+  | General.MethodSource (_, e) ->
+    unsupported "source expression %s is not closed" (Expr.to_string e)
+  | General.NaturalJoin (s1, s2) -> NaturalJoin (of_general s1, of_general s2)
+  | General.Union (s1, s2) -> Union (of_general s1, of_general s2)
+  | General.Diff (s1, s2) -> Diff (of_general s1, of_general s2)
+  | General.Select (cond, s) ->
+    let want = General.refs s in
+    dropping_temps ~want (compile_select (of_general s) cond)
+  | General.Join (Expr.Const (Value.Bool true), s1, s2) ->
+    Cross (of_general s1, of_general s2)
+  | General.Join (cond, s1, s2) -> (
+    let r1 = General.refs s1 and r2 = General.refs s2 in
+    let want = List.sort_uniq String.compare (r1 @ r2) in
+    let t1 = of_general s1 and t2 = of_general s2 in
+    match split_join_cond r1 r2 cond with
+    | Some ((cmp, a1, a2), rest) ->
+      let joined = JoinCmp (cmp, a1, a2, t1, t2) in
+      let with_rest =
+        match rest with None -> joined | Some c -> compile_select joined c
+      in
+      dropping_temps ~want with_rest
+    | None -> dropping_temps ~want (compile_select (Cross (t1, t2)) cond))
+  | General.Map (a, e, s) ->
+    let want = List.sort_uniq String.compare (a :: General.refs s) in
+    dropping_temps ~want (compile_map ~target:a (of_general s) e)
+  | General.Flat (a, e, s) ->
+    let want = List.sort_uniq String.compare (a :: General.refs s) in
+    dropping_temps ~want (compile_flat ~target:a (of_general s) e)
+  | General.Project (rs, s) -> Project (List.sort_uniq String.compare rs, of_general s)

@@ -1,0 +1,48 @@
+(** Translation between the general and the restricted algebra.
+
+    Section 6.1: "Both algebras have the same expressive power.  One can
+    show this by translating expression composition which can take place
+    on the parameter level in the general algebra to operator composition
+    in the restricted algebra."  This module is that translation.
+
+    Complex operator parameters are decomposed into chains of
+    [map_property] / [map_method] / [map_operator] steps computing
+    intermediate results in compiler-generated temporary references
+    ({!Restricted.temp_ref}); the consuming operator then sees only
+    atomic operands, and a final projection drops the temporaries so the
+    translated term has exactly the references of the original.
+
+    The inverse direction is {!Restricted.to_general}. *)
+
+exception Unsupported of string
+(** Raised on expressions outside the translatable fragment ([SELF],
+    method parameters, [IF] in operator position, non-method closed
+    sources). *)
+
+val of_general : General.t -> Restricted.t
+(** Translate a general-algebra term.  The result has the same references
+    and, for every store, the same value (see the property tests).
+    @raise Unsupported as documented above. *)
+
+val compile_operand :
+  Restricted.t -> Soqm_vml.Expr.t -> Restricted.t * Restricted.operand
+(** [compile_operand plan e] extends [plan] with operators computing [e]
+    and returns the operand holding its value.  Exposed for the rule
+    derivation of Section 4.2, which compiles both sides of an
+    equivalence specification over a pattern placeholder.  [Expr.Param]s
+    compile to {!Restricted.OParam} operands. *)
+
+val compile_map : target:string -> Restricted.t -> Soqm_vml.Expr.t -> Restricted.t
+(** [compile_map ~target plan e] extends [plan] so that reference
+    [target] holds the value of [e] (the outermost step writes directly
+    to [target], as [map<target, e>] would). *)
+
+val compile_flat : target:string -> Restricted.t -> Soqm_vml.Expr.t -> Restricted.t
+(** Flat counterpart of {!compile_map}: one output tuple per member of
+    [e]'s set value. *)
+
+val compile_select : Restricted.t -> Soqm_vml.Expr.t -> Restricted.t
+(** [compile_select plan cond] extends [plan] with the selection
+    [select<cond>], decomposing conjunctions into select cascades and
+    compiling comparison operands; temporaries are {e not} yet projected
+    away (callers project once at the end). *)

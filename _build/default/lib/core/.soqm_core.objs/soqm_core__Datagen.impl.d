@@ -1,0 +1,1 @@
+lib/core/datagen.ml: Buffer Int64 Object_store Printf Soqm_vml Value

@@ -1,0 +1,1 @@
+lib/core/datagen.mli: Object_store Soqm_vml

@@ -1,0 +1,1 @@
+lib/core/db.ml: Counters Datagen Doc_schema Hash_index List Object_store Oid Runtime Soqm_ir Soqm_storage Soqm_vml Sorted_index Statistics Value

@@ -1,0 +1,1 @@
+lib/core/db.mli: Counters Datagen Hash_index Object_store Oid Soqm_ir Soqm_storage Soqm_vml Sorted_index Statistics

@@ -1,0 +1,1 @@
+lib/core/doc_knowledge.ml: Doc_schema Equivalence Expr List Soqm_semantics Soqm_vml Value

@@ -1,0 +1,1 @@
+lib/core/doc_knowledge.mli: Equivalence Soqm_semantics

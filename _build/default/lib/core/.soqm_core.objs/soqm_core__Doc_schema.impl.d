@@ -1,0 +1,1 @@
+lib/core/doc_schema.ml: Expr Object_store Schema Soqm_vml Vtype

@@ -1,0 +1,1 @@
+lib/core/doc_schema.mli: Object_store Schema Soqm_vml

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Counters Db Doc_knowledge Object_store Relation Restricted Rule Search Soqm_algebra Soqm_optimizer Soqm_physical Soqm_semantics Soqm_vml

@@ -1,0 +1,45 @@
+(** Deterministic synthetic document corpus.
+
+    Stands in for the "given typical database" of the worked example
+    (Section 2.3): documents made of sections made of paragraphs, with
+    the declared inverse links populated, a Zipf-ish vocabulary, and two
+    tunable selectivities — the fraction of paragraphs containing the
+    query word (driving [contains_string]/[retrieve_by_string]) and the
+    fraction of "large" paragraphs (driving the implication-rule
+    experiment).  Everything derives from [seed]; equal parameters give
+    identical databases. *)
+
+open Soqm_vml
+
+type params = {
+  n_docs : int;
+  sections_per_doc : int;
+  paras_per_section : int;
+  vocab_size : int;  (** distinct ordinary words *)
+  words_per_para : int;
+  hit_probability : float;
+      (** probability that a paragraph contains the {!query_word}; the
+          first paragraph of every document's first section contains it
+          unconditionally *)
+  large_fraction : float;
+      (** fraction of paragraphs with [word_count > 500] *)
+  seed : int;
+}
+
+val default : params
+(** 50 documents × 4 sections × 6 paragraphs, 5% hit probability, 10%
+    large paragraphs, seed 42. *)
+
+val query_word : string
+(** The word the paper's query searches for: ["Implementation"]. *)
+
+val query_title : string
+(** The title the paper's query selects: ["Query Optimization"]; exactly
+    one generated document (the first) carries it. *)
+
+val populate : Object_store.t -> params -> unit
+(** Create all objects in the store.  Inverse links are set through the
+    scalar side ([Section.document], [Paragraph.section]); the store's
+    inverse maintenance fills [Document.sections] and
+    [Section.paragraphs].  [Document.largeParagraphs] is set to the
+    paragraphs of the document with [word_count > 500]. *)

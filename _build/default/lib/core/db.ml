@@ -1,0 +1,118 @@
+open Soqm_vml
+open Soqm_storage
+
+type t = {
+  store : Object_store.t;
+  title_index : Hash_index.t;
+  word_count_index : Sorted_index.t;
+  text_index : Oid.t Soqm_ir.Inverted_index.t;
+  mutable stats : Statistics.t;
+}
+
+let register_external_methods t =
+  let store = t.store in
+  (* Document->select_by_index(title): one probe of the title index. *)
+  Object_store.register_own_method store ~cls:"Document" ~meth:"select_by_index"
+    (Object_store.Native
+       (fun store _recv args ->
+         match args with
+         | [ (Value.Str _ as title) ] ->
+           let oids =
+             Hash_index.probe t.title_index (Object_store.counters store) title
+           in
+           Value.set (List.map (fun o -> Value.Obj o) oids)
+         | _ -> raise (Runtime.Error "select_by_index expects one string")));
+  (* Paragraph->retrieve_by_string(s): one probe of the inverted index. *)
+  Object_store.register_own_method store ~cls:"Paragraph"
+    ~meth:"retrieve_by_string"
+    (Object_store.Native
+       (fun store _recv args ->
+         match args with
+         | [ Value.Str s ] ->
+           Counters.charge_index_probe (Object_store.counters store);
+           let oids = Soqm_ir.Inverted_index.lookup_all t.text_index s in
+           Value.set (List.map (fun o -> Value.Obj o) oids)
+         | _ -> raise (Runtime.Error "retrieve_by_string expects one string")));
+  (* Paragraph.contains_string(s): word containment on this paragraph's
+     content — the expensive per-object external IR operation. *)
+  Object_store.register_inst_method store ~cls:"Paragraph" ~meth:"contains_string"
+    (Object_store.Native
+       (fun store recv args ->
+         match recv, args with
+         | Value.Obj oid, [ Value.Str s ] -> (
+           match Object_store.get_prop store oid "content" with
+           | Value.Str content ->
+             let words = Soqm_ir.Tokenizer.vocabulary s in
+             Value.Bool
+               (words <> []
+               && List.for_all (Soqm_ir.Tokenizer.contains_word content) words)
+           | _ -> Value.Bool false)
+         | _ -> raise (Runtime.Error "contains_string expects one string")));
+  (* Paragraph.wordCount(): simulated expensive computation over the
+     content; the value itself is precomputed at load time. *)
+  Object_store.register_inst_method store ~cls:"Paragraph" ~meth:"wordCount"
+    (Object_store.Native
+       (fun store recv args ->
+         match recv, args with
+         | Value.Obj oid, [] -> Object_store.get_prop store oid "word_count"
+         | _ -> raise (Runtime.Error "wordCount expects no arguments")))
+
+let refresh t =
+  Hash_index.build t.title_index t.store;
+  Sorted_index.build t.word_count_index t.store;
+  Soqm_ir.Inverted_index.clear t.text_index;
+  List.iter
+    (fun oid ->
+      match Object_store.peek_prop t.store oid "content" with
+      | Value.Str text -> Soqm_ir.Inverted_index.add t.text_index ~key:oid ~text
+      | _ -> ())
+    (Object_store.extent t.store "Paragraph");
+  t.stats <- Statistics.collect t.store
+
+let create_empty ?(schema = Doc_schema.schema) () =
+  let store = Object_store.create schema in
+  Doc_schema.install_internal_methods store;
+  let t =
+    {
+      store;
+      title_index = Hash_index.create ~cls:"Document" ~prop:"title";
+      word_count_index = Sorted_index.create ~cls:"Paragraph" ~prop:"word_count";
+      text_index = Soqm_ir.Inverted_index.create ();
+      stats = Statistics.collect store;
+    }
+  in
+  register_external_methods t;
+  t
+
+let create ?schema ?(params = Datagen.default) () =
+  let t = create_empty ?schema () in
+  Datagen.populate t.store params;
+  refresh t;
+  t
+
+let save t path = Object_store.save_dump (Object_store.export t.store) path
+
+let load path =
+  let dump = Object_store.load_dump path in
+  let store = Object_store.import dump in
+  Doc_schema.install_internal_methods store;
+  let t =
+    {
+      store;
+      title_index = Hash_index.create ~cls:"Document" ~prop:"title";
+      word_count_index = Sorted_index.create ~cls:"Paragraph" ~prop:"word_count";
+      text_index = Soqm_ir.Inverted_index.create ();
+      stats = Statistics.collect store;
+    }
+  in
+  register_external_methods t;
+  refresh t;
+  t
+
+let counters t = Object_store.counters t.store
+
+let with_fresh_counters t f =
+  let c = counters t in
+  Counters.reset c;
+  let result = f () in
+  (result, Counters.snapshot c)

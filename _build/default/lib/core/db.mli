@@ -1,0 +1,51 @@
+(** A ready-to-query document database: store + access paths + statistics.
+
+    Bundles the object store with the two class-level access paths the
+    example's external methods rely on — the user-defined hash index on
+    [Document.title] behind [Document→select_by_index] and the inverted
+    text index behind [Paragraph→retrieve_by_string] — and the statistics
+    snapshot the optimizer's cost model reads. *)
+
+open Soqm_vml
+open Soqm_storage
+
+type t = {
+  store : Object_store.t;
+  title_index : Hash_index.t;
+  word_count_index : Sorted_index.t;
+      (** ordered index on [Paragraph.word_count] — the range-scan access
+          path *)
+  text_index : Oid.t Soqm_ir.Inverted_index.t;
+  mutable stats : Statistics.t;
+}
+
+val create : ?schema:Soqm_vml.Schema.t -> ?params:Datagen.params -> unit -> t
+(** Build the document schema (or a cost-variant from
+    {!Doc_schema.make}), install all method implementations (internal
+    bodies and external natives), populate with {!Datagen}, build both
+    indexes, and collect statistics. *)
+
+val create_empty : ?schema:Soqm_vml.Schema.t -> unit -> t
+(** Same, but with no data; load objects through [store] and call
+    {!refresh} before querying. *)
+
+val refresh : t -> unit
+(** Rebuild indexes and statistics after manual data changes. *)
+
+val save : t -> string -> unit
+(** Snapshot the database's data to a file (schema, objects, OIDs;
+    indexes and statistics are derived state and rebuilt on load). *)
+
+val load : string -> t
+(** Restore a database saved with {!save}: re-creates the store,
+    re-registers every method implementation of the document schema, and
+    rebuilds indexes and statistics.  Only meaningful for dumps of the
+    document schema (possibly with cost-variant method declarations).
+    @raise Failure on corrupt files. *)
+
+val counters : t -> Counters.t
+(** The store's cost counters. *)
+
+val with_fresh_counters : t -> (unit -> 'a) -> 'a * Counters.t
+(** Run a computation with counters reset, returning its result and the
+    counters accumulated during the run. *)

@@ -1,0 +1,99 @@
+open Soqm_vml
+open Soqm_semantics
+
+type rule_class =
+  | Path_methods
+  | Index_equivalences
+  | Inverse_links
+  | Query_method_equivs
+  | Implications
+
+let all_classes =
+  [ Path_methods; Index_equivalences; Inverse_links; Query_method_equivs; Implications ]
+
+let class_name = function
+  | Path_methods -> "path-methods"
+  | Index_equivalences -> "index-equivalences"
+  | Inverse_links -> "inverse-links"
+  | Query_method_equivs -> "query-method-equivs"
+  | Implications -> "implications"
+
+(* E1: p->document() == p.section.document *)
+let e1_document_path =
+  Equivalence.Expr_equiv
+    {
+      name = "E1-document-path";
+      cls = "Paragraph";
+      var = "p";
+      lhs = Expr.Call (Expr.Ref "p", "document", []);
+      rhs = Expr.Prop (Expr.Prop (Expr.Ref "p", "section"), "document");
+    }
+
+(* d->paragraphs() == d.sections.paragraphs — same kind of knowledge as
+   E1, for the document-side path method. *)
+let paragraphs_path =
+  Equivalence.Expr_equiv
+    {
+      name = "paragraphs-path";
+      cls = "Document";
+      var = "d";
+      lhs = Expr.Call (Expr.Ref "d", "paragraphs", []);
+      rhs = Expr.Prop (Expr.Prop (Expr.Ref "d", "sections"), "paragraphs");
+    }
+
+(* E2: d.title == s <=> d IS-IN Document->select_by_index(s) *)
+let e2_title_index =
+  Equivalence.Cond_equiv
+    {
+      name = "E2-title-index";
+      cls = "Document";
+      var = "d";
+      lhs = Expr.Binop (Expr.Eq, Expr.Prop (Expr.Ref "d", "title"), Expr.Param "s");
+      rhs =
+        Expr.Binop
+          ( Expr.IsIn,
+            Expr.Ref "d",
+            Expr.Call (Expr.ClassObj "Document", "select_by_index", [ Expr.Param "s" ])
+          );
+    }
+
+(* E5: ACCESS p FROM p IN Paragraph WHERE p->contains_string(s)
+       == Paragraph->retrieve_by_string(s) *)
+let e5_retrieve =
+  Equivalence.Query_method
+    {
+      name = "E5-retrieve-by-string";
+      cls = "Paragraph";
+      var = "p";
+      cond = Expr.Call (Expr.Ref "p", "contains_string", [ Expr.Param "s" ]);
+      meth_cls = "Paragraph";
+      meth = "retrieve_by_string";
+      args = [ Equivalence.Arg_param "s" ];
+    }
+
+(* p->wordCount() > 500 => p IS-IN p->document().largeParagraphs *)
+let word_count_implication =
+  Equivalence.Implication
+    {
+      name = "large-paragraphs";
+      cls = "Paragraph";
+      var = "p";
+      antecedent =
+        Expr.Binop
+          (Expr.Gt, Expr.Call (Expr.Ref "p", "wordCount", []), Expr.Const (Value.Int 500));
+      consequent =
+        Expr.Binop
+          ( Expr.IsIn,
+            Expr.Ref "p",
+            Expr.Prop (Expr.Call (Expr.Ref "p", "document", []), "largeParagraphs") );
+    }
+
+let specs ?(classes = all_classes) () =
+  List.concat_map
+    (function
+      | Path_methods -> [ e1_document_path; paragraphs_path ]
+      | Index_equivalences -> [ e2_title_index ]
+      | Inverse_links -> Equivalence.from_inverse_links Doc_schema.schema
+      | Query_method_equivs -> [ e5_retrieve ]
+      | Implications -> [ word_count_implication ])
+    classes

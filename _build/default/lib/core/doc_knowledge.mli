@@ -1,0 +1,21 @@
+(** The schema-specific knowledge of the running example — the
+    equivalences E1–E5 of Section 2.3 plus the [largeParagraphs]
+    implication of Section 4.2, grouped into classes so experiments can
+    ablate them individually. *)
+
+open Soqm_semantics
+
+(** Knowledge classes, for ablation. *)
+type rule_class =
+  | Path_methods  (** E1 ([document()]) and [paragraphs()] *)
+  | Index_equivalences  (** E2: [title == s ⇔ IS-IN select_by_index(s)] *)
+  | Inverse_links  (** E3/E4, derived from the schema's inverse links *)
+  | Query_method_equivs  (** E5: [contains_string ≡ retrieve_by_string] *)
+  | Implications  (** [wordCount() > 500 ⇒ IS-IN largeParagraphs] *)
+
+val all_classes : rule_class list
+
+val specs : ?classes:rule_class list -> unit -> Equivalence.t list
+(** The specifications of the selected classes (default: all). *)
+
+val class_name : rule_class -> string

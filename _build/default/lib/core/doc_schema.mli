@@ -1,0 +1,44 @@
+(** The paper's running example schema (Section 2.1): classes [Document],
+    [Section] and [Paragraph], plus the [largeParagraphs]/[wordCount]
+    extension used by the implication rules of Section 4.2.
+
+    The inverse links [Document.sections ↔ Section.document] and
+    [Section.paragraphs ↔ Paragraph.section] are declared in the schema —
+    they are the source of the equivalent-condition knowledge E3/E4. *)
+
+open Soqm_vml
+
+val schema : Schema.t
+
+val make :
+  ?cost_contains_string:float ->
+  ?cost_retrieve_by_string:float ->
+  ?cost_select_by_index:float ->
+  ?cost_word_count:float ->
+  ?selectivity_contains_string:float ->
+  ?pure_word_count:bool ->
+  unit ->
+  Schema.t
+(** The same schema with overridden method cost/selectivity declarations;
+    used by the expensive-predicate experiments.  [schema] is
+    [make ()]. *)
+
+val install_internal_methods : Object_store.t -> unit
+(** Register the bodies of the internally-encoded methods:
+    - [Paragraph.document() { RETURN section.document; }]
+    - [Paragraph.sameDocument(p) { RETURN SELF→document() == p→document(); }]
+    - [Document.paragraphs()] (all paragraphs of the document's sections)
+
+    External methods ([contains_string], [retrieve_by_string],
+    [select_by_index], [wordCount]) are registered by {!Db}, which owns
+    the indexes they probe. *)
+
+(** Declared cost weights of the example's methods, exposed so benchmarks
+    and documentation can refer to them. *)
+
+val cost_contains_string : float
+val cost_retrieve_by_string : float
+val cost_select_by_index : float
+val cost_word_count : float
+val selectivity_contains_string : float
+val selectivity_select_by_index : float

@@ -1,0 +1,173 @@
+open Soqm_vml
+open Soqm_algebra
+open Soqm_storage
+open Soqm_optimizer
+
+type t = {
+  obj_store : Object_store.t;
+  exec : Soqm_physical.Exec.ctx;
+  transformations : Rule.transformation list;
+  implementations : Rule.implementation list;
+  opt_ctx : Rule.opt_ctx;
+  config : Search.config;
+  (* optimization results keyed by the alpha-canonical logical term, so
+     re-running a query (or an alpha-variant of it) skips the search *)
+  plan_cache : (Restricted.t, Search.result) Hashtbl.t;
+}
+
+let exec_ctx (database : Db.t) : Soqm_physical.Exec.ctx =
+  {
+    Soqm_physical.Exec.store = database.Db.store;
+    probe_index =
+      (fun ~cls ~prop key ->
+        if String.equal cls "Document" && String.equal prop "title" then
+          Some
+            (Hash_index.probe database.Db.title_index
+               (Object_store.counters database.Db.store)
+               key)
+        else None);
+    probe_range =
+      (fun ~cls ~prop ~lo ~hi ->
+        if String.equal cls "Paragraph" && String.equal prop "word_count" then
+          Some
+            (Sorted_index.probe_range database.Db.word_count_index
+               (Object_store.counters database.Db.store)
+               ~lo ~hi)
+        else None);
+  }
+
+let opt_ctx_of (database : Db.t) : Rule.opt_ctx =
+  {
+    Rule.schema = Object_store.schema database.Db.store;
+    stats = database.Db.stats;
+    has_index =
+      (fun ~cls ~prop -> String.equal cls "Document" && String.equal prop "title");
+    has_range_index =
+      (fun ~cls ~prop ->
+        String.equal cls "Paragraph" && String.equal prop "word_count");
+  }
+
+let make_engine ~store ~exec ~stats ~has_index ~has_range_index
+    ~builtin_filter ~specs ~inverse_links ~config =
+  let schema = Object_store.schema store in
+  let specs =
+    if inverse_links then
+      specs @ Soqm_semantics.Equivalence.from_inverse_links schema
+    else specs
+  in
+  let derived_t, derived_i = Soqm_semantics.Derive.rules_of_specs schema specs in
+  let builtins =
+    List.filter
+      (fun (r : Rule.transformation) -> builtin_filter r.Rule.t_name)
+      Builtin_rules.transformations
+  in
+  {
+    obj_store = store;
+    exec;
+    transformations = builtins @ derived_t;
+    implementations = Builtin_rules.implementations @ derived_i;
+    opt_ctx = { Rule.schema; stats; has_index; has_range_index };
+    config;
+    plan_cache = Hashtbl.create 32;
+  }
+
+let generate ?(classes = Doc_knowledge.all_classes) ?(extra_specs = [])
+    ?(builtin_filter = fun _ -> true) ?(config = Search.default_config)
+    (database : Db.t) =
+  (* inverse-link knowledge is one of the document knowledge classes, so
+     the generic inverse derivation stays off here *)
+  let specs = Doc_knowledge.specs ~classes () @ extra_specs in
+  make_engine ~store:database.Db.store ~exec:(exec_ctx database)
+    ~stats:database.Db.stats
+    ~has_index:(opt_ctx_of database).Rule.has_index
+    ~has_range_index:(opt_ctx_of database).Rule.has_range_index
+    ~builtin_filter ~specs ~inverse_links:false ~config
+
+let generate_custom ?(specs = []) ?(inverse_links = true)
+    ?(config = Search.default_config)
+    ?(has_range_index = fun ~cls:_ ~prop:_ -> false) ~store ~exec_ctx:exec
+    ~has_index () =
+  make_engine ~store ~exec ~stats:(Statistics.collect store) ~has_index
+    ~has_range_index ~builtin_filter:(fun _ -> true) ~specs ~inverse_links
+    ~config
+
+let store t = t.obj_store
+
+let rule_count t =
+  List.length t.transformations + List.length t.implementations
+
+let logical_of_store store src =
+  let schema = Object_store.schema store in
+  Translate.of_general (Soqm_vql.To_algebra.query_to_algebra schema src)
+
+let logical_of_query (database : Db.t) src = logical_of_store database.Db.store src
+
+let safe_with_schema schema logical =
+  match
+    List.find_opt
+      (fun m -> not (Schema.method_is_pure schema ~meth:m))
+      (Restricted.methods_used logical)
+  with
+  | None -> Ok ()
+  | Some m -> Error (Printf.sprintf "method %S is not declared side-effect free" m)
+
+let safe_to_optimize (database : Db.t) logical =
+  safe_with_schema (Object_store.schema database.Db.store) logical
+
+let optimize t logical =
+  let key = Restricted.alpha_canonical logical in
+  match Hashtbl.find_opt t.plan_cache key with
+  | Some cached -> cached
+  | None ->
+    let result =
+      Search.optimize ~config:t.config t.opt_ctx t.transformations
+        t.implementations logical
+    in
+    Hashtbl.replace t.plan_cache key result;
+    result
+
+let optimize_query t src = optimize t (logical_of_store t.obj_store src)
+
+type report = {
+  result : Relation.t;
+  counters : Counters.t;
+  opt : Search.result option;
+  elapsed_s : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let execute_with exec store plan opt =
+  let c = Object_store.counters store in
+  Counters.reset c;
+  let result, elapsed_s = timed (fun () -> Soqm_physical.Exec.run exec plan) in
+  { result; counters = Counters.snapshot c; opt; elapsed_s }
+
+let run_naive (database : Db.t) src =
+  let logical = logical_of_query database src in
+  let plan = Soqm_physical.Plan.default_implementation logical in
+  execute_with (exec_ctx database) database.Db.store plan None
+
+let run_query t src =
+  let logical = logical_of_store t.obj_store src in
+  let plan = Soqm_physical.Plan.default_implementation logical in
+  execute_with t.exec t.obj_store plan None
+
+let run_optimized t src =
+  let logical = logical_of_store t.obj_store src in
+  match safe_with_schema (Object_store.schema t.obj_store) logical with
+  | Ok () ->
+    let opt = optimize t logical in
+    execute_with t.exec t.obj_store opt.Search.best_plan (Some opt)
+  | Error _ ->
+    (* a potentially updating query: execute as written *)
+    execute_with t.exec t.obj_store
+      (Soqm_physical.Plan.default_implementation logical)
+      None
+
+let run_logical_reference (database : Db.t) src =
+  let schema = Object_store.schema database.Db.store in
+  Eval.run database.Db.store (Soqm_vql.To_algebra.query_to_algebra schema src)

@@ -1,0 +1,97 @@
+(** The end-to-end query pipeline: parse → typecheck → translate →
+    optimize → execute, against a {!Db}.
+
+    This is the "individual optimizer module generated for each schema"
+    of Section 7: {!generate} derives the schema-specific rules once and
+    packages them with the predefined rule set; the result optimizes and
+    runs any number of queries. *)
+
+open Soqm_vml
+open Soqm_algebra
+open Soqm_optimizer
+
+type t
+(** A generated optimizer bound to a database. *)
+
+val generate :
+  ?classes:Doc_knowledge.rule_class list ->
+  ?extra_specs:Soqm_semantics.Equivalence.t list ->
+  ?builtin_filter:(string -> bool) ->
+  ?config:Search.config ->
+  Db.t ->
+  t
+(** Generate the optimizer for the document schema: the predefined
+    (builtin) rules plus the rules derived from the knowledge classes
+    selected (default: all) and any extra specifications.
+    [builtin_filter] keeps only the predefined transformation rules whose
+    name it accepts (default: all) — used by the ablation experiments. *)
+
+val generate_custom :
+  ?specs:Soqm_semantics.Equivalence.t list ->
+  ?inverse_links:bool ->
+  ?config:Search.config ->
+  ?has_range_index:(cls:string -> prop:string -> bool) ->
+  store:Object_store.t ->
+  exec_ctx:Soqm_physical.Exec.ctx ->
+  has_index:(cls:string -> prop:string -> bool) ->
+  unit ->
+  t
+(** Generate an optimizer for an arbitrary schema/store: predefined rules
+    plus the rules derived from [specs] and (when [inverse_links], the
+    default) from the schema's inverse-link declarations.  Statistics are
+    collected from the store at generation time.  This is the paper's
+    per-schema optimizer generation for user schemas; {!generate} is the
+    document-schema convenience. *)
+
+val store : t -> Object_store.t
+val rule_count : t -> int
+(** Number of transformation + implementation rules (for the scaling
+    experiment). *)
+
+val exec_ctx : Db.t -> Soqm_physical.Exec.ctx
+(** Execution context exposing the database's value indexes. *)
+
+val opt_ctx_of : Db.t -> Rule.opt_ctx
+(** Optimizer context (schema, statistics, available indexes). *)
+
+val logical_of_query : Db.t -> string -> Restricted.t
+(** Parse, typecheck and translate a VQL string into the restricted
+    algebra (no optimization). *)
+
+val safe_to_optimize : Db.t -> Restricted.t -> (unit, string) result
+(** Queries may invoke methods with side effects (hence ACCESS rather
+    than SELECT, Section 2.2); reordering or memoizing such calls is
+    unsound.  [Error] names the first method of the term not declared
+    side-effect free. *)
+
+val optimize : t -> Restricted.t -> Search.result
+
+val optimize_query : t -> string -> Search.result
+(** Parse, typecheck and translate against the engine's schema, then
+    optimize. *)
+
+(** Everything one execution produced. *)
+type report = {
+  result : Relation.t;
+  counters : Counters.t;  (** costs charged during execution only *)
+  opt : Search.result option;  (** [None] for unoptimized runs *)
+  elapsed_s : float;  (** wall-clock execution time, seconds *)
+}
+
+val run_naive : Db.t -> string -> report
+(** Straightforward evaluation: translate and execute the canonical plan
+    with the default structural implementation — no transformations, no
+    access-path selection. *)
+
+val run_optimized : t -> string -> report
+(** Optimize, then execute the chosen plan.  When the query calls a
+    method not declared side-effect free, optimization is skipped and the
+    query runs like {!run_naive} (the report's [opt] is [None]). *)
+
+val run_query : t -> string -> report
+(** {!run_naive} against the engine's own store/schema (works for custom
+    engines too). *)
+
+val run_logical_reference : Db.t -> string -> Relation.t
+(** Evaluate with the general-algebra reference interpreter (the
+    semantics oracle used by tests). *)

@@ -1,0 +1,1 @@
+lib/ir/inverted_index.mli:

@@ -1,0 +1,1 @@
+lib/ir/tokenizer.ml: Buffer Char List String

@@ -1,0 +1,52 @@
+type 'k t = (string, ('k, unit) Hashtbl.t) Hashtbl.t
+
+let create () = Hashtbl.create 4096
+let clear t = Hashtbl.reset t
+
+let postings t word =
+  match Hashtbl.find_opt t word with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.create 8 in
+    Hashtbl.replace t word s;
+    s
+
+let add t ~key ~text =
+  List.iter (fun w -> Hashtbl.replace (postings t w) key ()) (Tokenizer.vocabulary text)
+
+let remove t ~key ~text =
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt t w with
+      | None -> ()
+      | Some s ->
+        Hashtbl.remove s key;
+        if Hashtbl.length s = 0 then Hashtbl.remove t w)
+    (Tokenizer.vocabulary text)
+
+let lookup t word =
+  match Hashtbl.find_opt t (String.lowercase_ascii word) with
+  | None -> []
+  | Some s -> Hashtbl.fold (fun k () acc -> k :: acc) s []
+
+let lookup_all t query =
+  match Tokenizer.vocabulary query with
+  | [] -> []
+  | w :: ws ->
+    let first = lookup t w in
+    List.filter
+      (fun k ->
+        List.for_all
+          (fun w' ->
+            match Hashtbl.find_opt t w' with
+            | None -> false
+            | Some s -> Hashtbl.mem s k)
+          ws)
+      first
+
+let word_count t = Hashtbl.length t
+
+let posting_count t word =
+  match Hashtbl.find_opt t (String.lowercase_ascii word) with
+  | None -> 0
+  | Some s -> Hashtbl.length s

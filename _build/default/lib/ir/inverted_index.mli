@@ -1,0 +1,34 @@
+(** Inverted index: word → set of document keys.
+
+    Backs the external method [Paragraph→retrieve_by_string(s)]: a single
+    probe returns all paragraph keys whose content contains the word —
+    the class-level access path that semantic optimization substitutes
+    for per-object [contains_string] calls (equivalence E5). *)
+
+type 'k t
+
+val create : unit -> 'k t
+
+val clear : 'k t -> unit
+(** Drop all postings. *)
+
+val add : 'k t -> key:'k -> text:string -> unit
+(** Index [text] under [key].  Re-adding a key accumulates postings (use
+    {!remove} first to replace). *)
+
+val remove : 'k t -> key:'k -> text:string -> unit
+(** Remove the postings [text] created for [key]. *)
+
+val lookup : 'k t -> string -> 'k list
+(** Keys whose text contains the given word (case-insensitive); [] for
+    unknown words.  Order unspecified, duplicate-free. *)
+
+val lookup_all : 'k t -> string -> 'k list
+(** Conjunctive multi-word query: keys containing {e every} word of the
+    given string. *)
+
+val word_count : 'k t -> int
+(** Number of distinct indexed words. *)
+
+val posting_count : 'k t -> string -> int
+(** Number of keys indexed under the given word. *)

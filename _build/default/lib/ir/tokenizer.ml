@@ -1,0 +1,28 @@
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let words text =
+  let n = String.length text in
+  let buf = Buffer.create 16 in
+  let rec go i acc =
+    if i >= n then
+      if Buffer.length buf > 0 then List.rev (Buffer.contents buf :: acc)
+      else List.rev acc
+    else
+      let c = text.[i] in
+      if is_word_char c then (
+        Buffer.add_char buf (Char.lowercase_ascii c);
+        go (i + 1) acc)
+      else if Buffer.length buf > 0 then (
+        let w = Buffer.contents buf in
+        Buffer.clear buf;
+        go (i + 1) (w :: acc))
+      else go (i + 1) acc
+  in
+  go 0 []
+
+let vocabulary text = List.sort_uniq String.compare (words text)
+
+let contains_word text w =
+  let w = String.lowercase_ascii w in
+  List.exists (String.equal w) (words text)

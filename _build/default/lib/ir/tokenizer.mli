@@ -1,0 +1,17 @@
+(** Tokenization of document text for the IR substrate.
+
+    The paper's external IR function ([retrieve_by_string],
+    [contains_string]) is simulated with an inverted index over word
+    tokens; this module defines the word segmentation both the index and
+    the per-paragraph containment check use, so the two agree exactly. *)
+
+val words : string -> string list
+(** Lower-cased maximal runs of ASCII letters and digits, in text order,
+    duplicates preserved. *)
+
+val vocabulary : string -> string list
+(** Sorted, duplicate-free words of the text. *)
+
+val contains_word : string -> string -> bool
+(** [contains_word text w] — does [text] contain the word [w] (whole-word,
+    case-insensitive)? *)

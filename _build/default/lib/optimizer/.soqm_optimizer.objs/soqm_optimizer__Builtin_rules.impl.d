@@ -1,0 +1,1 @@
+lib/optimizer/builtin_rules.ml: Hashtbl List Option Pattern Printf Restricted Rule Soqm_algebra Soqm_physical Soqm_storage Soqm_vml String Vtype

@@ -1,0 +1,1 @@
+lib/optimizer/builtin_rules.mli: Rule

@@ -1,0 +1,1 @@
+lib/optimizer/dot.ml: Buffer List Plan Printf Restricted Search Soqm_algebra Soqm_physical String

@@ -1,0 +1,1 @@
+lib/optimizer/dot.mli: Search Soqm_algebra Soqm_physical

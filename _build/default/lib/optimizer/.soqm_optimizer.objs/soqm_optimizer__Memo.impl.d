@@ -1,0 +1,1 @@
+lib/optimizer/memo.ml: Cost General Hashtbl List Option Pattern Plan Printf Restricted Rule Search Set Soqm_algebra Soqm_physical String

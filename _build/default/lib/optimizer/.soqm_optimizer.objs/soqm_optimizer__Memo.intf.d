@@ -1,0 +1,1 @@
+lib/optimizer/memo.mli: Plan Restricted Rule Soqm_algebra Soqm_physical

@@ -1,0 +1,1 @@
+lib/optimizer/pattern.ml: Format Hashtbl List Option Printf Restricted Soqm_algebra Soqm_vml String Vtype

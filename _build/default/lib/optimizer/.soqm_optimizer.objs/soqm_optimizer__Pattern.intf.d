@@ -1,0 +1,1 @@
+lib/optimizer/pattern.mli: Format Restricted Schema Soqm_algebra Soqm_vml

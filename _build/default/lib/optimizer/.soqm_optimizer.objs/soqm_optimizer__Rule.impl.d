@@ -1,0 +1,1 @@
+lib/optimizer/rule.ml: Hashtbl List Pattern Restricted Schema Soqm_algebra Soqm_physical Soqm_storage Soqm_vml Statistics

@@ -1,0 +1,1 @@
+lib/optimizer/search.ml: Array Cost Format General Hashtbl List Option Pattern Plan Restricted Rule Set Soqm_algebra Soqm_physical String

@@ -1,0 +1,1 @@
+lib/optimizer/search.mli: Plan Restricted Rule Soqm_algebra Soqm_physical Soqm_vml

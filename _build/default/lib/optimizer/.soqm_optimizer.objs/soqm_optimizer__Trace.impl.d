@@ -1,0 +1,1 @@
+lib/optimizer/trace.ml: Format List Plan Restricted Search Soqm_algebra Soqm_physical

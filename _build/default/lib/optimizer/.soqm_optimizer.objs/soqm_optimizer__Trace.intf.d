@@ -1,0 +1,1 @@
+lib/optimizer/trace.mli: Format Search

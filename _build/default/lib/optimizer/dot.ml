@@ -1,0 +1,129 @@
+open Soqm_algebra
+open Soqm_physical
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Render a tree given a label function and an input function. *)
+let tree_nodes ~prefix ~label ~inputs ~root buf =
+  let counter = ref 0 in
+  let rec go node =
+    let id = Printf.sprintf "%s%d" prefix !counter in
+    incr counter;
+    Printf.bprintf buf "  %s [label=\"%s\"];\n" id (escape (label node));
+    List.iter
+      (fun input ->
+        let child = go input in
+        Printf.bprintf buf "  %s -> %s;\n" id child)
+      (inputs node);
+    id
+  in
+  go root
+
+(* Operator labels: print the operator with its inputs replaced by the
+   [unit] placeholder, then strip the placeholder suffix. *)
+let strip_unit_suffix s =
+  let patterns = [ "(\n  unit,\n  unit)"; "(\n  unit)"; "(unit, unit)"; "(unit)" ] in
+  List.fold_left
+    (fun acc pat ->
+      let plen = String.length pat in
+      let alen = String.length acc in
+      if alen >= plen && String.sub acc (alen - plen) plen = pat then
+        String.sub acc 0 (alen - plen)
+      else acc)
+    s patterns
+
+let restricted_label t =
+  match t with
+  | Restricted.Unit -> "unit"
+  | _ ->
+    let shell =
+      Restricted.with_inputs t
+        (List.map (fun _ -> Restricted.Unit) (Restricted.inputs t))
+    in
+    strip_unit_suffix (Restricted.to_string shell)
+
+let plan_label (p : Plan.t) =
+  match p with
+  | Plan.Unit -> "unit"
+  | _ ->
+    let shell =
+      let unit_inputs = List.map (fun _ -> Plan.Unit) (Plan.inputs p) in
+      match p, unit_inputs with
+      | Plan.Filter (c, x, y, _), [ u ] -> Plan.Filter (c, x, y, u)
+      | Plan.NestedLoop (pred, _, _), [ u1; u2 ] -> Plan.NestedLoop (pred, u1, u2)
+      | Plan.HashJoin (a, b, _, _), [ u1; u2 ] -> Plan.HashJoin (a, b, u1, u2)
+      | Plan.NaturalJoin (_, _), [ u1; u2 ] -> Plan.NaturalJoin (u1, u2)
+      | Plan.Union (_, _), [ u1; u2 ] -> Plan.Union (u1, u2)
+      | Plan.Diff (_, _), [ u1; u2 ] -> Plan.Diff (u1, u2)
+      | Plan.MapProp (a, pr, r, _), [ u ] -> Plan.MapProp (a, pr, r, u)
+      | Plan.MapMeth (a, m, r, xs, _), [ u ] -> Plan.MapMeth (a, m, r, xs, u)
+      | Plan.FlatProp (a, pr, r, _), [ u ] -> Plan.FlatProp (a, pr, r, u)
+      | Plan.FlatMeth (a, m, r, xs, _), [ u ] -> Plan.FlatMeth (a, m, r, xs, u)
+      | Plan.MapOp (a, op, xs, _), [ u ] -> Plan.MapOp (a, op, xs, u)
+      | Plan.FlatOp (a, op, xs, _), [ u ] -> Plan.FlatOp (a, op, xs, u)
+      | Plan.Project (rs, _), [ u ] -> Plan.Project (rs, u)
+      | leaf, _ -> leaf
+    in
+    strip_unit_suffix (Plan.to_string shell)
+
+let of_restricted t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph logical {\n  node [shape=box, fontname=\"monospace\"];\n";
+  ignore
+    (tree_nodes ~prefix:"n" ~label:restricted_label ~inputs:Restricted.inputs
+       ~root:t buf);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_plan p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n";
+  ignore (tree_nodes ~prefix:"p" ~label:plan_label ~inputs:Plan.inputs ~root:p buf);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_derivation (r : Search.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "digraph derivation {\n\
+    \  rankdir=TB;\n\
+    \  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  List.iteri
+    (fun i (s : Search.step) ->
+      Printf.bprintf buf
+        "  subgraph cluster_%d {\n    label=\"step %d: %s\";\n" i i
+        (escape s.Search.rule);
+      ignore
+        (tree_nodes
+           ~prefix:(Printf.sprintf "s%d_" i)
+           ~label:restricted_label ~inputs:Restricted.inputs
+           ~root:s.Search.term buf);
+      Buffer.add_string buf "  }\n")
+    r.Search.derivation;
+  let n = List.length r.Search.derivation in
+  Printf.bprintf buf
+    "  subgraph cluster_plan {\n    label=\"chosen plan (cost %.1f)\";\n"
+    r.Search.best_cost;
+  ignore
+    (tree_nodes ~prefix:"plan_" ~label:plan_label ~inputs:Plan.inputs
+       ~root:r.Search.best_plan buf);
+  Buffer.add_string buf "  }\n";
+  (* chain the clusters through their root nodes *)
+  for i = 0 to n - 2 do
+    Printf.bprintf buf "  s%d_0 -> s%d_0 [style=dashed, constraint=false];\n" i
+      (i + 1)
+  done;
+  if n > 0 then
+    Printf.bprintf buf "  s%d_0 -> plan_0 [style=dashed, constraint=false];\n"
+      (n - 1);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

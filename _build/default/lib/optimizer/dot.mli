@@ -1,0 +1,18 @@
+(** Graphviz rendering for the demonstrator (Section 7).
+
+    The paper's prototype "graphically illustrates how the VQL query
+    optimizer works"; these functions emit DOT source for the same
+    visualizations: an operator tree (logical or physical) and the
+    derivation chain of an optimization result.  Render with
+    [dot -Tsvg]. *)
+
+val of_restricted : Soqm_algebra.Restricted.t -> string
+(** One node per operator, labelled with the operator and its atomic
+    parameters; edges to the inputs. *)
+
+val of_plan : Soqm_physical.Plan.t -> string
+
+val of_derivation : Search.result -> string
+(** The chain of derivation steps, each a boxed operator tree, connected
+    by edges labelled with the rule applied; the chosen physical plan at
+    the end. *)

@@ -1,0 +1,72 @@
+(** A Volcano-style memo: groups of equivalent logical expressions.
+
+    The saturation engine ({!Search}) explores whole terms; this engine
+    implements the search-space organization the Volcano optimizer
+    generator actually uses [13]: a {e group} holds the set of equivalent
+    expressions discovered so far, each expression ({e mexpr}) is an
+    operator whose inputs are groups, identical subexpressions are shared
+    between all the alternatives that contain them, each rule is applied
+    at most once per mexpr (the per-expression rule mask), and groups
+    that turn out to be equal are merged (union-find).
+
+    Pattern rules match directly against the memo — input subpatterns
+    enumerate the input group's expressions, and input variables ([?A])
+    bind a representative tree of the group.  Native rules, which inspect
+    whole subtrees, run against a bounded set of trees materialized from
+    the group.
+
+    {b Granularity limitation.}  A group's members must present the same
+    references [Ref(S)]; rewrites that change them are rejected.  The
+    schema-specific rules of Section 4.2 compile expression parameters
+    into chains of temporaries (Section 6.2), so applying e.g. E2
+    replaces the temporary holding [d.title] by one holding the
+    [select_by_index] result — sound for the {e query} (the projection
+    above discards both) but not reference-preserving for the
+    {e subexpression group}.  Such rules therefore only act at whole-term
+    granularity, which is what the saturation engine ({!Search}, the
+    default) provides; this memo explores the reference-preserving space
+    (operator reorderings, join alternatives, access-path implementation
+    rules such as E5) with Volcano's cost profile — orders of magnitude
+    fewer expressions thanks to sharing.  The experiment harness compares
+    both.
+
+    Both engines are sound: the tests cross-check every plan against the
+    reference evaluator. *)
+
+open Soqm_algebra
+open Soqm_physical
+
+type t
+
+type stats = {
+  groups : int;  (** live (canonical) groups *)
+  exprs : int;  (** expressions across all groups *)
+  merges : int;  (** group unifications performed *)
+  fired : (string * int) list;  (** accepted rewrites per rule *)
+}
+
+val create : Rule.opt_ctx -> Rule.transformation list -> Rule.implementation list -> t
+
+val insert : t -> Restricted.t -> int
+(** Insert a term (shared with existing subexpressions) and return its
+    group. *)
+
+val explore : ?max_exprs:int -> t -> unit
+(** Apply every transformation rule to every mexpr until fixpoint or
+    until the memo holds [max_exprs] expressions (default 5000). *)
+
+val best_plan : t -> int -> (Plan.t * float) option
+(** Cheapest physical plan of a group: implementation rules compete with
+    the structural implementations of every member expression, inputs
+    recursively optimized; memoized per group; cyclic references (from
+    merges) are skipped. *)
+
+val optimize : ?max_exprs:int -> t -> Restricted.t -> Plan.t * float
+(** [insert], [explore], then [best_plan].
+    @raise Failure when no plan exists. *)
+
+val stats : t -> stats
+
+val trees : t -> int -> Restricted.t list
+(** A bounded sample of concrete trees of a group (used by native rules
+    and the tests). *)

@@ -1,0 +1,238 @@
+open Soqm_algebra
+open Soqm_physical
+
+type config = { max_variants : int; max_size_slack : int }
+
+let default_config = { max_variants = 2500; max_size_slack = 14 }
+
+type step = { rule : string; term : Restricted.t }
+
+type result = {
+  best_plan : Plan.t;
+  best_cost : float;
+  best_logical : Restricted.t;
+  variants_explored : int;
+  truncated : bool;
+  derivation : step list;
+  rule_applications : (string * int) list;
+}
+
+(* All single-step rewrites of [term] by [f] applied at every node. *)
+let rec rewrites_everywhere f term =
+  let at_root = f term in
+  let ins = Restricted.inputs term in
+  let in_inputs =
+    List.concat
+      (List.mapi
+         (fun i input ->
+           List.map
+             (fun input' ->
+               Restricted.with_inputs term
+                 (List.mapi (fun j x -> if i = j then input' else x) ins))
+             (rewrites_everywhere f input))
+         ins)
+  in
+  at_root @ in_inputs
+
+(* A rewrite is admissible when the resulting tree is still well-formed
+   and presents the same references to its consumer. *)
+let admissible ~want_refs cand =
+  match General.well_formed (Restricted.to_general cand) with
+  | Ok () -> ( try Restricted.refs cand = want_refs with Invalid_argument _ -> false)
+  | Error _ -> false
+  | exception Invalid_argument _ -> false
+
+module SSet = Set.Make (String)
+
+type node = {
+  term : Restricted.t;
+  parent : (int * string) option;  (* index of parent node, rule name *)
+  once_used : SSet.t;
+}
+
+let saturate_nodes ~config schema rules term0 =
+  let term0 = Restricted.alpha_canonical term0 in
+  let want_refs = Restricted.refs term0 in
+  let size_limit = Restricted.size term0 + config.max_size_slack in
+  let fired : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let seen = Hashtbl.create 256 in
+  let nodes = ref [||] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let push node =
+    if !count >= config.max_variants then truncated := true
+    else if not (Hashtbl.mem seen node.term) then (
+      Hashtbl.replace seen node.term ();
+      if Array.length !nodes = !count then
+        nodes :=
+          Array.append !nodes (Array.make (max 64 (Array.length !nodes)) node);
+      !nodes.(!count) <- node;
+      incr count)
+  in
+  push { term = term0; parent = None; once_used = SSet.empty };
+  let i = ref 0 in
+  while !i < !count do
+    let idx = !i in
+    let node = !nodes.(idx) in
+    List.iter
+      (fun (rule : Rule.transformation) ->
+        if not (rule.Rule.t_apply_once && SSet.mem rule.Rule.t_name node.once_used)
+        then
+          let results =
+            rewrites_everywhere (Rule.root_rewrites schema rule) node.term
+          in
+          List.iter
+            (fun cand ->
+              let cand = Restricted.alpha_canonical cand in
+              if Restricted.size cand <= size_limit && admissible ~want_refs cand
+              then (
+                Hashtbl.replace fired rule.Rule.t_name
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt fired rule.Rule.t_name));
+                push
+                  {
+                    term = cand;
+                    parent = Some (idx, rule.Rule.t_name);
+                    once_used =
+                      (if rule.Rule.t_apply_once then
+                         SSet.add rule.Rule.t_name node.once_used
+                       else node.once_used);
+                  }))
+            results)
+      rules;
+    incr i
+  done;
+  let rule_applications =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) fired []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (Array.to_list (Array.sub !nodes 0 !count), !truncated, !nodes, rule_applications)
+
+let saturate ?(config = default_config) schema rules term0 =
+  let variants, truncated, _, _ = saturate_nodes ~config schema rules term0 in
+  (List.map (fun n -> n.term) variants, truncated)
+
+(* ------------------------------------------------------------------ *)
+(* Implementation phase                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Default structural implementations of the root operator given best
+   plans for the inputs; [JoinCmp] with equality yields both a hash join
+   and (via the builtin rule) a nested loop, so alternatives compete. *)
+let structural_roots (term : Restricted.t) (input_plans : Plan.t list) :
+    Plan.t list =
+  match term, input_plans with
+  | Restricted.Unit, [] -> [ Plan.Unit ]
+  | Restricted.Get (a, c), [] -> [ Plan.FullScan (a, c) ]
+  | Restricted.MethodSource (a, cls, m, args), [] -> (
+    match
+      List.filter_map
+        (function Restricted.OConst v -> Some v | _ -> None)
+        args
+    with
+    | consts when List.length consts = List.length args ->
+      [ Plan.MethodScan (a, cls, m, consts) ]
+    | _ -> [])
+  | Restricted.NaturalJoin _, [ p1; p2 ] -> [ Plan.NaturalJoin (p1, p2) ]
+  | Restricted.Union _, [ p1; p2 ] -> [ Plan.Union (p1, p2) ]
+  | Restricted.Diff _, [ p1; p2 ] -> [ Plan.Diff (p1, p2) ]
+  | Restricted.Cross _, [ p1; p2 ] -> [ Plan.NestedLoop (None, p1, p2) ]
+  | Restricted.SelectCmp (c, x, y, _), [ p ] -> [ Plan.Filter (c, x, y, p) ]
+  | Restricted.JoinCmp (Restricted.CEq, a1, a2, _, _), [ p1; p2 ] ->
+    [ Plan.HashJoin (a1, a2, p1, p2) ]
+  | Restricted.JoinCmp (c, a1, a2, _, _), [ p1; p2 ] ->
+    [ Plan.NestedLoop (Some (c, a1, a2), p1, p2) ]
+  | Restricted.MapProperty (a, p, a1, _), [ pl ] -> [ Plan.MapProp (a, p, a1, pl) ]
+  | Restricted.MapMethod (a, m, r, xs, _), [ pl ] ->
+    [ Plan.MapMeth (a, m, r, xs, pl) ]
+  | Restricted.FlatProperty (a, p, a1, _), [ pl ] ->
+    [ Plan.FlatProp (a, p, a1, pl) ]
+  | Restricted.FlatMethod (a, m, r, xs, _), [ pl ] ->
+    [ Plan.FlatMeth (a, m, r, xs, pl) ]
+  | Restricted.MapOperator (a, op, xs, _), [ pl ] -> [ Plan.MapOp (a, op, xs, pl) ]
+  | Restricted.FlatOperator (a, op, xs, _), [ pl ] ->
+    [ Plan.FlatOp (a, op, xs, pl) ]
+  | Restricted.Project (rs, _), [ pl ] -> [ Plan.Project (rs, pl) ]
+  | _ -> []
+
+exception No_plan of string
+
+let implement_memo (ctx : Rule.opt_ctx) impls memo =
+  let rec best (term : Restricted.t) : Plan.t * float =
+    match Hashtbl.find_opt memo term with
+    | Some pc -> pc
+    | None ->
+      let input_plans = List.map (fun t -> fst (best t)) (Restricted.inputs term) in
+      let structural = structural_roots term input_plans in
+      let from_rules =
+        List.concat_map
+          (fun (r : Rule.implementation) ->
+            List.filter_map
+              (fun b ->
+                try r.Rule.i_build ctx b (fun sub -> fst (best sub))
+                with No_plan _ -> None)
+              (Pattern.matches ctx.Rule.schema r.Rule.i_lhs term))
+          impls
+      in
+      let candidates = structural @ from_rules in
+      (* branch-and-bound over the candidate list: keep the cheapest *)
+      let chosen =
+        List.fold_left
+          (fun acc plan ->
+            let c = Cost.cost ctx.Rule.stats plan in
+            match acc with
+            | Some (_, best_c) when best_c <= c -> acc
+            | _ -> Some (plan, c))
+          None candidates
+      in
+      (match chosen with
+      | Some pc ->
+        Hashtbl.replace memo term pc;
+        pc
+      | None ->
+        raise
+          (No_plan
+             (Format.asprintf "no implementation for %a" Restricted.pp term)))
+  in
+  best
+
+let implement_only ctx impls term =
+  let memo = Hashtbl.create 64 in
+  implement_memo ctx impls memo term
+
+let optimize ?(config = default_config) (ctx : Rule.opt_ctx) rules impls term0 =
+  let nodes, truncated, arr, rule_applications =
+    saturate_nodes ~config ctx.Rule.schema rules term0
+  in
+  let memo = Hashtbl.create 1024 in
+  let best = implement_memo ctx impls memo in
+  let best_result =
+    List.fold_left
+      (fun acc (idx, node) ->
+        match best node.term with
+        | plan, cost -> (
+          match acc with
+          | Some (_, _, best_cost) when best_cost <= cost -> acc
+          | _ -> Some (idx, plan, cost))
+        | exception No_plan _ -> acc)
+      None
+      (List.mapi (fun i n -> (i, n)) nodes)
+  in
+  match best_result with
+  | None -> raise (No_plan "no variant could be implemented")
+  | Some (winner_idx, best_plan, best_cost) ->
+    (* reconstruct the derivation of the winning variant *)
+    let rec path idx acc =
+      let node = arr.(idx) in
+      match node.parent with
+      | None -> { rule = "(input)"; term = node.term } :: acc
+      | Some (p, rule) -> path p ({ rule; term = node.term } :: acc)
+    in
+    {
+      best_plan;
+      best_cost;
+      best_logical = arr.(winner_idx).term;
+      variants_explored = List.length nodes;
+      truncated;
+      derivation = path winner_idx [];
+      rule_applications;
+    }

@@ -1,0 +1,32 @@
+open Soqm_algebra
+open Soqm_physical
+
+let pp_result ppf (r : Search.result) =
+  Format.fprintf ppf "@[<v>=== optimization trace ===@,";
+  List.iteri
+    (fun i (s : Search.step) ->
+      Format.fprintf ppf "@,-- step %d: %s --@,%a@," i s.Search.rule Restricted.pp
+        s.Search.term)
+    r.Search.derivation;
+  Format.fprintf ppf "@,-- chosen logical expression (%d variants explored%s) --@,%a@,"
+    r.Search.variants_explored
+    (if r.Search.truncated then ", truncated" else "")
+    Restricted.pp r.Search.best_logical;
+  Format.fprintf ppf "@,-- chosen physical plan (estimated cost %.1f) --@,%a@,"
+    r.Search.best_cost Plan.pp r.Search.best_plan;
+  if r.Search.rule_applications <> [] then
+    Format.fprintf ppf "@,-- accepted rewrites per rule --@,%a@,"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+         (fun ppf (rule, n) -> Format.fprintf ppf "%6d  %s" n rule))
+      r.Search.rule_applications;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf (r : Search.result) =
+  Format.fprintf ppf
+    "%d variant(s) explored, %d derivation step(s), estimated cost %.1f"
+    r.Search.variants_explored
+    (List.length r.Search.derivation - 1)
+    r.Search.best_cost
+
+let render r = Format.asprintf "%a" pp_result r

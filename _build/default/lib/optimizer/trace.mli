@@ -1,0 +1,17 @@
+(** The optimization demonstrator (Section 7): "graphically illustrates
+    how the VQL query optimizer works ... by tracing the single steps of
+    the optimization process, i.e. by visualizing a query expression
+    throughout the optimization process."  Here the visualization is a
+    textual rendering of every derivation step of the winning variant,
+    with the rule applied, plus the chosen plan and its estimated cost —
+    usable as a debugging tool for examining the impact of
+    schema-specific equivalences. *)
+
+val pp_result : Format.formatter -> Search.result -> unit
+(** Full trace: each derivation step with its rule name and term, then
+    the chosen logical variant, physical plan and estimated cost. *)
+
+val pp_summary : Format.formatter -> Search.result -> unit
+(** One-line summary: variants explored, derivation length, cost. *)
+
+val render : Search.result -> string

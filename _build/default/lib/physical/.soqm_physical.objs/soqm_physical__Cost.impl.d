@@ -1,0 +1,1 @@
+lib/physical/cost.ml: Float List Option Plan Restricted Schema Soqm_algebra Soqm_storage Soqm_vml Statistics String Value Vtype

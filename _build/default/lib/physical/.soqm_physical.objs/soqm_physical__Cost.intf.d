@@ -1,0 +1,1 @@
+lib/physical/cost.mli: Plan Soqm_storage Statistics

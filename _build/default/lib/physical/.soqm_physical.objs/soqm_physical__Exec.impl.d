@@ -1,0 +1,1 @@
+lib/physical/exec.ml: Counters Format Hashtbl Lazy List Object_store Oid Plan Relation Restricted Runtime Soqm_algebra Soqm_storage Soqm_vml String Value

@@ -1,0 +1,1 @@
+lib/physical/exec.mli: Object_store Oid Plan Relation Soqm_algebra Soqm_storage Soqm_vml Value

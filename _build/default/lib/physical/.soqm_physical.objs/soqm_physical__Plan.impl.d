@@ -1,0 +1,1 @@
+lib/physical/plan.ml: Expr Format List Restricted Soqm_algebra Soqm_storage Soqm_vml Sorted_index Stdlib String Value

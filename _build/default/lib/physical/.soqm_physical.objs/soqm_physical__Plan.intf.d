@@ -1,0 +1,1 @@
+lib/physical/plan.mli: Format Restricted Soqm_algebra Soqm_storage Soqm_vml Value

@@ -1,0 +1,43 @@
+(** Execution of physical plans in the Volcano iterator model.
+
+    Every operator compiles to an open/next/close iterator; materializing
+    operators (hash builds, diff, projection dedup) buffer internally.
+    Per-operator memo tables cache method invocations and property
+    accesses keyed by receiver and argument {e values}: safe because
+    optimized queries are side-effect free, and exactly what makes
+    tuple-independent operator chains (a class-method call with constant
+    arguments and the accesses hanging off it) cost one evaluation per
+    execution instead of one per tuple. *)
+
+open Soqm_vml
+open Soqm_algebra
+
+exception Error of string
+
+type ctx = {
+  store : Object_store.t;
+  probe_index : cls:string -> prop:string -> Value.t -> Oid.t list option;
+      (** probe a value index if one exists on [cls.prop]; implementations
+          charge the index-probe counter themselves *)
+  probe_range :
+    cls:string ->
+    prop:string ->
+    lo:Soqm_storage.Sorted_index.bound ->
+    hi:Soqm_storage.Sorted_index.bound ->
+    Oid.t list option;
+      (** probe an ordered index if one exists on [cls.prop] *)
+}
+
+val basic_ctx : Object_store.t -> ctx
+(** A context with no indexes (index and range scans fail to resolve). *)
+
+type iter = {
+  next : unit -> Relation.tuple option;
+  close : unit -> unit;
+}
+
+val open_plan : ctx -> Plan.t -> iter
+(** Open the plan's root iterator.  @raise Error on dynamic failures. *)
+
+val run : ctx -> Plan.t -> Relation.t
+(** Exhaust the plan and canonicalize the result into a relation. *)

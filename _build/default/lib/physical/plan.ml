@@ -1,0 +1,193 @@
+open Soqm_vml
+open Soqm_algebra
+open Soqm_storage
+
+type t =
+  | Unit
+  | FullScan of string * string
+  | IndexScan of string * string * string * Value.t
+  | RangeScan of
+      string * string * string * Sorted_index.bound * Sorted_index.bound
+  | MethodScan of string * string * string * Value.t list
+  | Filter of Restricted.cmp * Restricted.operand * Restricted.operand * t
+  | NestedLoop of (Restricted.cmp * string * string) option * t * t
+  | HashJoin of string * string * t * t
+  | NaturalJoin of t * t
+  | Union of t * t
+  | Diff of t * t
+  | MapProp of string * string * string * t
+  | MapMeth of string * string * Restricted.receiver * Restricted.operand list * t
+  | FlatProp of string * string * string * t
+  | FlatMeth of string * string * Restricted.receiver * Restricted.operand list * t
+  | MapOp of string * Restricted.opname * Restricted.operand list * t
+  | FlatOp of string * Restricted.opname * Restricted.operand list * t
+  | Project of string list * t
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let union_sorted a b = List.sort_uniq String.compare (a @ b)
+
+let rec refs = function
+  | Unit -> []
+  | FullScan (a, _) | IndexScan (a, _, _, _) | RangeScan (a, _, _, _, _)
+  | MethodScan (a, _, _, _) ->
+    [ a ]
+  | Filter (_, _, _, p) -> refs p
+  | NestedLoop (_, p1, p2) | HashJoin (_, _, p1, p2) | NaturalJoin (p1, p2) ->
+    union_sorted (refs p1) (refs p2)
+  | Union (p1, _) | Diff (p1, _) -> refs p1
+  | MapProp (a, _, _, p)
+  | MapMeth (a, _, _, _, p)
+  | FlatProp (a, _, _, p)
+  | FlatMeth (a, _, _, _, p)
+  | MapOp (a, _, _, p)
+  | FlatOp (a, _, _, p) ->
+    union_sorted [ a ] (refs p)
+  | Project (rs, _) -> List.sort_uniq String.compare rs
+
+let inputs = function
+  | Unit | FullScan _ | IndexScan _ | RangeScan _ | MethodScan _ -> []
+  | Filter (_, _, _, p)
+  | MapProp (_, _, _, p)
+  | MapMeth (_, _, _, _, p)
+  | FlatProp (_, _, _, p)
+  | FlatMeth (_, _, _, _, p)
+  | MapOp (_, _, _, p)
+  | FlatOp (_, _, _, p)
+  | Project (_, p) ->
+    [ p ]
+  | NestedLoop (_, p1, p2)
+  | HashJoin (_, _, p1, p2)
+  | NaturalJoin (p1, p2)
+  | Union (p1, p2)
+  | Diff (p1, p2) ->
+    [ p1; p2 ]
+
+let rec size t = 1 + List.fold_left (fun n i -> n + size i) 0 (inputs t)
+
+let rec default_implementation (r : Restricted.t) : t =
+  match r with
+  | Restricted.Unit -> Unit
+  | Restricted.Get (a, c) -> FullScan (a, c)
+  | Restricted.MethodSource (a, cls, m, args) ->
+    let consts =
+      List.map
+        (function
+          | Restricted.OConst v -> v
+          | Restricted.ORef _ | Restricted.OParam _ ->
+            invalid_arg "default_implementation: non-constant source argument")
+        args
+    in
+    MethodScan (a, cls, m, consts)
+  | Restricted.NaturalJoin (s1, s2) ->
+    NaturalJoin (default_implementation s1, default_implementation s2)
+  | Restricted.Union (s1, s2) ->
+    Union (default_implementation s1, default_implementation s2)
+  | Restricted.Diff (s1, s2) ->
+    Diff (default_implementation s1, default_implementation s2)
+  | Restricted.Cross (s1, s2) ->
+    NestedLoop (None, default_implementation s1, default_implementation s2)
+  | Restricted.SelectCmp (c, x, y, s) -> Filter (c, x, y, default_implementation s)
+  | Restricted.JoinCmp (Restricted.CEq, a1, a2, s1, s2) ->
+    HashJoin (a1, a2, default_implementation s1, default_implementation s2)
+  | Restricted.JoinCmp (c, a1, a2, s1, s2) ->
+    NestedLoop (Some (c, a1, a2), default_implementation s1, default_implementation s2)
+  | Restricted.MapProperty (a, p, a1, s) -> MapProp (a, p, a1, default_implementation s)
+  | Restricted.MapMethod (a, m, recv, args, s) ->
+    MapMeth (a, m, recv, args, default_implementation s)
+  | Restricted.FlatProperty (a, p, a1, s) ->
+    FlatProp (a, p, a1, default_implementation s)
+  | Restricted.FlatMethod (a, m, recv, args, s) ->
+    FlatMeth (a, m, recv, args, default_implementation s)
+  | Restricted.MapOperator (a, op, xs, s) -> MapOp (a, op, xs, default_implementation s)
+  | Restricted.FlatOperator (a, op, xs, s) -> FlatOp (a, op, xs, default_implementation s)
+  | Restricted.Project (rs, s) -> Project (rs, default_implementation s)
+
+let pp_values ppf vs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    Value.pp ppf vs
+
+let cmp_name c =
+  Format.asprintf "%a" Expr.pp_binop (Restricted.cmp_to_binop c)
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "unit"
+  | FullScan (a, c) -> Format.fprintf ppf "full_scan<%s, %s>" a c
+  | IndexScan (a, c, p, k) ->
+    Format.fprintf ppf "index_scan<%s, %s.%s = %a>" a c p Value.pp k
+  | RangeScan (a, c, p, lo, hi) ->
+    let pp_bound what ppf = function
+      | Sorted_index.Unbounded -> Format.fprintf ppf "%s unbounded" what
+      | Sorted_index.Inclusive v -> Format.fprintf ppf "%s>= %a" what Value.pp v
+      | Sorted_index.Exclusive v -> Format.fprintf ppf "%s> %a" what Value.pp v
+    in
+    Format.fprintf ppf "range_scan<%s, %s.%s, %a, %a>" a c p (pp_bound "") lo
+      (pp_bound "") hi
+  | MethodScan (a, c, m, args) ->
+    Format.fprintf ppf "method_scan<%s, %s->%s(%a)>" a c m pp_values args
+  | Filter (c, x, y, p) ->
+    Format.fprintf ppf "@[<v2>filter<%a %s %a>(@,%a)@]" Restricted.pp_operand x
+      (cmp_name c) Restricted.pp_operand y pp p
+  | NestedLoop (None, p1, p2) ->
+    Format.fprintf ppf "@[<v2>nested_loop<true>(@,%a,@,%a)@]" pp p1 pp p2
+  | NestedLoop (Some (c, a1, a2), p1, p2) ->
+    Format.fprintf ppf "@[<v2>nested_loop<%s %s %s>(@,%a,@,%a)@]" a1 (cmp_name c)
+      a2 pp p1 pp p2
+  | HashJoin (a1, a2, p1, p2) ->
+    Format.fprintf ppf "@[<v2>hash_join<%s == %s>(@,%a,@,%a)@]" a1 a2 pp p1 pp p2
+  | NaturalJoin (p1, p2) ->
+    Format.fprintf ppf "@[<v2>natural_join_hash(@,%a,@,%a)@]" pp p1 pp p2
+  | Union (p1, p2) -> Format.fprintf ppf "@[<v2>union(@,%a,@,%a)@]" pp p1 pp p2
+  | Diff (p1, p2) -> Format.fprintf ppf "@[<v2>diff(@,%a,@,%a)@]" pp p1 pp p2
+  | MapProp (a, p, a1, i) ->
+    Format.fprintf ppf "@[<v2>map_property<%s, %s, %s>(@,%a)@]" a p a1 pp i
+  | MapMeth (a, m, r, xs, i) ->
+    Format.fprintf ppf "@[<v2>map_method<%s, %s, %a, <%a>>(@,%a)@]" a m
+      Restricted.pp_receiver r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Restricted.pp_operand)
+      xs pp i
+  | FlatProp (a, p, a1, i) ->
+    Format.fprintf ppf "@[<v2>flat_property<%s, %s, %s>(@,%a)@]" a p a1 pp i
+  | FlatMeth (a, m, r, xs, i) ->
+    Format.fprintf ppf "@[<v2>flat_method<%s, %s, %a, <%a>>(@,%a)@]" a m
+      Restricted.pp_receiver r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Restricted.pp_operand)
+      xs pp i
+  | MapOp (a, op, xs, i) ->
+    Format.fprintf ppf "@[<v2>map_operator<%s, %s, %a>(@,%a)@]" a
+      (Format.asprintf "%a"
+         (fun ppf () ->
+           Format.pp_print_string ppf
+             (match op with
+             | Restricted.OpBin b -> Format.asprintf "%a" Expr.pp_binop b
+             | Restricted.OpNot -> "NOT"
+             | Restricted.OpIdent -> "ident"
+             | Restricted.OpTuple ls -> "tuple[" ^ String.concat "," ls ^ "]"
+             | Restricted.OpSet -> "set"))
+         ())
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Restricted.pp_operand)
+      xs pp i
+  | FlatOp (a, op, xs, i) ->
+    Format.fprintf ppf "@[<v2>flat_operator<%s, %s, %a>(@,%a)@]" a
+      (match op with
+      | Restricted.OpBin b -> Format.asprintf "%a" Expr.pp_binop b
+      | Restricted.OpNot -> "NOT"
+      | Restricted.OpIdent -> "ident"
+      | Restricted.OpTuple ls -> "tuple[" ^ String.concat "," ls ^ "]"
+      | Restricted.OpSet -> "set")
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Restricted.pp_operand)
+      xs pp i
+  | Project (rs, i) ->
+    Format.fprintf ppf "@[<v2>project<%s>(@,%a)@]" (String.concat ", " rs) pp i
+
+let to_string t = Format.asprintf "%a" pp t

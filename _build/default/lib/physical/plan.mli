@@ -1,0 +1,61 @@
+(** The physical algebra: query evaluation plans.
+
+    In the Volcano architecture the physical algebra's operators are
+    concrete algorithms with cost functions; implementation rules map
+    logical (restricted-algebra) expressions onto them.  Methods appear
+    here as {e operators} (Section 3.2): a set-returning class method
+    like [Paragraph→retrieve_by_string] is an access path
+    ({!const:MethodScan}), which is exactly how the equivalence-between-
+    queries-and-method-calls knowledge of Section 4.2 becomes executable. *)
+
+open Soqm_vml
+open Soqm_algebra
+
+type t =
+  | Unit  (** the one-empty-tuple relation; hosts constant chains *)
+  | FullScan of string * string  (** [ref, class] — extent scan *)
+  | IndexScan of string * string * string * Value.t
+      (** [ref, class, prop, key] — probe a value index *)
+  | RangeScan of
+      string * string * string * Soqm_storage.Sorted_index.bound
+      * Soqm_storage.Sorted_index.bound
+      (** [ref, class, prop, lo, hi] — probe an ordered index *)
+  | MethodScan of string * string * string * Value.t list
+      (** [ref, class, own-method, const args] — a set-returning OWNTYPE
+          method as access path *)
+  | Filter of Restricted.cmp * Restricted.operand * Restricted.operand * t
+  | NestedLoop of (Restricted.cmp * string * string) option * t * t
+      (** theta/cross join; the inner input is materialized once *)
+  | HashJoin of string * string * t * t
+      (** equi-join [left_ref == right_ref] *)
+  | NaturalJoin of t * t
+      (** hash join on all shared references; with equal reference sets
+          this is set intersection — the INTERSECTION of plan PQ *)
+  | Union of t * t
+  | Diff of t * t
+  | MapProp of string * string * string * t
+  | MapMeth of string * string * Restricted.receiver * Restricted.operand list * t
+  | FlatProp of string * string * string * t
+  | FlatMeth of string * string * Restricted.receiver * Restricted.operand list * t
+  | MapOp of string * Restricted.opname * Restricted.operand list * t
+  | FlatOp of string * Restricted.opname * Restricted.operand list * t
+  | Project of string list * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val refs : t -> string list
+(** Output references (sorted). *)
+
+val inputs : t -> t list
+val size : t -> int
+
+val default_implementation : Restricted.t -> t
+(** The always-available structural implementation: every logical
+    operator mapped to its direct physical counterpart ([get] → full
+    scan, [select] → filter, [join] → nested loop, ...).  Semantic
+    implementation rules compete against this baseline in the
+    optimizer's branch-and-bound. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/semantics/derive.ml: Equivalence Format List Option Pattern Restricted Rule Soqm_algebra Soqm_optimizer Soqm_physical String Translate

@@ -1,0 +1,1 @@
+lib/semantics/derive.mli: Equivalence Rule Schema Soqm_optimizer Soqm_vml

@@ -1,0 +1,1 @@
+lib/semantics/equivalence.ml: Expr Format List Option Printf Schema Soqm_vml String Value Vtype

@@ -1,0 +1,1 @@
+lib/semantics/equivalence.mli: Expr Format Schema Soqm_vml Value

@@ -1,0 +1,1 @@
+lib/semantics/pmg.ml: Equivalence Expr Format List Object_store Option Printf Schema Soqm_vml Vtype

@@ -1,0 +1,1 @@
+lib/semantics/pmg.mli: Equivalence Expr Object_store Schema Soqm_vml

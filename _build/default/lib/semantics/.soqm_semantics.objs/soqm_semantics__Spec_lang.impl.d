@@ -1,0 +1,1 @@
+lib/semantics/spec_lang.ml: Equivalence Expr Format List Option Printf Schema Soqm_vml Soqm_vql Value Vtype

@@ -1,0 +1,1 @@
+lib/semantics/spec_lang.mli: Equivalence Schema Soqm_vml

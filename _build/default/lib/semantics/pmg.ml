@@ -1,0 +1,60 @@
+open Soqm_vml
+
+type generated = {
+  meth_sig : Schema.method_sig;
+  body : Expr.t;
+  equivalence : Equivalence.t;
+}
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* one navigation step, with the set lifting of Section 2.3 *)
+let step schema ty prop =
+  let lift pty = function
+    | `Scalar -> pty
+    | `Lifted -> (
+      match pty with Vtype.TSet _ -> pty | scalar -> Vtype.TSet scalar)
+  in
+  match ty with
+  | Vtype.TObj c -> (
+    match Schema.property_type schema ~cls:c ~prop with
+    | Some pty -> lift pty `Scalar
+    | None -> error "class %s has no property %S" c prop)
+  | Vtype.TSet (Vtype.TObj c) -> (
+    match Schema.property_type schema ~cls:c ~prop with
+    | Some pty -> lift pty `Lifted
+    | None -> error "class %s has no property %S" c prop)
+  | ty -> error "cannot navigate %S through type %s" prop (Vtype.to_string ty)
+
+let generate ?(cost = 1.0) schema ~cls ~name ~path =
+  if path = [] then error "empty path";
+  if Option.is_none (Schema.find_class schema cls) then
+    error "unknown class %S" cls;
+  let returns =
+    List.fold_left (fun ty prop -> step schema ty prop) (Vtype.TObj cls) path
+  in
+  let navigate base = List.fold_left (fun e p -> Expr.Prop (e, p)) base path in
+  let var = "x" in
+  {
+    meth_sig = Schema.meth ~cost name [] returns;
+    body = navigate Expr.Self;
+    equivalence =
+      Equivalence.Expr_equiv
+        {
+          name = Printf.sprintf "pmg-%s.%s" cls name;
+          cls;
+          var;
+          lhs = Expr.Call (Expr.Ref var, name, []);
+          rhs = navigate (Expr.Ref var);
+        };
+  }
+
+let add_to_schema schema ~cls g =
+  try Schema.add_inst_method schema ~cls g.meth_sig
+  with Invalid_argument msg -> error "%s" msg
+
+let register store ~cls g =
+  Object_store.register_inst_method store ~cls ~meth:g.meth_sig.Schema.meth_name
+    (Object_store.Body g.body)

@@ -1,0 +1,236 @@
+open Soqm_vml
+module Token = Soqm_vql.Token
+module Lexer = Soqm_vql.Lexer
+module Parser = Soqm_vql.Parser
+module Ast = Soqm_vql.Ast
+module Typecheck = Soqm_vql.Typecheck
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let counter = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Token-list utilities                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pop = function
+  | tok :: rest -> (tok, rest)
+  | [] -> error "unexpected end of specification"
+
+let expect expected tokens =
+  let tok, rest = pop tokens in
+  if tok = expected then rest
+  else
+    error "expected %s but found %s" (Token.to_string expected)
+      (Token.to_string tok)
+
+let expect_ident tokens =
+  match pop tokens with
+  | Token.IDENT x, rest -> (x, rest)
+  | tok, _ -> error "expected identifier, found %s" (Token.to_string tok)
+
+(* Split a token list at the first occurrence of [sep] at parenthesis
+   depth 0.  Returns None if [sep] does not occur at the top level. *)
+let split_top sep tokens =
+  let rec go depth before = function
+    | [] -> None
+    | tok :: rest when tok = sep && depth = 0 -> Some (List.rev before, rest)
+    | tok :: rest ->
+      let depth =
+        match tok with
+        | Token.LPAREN | Token.LBRACKET | Token.LBRACE -> depth + 1
+        | Token.RPAREN | Token.RBRACKET | Token.RBRACE -> depth - 1
+        | _ -> depth
+      in
+      go depth (tok :: before) rest
+  in
+  go 0 [] tokens
+
+let strip_eof tokens =
+  List.filter (fun t -> t <> Token.EOF) tokens
+
+(* ------------------------------------------------------------------ *)
+(* Types of parameters                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_type schema tokens =
+  match pop tokens with
+  | Token.IDENT "STRING", rest -> (Vtype.TString, rest)
+  | Token.IDENT "INT", rest -> (Vtype.TInt, rest)
+  | Token.IDENT "REAL", rest -> (Vtype.TReal, rest)
+  | Token.IDENT "BOOL", rest -> (Vtype.TBool, rest)
+  | Token.IDENT c, rest when Option.is_some (Schema.find_class schema c) ->
+    (Vtype.TObj c, rest)
+  | Token.LBRACE, rest ->
+    let elt, rest = parse_type schema rest in
+    (Vtype.TSet elt, expect Token.RBRACE rest)
+  | tok, _ -> error "expected a type, found %s" (Token.to_string tok)
+
+let parse_params schema tokens =
+  match tokens with
+  | Token.LPAREN :: rest ->
+    let rec go acc rest =
+      let name, rest = expect_ident rest in
+      let rest = expect Token.COLON rest in
+      let ty, rest = parse_type schema rest in
+      match pop rest with
+      | Token.COMMA, rest -> go ((name, ty) :: acc) rest
+      | Token.RPAREN, rest -> (List.rev ((name, ty) :: acc), rest)
+      | tok, _ -> error "expected ',' or ')', found %s" (Token.to_string tok)
+    in
+    go [] rest
+  | _ -> ([], tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Sides: parse, typecheck, and parameterize                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_side schema ~env ~params tokens =
+  let ast =
+    try Parser.parse_expr_tokens (strip_eof tokens @ [ Token.EOF ])
+    with Parser.Error msg -> error "%s" msg
+  in
+  let typed, ty =
+    try Typecheck.check_expr schema ~env ast
+    with Typecheck.Error msg -> error "%s" msg
+  in
+  (* declared parameters become Expr.Param placeholders *)
+  let parameterized =
+    List.fold_left
+      (fun e (p, _) -> Expr.subst_ref p (Expr.Param p) e)
+      typed params
+  in
+  (parameterized, ty)
+
+(* ------------------------------------------------------------------ *)
+(* Specification forms                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_forall schema ~name ~var ~cls ~params body =
+  let env = (var, Vtype.TObj cls) :: params in
+  let side = check_side schema ~env ~params in
+  match split_top Token.IFF body with
+  | Some (l, r) ->
+    let lhs, lty = side l and rhs, rty = side r in
+    if lty <> Vtype.TBool || rty <> Vtype.TBool then
+      error "%s: both sides of <=> must be boolean" name;
+    Equivalence.Cond_equiv { name; cls; var; lhs; rhs }
+  | None -> (
+    match split_top Token.IMPLIES body with
+    | Some (l, r) ->
+      let lhs, lty = side l and rhs, rty = side r in
+      if lty <> Vtype.TBool || rty <> Vtype.TBool then
+        error "%s: both sides of => must be boolean" name;
+      Equivalence.Implication { name; cls; var; antecedent = lhs; consequent = rhs }
+    | None -> (
+      match split_top Token.EQ body with
+      | Some (l, r) -> (
+        if Option.is_some (split_top Token.EQ r) then
+          error "%s: more than one top-level '=='" name;
+        let lhs, lty = side l and rhs, rty = side r in
+        match lty, rty with
+        | Vtype.TBool, Vtype.TBool -> Equivalence.Cond_equiv { name; cls; var; lhs; rhs }
+        | _ -> Equivalence.Expr_equiv { name; cls; var; lhs; rhs })
+      | None -> error "%s: expected '==', '<=>' or '=>'" name))
+
+let parse_query_form schema ~name ~var ~cls ~params body =
+  let env = (var, Vtype.TObj cls) :: params in
+  match split_top Token.EQ body with
+  | None -> error "%s: QUERY form needs 'cond == Class->method(args)'" name
+  | Some (l, r) ->
+    let cond, cty = check_side schema ~env ~params l in
+    if cty <> Vtype.TBool then error "%s: the query condition must be boolean" name;
+    let rhs_ast =
+      try Parser.parse_expr_tokens (strip_eof r @ [ Token.EOF ])
+      with Parser.Error msg -> error "%s" msg
+    in
+    (match rhs_ast with
+    | Ast.Method_call (Ast.Var meth_cls, meth, args) ->
+      let args =
+        List.map
+          (function
+            | Ast.Var p when List.mem_assoc p params -> Equivalence.Arg_param p
+            | Ast.Str_lit s -> Equivalence.Arg_const (Value.Str s)
+            | Ast.Int_lit i -> Equivalence.Arg_const (Value.Int i)
+            | Ast.Real_lit f -> Equivalence.Arg_const (Value.Real f)
+            | Ast.Bool_lit b -> Equivalence.Arg_const (Value.Bool b)
+            | a ->
+              error "%s: method argument %s must be a parameter or literal" name
+                (Format.asprintf "%a" Ast.pp_expr a))
+          args
+      in
+      Equivalence.Query_method { name; cls; var; cond; meth_cls; meth; args }
+    | _ -> error "%s: right side must be a class method call" name)
+
+let parse_spec_tokens schema tokens =
+  (* optional [name] *)
+  let name, tokens =
+    match tokens with
+    | Token.LBRACKET :: Token.IDENT n :: Token.RBRACKET :: rest -> (Some n, rest)
+    | _ -> (None, tokens)
+  in
+  let form, tokens =
+    match pop tokens with
+    | Token.IDENT "FORALL", rest -> (`Forall, rest)
+    | Token.IDENT "QUERY", rest -> (`Query, rest)
+    | tok, _ -> error "expected FORALL or QUERY, found %s" (Token.to_string tok)
+  in
+  let var, tokens = expect_ident tokens in
+  let tokens = expect Token.IN tokens in
+  let cls, tokens = expect_ident tokens in
+  if Option.is_none (Schema.find_class schema cls) then
+    error "unknown class %S" cls;
+  let params, tokens = parse_params schema tokens in
+  let tokens = expect Token.COLON tokens in
+  let body = strip_eof tokens in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "spec-%s-%d" cls !counter
+  in
+  let spec =
+    match form with
+    | `Forall -> parse_forall schema ~name ~var ~cls ~params body
+    | `Query -> parse_query_form schema ~name ~var ~cls ~params body
+  in
+  match Equivalence.validate schema spec with
+  | Ok () -> spec
+  | Error msg -> error "%s" msg
+
+let parse_spec schema src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error (msg, pos) -> error "lexical error at %d: %s" pos msg
+  | tokens -> parse_spec_tokens schema tokens
+
+let parse_specs schema src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error (msg, pos) -> error "lexical error at %d: %s" pos msg
+  | tokens ->
+    let statements =
+      (* statements are separated by the FORALL/QUERY keywords
+         (optionally preceded by a [name] bracket); the keyword-with-
+         bracket prefix is consumed as one unit so the bracket stays with
+         its statement.  [current] holds the tokens in reverse. *)
+      let is_start = function
+        | Token.IDENT ("FORALL" | "QUERY") -> true
+        | _ -> false
+      in
+      let flush acc current = if current = [] then acc else List.rev current :: acc in
+      let rec split acc current = function
+        | [] -> List.rev (flush acc current)
+        | Token.LBRACKET :: Token.IDENT n :: Token.RBRACKET :: next :: rest
+          when is_start next ->
+          split (flush acc current)
+            [ next; Token.RBRACKET; Token.IDENT n; Token.LBRACKET ]
+            rest
+        | tok :: rest when is_start tok ->
+          split (flush acc current) [ tok ] rest
+        | tok :: rest -> split acc (tok :: current) rest
+      in
+      split [] [] (strip_eof tokens)
+    in
+    List.map (parse_spec_tokens schema) statements

@@ -1,0 +1,46 @@
+(** A textual surface language for equivalence specifications — the
+    "descriptive way to reflect the intended semantics of the methods in
+    the schema" (Section 2.3, observation 4), so the schema designer
+    never touches optimizer internals.
+
+    Grammar (one specification per line; [//] comments):
+
+    {v
+    spec  ::= FORALL x IN Class params? ':' body
+            | QUERY  x IN Class params? ':' cond '==' Class '->' m '(' args ')'
+    params ::= '(' name ':' type (',' name ':' type)* ')'
+    type   ::= STRING | INT | REAL | BOOL | Class | '{' type '}'
+    body   ::= expr '==' expr        equivalent expressions/conditions
+             | cond '<=>' cond       equivalent conditions
+             | cond '=>'  cond       implication (apply once)
+    v}
+
+    Expressions are full VQL expressions over the bound variable and the
+    declared parameters.  Examples (the document schema's knowledge):
+
+    {v
+    FORALL p IN Paragraph: p->document() == p.section.document
+    FORALL d IN Document (s: STRING):
+        d.title == s <=> d IS-IN Document->select_by_index(s)
+    FORALL p IN Paragraph:
+        p->wordCount() > 500 => p IS-IN p->document().largeParagraphs
+    QUERY p IN Paragraph (s: STRING):
+        p->contains_string(s) == Paragraph->retrieve_by_string(s)
+    v}
+
+    An [==] body yields a condition equivalence when both sides type as
+    BOOL, an expression equivalence otherwise. *)
+
+open Soqm_vml
+
+exception Error of string
+
+val parse_spec : Schema.t -> string -> Equivalence.t
+(** Parse and typecheck one specification.  A leading [[name]] names the
+    specification (e.g. [[E2] FORALL d IN Document ...]); otherwise a
+    name is synthesized from the class and a counter.
+    @raise Error with a readable message. *)
+
+val parse_specs : Schema.t -> string -> Equivalence.t list
+(** Parse a whole text of consecutive specifications (each starting with
+    FORALL/QUERY or a [[name]] bracket). *)

@@ -1,0 +1,1 @@
+lib/storage/hash_index.ml: Counters Hashtbl List Object_store Oid Soqm_vml Value

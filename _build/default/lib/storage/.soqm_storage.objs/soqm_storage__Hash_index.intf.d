@@ -1,0 +1,1 @@
+lib/storage/hash_index.mli: Counters Object_store Oid Soqm_vml Value

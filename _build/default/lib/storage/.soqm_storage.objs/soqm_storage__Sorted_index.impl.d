@@ -1,0 +1,1 @@
+lib/storage/sorted_index.ml: Array Counters List Object_store Oid Soqm_vml Value

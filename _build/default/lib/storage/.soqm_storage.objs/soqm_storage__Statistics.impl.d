@@ -1,0 +1,1 @@
+lib/storage/statistics.ml: Float Format Hashtbl List Object_store Option Schema Soqm_vml Value Vtype

@@ -1,0 +1,1 @@
+lib/storage/statistics.mli: Format Object_store Schema Soqm_vml

@@ -1,0 +1,34 @@
+(** Hash index on a property: value → set of instances.
+
+    Simulates the "user-defined index" behind
+    [Document→select_by_index(t)] (Section 2.1): one probe returns all
+    documents with a given title.  The index is maintained explicitly by
+    the code that mutates the indexed property (the database facade in
+    [lib/core] wires this up). *)
+
+open Soqm_vml
+
+type t
+
+val create : cls:string -> prop:string -> t
+(** An (initially empty) index on [cls.prop]. *)
+
+val cls : t -> string
+val prop : t -> string
+
+val insert : t -> Value.t -> Oid.t -> unit
+val delete : t -> Value.t -> Oid.t -> unit
+
+val probe : t -> Counters.t -> Value.t -> Oid.t list
+(** OIDs currently indexed under the value; charges one index probe.
+    Duplicate-free, order unspecified. *)
+
+val keys : t -> Value.t list
+(** Distinct indexed values. *)
+
+val distinct_keys : t -> int
+val entries : t -> int
+
+val build : t -> Object_store.t -> unit
+(** (Re)build the index from the store: clears it, then inserts every
+    live instance of [cls] under its current [prop] value. *)

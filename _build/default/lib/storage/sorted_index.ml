@@ -1,0 +1,83 @@
+open Soqm_vml
+
+(* Entries sorted by (value, oid); a dynamic array would do better under
+   heavy churn, but index maintenance is not what the experiments
+   measure. *)
+type t = { cls : string; prop : string; mutable entries : (Value.t * Oid.t) array }
+
+let create ~cls ~prop = { cls; prop; entries = [||] }
+let cls t = t.cls
+let prop t = t.prop
+
+let compare_entry (v1, o1) (v2, o2) =
+  let c = Value.compare v1 v2 in
+  if c <> 0 then c else Oid.compare o1 o2
+
+let insert t v oid =
+  let entry = (v, oid) in
+  if not (Array.exists (fun e -> compare_entry e entry = 0) t.entries) then (
+    t.entries <- Array.append t.entries [| entry |];
+    Array.sort compare_entry t.entries)
+
+let delete t v oid =
+  let entry = (v, oid) in
+  t.entries <-
+    Array.of_list
+      (List.filter
+         (fun e -> compare_entry e entry <> 0)
+         (Array.to_list t.entries))
+
+type bound = Unbounded | Inclusive of Value.t | Exclusive of Value.t
+
+let above lo v =
+  match lo with
+  | Unbounded -> true
+  | Inclusive b -> Value.compare v b >= 0
+  | Exclusive b -> Value.compare v b > 0
+
+let below hi v =
+  match hi with
+  | Unbounded -> true
+  | Inclusive b -> Value.compare v b <= 0
+  | Exclusive b -> Value.compare v b < 0
+
+(* binary search for the first entry satisfying the lower bound *)
+let first_index t lo =
+  let n = Array.length t.entries in
+  let rec go l r =
+    if l >= r then l
+    else
+      let m = (l + r) / 2 in
+      let v, _ = t.entries.(m) in
+      if above lo v then go l m else go (m + 1) r
+  in
+  go 0 n
+
+let probe_range t counters ~lo ~hi =
+  Counters.charge_index_probe counters;
+  let n = Array.length t.entries in
+  let rec collect i acc =
+    if i >= n then List.rev acc
+    else
+      let v, oid = t.entries.(i) in
+      if below hi v then collect (i + 1) (oid :: acc) else List.rev acc
+  in
+  collect (first_index t lo) []
+
+let probe_eq t counters v =
+  probe_range t counters ~lo:(Inclusive v) ~hi:(Inclusive v)
+
+let entries t = Array.length t.entries
+
+let build t store =
+  let items =
+    List.filter_map
+      (fun oid ->
+        match Object_store.peek_prop store oid t.prop with
+        | Value.Null -> None
+        | v -> Some (v, oid))
+      (Object_store.extent store t.cls)
+  in
+  let arr = Array.of_list items in
+  Array.sort compare_entry arr;
+  t.entries <- arr

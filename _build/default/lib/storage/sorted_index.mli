@@ -1,0 +1,32 @@
+(** Ordered index on a property: range probes over sorted values.
+
+    Complements {!Hash_index} with the access path range predicates need
+    ([x.prop < c], [BETWEEN]-style conjunctions): one probe returns the
+    instances whose property value lies in an interval.  Backed by a
+    sorted array rebuilt from the store ({!build}); point updates
+    ({!insert}/{!delete}) keep it sorted. *)
+
+open Soqm_vml
+
+type t
+
+val create : cls:string -> prop:string -> t
+val cls : t -> string
+val prop : t -> string
+
+val insert : t -> Value.t -> Oid.t -> unit
+val delete : t -> Value.t -> Oid.t -> unit
+
+type bound = Unbounded | Inclusive of Value.t | Exclusive of Value.t
+
+val probe_range : t -> Counters.t -> lo:bound -> hi:bound -> Oid.t list
+(** Instances whose indexed value lies between the bounds (under
+    {!Value.compare}); charges one index probe.  Duplicate-free, in
+    ascending value order. *)
+
+val probe_eq : t -> Counters.t -> Value.t -> Oid.t list
+
+val entries : t -> int
+
+val build : t -> Object_store.t -> unit
+(** (Re)build from the store's current extent. *)

@@ -1,0 +1,87 @@
+open Soqm_vml
+
+type t = {
+  schema : Schema.t;
+  cards : (string, float) Hashtbl.t;
+  fanouts : (string * string, float) Hashtbl.t;
+  distincts : (string * string, float) Hashtbl.t;
+}
+
+let schema t = t.schema
+
+let collect store =
+  let schema = Object_store.schema store in
+  let cards = Hashtbl.create 16 in
+  let fanouts = Hashtbl.create 32 in
+  let distincts = Hashtbl.create 32 in
+  List.iter
+    (fun (cd : Schema.class_def) ->
+      let cls = cd.Schema.cls_name in
+      let ext = Object_store.extent store cls in
+      let n = List.length ext in
+      Hashtbl.replace cards cls (float_of_int n);
+      List.iter
+        (fun (p : Schema.property) ->
+          match p.Schema.prop_type with
+          | Vtype.TSet _ ->
+            let total =
+              List.fold_left
+                (fun acc oid ->
+                  match Object_store.peek_prop store oid p.Schema.prop_name with
+                  | Value.Set xs -> acc + List.length xs
+                  | _ -> acc)
+                0 ext
+            in
+            let fanout = if n = 0 then 1.0 else float_of_int total /. float_of_int n in
+            Hashtbl.replace fanouts (cls, p.Schema.prop_name) fanout
+          | _ ->
+            let seen = Hashtbl.create 64 in
+            List.iter
+              (fun oid ->
+                let v = Object_store.peek_prop store oid p.Schema.prop_name in
+                Hashtbl.replace seen v ())
+              ext;
+            Hashtbl.replace distincts (cls, p.Schema.prop_name)
+              (float_of_int (max 1 (Hashtbl.length seen))))
+        cd.Schema.properties)
+    (Schema.classes schema);
+  { schema; cards; fanouts; distincts }
+
+let cardinality t cls = Option.value ~default:0. (Hashtbl.find_opt t.cards cls)
+
+let fanout t ~cls ~prop =
+  Option.value ~default:1.0 (Hashtbl.find_opt t.fanouts (cls, prop))
+
+let distinct t ~cls ~prop =
+  Option.value ~default:1.0 (Hashtbl.find_opt t.distincts (cls, prop))
+
+let eq_selectivity t ~cls ~prop = 1.0 /. distinct t ~cls ~prop
+
+let method_selectivity t ~cls ~meth =
+  Option.value ~default:0.5 (Schema.method_selectivity t.schema ~cls ~meth)
+
+let method_cost t ~cls ~meth = Schema.method_cost t.schema ~cls ~meth
+
+let method_result_card t ~cls ~meth =
+  let msig =
+    match Schema.own_method t.schema ~cls ~meth with
+    | Some m -> Some m
+    | None -> Schema.inst_method t.schema ~cls ~meth
+  in
+  match msig with
+  | Some { Schema.returns = Vtype.TSet (Vtype.TObj c'); selectivity; _ } ->
+    let s = Option.value ~default:0.1 selectivity in
+    Float.max 1.0 (s *. cardinality t c')
+  | Some { Schema.returns = Vtype.TSet _; _ } -> 10.0
+  | _ -> 1.0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Hashtbl.iter (fun c n -> Format.fprintf ppf "|%s| = %.0f@ " c n) t.cards;
+  Hashtbl.iter
+    (fun (c, p) f -> Format.fprintf ppf "fanout %s.%s = %.2f@ " c p f)
+    t.fanouts;
+  Hashtbl.iter
+    (fun (c, p) d -> Format.fprintf ppf "distinct %s.%s = %.0f@ " c p d)
+    t.distincts;
+  Format.fprintf ppf "@]"

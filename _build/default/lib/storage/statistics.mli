@@ -1,0 +1,47 @@
+(** Database statistics for cost estimation.
+
+    The optimizer's cost model needs extent cardinalities, per-property
+    fanouts and distinct counts, and the declared method selectivities
+    from the schema.  Statistics are collected once from a populated
+    store (administrative reads, not charged to query counters). *)
+
+open Soqm_vml
+
+type t
+
+val collect : Object_store.t -> t
+(** Scan extents and properties and record:
+    - cardinality of every class extent;
+    - for every set-valued property, the average fanout (average set
+      size over live instances);
+    - for every scalar property, the number of distinct values. *)
+
+val schema : t -> Schema.t
+
+val cardinality : t -> string -> float
+(** Extent cardinality of a class (0 for unknown classes). *)
+
+val fanout : t -> cls:string -> prop:string -> float
+(** Average set size of a set-valued property; 1.0 for scalar properties
+    and unknown ones. *)
+
+val distinct : t -> cls:string -> prop:string -> float
+(** Distinct values of a scalar property (≥ 1). *)
+
+val eq_selectivity : t -> cls:string -> prop:string -> float
+(** Estimated selectivity of [x.prop == const]: [1 / distinct]. *)
+
+val method_selectivity : t -> cls:string -> meth:string -> float
+(** Declared selectivity of a boolean method, default 0.5 (the classical
+    unknown-predicate guess). *)
+
+val method_cost : t -> cls:string -> meth:string -> float
+(** Declared per-call cost of a method, default 1.0. *)
+
+val method_result_card : t -> cls:string -> meth:string -> float
+(** Estimated cardinality of a set-returning method's result.  For a
+    class method declared with selectivity [s] returning a set of [C']
+    instances, this is [s * cardinality C']; otherwise falls back to the
+    average fanout heuristic. *)
+
+val pp : Format.formatter -> t -> unit

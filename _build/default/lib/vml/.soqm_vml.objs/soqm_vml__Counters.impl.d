@@ -1,0 +1,1 @@
+lib/vml/counters.ml: Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/vml/counters.mli: Format

@@ -1,0 +1,1 @@
+lib/vml/expr.ml: Format List Stdlib String Value

@@ -1,0 +1,1 @@
+lib/vml/expr.mli: Format Value

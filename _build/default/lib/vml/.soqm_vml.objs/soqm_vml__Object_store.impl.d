@@ -1,0 +1,1 @@
+lib/vml/object_store.ml: Counters Expr Format Fun Hashtbl List Marshal Oid Option Schema String Value Vtype

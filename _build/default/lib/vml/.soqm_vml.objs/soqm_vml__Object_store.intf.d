@@ -1,0 +1,1 @@
+lib/vml/object_store.mli: Counters Expr Oid Schema Value

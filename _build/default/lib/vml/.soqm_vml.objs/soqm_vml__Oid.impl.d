@@ -1,0 +1,1 @@
+lib/vml/oid.ml: Format Hashtbl Int String

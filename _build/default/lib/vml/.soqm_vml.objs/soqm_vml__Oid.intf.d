@@ -1,0 +1,1 @@
+lib/vml/oid.mli: Format

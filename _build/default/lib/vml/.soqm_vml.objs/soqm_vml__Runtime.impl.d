@@ -1,0 +1,1 @@
+lib/vml/runtime.ml: Array Bool Counters Expr Float Format List Object_store Oid Option Schema String Value

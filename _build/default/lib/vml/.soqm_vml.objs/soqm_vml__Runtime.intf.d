@@ -1,0 +1,1 @@
+lib/vml/runtime.mli: Expr Object_store Value

@@ -1,0 +1,1 @@
+lib/vml/schema.ml: Format Hashtbl List Option Printf String Vtype

@@ -1,0 +1,1 @@
+lib/vml/schema.mli: Format Vtype

@@ -1,0 +1,1 @@
+lib/vml/value.ml: Array Bool Float Format Hashtbl Int List Oid String

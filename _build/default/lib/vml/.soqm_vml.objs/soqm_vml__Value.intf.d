@@ -1,0 +1,1 @@
+lib/vml/value.mli: Format Oid

@@ -1,0 +1,1 @@
+lib/vml/vtype.ml: Array Format List Oid Option String Value

@@ -1,0 +1,1 @@
+lib/vml/vtype.mli: Format Value

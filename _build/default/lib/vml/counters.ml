@@ -1,0 +1,81 @@
+type t = {
+  mutable objects_fetched : int;
+  mutable property_reads : int;
+  mutable index_probes : int;
+  mutable tuples_produced : int;
+  mutable charged_cost : float;
+  calls : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    objects_fetched = 0;
+    property_reads = 0;
+    index_probes = 0;
+    tuples_produced = 0;
+    charged_cost = 0.;
+    calls = Hashtbl.create 16;
+  }
+
+let reset t =
+  t.objects_fetched <- 0;
+  t.property_reads <- 0;
+  t.index_probes <- 0;
+  t.tuples_produced <- 0;
+  t.charged_cost <- 0.;
+  Hashtbl.reset t.calls
+
+let charge_object_fetch t = t.objects_fetched <- t.objects_fetched + 1
+let charge_property_read t = t.property_reads <- t.property_reads + 1
+
+let charge_method_call t ~meth ~cost =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.calls meth) in
+  Hashtbl.replace t.calls meth (n + 1);
+  t.charged_cost <- t.charged_cost +. cost
+
+let charge_index_probe t = t.index_probes <- t.index_probes + 1
+let charge_tuple t = t.tuples_produced <- t.tuples_produced + 1
+let objects_fetched t = t.objects_fetched
+let property_reads t = t.property_reads
+let index_probes t = t.index_probes
+let tuples_produced t = t.tuples_produced
+
+let method_calls t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.calls []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let method_call_count t meth =
+  Option.value ~default:0 (Hashtbl.find_opt t.calls meth)
+
+let total_method_calls t = Hashtbl.fold (fun _ n acc -> acc + n) t.calls 0
+let charged_cost t = t.charged_cost
+
+(* Uniform weights for the structural operations: an object fetch is the
+   unit, property reads and probes are cheaper, tuple production cheaper
+   still.  Declared method costs are expressed in the same unit. *)
+let total_cost t =
+  t.charged_cost
+  +. (1.0 *. float_of_int t.objects_fetched)
+  +. (0.2 *. float_of_int t.property_reads)
+  +. (0.5 *. float_of_int t.index_probes)
+  +. (0.05 *. float_of_int t.tuples_produced)
+
+let snapshot t =
+  let copy = create () in
+  copy.objects_fetched <- t.objects_fetched;
+  copy.property_reads <- t.property_reads;
+  copy.index_probes <- t.index_probes;
+  copy.tuples_produced <- t.tuples_produced;
+  copy.charged_cost <- t.charged_cost;
+  Hashtbl.iter (Hashtbl.replace copy.calls) t.calls;
+  copy
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>objects fetched: %d@ property reads: %d@ index probes: %d@ tuples: \
+     %d@ method calls: %a@ charged cost: %.1f@ total cost: %.1f@]"
+    t.objects_fetched t.property_reads t.index_probes t.tuples_produced
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (m, n) -> Format.fprintf ppf "%s=%d" m n))
+    (method_calls t) t.charged_cost (total_cost t)

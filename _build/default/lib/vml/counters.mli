@@ -1,0 +1,49 @@
+(** Execution cost accounting.
+
+    The paper notes (Section 2.3) that, unlike attributes, methods are not
+    obtained at uniform access cost; external methods in particular may
+    dominate query evaluation.  Every store carries a set of counters that
+    the runtime, the indexes and the physical operators charge, so that
+    benchmarks can report deterministic logical costs alongside wall-clock
+    time. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val charge_object_fetch : t -> unit
+(** One object dereferenced in the store. *)
+
+val charge_property_read : t -> unit
+
+val charge_method_call : t -> meth:string -> cost:float -> unit
+(** One invocation of [meth], with its schema-declared cost weight. *)
+
+val charge_index_probe : t -> unit
+val charge_tuple : t -> unit
+(** One tuple produced by a physical operator. *)
+
+val objects_fetched : t -> int
+val property_reads : t -> int
+val index_probes : t -> int
+val tuples_produced : t -> int
+
+val method_calls : t -> (string * int) list
+(** Invocation count per method name, sorted by name. *)
+
+val method_call_count : t -> string -> int
+val total_method_calls : t -> int
+
+val charged_cost : t -> float
+(** Sum of declared per-call costs over all method invocations — the
+    deterministic "work" metric used by the experiment harness. *)
+
+val total_cost : t -> float
+(** [charged_cost] plus small uniform weights for fetches, property reads,
+    probes and tuples; a single scalar summary of execution effort. *)
+
+val snapshot : t -> t
+(** Independent copy (for before/after deltas). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,225 @@
+type t = {
+  schema : Schema.t;
+  counters : Counters.t;
+  mutable next_id : int;
+  objects : (Oid.t, (string, Value.t) Hashtbl.t) Hashtbl.t;
+  extents : (string, Oid.t list ref) Hashtbl.t;
+  inst_impls : (string * string, impl) Hashtbl.t;
+  own_impls : (string * string, impl) Hashtbl.t;
+}
+
+and impl = Body of Expr.t | Native of (t -> Value.t -> Value.t list -> Value.t)
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let create schema =
+  let extents = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace extents c (ref [])) (Schema.class_names schema);
+  {
+    schema;
+    counters = Counters.create ();
+    next_id = 0;
+    objects = Hashtbl.create 1024;
+    extents;
+    inst_impls = Hashtbl.create 32;
+    own_impls = Hashtbl.create 32;
+  }
+
+let schema t = t.schema
+let counters t = t.counters
+
+let extent_ref t cls =
+  match Hashtbl.find_opt t.extents cls with
+  | Some r -> r
+  | None -> fail "Object_store: unknown class %S" cls
+
+let extent t cls = List.rev !(extent_ref t cls)
+let extent_size t cls = List.length !(extent_ref t cls)
+let exists t oid = Hashtbl.mem t.objects oid
+
+let record t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | Some r -> r
+  | None -> raise Not_found
+
+let prop_def t oid prop =
+  match Schema.property t.schema ~cls:(Oid.cls oid) ~prop with
+  | Some p -> p
+  | None -> fail "Object_store: class %s has no property %S" (Oid.cls oid) prop
+
+(* Raw reads/writes that bypass accounting and inverse maintenance; used
+   internally by the inverse-link bookkeeping itself. *)
+let raw_get t oid prop =
+  match Hashtbl.find_opt (record t oid) prop with
+  | Some v -> v
+  | None -> Value.Null
+
+let raw_set t oid prop v = Hashtbl.replace (record t oid) prop v
+
+(* Inverse maintenance.  When [cls.prop] has inverse [(cls', prop')]:
+   - if prop is object-valued, the linked object's prop' gains/loses us;
+   - the inverse side may be object-valued or set-valued.  *)
+let add_backlink t ~target ~inv_prop ~me =
+  if exists t target then
+    match raw_get t target inv_prop with
+    | Value.Set xs -> raw_set t target inv_prop (Value.set (Value.Obj me :: xs))
+    | Value.Null -> (
+      match
+        Schema.property_type t.schema ~cls:(Oid.cls target) ~prop:inv_prop
+      with
+      | Some (Vtype.TSet _) ->
+        raw_set t target inv_prop (Value.set [ Value.Obj me ])
+      | _ -> raw_set t target inv_prop (Value.Obj me))
+    | _ -> raw_set t target inv_prop (Value.Obj me)
+
+let remove_backlink t ~target ~inv_prop ~me =
+  if exists t target then
+    match raw_get t target inv_prop with
+    | Value.Set xs ->
+      raw_set t target inv_prop
+        (Value.Set (List.filter (fun v -> not (Value.equal v (Value.Obj me))) xs))
+    | Value.Obj o when Oid.equal o me -> raw_set t target inv_prop Value.Null
+    | _ -> ()
+
+let targets_of = function
+  | Value.Obj o -> [ o ]
+  | Value.Set xs ->
+    List.filter_map (function Value.Obj o -> Some o | _ -> None) xs
+  | _ -> []
+
+let maintain_inverse t oid prop ~old_value ~new_value =
+  match Schema.inverse_of t.schema ~cls:(Oid.cls oid) ~prop with
+  | None -> ()
+  | Some (_cls', inv_prop) ->
+    List.iter
+      (fun target -> remove_backlink t ~target ~inv_prop ~me:oid)
+      (targets_of old_value);
+    List.iter
+      (fun target -> add_backlink t ~target ~inv_prop ~me:oid)
+      (targets_of new_value)
+
+let set_prop t oid prop v =
+  let def = prop_def t oid prop in
+  if not (Vtype.check def.Schema.prop_type v) then
+    fail "Object_store: value %s ill-typed for %s.%s : %s" (Value.to_string v)
+      (Oid.cls oid) prop
+      (Vtype.to_string def.Schema.prop_type);
+  let old_value = raw_get t oid prop in
+  raw_set t oid prop v;
+  maintain_inverse t oid prop ~old_value ~new_value:v
+
+let get_prop t oid prop =
+  let _def = prop_def t oid prop in
+  Counters.charge_object_fetch t.counters;
+  Counters.charge_property_read t.counters;
+  raw_get t oid prop
+
+let peek_prop t oid prop =
+  let _def = prop_def t oid prop in
+  raw_get t oid prop
+
+let create_object t ~cls props =
+  let cd = Schema.class_exn t.schema cls in
+  let oid = Oid.make ~cls ~id:t.next_id in
+  t.next_id <- t.next_id + 1;
+  let tbl = Hashtbl.create (List.length cd.Schema.properties) in
+  Hashtbl.replace t.objects oid tbl;
+  let ext = extent_ref t cls in
+  ext := oid :: !ext;
+  (* set-valued properties start as the empty set, not NULL, so that
+     inverse maintenance and set-lifted access work without special
+     cases *)
+  List.iter
+    (fun (p : Schema.property) ->
+      match p.Schema.prop_type with
+      | Vtype.TSet _ when not (List.mem_assoc p.Schema.prop_name props) ->
+        raw_set t oid p.Schema.prop_name (Value.Set [])
+      | _ -> ())
+    cd.Schema.properties;
+  List.iter (fun (p, v) -> set_prop t oid p v) props;
+  oid
+
+let delete_object t oid =
+  (* Clear our outgoing links first so inverse bookkeeping removes the
+     backlinks pointing at us. *)
+  let cd = Schema.class_exn t.schema (Oid.cls oid) in
+  List.iter
+    (fun (p : Schema.property) ->
+      if Option.is_some p.inverse then
+        maintain_inverse t oid p.prop_name ~old_value:(raw_get t oid p.prop_name)
+          ~new_value:Value.Null)
+    cd.Schema.properties;
+  Hashtbl.remove t.objects oid;
+  let ext = extent_ref t (Oid.cls oid) in
+  ext := List.filter (fun o -> not (Oid.equal o oid)) !ext
+
+type dump = {
+  d_schema : Schema.t;
+  d_objects : (Oid.t * (string * Value.t) list) list;
+  d_next_id : int;
+}
+
+let export t =
+  {
+    d_schema = t.schema;
+    d_objects =
+      List.concat_map
+        (fun cls ->
+          List.map
+            (fun oid ->
+              ( oid,
+                Hashtbl.fold (fun p v acc -> (p, v) :: acc) (record t oid) [] ))
+            (extent t cls))
+        (Schema.class_names t.schema);
+    d_next_id = t.next_id;
+  }
+
+let dump_schema d = d.d_schema
+
+let import d =
+  let t = create d.d_schema in
+  List.iter
+    (fun (oid, props) ->
+      let tbl = Hashtbl.create (List.length props) in
+      List.iter (fun (p, v) -> Hashtbl.replace tbl p v) props;
+      Hashtbl.replace t.objects oid tbl;
+      let ext = extent_ref t (Oid.cls oid) in
+      (* the dump lists each extent in allocation order; prepending keeps
+         the internal most-recent-first representation *)
+      ext := oid :: !ext)
+    d.d_objects;
+  t.next_id <- d.d_next_id;
+  t
+
+let magic = "SOQM-DUMP-1"
+
+let save_dump d path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc d [])
+
+let load_dump path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let tag = really_input_string ic (String.length magic) in
+      if not (String.equal tag magic) then
+        failwith (path ^ ": not a soqm dump");
+      (Marshal.from_channel ic : dump))
+
+let register_inst_method t ~cls ~meth impl =
+  if Option.is_none (Schema.inst_method t.schema ~cls ~meth) then
+    fail "Object_store: schema declares no instance method %s.%s" cls meth;
+  Hashtbl.replace t.inst_impls (cls, meth) impl
+
+let register_own_method t ~cls ~meth impl =
+  if Option.is_none (Schema.own_method t.schema ~cls ~meth) then
+    fail "Object_store: schema declares no own method %s.%s" cls meth;
+  Hashtbl.replace t.own_impls (cls, meth) impl
+
+let find_inst_impl t ~cls ~meth = Hashtbl.find_opt t.inst_impls (cls, meth)
+let find_own_impl t ~cls ~meth = Hashtbl.find_opt t.own_impls (cls, meth)

@@ -1,0 +1,92 @@
+(** The in-memory object store: objects, class extents, property access,
+    method implementations.
+
+    This is the data-model substrate standing in for the VODAK store.  It
+    keeps one extent per class, dereferences typed OIDs to property
+    records, maintains declared inverse links on writes (the paper's
+    "redundant data ... easily kept consistent by encapsulating the
+    consistency check into corresponding methods", Section 5.1), and holds
+    the registered method implementations. *)
+
+type t
+
+(** A method implementation: an internal body in the expression language
+    (evaluated with [SELF] and the declared parameters bound), or an
+    external OCaml function of the store, the receiver value and the
+    argument values. *)
+type impl =
+  | Body of Expr.t
+  | Native of (t -> Value.t -> Value.t list -> Value.t)
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val counters : t -> Counters.t
+
+(** {1 Objects} *)
+
+val create_object : t -> cls:string -> (string * Value.t) list -> Oid.t
+(** Allocate a fresh instance of [cls] with the given initial property
+    values (missing properties default to [Null]), insert it into the
+    class extent, and maintain inverse links for the supplied values.
+    @raise Invalid_argument on unknown class/property or ill-typed value. *)
+
+val delete_object : t -> Oid.t -> unit
+(** Remove the object from its extent and clear inverse links pointing to
+    it.  Dereferencing a deleted OID afterwards raises [Not_found]. *)
+
+val exists : t -> Oid.t -> bool
+
+val extent : t -> string -> Oid.t list
+(** Extent of the class, in allocation order.
+    @raise Invalid_argument on unknown class. *)
+
+val extent_size : t -> string -> int
+
+val get_prop : t -> Oid.t -> string -> Value.t
+(** Read a property through the default access method; charges an object
+    fetch and a property read.
+    @raise Not_found on dangling OID, [Invalid_argument] on unknown
+    property. *)
+
+val peek_prop : t -> Oid.t -> string -> Value.t
+(** Like {!get_prop} but free of cost accounting; for administrative reads
+    such as index builds and statistics collection. *)
+
+val set_prop : t -> Oid.t -> string -> Value.t -> unit
+(** Write a property; typechecks the value and maintains declared inverse
+    links: setting [Section#s.document := d] adds [s] to [d.sections] (and
+    removes it from the previous document's set). *)
+
+(** {1 Snapshots} *)
+
+type dump
+(** A serializable image of the store's data: schema, objects with their
+    property values, allocation counter.  Method implementations (OCaml
+    closures) are {e not} part of a dump; re-register them after
+    {!import}. *)
+
+val export : t -> dump
+val dump_schema : dump -> Schema.t
+
+val import : dump -> t
+(** Rebuild a store from a dump: same schema, same OIDs, same property
+    values (restored verbatim, without re-running inverse maintenance),
+    empty method registry. *)
+
+val save_dump : dump -> string -> unit
+(** Write a dump to a file ([Marshal]-based; read it back only with the
+    same binary). *)
+
+val load_dump : string -> dump
+(** @raise Sys_error / [Failure] on unreadable or corrupt files. *)
+
+(** {1 Method implementations} *)
+
+val register_inst_method : t -> cls:string -> meth:string -> impl -> unit
+(** Attach the implementation of a declared INSTTYPE method.
+    @raise Invalid_argument if the schema declares no such method. *)
+
+val register_own_method : t -> cls:string -> meth:string -> impl -> unit
+
+val find_inst_impl : t -> cls:string -> meth:string -> impl option
+val find_own_impl : t -> cls:string -> meth:string -> impl option

@@ -1,0 +1,14 @@
+type t = { cls : string; id : int }
+
+let make ~cls ~id = { cls; id }
+let cls t = t.cls
+let id t = t.id
+
+let compare a b =
+  let c = String.compare a.cls b.cls in
+  if c <> 0 then c else Int.compare a.id b.id
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (t.cls, t.id)
+let pp ppf t = Format.fprintf ppf "%s#%d" t.cls t.id
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+(** Typed object identifiers.
+
+    In VML every object identifier carries the name of the class the object
+    is an instance of ("typed object identifiers" in the paper's type
+    system).  Identifiers are totally ordered so that they can be stored in
+    sets and used as hash-table and index keys. *)
+
+type t = private { cls : string; id : int }
+
+val make : cls:string -> id:int -> t
+(** [make ~cls ~id] builds the identifier of the [id]-th instance of class
+    [cls].  Identifiers are only meaningful relative to the store that
+    allocated them. *)
+
+val cls : t -> string
+(** Class the identified object is an instance of. *)
+
+val id : t -> int
+(** Store-local serial number. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [Class#id], e.g. [Paragraph#42]. *)
+
+val to_string : t -> string

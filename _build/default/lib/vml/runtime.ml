@@ -1,0 +1,241 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type env = {
+  store : Object_store.t;
+  self : Value.t option;
+  params : (string * Value.t) list;
+  binding : string -> Value.t option;
+}
+
+let env ?self ?(params = []) ?(binding = fun _ -> None) store =
+  { store; self; params; binding }
+
+let num_op name fi fr a b =
+  match (a : Value.t), (b : Value.t) with
+  | Int x, Int y -> Value.Int (fi x y)
+  | (Int _ | Real _), (Int _ | Real _) ->
+    let f = function Value.Int i -> float_of_int i | Real r -> r | _ -> 0. in
+    Value.Real (fr (f a) (f b))
+  | _ ->
+    error "operator %s applied to non-numeric operands %s, %s" name
+      (Value.to_string a) (Value.to_string b)
+
+let cmp_op name f (a : Value.t) (b : Value.t) =
+  match a, b with
+  | (Int _ | Real _), (Int _ | Real _) ->
+    let fl = function Value.Int i -> float_of_int i | Real r -> r | _ -> 0. in
+    Value.Bool (f (Float.compare (fl a) (fl b)))
+  | Str x, Str y -> Value.Bool (f (String.compare x y))
+  | Bool x, Bool y -> Value.Bool (f (Bool.compare x y))
+  | _ ->
+    error "comparison %s applied to incomparable operands %s, %s" name
+      (Value.to_string a) (Value.to_string b)
+
+let eval_binop (op : Expr.binop) (a : Value.t) (b : Value.t) =
+  match op with
+  | Eq -> (
+    (* Null equality yields FALSE (absent value), never an error. *)
+    match a, b with
+    | Value.Null, _ | _, Value.Null -> Value.Bool false
+    | _ -> Value.Bool (Value.equal a b))
+  | Neq -> (
+    match a, b with
+    | Value.Null, _ | _, Value.Null -> Value.Bool false
+    | _ -> Value.Bool (not (Value.equal a b)))
+  | Lt -> cmp_op "<" (fun c -> c < 0) a b
+  | Le -> cmp_op "<=" (fun c -> c <= 0) a b
+  | Gt -> cmp_op ">" (fun c -> c > 0) a b
+  | Ge -> cmp_op ">=" (fun c -> c >= 0) a b
+  | IsIn -> (
+    match b with
+    | Value.Set _ -> Value.Bool (Value.is_in a b)
+    | Value.Null -> Value.Bool false
+    | _ -> error "IS-IN: right operand %s is not a set" (Value.to_string b))
+  | IsSubset -> (
+    match a, b with
+    | Value.Set _, Value.Set _ -> Value.Bool (Value.is_subset a b)
+    | _ -> error "IS-SUBSET: operands must be sets")
+  | And -> (
+    match a, b with
+    | Value.Bool x, Value.Bool y -> Value.Bool (x && y)
+    | _ -> error "AND: operands must be boolean")
+  | Or -> (
+    match a, b with
+    | Value.Bool x, Value.Bool y -> Value.Bool (x || y)
+    | _ -> error "OR: operands must be boolean")
+  | Add -> num_op "+" ( + ) ( +. ) a b
+  | Sub -> num_op "-" ( - ) ( -. ) a b
+  | Mul -> num_op "*" ( * ) ( *. ) a b
+  | Div -> (
+    match a, b with
+    | _, Value.Int 0 -> error "division by zero"
+    | _ -> num_op "/" ( / ) ( /. ) a b)
+  | Concat -> (
+    match a, b with
+    | Value.Str x, Value.Str y -> Value.Str (x ^ y)
+    | _ -> error "++: operands must be strings")
+  | IndexOp -> (
+    match a, b with
+    | Value.Arr xs, Value.Int i ->
+      if i >= 0 && i < Array.length xs then xs.(i)
+      else error "array index %d out of bounds (length %d)" i (Array.length xs)
+    | Value.Dict pairs, key -> (
+      match List.find_opt (fun (k, _) -> Value.equal k key) pairs with
+      | Some (_, v) -> v
+      | None -> Value.Null)
+    | Value.Null, _ -> Value.Null
+    | _ ->
+      error "[]: %s is neither an array nor a dictionary" (Value.to_string a))
+  | UnionOp -> (
+    match a, b with
+    | Value.Set _, Value.Set _ -> Value.set_union a b
+    | _ -> error "UNION: operands must be sets")
+  | InterOp -> (
+    match a, b with
+    | Value.Set _, Value.Set _ -> Value.set_inter a b
+    | _ -> error "INTERSECTION: operands must be sets")
+  | DiffOp -> (
+    match a, b with
+    | Value.Set _, Value.Set _ -> Value.set_diff a b
+    | _ -> error "DIFF: operands must be sets")
+
+(* Property access on an object; lifted over sets as per Section 2.3:
+   scalar results are collected into a set, set-valued results unioned. *)
+let rec access store (v : Value.t) prop =
+  match v with
+  | Value.Cls cls ->
+    (* classes are containers for their instances: lifted access over the
+       extent, consistent with the typechecker's {TObj cls} view *)
+    access store
+      (Value.set (List.map (fun o -> Value.Obj o) (Object_store.extent store cls)))
+      prop
+  | Value.Obj oid -> (
+    try Object_store.get_prop store oid prop
+    with Not_found -> error "dangling object identifier %s" (Oid.to_string oid))
+  | Value.Set xs ->
+    let results = List.map (fun x -> access store x prop) xs in
+    let all_sets =
+      results <> [] && List.for_all (function Value.Set _ -> true | _ -> false) results
+    in
+    if all_sets then
+      List.fold_left Value.set_union (Value.set []) results
+    else Value.set (List.filter (fun v -> v <> Value.Null) results)
+  | Value.Tuple _ -> (
+    try Value.tuple_get v prop
+    with Not_found -> error "tuple has no component %S" prop)
+  | Value.Null -> Value.Null
+  | _ ->
+    error "property access .%s on non-object value %s" prop (Value.to_string v)
+
+and invoke store (receiver : Value.t) meth args =
+  match receiver with
+  | Value.Obj oid -> (
+    let cls = Oid.cls oid in
+    match Schema.inst_method (Object_store.schema store) ~cls ~meth with
+    | Some msig ->
+      if List.length msig.Schema.params <> List.length args then
+        error "method %s.%s expects %d argument(s), got %d" cls meth
+          (List.length msig.Schema.params)
+          (List.length args);
+      Counters.charge_method_call
+        (Object_store.counters store)
+        ~meth:(cls ^ "." ^ meth) ~cost:msig.Schema.cost_per_call;
+      run_impl store ~cls ~meth ~own:false msig receiver args
+    | None ->
+      (* Default property access method. *)
+      if Option.is_some (Schema.property (Object_store.schema store) ~cls ~prop:meth)
+      then access store receiver meth
+      else error "class %s has no method or property %S" cls meth)
+  | Value.Cls cls -> (
+    match Schema.own_method (Object_store.schema store) ~cls ~meth with
+    | Some msig ->
+      if List.length msig.Schema.params <> List.length args then
+        error "method %s->%s expects %d argument(s), got %d" cls meth
+          (List.length msig.Schema.params)
+          (List.length args);
+      Counters.charge_method_call
+        (Object_store.counters store)
+        ~meth:(cls ^ "->" ^ meth) ~cost:msig.Schema.cost_per_call;
+      run_impl store ~cls ~meth ~own:true msig receiver args
+    | None -> error "class object %s has no OWNTYPE method %S" cls meth)
+  | Value.Set xs ->
+    (* Member-wise lifting, consistent with property access on sets. *)
+    let results = List.map (fun x -> invoke store x meth args) xs in
+    let all_sets =
+      results <> [] && List.for_all (function Value.Set _ -> true | _ -> false) results
+    in
+    if all_sets then List.fold_left Value.set_union (Value.set []) results
+    else Value.set (List.filter (fun v -> v <> Value.Null) results)
+  | _ ->
+    error "method call ->%s on non-object value %s" meth
+      (Value.to_string receiver)
+
+and run_impl store ~cls ~meth ~own msig receiver args =
+  let impl =
+    if own then Object_store.find_own_impl store ~cls ~meth
+    else Object_store.find_inst_impl store ~cls ~meth
+  in
+  match impl with
+  | Some (Object_store.Body body) ->
+    let params =
+      List.map2 (fun (name, _) v -> (name, v)) msig.Schema.params args
+    in
+    eval { store; self = Some receiver; params; binding = (fun _ -> None) } body
+  | Some (Object_store.Native f) -> f store receiver args
+  | None ->
+    error "method %s%s%s has no registered implementation" cls
+      (if own then "->" else ".")
+      meth
+
+and eval env (e : Expr.t) : Value.t =
+  match e with
+  | Const v -> v
+  | Self -> (
+    match env.self with
+    | Some v -> v
+    | None -> error "SELF used outside a method body")
+  | Param p -> (
+    match List.assoc_opt p env.params with
+    | Some v -> v
+    | None -> error "unbound method parameter %S" p)
+  | Ref r -> (
+    match env.binding r with
+    | Some v -> v
+    | None -> error "unbound reference %S" r)
+  | ClassObj c -> Value.Cls c
+  | Prop (e, p) -> access env.store (eval env e) p
+  | Call (recv, m, args) ->
+    let rv = eval env recv in
+    let avs = List.map (eval env) args in
+    invoke env.store rv m avs
+  | Binop (And, a, b) -> (
+    (* Short-circuit, so that guards can protect partial operations. *)
+    match eval env a with
+    | Value.Bool false -> Value.Bool false
+    | Value.Bool true -> (
+      match eval env b with
+      | Value.Bool _ as v -> v
+      | _ -> error "AND: operands must be boolean")
+    | _ -> error "AND: operands must be boolean")
+  | Binop (Or, a, b) -> (
+    match eval env a with
+    | Value.Bool true -> Value.Bool true
+    | Value.Bool false -> (
+      match eval env b with
+      | Value.Bool _ as v -> v
+      | _ -> error "OR: operands must be boolean")
+    | _ -> error "OR: operands must be boolean")
+  | Binop (op, a, b) -> eval_binop op (eval env a) (eval env b)
+  | Not e -> (
+    match eval env e with
+    | Value.Bool b -> Value.Bool (not b)
+    | v -> error "NOT applied to non-boolean %s" (Value.to_string v))
+  | TupleE fields -> Value.tuple (List.map (fun (l, e) -> (l, eval env e)) fields)
+  | SetE es -> Value.set (List.map (eval env) es)
+  | If (c, a, b) -> (
+    match eval env c with
+    | Value.Bool true -> eval env a
+    | Value.Bool false -> eval env b
+    | v -> error "IF condition is non-boolean %s" (Value.to_string v))

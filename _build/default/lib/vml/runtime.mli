@@ -1,0 +1,46 @@
+(** Evaluation of expressions and method invocation.
+
+    This module ties the expression language to the store: evaluating a
+    [Call] dispatches on the receiver's class, charges the method's
+    declared cost, and runs the registered implementation (an internal
+    expression body, or a native function for external methods).  Property
+    access falls back to the system-provided default access methods, and
+    access on set values is lifted member-wise with set-valued results
+    unioned (the [D.sections] convention of Section 2.3). *)
+
+exception Error of string
+(** Raised on dynamic errors: unknown method, unbound reference or
+    parameter, type mismatch in a built-in operation, arity mismatch. *)
+
+type env
+(** An evaluation environment: the store plus bindings for [SELF], method
+    parameters and operator references. *)
+
+val env :
+  ?self:Value.t ->
+  ?params:(string * Value.t) list ->
+  ?binding:(string -> Value.t option) ->
+  Object_store.t ->
+  env
+
+val eval : env -> Expr.t -> Value.t
+(** Evaluate an expression.  @raise Error on dynamic failure. *)
+
+val eval_binop : Expr.binop -> Value.t -> Value.t -> Value.t
+(** The built-in binary operations on values ([==], [IS-IN], [+], ...).
+    Comparison of [Null] with anything under [==] yields [FALSE] rather
+    than an error, mirroring absent-property semantics.
+    @raise Error on operand type mismatch. *)
+
+val access : Object_store.t -> Value.t -> string -> Value.t
+(** [access store v p] — property access [v.p] through the default access
+    method, including set/class lifting; charges accounting like any
+    property read.  @raise Error on non-object receivers. *)
+
+val invoke : Object_store.t -> Value.t -> string -> Value.t list -> Value.t
+(** [invoke store receiver meth args] — invoke [meth] on [receiver] (an
+    object, or a class object [Value.Cls c] for OWNTYPE methods).  Charges
+    the declared cost, then runs the implementation; a method name that is
+    a property of the receiver's class resolves to the default access
+    method.
+    @raise Error on unknown method or bad receiver. *)

@@ -1,0 +1,228 @@
+type property = {
+  prop_name : string;
+  prop_type : Vtype.t;
+  inverse : (string * string) option;
+}
+
+type method_kind = Internal | External
+
+type method_sig = {
+  meth_name : string;
+  params : (string * Vtype.t) list;
+  returns : Vtype.t;
+  kind : method_kind;
+  side_effect_free : bool;
+  cost_per_call : float;
+  selectivity : float option;
+}
+
+type class_def = {
+  cls_name : string;
+  own_methods : method_sig list;
+  properties : property list;
+  inst_methods : method_sig list;
+}
+
+type t = { class_list : class_def list; by_name : (string, class_def) Hashtbl.t }
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let check_unique what names =
+  let sorted = List.sort String.compare names in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a b then fail "Schema: duplicate %s %S" what a else go rest
+    | _ -> ()
+  in
+  go sorted
+
+let rec classes_mentioned = function
+  | Vtype.TObj c -> [ c ]
+  | TString | TInt | TReal | TBool | TAnyObj -> []
+  | TTuple fields -> List.concat_map (fun (_, t) -> classes_mentioned t) fields
+  | TSet t | TArray t -> classes_mentioned t
+  | TDict (k, v) -> classes_mentioned k @ classes_mentioned v
+
+let validate class_list =
+  check_unique "class" (List.map (fun c -> c.cls_name) class_list);
+  let declared = List.map (fun c -> c.cls_name) class_list in
+  let check_type ctx ty =
+    List.iter
+      (fun c ->
+        if not (List.mem c declared) then
+          fail "Schema: %s mentions undeclared class %S" ctx c)
+      (classes_mentioned ty)
+  in
+  List.iter
+    (fun cd ->
+      check_unique
+        (cd.cls_name ^ " property")
+        (List.map (fun p -> p.prop_name) cd.properties);
+      check_unique
+        (cd.cls_name ^ " instance method")
+        (List.map (fun m -> m.meth_name) cd.inst_methods);
+      check_unique
+        (cd.cls_name ^ " own method")
+        (List.map (fun m -> m.meth_name) cd.own_methods);
+      List.iter
+        (fun p ->
+          check_type (cd.cls_name ^ "." ^ p.prop_name) p.prop_type;
+          (* A default access method must not be shadowed by an instance
+             method of the same name: property access is method
+             invocation in VML, so the two would be ambiguous. *)
+          if List.exists (fun m -> String.equal m.meth_name p.prop_name)
+               cd.inst_methods
+          then
+            fail "Schema: %s.%s is both a property and an instance method"
+              cd.cls_name p.prop_name)
+        cd.properties;
+      List.iter
+        (fun m ->
+          check_type (cd.cls_name ^ "." ^ m.meth_name) m.returns;
+          List.iter (fun (_, t) -> check_type (cd.cls_name ^ "." ^ m.meth_name) t)
+            m.params)
+        (cd.inst_methods @ cd.own_methods))
+    class_list;
+  (* Inverse links must be mutual: if C1.p1 declares inverse (C2, p2) then
+     C2.p2 must exist and declare inverse (C1, p1). *)
+  List.iter
+    (fun cd ->
+      List.iter
+        (fun p ->
+          match p.inverse with
+          | None -> ()
+          | Some (c2, p2) -> (
+            match List.find_opt (fun c -> String.equal c.cls_name c2) class_list with
+            | None -> fail "Schema: inverse of %s.%s names undeclared class %S"
+                        cd.cls_name p.prop_name c2
+            | Some cd2 -> (
+              match
+                List.find_opt (fun q -> String.equal q.prop_name p2) cd2.properties
+              with
+              | None ->
+                fail "Schema: inverse of %s.%s names missing property %s.%s"
+                  cd.cls_name p.prop_name c2 p2
+              | Some q -> (
+                match q.inverse with
+                | Some (c1, p1)
+                  when String.equal c1 cd.cls_name && String.equal p1 p.prop_name
+                  ->
+                  ()
+                | _ ->
+                  fail "Schema: inverse link %s.%s <-> %s.%s is not mutual"
+                    cd.cls_name p.prop_name c2 p2))))
+        cd.properties)
+    class_list
+
+let make class_list =
+  validate class_list;
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace by_name c.cls_name c) class_list;
+  { class_list; by_name }
+
+let classes t = t.class_list
+let class_names t = List.map (fun c -> c.cls_name) t.class_list
+let find_class t name = Hashtbl.find_opt t.by_name name
+
+let class_exn t name =
+  match find_class t name with
+  | Some c -> c
+  | None -> fail "Schema: unknown class %S" name
+
+let property t ~cls ~prop =
+  Option.bind (find_class t cls) (fun cd ->
+      List.find_opt (fun p -> String.equal p.prop_name prop) cd.properties)
+
+let inst_method t ~cls ~meth =
+  Option.bind (find_class t cls) (fun cd ->
+      List.find_opt (fun m -> String.equal m.meth_name meth) cd.inst_methods)
+
+let own_method t ~cls ~meth =
+  Option.bind (find_class t cls) (fun cd ->
+      List.find_opt (fun m -> String.equal m.meth_name meth) cd.own_methods)
+
+let property_type t ~cls ~prop =
+  Option.map (fun p -> p.prop_type) (property t ~cls ~prop)
+
+let inverse_of t ~cls ~prop = Option.bind (property t ~cls ~prop) (fun p -> p.inverse)
+
+let method_cost t ~cls ~meth =
+  match inst_method t ~cls ~meth with
+  | Some m -> m.cost_per_call
+  | None -> (
+    match own_method t ~cls ~meth with Some m -> m.cost_per_call | None -> 1.0)
+
+let method_selectivity t ~cls ~meth =
+  match inst_method t ~cls ~meth with
+  | Some m -> m.selectivity
+  | None -> (
+    match own_method t ~cls ~meth with Some m -> m.selectivity | None -> None)
+
+let prop ?inverse prop_name prop_type = { prop_name; prop_type; inverse }
+
+let meth ?(kind = Internal) ?(side_effect_free = true) ?(cost = 1.0)
+    ?selectivity meth_name params returns =
+  {
+    meth_name;
+    params;
+    returns;
+    kind;
+    side_effect_free;
+    cost_per_call = cost;
+    selectivity;
+  }
+
+let method_is_pure t ~meth =
+  List.for_all
+    (fun cd ->
+      List.for_all
+        (fun (m : method_sig) ->
+          (not (String.equal m.meth_name meth)) || m.side_effect_free)
+        (cd.inst_methods @ cd.own_methods))
+    t.class_list
+
+let cls ?(own_methods = []) ?(inst_methods = []) ?(properties = []) cls_name =
+  { cls_name; own_methods; properties; inst_methods }
+
+let add_inst_method t ~cls msig =
+  if Option.is_none (find_class t cls) then fail "Schema: unknown class %S" cls;
+  make
+    (List.map
+       (fun cd ->
+         if String.equal cd.cls_name cls then
+           { cd with inst_methods = cd.inst_methods @ [ msig ] }
+         else cd)
+       t.class_list)
+
+let pp_sig ppf (m : method_sig) =
+  Format.fprintf ppf "%s(%a): %a" m.meth_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (n, t) -> Format.fprintf ppf "%s: %a" n Vtype.pp t))
+    m.params Vtype.pp m.returns
+
+let pp ppf t =
+  List.iter
+    (fun cd ->
+      Format.fprintf ppf "@[<v2>CLASS %s@," cd.cls_name;
+      if cd.own_methods <> [] then (
+        Format.fprintf ppf "@[<v2>OWNTYPE METHODS:@,";
+        List.iter (fun m -> Format.fprintf ppf "%a;@," pp_sig m) cd.own_methods;
+        Format.fprintf ppf "@]@,");
+      Format.fprintf ppf "@[<v2>INSTTYPE@,";
+      if cd.properties <> [] then (
+        Format.fprintf ppf "@[<v2>PROPERTIES:@,";
+        List.iter
+          (fun p ->
+            Format.fprintf ppf "%s: %a%s;@," p.prop_name Vtype.pp p.prop_type
+              (match p.inverse with
+              | Some (c, q) -> Printf.sprintf " /* inverse %s.%s */" c q
+              | None -> ""))
+          cd.properties;
+        Format.fprintf ppf "@]@,");
+      if cd.inst_methods <> [] then (
+        Format.fprintf ppf "@[<v2>METHODS:@,";
+        List.iter (fun m -> Format.fprintf ppf "%a;@," pp_sig m) cd.inst_methods;
+        Format.fprintf ppf "@]@,");
+      Format.fprintf ppf "@]@,END;@,@]@,")
+    t.class_list

@@ -1,0 +1,117 @@
+(** Database schemas: classes with OWNTYPE and INSTTYPE definitions.
+
+    In VML classes are not only containers for their instances but first
+    class objects themselves (Section 2.1): methods defined in a class's
+    OWNTYPE (e.g. [Document→select_by_index]) are invoked on the class
+    object, methods in its INSTTYPE on the instances.
+
+    Besides signatures, a schema records the optimizer-relevant metadata
+    the paper relies on: per-method cost and selectivity declarations
+    (methods are not uniform-cost attributes, Section 2.3) and inverse-link
+    declarations between properties (a prime source of equivalent
+    conditions, Section 4.2). *)
+
+type property = {
+  prop_name : string;
+  prop_type : Vtype.t;
+  inverse : (string * string) option;
+      (** [(class, property)] forming an inverse link with this one, e.g.
+          [Section.document] inverse [("Document", "sections")]. *)
+}
+
+type method_kind =
+  | Internal  (** body given in the expression language; cheap, inspectable *)
+  | External  (** external implementation, e.g. an IR function *)
+
+type method_sig = {
+  meth_name : string;
+  params : (string * Vtype.t) list;
+  returns : Vtype.t;
+  kind : method_kind;
+  side_effect_free : bool;
+      (** declared free of side effects.  VQL replaces SELECT by ACCESS
+          precisely because "we cannot determine in advance whether a
+          query is a pure retrieval query" (Section 2.2); the engine only
+          optimizes queries whose methods are all declared pure. *)
+  cost_per_call : float;
+      (** declared evaluation cost of one invocation, in object-fetch
+          units; feeds both accounting and the optimizer's cost model *)
+  selectivity : float option;
+      (** for boolean methods: estimated fraction of receivers satisfying
+          the predicate *)
+}
+
+type class_def = {
+  cls_name : string;
+  own_methods : method_sig list;  (** OWNTYPE methods (class object) *)
+  properties : property list;  (** INSTTYPE properties *)
+  inst_methods : method_sig list;  (** INSTTYPE methods *)
+}
+
+type t
+
+val make : class_def list -> t
+(** Build a schema.  Validates that class names are unique, that property
+    and method names are unique within their class and namespace, that
+    property/parameter/return types mention only declared classes, and
+    that declared inverse links are mutual and well-typed.
+    @raise Invalid_argument when validation fails. *)
+
+val classes : t -> class_def list
+val class_names : t -> string list
+
+val find_class : t -> string -> class_def option
+val class_exn : t -> string -> class_def
+
+val property : t -> cls:string -> prop:string -> property option
+val inst_method : t -> cls:string -> meth:string -> method_sig option
+val own_method : t -> cls:string -> meth:string -> method_sig option
+
+val property_type : t -> cls:string -> prop:string -> Vtype.t option
+
+val inverse_of : t -> cls:string -> prop:string -> (string * string) option
+(** The declared inverse [(class, property)] of [cls.prop], if any. *)
+
+val method_cost : t -> cls:string -> meth:string -> float
+(** Declared cost of an instance or class method, 1.0 if unknown. *)
+
+val method_selectivity : t -> cls:string -> meth:string -> float option
+
+(** {1 Signature constructors} *)
+
+val prop : ?inverse:string * string -> string -> Vtype.t -> property
+
+val meth :
+  ?kind:method_kind ->
+  ?side_effect_free:bool ->
+  ?cost:float ->
+  ?selectivity:float ->
+  string ->
+  (string * Vtype.t) list ->
+  Vtype.t ->
+  method_sig
+(** [meth name params returns] — defaults: [Internal], side-effect free,
+    cost 1.0, no selectivity. *)
+
+val method_is_pure : t -> meth:string -> bool
+(** Is every declared method of this name (in any class, OWNTYPE or
+    INSTTYPE) side-effect free?  Conservative check used before
+    optimizing a query: method names in algebra terms are not
+    class-resolved, so a name shared by a pure and an impure method is
+    treated as impure. *)
+
+val cls :
+  ?own_methods:method_sig list ->
+  ?inst_methods:method_sig list ->
+  ?properties:property list ->
+  string ->
+  class_def
+
+val add_inst_method : t -> cls:string -> method_sig -> t
+(** A new schema with the method added to the class's INSTTYPE
+    (re-validated).  Used by generators that extend schemas
+    programmatically (Section 5.2).
+    @raise Invalid_argument on unknown class or name clash. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the schema in a VML-like surface syntax. *)

@@ -1,0 +1,154 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Str of string
+  | Obj of Oid.t
+  | Cls of string
+  | Tuple of (string * t) list
+  | Set of t list
+  | Arr of t array
+  | Dict of (t * t) list
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Real _ -> 3
+  | Str _ -> 4
+  | Obj _ -> 5
+  | Cls _ -> 6
+  | Tuple _ -> 7
+  | Set _ -> 8
+  | Arr _ -> 9
+  | Dict _ -> 10
+
+let rec compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Obj x, Obj y -> Oid.compare x y
+  | Cls x, Cls y -> String.compare x y
+  | Tuple x, Tuple y ->
+    compare_lists (fun (la, va) (lb, vb) ->
+        let c = String.compare la lb in
+        if c <> 0 then c else compare va vb)
+      x y
+  | Set x, Set y -> compare_lists compare x y
+  | Arr x, Arr y ->
+    let c = Int.compare (Array.length x) (Array.length y) in
+    if c <> 0 then c
+    else compare_lists compare (Array.to_list x) (Array.to_list y)
+  | Dict x, Dict y ->
+    compare_lists (fun (ka, va) (kb, vb) ->
+        let c = compare ka kb in
+        if c <> 0 then c else compare va vb)
+      x y
+  | _ -> Int.compare (rank a) (rank b)
+
+and compare_lists : 'a. ('a -> 'a -> int) -> 'a list -> 'a list -> int =
+  fun cmp xs ys ->
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = cmp x y in
+    if c <> 0 then c else compare_lists cmp xs' ys'
+
+let equal a b = compare a b = 0
+
+let set elems =
+  let sorted = List.sort_uniq compare elems in
+  Set sorted
+
+let tuple fields =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) fields in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then invalid_arg ("Value.tuple: duplicate label " ^ a)
+      else check rest
+    | _ -> ()
+  in
+  check sorted;
+  Tuple sorted
+
+let dict pairs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if equal a b then invalid_arg "Value.dict: duplicate key" else check rest
+    | _ -> ()
+  in
+  check sorted;
+  Dict sorted
+
+let set_elements = function
+  | Set xs -> xs
+  | v ->
+    invalid_arg
+      (Format.asprintf "Value.set_elements: not a set: constructor rank %d"
+         (rank v))
+
+let tuple_get v label =
+  match v with
+  | Tuple fields -> List.assoc label fields
+  | _ -> invalid_arg "Value.tuple_get: not a tuple"
+
+let is_in x = function
+  | Set xs -> List.exists (equal x) xs
+  | _ -> false
+
+let is_subset s1 s2 =
+  match s1, s2 with
+  | Set xs, Set _ -> List.for_all (fun x -> is_in x s2) xs
+  | _ -> false
+
+let set_union a b = set (set_elements a @ set_elements b)
+
+let set_inter a b =
+  let xs = set_elements a in
+  Set (List.filter (fun x -> is_in x b) xs)
+
+let set_diff a b =
+  let xs = set_elements a in
+  Set (List.filter (fun x -> not (is_in x b)) xs)
+
+let truthy = function Bool true -> true | _ -> false
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Bool b -> Format.pp_print_string ppf (if b then "TRUE" else "FALSE")
+  | Int i -> Format.pp_print_int ppf i
+  | Real r -> Format.fprintf ppf "%g" r
+  | Str s -> Format.fprintf ppf "%S" s
+  | Obj o -> Oid.pp ppf o
+  | Cls c -> Format.fprintf ppf "%s(class)" c
+  | Tuple fields ->
+    let pp_field ppf (l, v) = Format.fprintf ppf "%s: %a" l pp v in
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_field)
+      fields
+  | Set xs ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      xs
+  | Arr xs ->
+    Format.fprintf ppf "ARRAY(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      (Array.to_list xs)
+  | Dict pairs ->
+    let pp_pair ppf (k, v) = Format.fprintf ppf "%a -> %a" pp k pp v in
+    Format.fprintf ppf "DICT(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_pair)
+      pairs
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* Canonical construction makes structural equality coincide with physical
+   structure, so the generic hash is consistent with [equal]. *)
+let hash v = Hashtbl.hash v

@@ -1,0 +1,71 @@
+(** Runtime values of the VML data model.
+
+    The primitive built-in data types are [STRING], [INT], [REAL], [BOOL]
+    and typed object identifiers; the type constructors are [TUPLE], [SET],
+    [ARRAY] and [DICTIONARY] (Section 2.1 of the paper).
+
+    Values form a total order ({!compare}) so that sets and dictionaries
+    can be kept in a canonical sorted representation; two values built from
+    the same elements are structurally equal regardless of construction
+    order.  Use the smart constructors {!set}, {!tuple} and {!dict} to
+    obtain canonical values. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Str of string
+  | Obj of Oid.t
+  | Cls of string
+      (** a class as a first-class object (VML classes are objects too;
+          receivers of OWNTYPE methods) *)
+  | Tuple of (string * t) list  (** labelled components, sorted by label *)
+  | Set of t list  (** sorted, duplicate-free *)
+  | Arr of t array
+  | Dict of (t * t) list  (** sorted by key, duplicate-free keys *)
+
+val compare : t -> t -> int
+(** Total structural order.  Values of different constructors are ordered
+    by constructor rank; this order carries no data-model meaning beyond
+    enabling canonical sets. *)
+
+val equal : t -> t -> bool
+
+val set : t list -> t
+(** Canonical set: sorts and removes duplicates. *)
+
+val tuple : (string * t) list -> t
+(** Canonical tuple: sorts components by label.  Tuple components are
+    unordered in the paper's algebra (Section 4.1).
+    @raise Invalid_argument on duplicate labels. *)
+
+val dict : (t * t) list -> t
+(** Canonical dictionary: sorts by key.
+    @raise Invalid_argument on duplicate keys. *)
+
+val set_elements : t -> t list
+(** Elements of a [Set].  @raise Invalid_argument on other values. *)
+
+val tuple_get : t -> string -> t
+(** [tuple_get v label] extracts a tuple component.
+    @raise Not_found if the label is absent, [Invalid_argument] if [v] is
+    not a tuple. *)
+
+val is_in : t -> t -> bool
+(** [is_in x s] is the [IS-IN] predicate: membership of [x] in set [s]. *)
+
+val is_subset : t -> t -> bool
+(** [is_subset s1 s2] is the [IS-SUBSET] predicate on two sets. *)
+
+val set_union : t -> t -> t
+val set_inter : t -> t -> t
+val set_diff : t -> t -> t
+
+val truthy : t -> bool
+(** [truthy v] is [true] iff [v] is [Bool true].  Query conditions must
+    evaluate to [TRUE] to select a tuple (Section 4.1). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val hash : t -> int

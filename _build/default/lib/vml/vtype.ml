@@ -1,0 +1,129 @@
+type t =
+  | TString
+  | TInt
+  | TReal
+  | TBool
+  | TObj of string
+  | TAnyObj
+  | TTuple of (string * t) list
+  | TSet of t
+  | TArray of t
+  | TDict of t * t
+
+let ttuple fields =
+  TTuple (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
+
+let rec equal a b =
+  match a, b with
+  | TString, TString | TInt, TInt | TReal, TReal | TBool, TBool
+  | TAnyObj, TAnyObj ->
+    true
+  | TObj c, TObj d -> String.equal c d
+  | TTuple xs, TTuple ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (la, ta) (lb, tb) -> String.equal la lb && equal ta tb)
+         xs ys
+  | TSet x, TSet y | TArray x, TArray y -> equal x y
+  | TDict (ka, va), TDict (kb, vb) -> equal ka kb && equal va vb
+  | ( ( TString | TInt | TReal | TBool | TObj _ | TAnyObj | TTuple _ | TSet _
+      | TArray _ | TDict _ ),
+      _ ) ->
+    false
+
+let rec subtype a b =
+  match a, b with
+  | TObj _, TAnyObj -> true
+  | TInt, TReal -> true
+  | TTuple xs, TTuple ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (la, ta) (lb, tb) -> String.equal la lb && subtype ta tb)
+         xs ys
+  | TSet x, TSet y | TArray x, TArray y -> subtype x y
+  | TDict (ka, va), TDict (kb, vb) -> subtype ka kb && subtype va vb
+  | _ -> equal a b
+
+let rec check t (v : Value.t) =
+  match t, v with
+  | _, Value.Null -> true
+  | TString, Str _ -> true
+  | TInt, Int _ -> true
+  | TReal, (Real _ | Int _) -> true
+  | TBool, Bool _ -> true
+  | TObj c, Obj o -> String.equal c (Oid.cls o)
+  | TAnyObj, Obj _ -> true
+  | TTuple fields, Tuple vs ->
+    List.length fields = List.length vs
+    && List.for_all2
+         (fun (lt, ft) (lv, fv) -> String.equal lt lv && check ft fv)
+         fields vs
+  | TSet et, Set xs -> List.for_all (check et) xs
+  | TArray et, Arr xs -> Array.for_all (check et) xs
+  | TDict (kt, vt), Dict pairs ->
+    List.for_all (fun (k, v) -> check kt k && check vt v) pairs
+  | _ -> false
+
+let element = function TSet t | TArray t -> Some t | _ -> None
+
+(* Least common supertype, where one exists: used to type heterogeneous
+   sets ({Int, Real} : {REAL}, {Obj A, Obj B} : {OID}). *)
+let rec join a b =
+  if equal a b then Some a
+  else
+    match a, b with
+    | TInt, TReal | TReal, TInt -> Some TReal
+    | (TObj _ | TAnyObj), (TObj _ | TAnyObj) -> Some TAnyObj
+    | TSet x, TSet y -> Option.map (fun t -> TSet t) (join x y)
+    | TArray x, TArray y -> Option.map (fun t -> TArray t) (join x y)
+    | _ -> None
+
+let rec of_value (v : Value.t) =
+  match v with
+  | Null | Cls _ -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Real _ -> Some TReal
+  | Str _ -> Some TString
+  | Obj o -> Some (TObj (Oid.cls o))
+  | Tuple fields ->
+    let typed =
+      List.filter_map
+        (fun (l, fv) -> Option.map (fun t -> (l, t)) (of_value fv))
+        fields
+    in
+    if List.length typed = List.length fields then Some (TTuple typed) else None
+  | Set xs -> Option.map (fun t -> TSet t) (of_values xs)
+  | Arr xs -> Option.map (fun t -> TArray t) (of_values (Array.to_list xs))
+  | Dict pairs -> (
+    match of_values (List.map fst pairs), of_values (List.map snd pairs) with
+    | Some kt, Some vt -> Some (TDict (kt, vt))
+    | _ -> None)
+
+and of_values = function
+  | [] -> Some TAnyObj
+  | x :: xs ->
+    List.fold_left
+      (fun acc v ->
+        match acc, of_value v with
+        | Some t, Some t' -> join t t'
+        | _ -> None)
+      (of_value x) xs
+
+let rec pp ppf = function
+  | TString -> Format.pp_print_string ppf "STRING"
+  | TInt -> Format.pp_print_string ppf "INT"
+  | TReal -> Format.pp_print_string ppf "REAL"
+  | TBool -> Format.pp_print_string ppf "BOOL"
+  | TObj c -> Format.pp_print_string ppf c
+  | TAnyObj -> Format.pp_print_string ppf "OID"
+  | TTuple fields ->
+    let pp_field ppf (l, t) = Format.fprintf ppf "%s: %a" l pp t in
+    Format.fprintf ppf "TUPLE[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_field)
+      fields
+  | TSet t -> Format.fprintf ppf "{%a}" pp t
+  | TArray t -> Format.fprintf ppf "ARRAY<%a>" pp t
+  | TDict (k, v) -> Format.fprintf ppf "DICTIONARY<%a, %a>" pp k pp v
+
+let to_string t = Format.asprintf "%a" pp t

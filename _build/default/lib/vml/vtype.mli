@@ -1,0 +1,42 @@
+(** The VML type language.
+
+    Signatures of properties and methods are given using the built-in
+    complex data types of VML: the primitive types [STRING], [INT],
+    [REAL], [BOOL], typed object identifiers, and the constructors
+    [TUPLE], [SET], [ARRAY] and [DICTIONARY] (Section 2.1). *)
+
+type t =
+  | TString
+  | TInt
+  | TReal
+  | TBool
+  | TObj of string  (** typed object identifier: instances of the named class *)
+  | TAnyObj  (** object identifier of statically unknown class *)
+  | TTuple of (string * t) list  (** sorted by label *)
+  | TSet of t
+  | TArray of t
+  | TDict of t * t
+
+val ttuple : (string * t) list -> t
+(** Canonical tuple type (labels sorted). *)
+
+val equal : t -> t -> bool
+
+val subtype : t -> t -> bool
+(** [subtype t1 t2] — structural subtyping where [TObj c <= TAnyObj] and
+    constructors are covariant.  The example schema uses no class
+    inheritance, so object subtyping is by exact class name or [TAnyObj]. *)
+
+val check : t -> Value.t -> bool
+(** [check t v] — does runtime value [v] inhabit type [t]?  [Null]
+    inhabits every type (absent property values). *)
+
+val element : t -> t option
+(** Element type of a [TSet]/[TArray], [None] otherwise. *)
+
+val of_value : Value.t -> t option
+(** Best-effort type of a runtime value; [None] for [Null], class objects
+    and empty-set ambiguity is resolved as [TSet TAnyObj]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/vql/ast.ml: Expr Format Soqm_vml

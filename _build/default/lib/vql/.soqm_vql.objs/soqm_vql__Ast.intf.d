@@ -1,0 +1,1 @@
+lib/vql/ast.mli: Expr Format Soqm_vml

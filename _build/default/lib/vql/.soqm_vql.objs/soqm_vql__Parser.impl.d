@@ -1,0 +1,1 @@
+lib/vql/parser.ml: Ast Expr Format Lexer List Soqm_vml Token

@@ -1,0 +1,1 @@
+lib/vql/parser.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/vql/schema_parser.ml: Ast Expr Format Lexer List Object_store Option Parser Schema Soqm_vml String Token Typecheck Vtype

@@ -1,0 +1,1 @@
+lib/vql/schema_parser.mli: Expr Object_store Schema Soqm_vml

@@ -1,0 +1,1 @@
+lib/vql/to_algebra.ml: Expr Format General List Parser Printf Soqm_algebra Soqm_vml String Typecheck Value

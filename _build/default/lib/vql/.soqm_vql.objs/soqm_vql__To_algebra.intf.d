@@ -1,0 +1,1 @@
+lib/vql/to_algebra.mli: Soqm_algebra Soqm_vml Typecheck

@@ -1,0 +1,1 @@
+lib/vql/token.ml: Format Printf

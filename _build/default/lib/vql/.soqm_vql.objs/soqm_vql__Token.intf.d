@@ -1,0 +1,1 @@
+lib/vql/token.mli: Format

@@ -1,0 +1,1 @@
+lib/vql/typecheck.ml: Ast Expr Format List Option Schema Soqm_vml Value Vtype

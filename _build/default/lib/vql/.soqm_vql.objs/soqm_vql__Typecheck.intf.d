@@ -1,0 +1,1 @@
+lib/vql/typecheck.mli: Ast Expr Schema Soqm_vml Vtype

@@ -1,0 +1,66 @@
+open Soqm_vml
+
+type expr =
+  | Var of string
+  | Subquery of query
+  | Int_lit of int
+  | Real_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Null_lit
+  | Prop_access of expr * string
+  | Method_call of expr * string * expr list
+  | Binop of Expr.binop * expr * expr
+  | Not of expr
+  | Tuple_lit of (string * expr) list
+  | Set_lit of expr list
+
+and range = { var : string; source : expr }
+and query = { access : expr; ranges : range list; where : expr option }
+
+let rec pp_expr ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Subquery q -> Format.fprintf ppf "(%a)" pp q
+  | Int_lit i -> Format.pp_print_int ppf i
+  | Real_lit f -> Format.fprintf ppf "%g" f
+  | Str_lit s -> Format.fprintf ppf "'%s'" s
+  | Bool_lit b -> Format.pp_print_string ppf (if b then "TRUE" else "FALSE")
+  | Null_lit -> Format.pp_print_string ppf "NULL"
+  | Prop_access (e, p) -> Format.fprintf ppf "%a.%s" pp_atom e p
+  | Method_call (e, m, args) ->
+    Format.fprintf ppf "%a->%s(%a)" pp_atom e m
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_expr)
+      args
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "%a %a %a" pp_atom a Expr.pp_binop op pp_atom b
+  | Not e -> Format.fprintf ppf "NOT %a" pp_atom e
+  | Tuple_lit fields ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (l, e) -> Format.fprintf ppf "%s: %a" l pp_expr e))
+      fields
+  | Set_lit es ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_expr)
+      es
+
+and pp_atom ppf e =
+  match e with
+  | Binop _ | Not _ -> Format.fprintf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
+
+and pp ppf q =
+  Format.fprintf ppf "@[<v>ACCESS %a@,FROM %a" pp_expr q.access
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf r -> Format.fprintf ppf "%s IN %a" r.var pp_expr r.source))
+    q.ranges;
+  (match q.where with
+  | Some cond -> Format.fprintf ppf "@,WHERE %a" pp_expr cond
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,46 @@
+(** Surface abstract syntax of VQL (Section 2.2).
+
+    A query has the form
+    {v
+    ACCESS expr(x1,...,xn)
+    FROM x1 IN S1, ..., xn IN Sn
+    WHERE cond(x1,...,xn)
+    v}
+    where the [Si] are class names or set-valued expressions (possibly
+    depending on earlier range variables — Example 2), and methods may
+    appear in any clause.  Identifiers are unresolved here; the
+    typechecker decides whether a [Var] names a range variable or a
+    class. *)
+
+open Soqm_vml
+
+type expr =
+  | Var of string
+  | Subquery of query
+      (** a parenthesized [ACCESS ... FROM ... WHERE ...] used as a
+          set-valued expression — the nested queries the paper defers to
+          future work (Section 8).  Supported (uncorrelated) positions:
+          FROM sources and the right operand of IS-IN. *)
+  | Int_lit of int
+  | Real_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Null_lit
+  | Prop_access of expr * string  (** [e.p] *)
+  | Method_call of expr * string * expr list  (** [e->m(args)] *)
+  | Binop of Expr.binop * expr * expr
+  | Not of expr
+  | Tuple_lit of (string * expr) list  (** [[l1: e1, ...]] *)
+  | Set_lit of expr list  (** [{e1, ..., en}] *)
+
+and range = { var : string; source : expr }
+
+and query = {
+  access : expr;
+  ranges : range list;
+  where : expr option;
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> query -> unit
+val to_string : query -> string

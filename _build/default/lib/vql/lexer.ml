@@ -1,0 +1,125 @@
+exception Error of string * int
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Error (s, pos))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "ACCESS" -> Some Token.ACCESS
+  | "FROM" -> Some Token.FROM
+  | "WHERE" -> Some Token.WHERE
+  | "IN" -> Some Token.IN
+  | "AND" -> Some Token.AND
+  | "OR" -> Some Token.OR
+  | "NOT" -> Some Token.NOT
+  | "UNION" -> Some Token.UNION
+  | "INTERSECTION" -> Some Token.INTERSECTION
+  | "DIFF" -> Some Token.DIFF
+  | "TRUE" -> Some Token.TRUE
+  | "FALSE" -> Some Token.FALSE
+  | "NULL" -> Some Token.NULL
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let peek i = if i < n then Some src.[i] else None in
+  let rec ident i j =
+    match peek j with
+    | Some c when is_ident_char c -> ident i (j + 1)
+    | _ -> (String.sub src i (j - i), j)
+  in
+  let rec number i j seen_dot =
+    match peek j with
+    | Some c when is_digit c -> number i (j + 1) seen_dot
+    | Some '.' when not seen_dot && (match peek (j + 1) with Some d -> is_digit d | None -> false) ->
+      number i (j + 1) true
+    | _ ->
+      let text = String.sub src i (j - i) in
+      let tok =
+        if seen_dot then Token.REAL_LIT (float_of_string text)
+        else Token.INT_LIT (int_of_string text)
+      in
+      (tok, j)
+  in
+  let string_lit quote i =
+    let buf = Buffer.create 16 in
+    let rec go j =
+      match peek j with
+      | None -> error i "unterminated string literal"
+      | Some c when c = quote -> (Token.STRING_LIT (Buffer.contents buf), j + 1)
+      | Some '\\' -> (
+        match peek (j + 1) with
+        | Some 'n' -> Buffer.add_char buf '\n'; go (j + 2)
+        | Some 't' -> Buffer.add_char buf '\t'; go (j + 2)
+        | Some c -> Buffer.add_char buf c; go (j + 2)
+        | None -> error j "dangling escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        go (j + 1)
+    in
+    go i
+  in
+  let rec go i acc =
+    match peek i with
+    | None -> List.rev (Token.EOF :: acc)
+    | Some (' ' | '\t' | '\n' | '\r') -> go (i + 1) acc
+    | Some '/' when peek (i + 1) = Some '/' ->
+      let rec skip j = match peek j with Some '\n' -> j | Some _ -> skip (j + 1) | None -> j in
+      go (skip (i + 2)) acc
+    | Some '/' when peek (i + 1) = Some '*' ->
+      let rec skip j =
+        match peek j, peek (j + 1) with
+        | Some '*', Some '/' -> j + 2
+        | Some _, _ -> skip (j + 1)
+        | None, _ -> error i "unterminated comment"
+      in
+      go (skip (i + 2)) acc
+    | Some c when is_digit c ->
+      let tok, j = number i i false in
+      go j (tok :: acc)
+    | Some c when is_ident_start c -> (
+      let word, j = ident i i in
+      (* IS-IN / IS-SUBSET are lexed as single tokens *)
+      if String.equal word "IS" && peek j = Some '-' then
+        let word2, k = ident (j + 1) (j + 1) in
+        match word2 with
+        | "IN" -> go k (Token.IS_IN :: acc)
+        | "SUBSET" -> go k (Token.IS_SUBSET :: acc)
+        | _ -> error i "expected IN or SUBSET after IS-"
+      else
+        match keyword word with
+        | Some tok -> go j (tok :: acc)
+        | None -> go j (Token.IDENT word :: acc))
+    | Some ('\'' | '"' as quote) ->
+      let tok, j = string_lit quote (i + 1) in
+      go j (tok :: acc)
+    | Some '(' -> go (i + 1) (Token.LPAREN :: acc)
+    | Some ')' -> go (i + 1) (Token.RPAREN :: acc)
+    | Some '[' -> go (i + 1) (Token.LBRACKET :: acc)
+    | Some ']' -> go (i + 1) (Token.RBRACKET :: acc)
+    | Some '{' -> go (i + 1) (Token.LBRACE :: acc)
+    | Some '}' -> go (i + 1) (Token.RBRACE :: acc)
+    | Some ',' -> go (i + 1) (Token.COMMA :: acc)
+    | Some ':' -> go (i + 1) (Token.COLON :: acc)
+    | Some ';' -> go (i + 1) (Token.SEMI :: acc)
+    | Some '.' -> go (i + 1) (Token.DOT :: acc)
+    | Some '-' when peek (i + 1) = Some '>' -> go (i + 2) (Token.ARROW :: acc)
+    | Some '-' -> go (i + 1) (Token.MINUS :: acc)
+    | Some '=' when peek (i + 1) = Some '=' -> go (i + 2) (Token.EQ :: acc)
+    | Some '=' when peek (i + 1) = Some '>' -> go (i + 2) (Token.IMPLIES :: acc)
+    | Some '!' when peek (i + 1) = Some '=' -> go (i + 2) (Token.NEQ :: acc)
+    | Some '<' when peek (i + 1) = Some '=' && peek (i + 2) = Some '>' ->
+      go (i + 3) (Token.IFF :: acc)
+    | Some '<' when peek (i + 1) = Some '=' -> go (i + 2) (Token.LE :: acc)
+    | Some '<' -> go (i + 1) (Token.LT :: acc)
+    | Some '>' when peek (i + 1) = Some '=' -> go (i + 2) (Token.GE :: acc)
+    | Some '>' -> go (i + 1) (Token.GT :: acc)
+    | Some '+' when peek (i + 1) = Some '+' -> go (i + 2) (Token.CONCAT :: acc)
+    | Some '+' -> go (i + 1) (Token.PLUS :: acc)
+    | Some '*' -> go (i + 1) (Token.STAR :: acc)
+    | Some '/' -> go (i + 1) (Token.SLASH :: acc)
+    | Some c -> error i "unexpected character %C" c
+  in
+  go 0 []

@@ -1,0 +1,11 @@
+(** Hand-written lexer for VQL.
+
+    Strings are delimited by single or double quotes (the paper writes
+    ['Implementation']).  [IS-IN] and [IS-SUBSET] are lexed as single
+    tokens.  Comments run from [//] to end of line. *)
+
+exception Error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> Token.t list
+(** All tokens, ending with [EOF].  @raise Error on bad input. *)

@@ -1,0 +1,218 @@
+open Soqm_vml
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type state = { mutable tokens : Token.t list }
+
+let peek st = match st.tokens with [] -> Token.EOF | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else error "expected %s but found %s" (Token.to_string tok) (Token.to_string got)
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT x ->
+    advance st;
+    x
+  | t -> error "expected identifier but found %s" (Token.to_string t)
+
+(* primary := literal | ident | '(' expr ')' | '[' fields ']' | '{' exprs '}' *)
+let rec primary st : Ast.expr =
+  match peek st with
+  | Token.INT_LIT i -> advance st; Ast.Int_lit i
+  | Token.REAL_LIT f -> advance st; Ast.Real_lit f
+  | Token.STRING_LIT s -> advance st; Ast.Str_lit s
+  | Token.TRUE -> advance st; Ast.Bool_lit true
+  | Token.FALSE -> advance st; Ast.Bool_lit false
+  | Token.NULL -> advance st; Ast.Null_lit
+  | Token.IDENT x -> advance st; Ast.Var x
+  | Token.LPAREN when (match st.tokens with _ :: Token.ACCESS :: _ -> true | _ -> false) ->
+    advance st;
+    let q = query_body st in
+    expect st Token.RPAREN;
+    Ast.Subquery q
+  | Token.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.LBRACKET ->
+    advance st;
+    let rec fields acc =
+      let label = expect_ident st in
+      expect st Token.COLON;
+      let e = expr st in
+      let acc = (label, e) :: acc in
+      match peek st with
+      | Token.COMMA -> advance st; fields acc
+      | _ -> List.rev acc
+    in
+    let fs = if peek st = Token.RBRACKET then [] else fields [] in
+    expect st Token.RBRACKET;
+    Ast.Tuple_lit fs
+  | Token.LBRACE ->
+    advance st;
+    let rec elems acc =
+      let e = expr st in
+      let acc = e :: acc in
+      match peek st with
+      | Token.COMMA -> advance st; elems acc
+      | _ -> List.rev acc
+    in
+    let es = if peek st = Token.RBRACE then [] else elems [] in
+    expect st Token.RBRACE;
+    Ast.Set_lit es
+  | t -> error "unexpected token %s" (Token.to_string t)
+
+(* postfix := primary (('.' ident) | ('->' ident '(' args ')'))* *)
+and postfix st : Ast.expr =
+  let rec go e =
+    match peek st with
+    | Token.DOT ->
+      advance st;
+      let p = expect_ident st in
+      go (Ast.Prop_access (e, p))
+    | Token.ARROW ->
+      advance st;
+      let m = expect_ident st in
+      expect st Token.LPAREN;
+      let args =
+        if peek st = Token.RPAREN then []
+        else
+          let rec more acc =
+            let a = expr st in
+            match peek st with
+            | Token.COMMA -> advance st; more (a :: acc)
+            | _ -> List.rev (a :: acc)
+          in
+          more []
+      in
+      expect st Token.RPAREN;
+      go (Ast.Method_call (e, m, args))
+    | Token.LBRACKET ->
+      advance st;
+      let idx = expr st in
+      expect st Token.RBRACKET;
+      go (Ast.Binop (Expr.IndexOp, e, idx))
+    | _ -> e
+  in
+  go (primary st)
+
+and multiplicative st : Ast.expr =
+  let rec go e =
+    match peek st with
+    | Token.STAR -> advance st; go (Ast.Binop (Expr.Mul, e, postfix st))
+    | Token.SLASH -> advance st; go (Ast.Binop (Expr.Div, e, postfix st))
+    | Token.INTERSECTION -> advance st; go (Ast.Binop (Expr.InterOp, e, postfix st))
+    | _ -> e
+  in
+  go (postfix st)
+
+and additive st : Ast.expr =
+  let rec go e =
+    match peek st with
+    | Token.PLUS -> advance st; go (Ast.Binop (Expr.Add, e, multiplicative st))
+    | Token.MINUS -> advance st; go (Ast.Binop (Expr.Sub, e, multiplicative st))
+    | Token.CONCAT -> advance st; go (Ast.Binop (Expr.Concat, e, multiplicative st))
+    | Token.UNION -> advance st; go (Ast.Binop (Expr.UnionOp, e, multiplicative st))
+    | Token.DIFF -> advance st; go (Ast.Binop (Expr.DiffOp, e, multiplicative st))
+    | _ -> e
+  in
+  go (multiplicative st)
+
+and comparison st : Ast.expr =
+  let lhs = additive st in
+  let cmp op =
+    advance st;
+    Ast.Binop (op, lhs, additive st)
+  in
+  match peek st with
+  | Token.EQ -> cmp Expr.Eq
+  | Token.NEQ -> cmp Expr.Neq
+  | Token.LT -> cmp Expr.Lt
+  | Token.LE -> cmp Expr.Le
+  | Token.GT -> cmp Expr.Gt
+  | Token.GE -> cmp Expr.Ge
+  | Token.IS_IN -> cmp Expr.IsIn
+  | Token.IS_SUBSET -> cmp Expr.IsSubset
+  | _ -> lhs
+
+and negation st : Ast.expr =
+  match peek st with
+  | Token.NOT ->
+    advance st;
+    Ast.Not (negation st)
+  | _ -> comparison st
+
+and conjunction st : Ast.expr =
+  let rec go e =
+    match peek st with
+    | Token.AND -> advance st; go (Ast.Binop (Expr.And, e, negation st))
+    | _ -> e
+  in
+  go (negation st)
+
+and expr st : Ast.expr =
+  let rec go e =
+    match peek st with
+    | Token.OR -> advance st; go (Ast.Binop (Expr.Or, e, conjunction st))
+    | _ -> e
+  in
+  go (conjunction st)
+
+and range st : Ast.range =
+  let var = expect_ident st in
+  expect st Token.IN;
+  let source = expr st in
+  { Ast.var; source }
+
+and query_body st : Ast.query =
+  expect st Token.ACCESS;
+  let access = expr st in
+  expect st Token.FROM;
+  let rec ranges acc =
+    let r = range st in
+    match peek st with
+    | Token.COMMA -> advance st; ranges (r :: acc)
+    | _ -> List.rev (r :: acc)
+  in
+  let ranges = ranges [] in
+  let where =
+    match peek st with
+    | Token.WHERE ->
+      advance st;
+      Some (expr st)
+    | _ -> None
+  in
+  { Ast.access; ranges; where }
+
+let query st : Ast.query =
+  let q = query_body st in
+  expect st Token.EOF;
+  q
+
+let with_tokens src f =
+  match Lexer.tokenize src with
+  | exception Lexer.Error (msg, pos) -> error "lexical error at offset %d: %s" pos msg
+  | tokens -> f { tokens }
+
+let parse_query src = with_tokens src query
+
+let parse_expr src =
+  with_tokens src (fun st ->
+      let e = expr st in
+      expect st Token.EOF;
+      e)
+
+let parse_expr_tokens tokens =
+  let st = { tokens } in
+  let e = expr st in
+  expect st Token.EOF;
+  e

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for VQL.
+
+    Precedence, loosest first: [OR] < [AND] < [NOT] < comparisons
+    ([==], [!=], [<], [<=], [>], [>=], [IS-IN], [IS-SUBSET]) < additive
+    ([+], [-], [UNION], [DIFF], [++]) < multiplicative ([*], [/],
+    [INTERSECTION]) < postfix ([.p], [->m(...)]) < primary. *)
+
+exception Error of string
+
+val parse_query : string -> Ast.query
+(** Parse a complete [ACCESS ... FROM ... [WHERE ...]] query.
+    @raise Error with a readable message on syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a stand-alone expression (used by tests and the equivalence
+    specification front-end). *)
+
+val parse_expr_tokens : Token.t list -> Ast.expr
+(** Parse an expression from a complete token list (ending in [EOF]);
+    used by the specification-language parser, which splits its input at
+    top-level connectives before delegating here. *)

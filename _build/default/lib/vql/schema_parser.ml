@@ -1,0 +1,323 @@
+open Soqm_vml
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type body = { body_cls : string; body_meth : string; body_own : bool; body : Expr.t }
+
+(* ------------------------------------------------------------------ *)
+(* Token-stream helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable tokens : Token.t list }
+
+let peek st = match st.tokens with [] -> Token.EOF | t :: _ -> t
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else error "expected %s but found %s" (Token.to_string tok) (Token.to_string got)
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT x -> advance st; x
+  | t -> error "expected identifier, found %s" (Token.to_string t)
+
+let expect_keyword st kw =
+  let got = expect_ident st in
+  if not (String.equal got kw) then error "expected %s, found %s" kw got
+
+let at_keyword st kw = peek st = Token.IDENT kw
+
+let expect_float st =
+  match peek st with
+  | Token.REAL_LIT f -> advance st; f
+  | Token.INT_LIT i -> advance st; float_of_int i
+  | t -> error "expected a number, found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_type st =
+  match peek st with
+  | Token.IDENT "STRING" -> advance st; Vtype.TString
+  | Token.IDENT "INT" -> advance st; Vtype.TInt
+  | Token.IDENT "REAL" -> advance st; Vtype.TReal
+  | Token.IDENT "BOOL" -> advance st; Vtype.TBool
+  | Token.IDENT "OID" -> advance st; Vtype.TAnyObj
+  | Token.IDENT "ARRAY" ->
+    advance st;
+    expect st Token.LT;
+    let elt = parse_type st in
+    expect st Token.GT;
+    Vtype.TArray elt
+  | Token.IDENT "DICTIONARY" ->
+    advance st;
+    expect st Token.LT;
+    let k = parse_type st in
+    expect st Token.COMMA;
+    let v = parse_type st in
+    expect st Token.GT;
+    Vtype.TDict (k, v)
+  | Token.IDENT c -> advance st; Vtype.TObj c
+  | Token.LBRACE ->
+    advance st;
+    let elt = parse_type st in
+    expect st Token.RBRACE;
+    Vtype.TSet elt
+  | t -> error "expected a type, found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type raw_body = {
+  raw_cls : string;
+  raw_meth : string;
+  raw_own : bool;
+  raw_params : (string * Vtype.t) list;
+  raw_tokens : Token.t list;
+}
+
+let parse_property st =
+  let name = expect_ident st in
+  expect st Token.COLON;
+  let ty = parse_type st in
+  let inverse =
+    if at_keyword st "INVERSE" then (
+      advance st;
+      let c = expect_ident st in
+      expect st Token.DOT;
+      let p = expect_ident st in
+      Some (c, p))
+    else None
+  in
+  expect st Token.SEMI;
+  Schema.prop ?inverse name ty
+
+(* tokens of a RETURN body up to its terminating ';' *)
+let parse_body_tokens st =
+  expect_keyword st "RETURN";
+  let rec collect acc depth =
+    match peek st with
+    | Token.SEMI when depth = 0 -> advance st; List.rev acc
+    | Token.EOF -> error "unterminated method body"
+    | tok ->
+      advance st;
+      let depth =
+        match tok with
+        | Token.LPAREN | Token.LBRACKET | Token.LBRACE -> depth + 1
+        | Token.RPAREN | Token.RBRACKET | Token.RBRACE -> depth - 1
+        | _ -> depth
+      in
+      collect (tok :: acc) depth
+  in
+  let toks = collect [] 0 in
+  expect st Token.RBRACE;
+  toks
+
+let parse_method st ~cls ~own bodies =
+  let name = expect_ident st in
+  expect st Token.LPAREN;
+  let params =
+    if peek st = Token.RPAREN then []
+    else
+      let rec go acc =
+        let p = expect_ident st in
+        expect st Token.COLON;
+        let ty = parse_type st in
+        match peek st with
+        | Token.COMMA -> advance st; go ((p, ty) :: acc)
+        | _ -> List.rev ((p, ty) :: acc)
+      in
+      go []
+  in
+  expect st Token.RPAREN;
+  expect st Token.COLON;
+  let returns = parse_type st in
+  (* annotations *)
+  let kind = ref Schema.Internal in
+  let pure = ref true in
+  let cost = ref None in
+  let selectivity = ref None in
+  let rec annots () =
+    match peek st with
+    | Token.IDENT "EXTERNAL" -> advance st; kind := Schema.External; annots ()
+    | Token.IDENT "UPDATES" -> advance st; pure := false; annots ()
+    | Token.IDENT "COST" -> advance st; cost := Some (expect_float st); annots ()
+    | Token.IDENT "SELECTIVITY" ->
+      advance st;
+      selectivity := Some (expect_float st);
+      annots ()
+    | _ -> ()
+  in
+  annots ();
+  (* optional body *)
+  (if peek st = Token.LBRACE then (
+     advance st;
+     if !kind = Schema.External then
+       error "%s.%s: external methods carry no body" cls name;
+     if own then
+       error "%s->%s: OWNTYPE method bodies must be EXTERNAL" cls name;
+     let raw_tokens = parse_body_tokens st in
+     bodies :=
+       { raw_cls = cls; raw_meth = name; raw_own = own; raw_params = params; raw_tokens }
+       :: !bodies)
+   else if !kind = Schema.Internal then
+     error "%s%s%s: internal methods need a { RETURN ...; } body" cls
+       (if own then "->" else ".") name);
+  expect st Token.SEMI;
+  Schema.meth ~kind:!kind ~side_effect_free:!pure ?cost:!cost
+    ?selectivity:!selectivity name params returns
+
+let rec parse_sections st ~cls ~own props meths bodies =
+  if at_keyword st "PROPERTIES" then (
+    advance st;
+    expect st Token.COLON;
+    let rec go () =
+      match peek st with
+      | Token.IDENT ("METHODS" | "END" | "PROPERTIES") -> ()
+      | _ ->
+        props := parse_property st :: !props;
+        go ()
+    in
+    go ();
+    parse_sections st ~cls ~own props meths bodies)
+  else if at_keyword st "METHODS" then (
+    advance st;
+    expect st Token.COLON;
+    let rec go () =
+      match peek st with
+      | Token.IDENT ("METHODS" | "END" | "PROPERTIES") -> ()
+      | _ ->
+        meths := parse_method st ~cls ~own bodies :: !meths;
+        go ()
+    in
+    go ();
+    parse_sections st ~cls ~own props meths bodies)
+
+let parse_class st bodies =
+  expect_keyword st "CLASS";
+  let cls = expect_ident st in
+  let own_methods = ref [] in
+  let properties = ref [] in
+  let inst_methods = ref [] in
+  let rec blocks () =
+    if at_keyword st "OWNTYPE" then (
+      advance st;
+      expect_keyword st "OBJECTTYPE";
+      let props = ref [] in
+      parse_sections st ~cls ~own:true props own_methods bodies;
+      if !props <> [] then error "CLASS %s: OWNTYPE properties not supported" cls;
+      expect_keyword st "END";
+      expect st Token.SEMI;
+      blocks ())
+    else if at_keyword st "INSTTYPE" then (
+      advance st;
+      expect_keyword st "OBJECTTYPE";
+      parse_sections st ~cls ~own:false properties inst_methods bodies;
+      expect_keyword st "END";
+      expect st Token.SEMI;
+      blocks ())
+  in
+  blocks ();
+  expect_keyword st "END";
+  expect st Token.SEMI;
+  Schema.cls cls
+    ~own_methods:(List.rev !own_methods)
+    ~inst_methods:(List.rev !inst_methods)
+    ~properties:(List.rev !properties)
+
+(* ------------------------------------------------------------------ *)
+(* Bodies: typecheck against the finished schema                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's bodies use the receiver's properties without
+   qualification ([document() { RETURN section.document; }]): a bare
+   identifier that is neither SELF, a parameter nor a class, but is a
+   property or method of the receiver's class, means [SELF.x]. *)
+let rec scope_self schema ~cls ~params (e : Ast.expr) : Ast.expr =
+  let go = scope_self schema ~cls ~params in
+  match e with
+  | Ast.Var x
+    when (not (String.equal x "SELF"))
+         && (not (List.mem_assoc x params))
+         && Option.is_none (Schema.find_class schema x)
+         && Option.is_some (Schema.property schema ~cls ~prop:x) ->
+    Ast.Prop_access (Ast.Var "SELF", x)
+  | Ast.Subquery _ -> error "%s: nested queries not allowed in method bodies" cls
+  | Ast.Var _ | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Str_lit _ | Ast.Bool_lit _
+  | Ast.Null_lit ->
+    e
+  | Ast.Prop_access (e', p) -> Ast.Prop_access (go e', p)
+  | Ast.Method_call (e', m, args) -> Ast.Method_call (go e', m, List.map go args)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, go a, go b)
+  | Ast.Not e' -> Ast.Not (go e')
+  | Ast.Tuple_lit fields -> Ast.Tuple_lit (List.map (fun (l, e') -> (l, go e')) fields)
+  | Ast.Set_lit es -> Ast.Set_lit (List.map go es)
+
+let check_body schema (raw : raw_body) : body =
+  let ast =
+    try Parser.parse_expr_tokens (raw.raw_tokens @ [ Token.EOF ])
+    with Parser.Error msg ->
+      error "body of %s.%s: %s" raw.raw_cls raw.raw_meth msg
+  in
+  let ast = scope_self schema ~cls:raw.raw_cls ~params:raw.raw_params ast in
+  let env = ("SELF", Vtype.TObj raw.raw_cls) :: raw.raw_params in
+  let typed, ty =
+    try Typecheck.check_expr schema ~env ast
+    with Typecheck.Error msg ->
+      error "body of %s.%s: %s" raw.raw_cls raw.raw_meth msg
+  in
+  (match Schema.inst_method schema ~cls:raw.raw_cls ~meth:raw.raw_meth with
+  | Some msig ->
+    if not (Vtype.subtype ty msig.Schema.returns) then
+      error "body of %s.%s has type %s, declared %s" raw.raw_cls raw.raw_meth
+        (Vtype.to_string ty)
+        (Vtype.to_string msig.Schema.returns)
+  | None -> ());
+  let body =
+    List.fold_left
+      (fun e (p, _) -> Expr.subst_ref p (Expr.Param p) e)
+      (Expr.subst_ref "SELF" Expr.Self typed)
+      raw.raw_params
+  in
+  { body_cls = raw.raw_cls; body_meth = raw.raw_meth; body_own = raw.raw_own; body }
+
+let parse src =
+  let tokens =
+    match Lexer.tokenize src with
+    | exception Lexer.Error (msg, pos) -> error "lexical error at %d: %s" pos msg
+    | toks -> toks
+  in
+  let st = { tokens } in
+  let bodies = ref [] in
+  let rec classes acc =
+    if peek st = Token.EOF then List.rev acc
+    else classes (parse_class st bodies :: acc)
+  in
+  let class_defs = classes [] in
+  let schema =
+    try Schema.make class_defs with Invalid_argument msg -> error "%s" msg
+  in
+  (schema, List.rev_map (check_body schema) !bodies)
+
+let install store bodies =
+  List.iter
+    (fun b ->
+      if b.body_own then
+        Object_store.register_own_method store ~cls:b.body_cls ~meth:b.body_meth
+          (Object_store.Body b.body)
+      else
+        Object_store.register_inst_method store ~cls:b.body_cls ~meth:b.body_meth
+          (Object_store.Body b.body))
+    bodies
+
+let load src =
+  let schema, bodies = parse src in
+  let store = Object_store.create schema in
+  install store bodies;
+  store

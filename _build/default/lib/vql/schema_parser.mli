@@ -1,0 +1,51 @@
+(** Parser for the VML schema-definition syntax of Section 2.1.
+
+    Accepts text in the paper's style and yields a validated
+    {!Soqm_vml.Schema.t} plus the internal method bodies ready to be
+    registered with a store:
+
+    {v
+    CLASS Paragraph
+      OWNTYPE OBJECTTYPE
+        METHODS:
+          retrieve_by_string(s: STRING): {Paragraph}
+            EXTERNAL COST 25.0 SELECTIVITY 0.05;
+      END;
+      INSTTYPE OBJECTTYPE
+        PROPERTIES:
+          number: INT;
+          section: Section INVERSE Section.paragraphs;
+          content: STRING;
+        METHODS:
+          document(): Document { RETURN SELF.section.document; };
+          contains_string(s: STRING): BOOL EXTERNAL COST 10.0;
+          sameDocument(p: Paragraph): BOOL
+            { RETURN SELF->document() == p->document(); };
+      END;
+    END;
+    v}
+
+    Differences from the paper's figures: [/* ... */] comments are
+    skipped (also by the VQL lexer); external implementations carry no
+    body; internal bodies are a single [RETURN expression;], typechecked
+    against the schema with [SELF] and the parameters bound.  The
+    annotations [EXTERNAL], [UPDATES] (not side-effect free), [COST r]
+    and [SELECTIVITY r] encode the signature metadata the optimizer
+    uses. *)
+
+open Soqm_vml
+
+exception Error of string
+
+type body = { body_cls : string; body_meth : string; body_own : bool; body : Expr.t }
+
+val parse : string -> Schema.t * body list
+(** Parse a schema text.  @raise Error with a readable message
+    (including schema validation and body typechecking failures). *)
+
+val install : Object_store.t -> body list -> unit
+(** Register every parsed internal method body with the store. *)
+
+val load : string -> Object_store.t
+(** [parse] then create a store and [install] the bodies; external
+    methods still need native registrations. *)

@@ -1,0 +1,101 @@
+open Soqm_vml
+open Soqm_algebra
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let result_ref = "result"
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+(* every reference introduced anywhere in the tree, not just the output *)
+let all_refs tree =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun sub -> try General.refs sub with Invalid_argument _ -> [])
+       (General.subexpressions tree))
+
+let fresh_sub_ref =
+  let counter = ref 0 in
+  fun base ->
+    incr counter;
+    Printf.sprintf "$q%d_%s" !counter base
+
+let rec translate (q : Typecheck.t) : General.t =
+  let from_clause =
+    List.fold_left
+      (fun acc { Typecheck.var; source; _ } ->
+        let join_in acc tree =
+          match acc with
+          | None -> Some tree
+          | Some t -> Some (General.Join (Expr.Const (Value.Bool true), t, tree))
+        in
+        match acc, source with
+        | _, Typecheck.Class_extent c -> join_in acc (General.Get (var, c))
+        | _, Typecheck.Subquery_src sub ->
+          join_in acc (integrate_subquery ~target:var sub)
+        | None, Typecheck.Set_expr e ->
+          if Expr.refs e = [] then Some (General.MethodSource (var, e))
+          else error "first range source for %S is not closed" var
+        | Some t, Typecheck.Set_expr e ->
+          let avail = General.refs t in
+          if Expr.refs e = [] then
+            Some
+              (General.Join
+                 (Expr.Const (Value.Bool true), t, General.MethodSource (var, e)))
+          else if subset (Expr.refs e) avail then Some (General.Flat (var, e, t))
+          else error "range source for %S references later variables" var)
+      None q.Typecheck.ranges
+  in
+  let from_clause =
+    match from_clause with
+    | Some t -> t
+    | None -> error "query has no FROM ranges"
+  in
+  (* IS-IN (subquery) conjuncts become semijoins: join the subquery in
+     under a fresh reference, restrict to equality, and let the final
+     projection drop the reference *)
+  let with_memberships =
+    List.fold_left
+      (fun acc { Typecheck.member; of_subquery } ->
+        let r = fresh_sub_ref "m" in
+        let sub_tree = integrate_subquery ~target:r of_subquery in
+        General.Select
+          ( Expr.Binop (Expr.Eq, member, Expr.Ref r),
+            General.Join (Expr.Const (Value.Bool true), acc, sub_tree) ))
+      from_clause q.Typecheck.memberships
+  in
+  let selected =
+    match q.Typecheck.where with
+    | None -> with_memberships
+    | Some cond -> General.Select (cond, with_memberships)
+  in
+  match q.Typecheck.access with
+  | Expr.Ref x -> General.Project ([ x ], selected)
+  | access -> General.Project ([ result_ref ], General.Map (result_ref, access, selected))
+
+(* Translate a nested query and splice it in: all of its references are
+   renamed fresh (they must not collide with the outer query's), and its
+   single output reference becomes [target]. *)
+and integrate_subquery ~target (sub : Typecheck.t) : General.t =
+  let tree = translate sub in
+  let out =
+    match General.refs tree with
+    | [ r ] -> r
+    | rs ->
+      error "nested query produces %d references (%s); exactly one expected"
+        (List.length rs) (String.concat ", " rs)
+  in
+  let tree =
+    List.fold_left
+      (fun t r ->
+        if String.equal r out then t
+        else General.rename_ref ~old_ref:r ~new_ref:(fresh_sub_ref r) t)
+      tree (all_refs tree)
+  in
+  if String.equal out target then tree
+  else General.rename_ref ~old_ref:out ~new_ref:target tree
+
+let query_to_algebra schema src =
+  translate (Typecheck.check_query schema (Parser.parse_query src))

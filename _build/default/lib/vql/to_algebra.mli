@@ -1,0 +1,34 @@
+(** Canonical translation of typed VQL queries to the general algebra
+    (Section 4.1):
+
+    {v
+    ACCESS expression(x1,...,xn)
+    FROM x1 IN C1, ..., xn IN Cn  WHERE condition(x1,...,xn)
+    v}
+
+    maps to
+
+    {v
+    project<a>(map<a, expression>(select<condition>(
+        join<true>(get<a1,C1>, join<true>(...)))))
+    v}
+
+    Dependent ranges ([p IN d→paragraphs()], Example 2) become [flat]
+    operators instead of products; closed set-valued sources become
+    method sources.  An [ACCESS x] over a plain range variable skips the
+    degenerate identity map and projects directly. *)
+
+exception Error of string
+
+val result_ref : string
+(** Reference holding the ACCESS expression's value in the translated
+    term (["result"]). *)
+
+val translate : Typecheck.t -> Soqm_algebra.General.t
+(** @raise Error when a dependent range references a variable bound later
+    (cannot happen for typechecked queries) or a closed source is not
+    translatable. *)
+
+val query_to_algebra : Soqm_vml.Schema.t -> string -> Soqm_algebra.General.t
+(** Parse, typecheck and translate in one step.
+    @raise Parser.Error, Typecheck.Error or Error accordingly. *)

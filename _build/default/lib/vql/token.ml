@@ -1,0 +1,93 @@
+type t =
+  | ACCESS
+  | FROM
+  | WHERE
+  | IN
+  | AND
+  | OR
+  | NOT
+  | IS_IN
+  | IS_SUBSET
+  | UNION
+  | INTERSECTION
+  | DIFF
+  | TRUE
+  | FALSE
+  | NULL
+  | IDENT of string
+  | INT_LIT of int
+  | REAL_LIT of float
+  | STRING_LIT of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | DOT
+  | ARROW
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CONCAT
+  | IFF
+  | IMPLIES
+  | EOF
+
+let to_string = function
+  | ACCESS -> "ACCESS"
+  | FROM -> "FROM"
+  | WHERE -> "WHERE"
+  | IN -> "IN"
+  | AND -> "AND"
+  | OR -> "OR"
+  | NOT -> "NOT"
+  | IS_IN -> "IS-IN"
+  | IS_SUBSET -> "IS-SUBSET"
+  | UNION -> "UNION"
+  | INTERSECTION -> "INTERSECTION"
+  | DIFF -> "DIFF"
+  | TRUE -> "TRUE"
+  | FALSE -> "FALSE"
+  | NULL -> "NULL"
+  | IDENT s -> s
+  | INT_LIT i -> string_of_int i
+  | REAL_LIT f -> string_of_float f
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | COLON -> ":"
+  | SEMI -> ";"
+  | DOT -> "."
+  | ARROW -> "->"
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | CONCAT -> "++"
+  | IFF -> "<=>"
+  | IMPLIES -> "=>"
+  | EOF -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

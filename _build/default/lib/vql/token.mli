@@ -1,0 +1,50 @@
+(** Lexical tokens of VQL. *)
+
+type t =
+  | ACCESS
+  | FROM
+  | WHERE
+  | IN
+  | AND
+  | OR
+  | NOT
+  | IS_IN
+  | IS_SUBSET
+  | UNION
+  | INTERSECTION
+  | DIFF
+  | TRUE
+  | FALSE
+  | NULL
+  | IDENT of string
+  | INT_LIT of int
+  | REAL_LIT of float
+  | STRING_LIT of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | DOT
+  | ARROW  (** [->] *)
+  | EQ  (** [==] *)
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CONCAT  (** [++] *)
+  | IFF  (** [<=>], in equivalence specifications *)
+  | IMPLIES  (** [=>], in equivalence specifications *)
+  | EOF
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,261 @@
+open Soqm_vml
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type source =
+  | Class_extent of string
+  | Set_expr of Expr.t
+  | Subquery_src of t
+
+and trange = { var : string; var_type : Vtype.t; source : source }
+and membership = { member : Expr.t; of_subquery : t }
+
+and t = {
+  access : Expr.t;
+  access_type : Vtype.t;
+  ranges : trange list;
+  where : Expr.t option;
+  memberships : membership list;
+}
+
+let is_class schema name = Option.is_some (Schema.find_class schema name)
+
+let compatible a b =
+  Vtype.subtype a b || Vtype.subtype b a || a = Vtype.TAnyObj || b = Vtype.TAnyObj
+
+let numeric = function Vtype.TInt | Vtype.TReal -> true | _ -> false
+
+(* Result type of accessing property [p] on a receiver of type [ty],
+   including set lifting. *)
+let access_type schema ty p =
+  match ty with
+  | Vtype.TObj c -> (
+    match Schema.property_type schema ~cls:c ~prop:p with
+    | Some pty -> Some pty
+    | None -> None)
+  | Vtype.TSet (Vtype.TObj c) -> (
+    match Schema.property_type schema ~cls:c ~prop:p with
+    | Some (Vtype.TSet _ as pty) -> Some pty
+    | Some scalar -> Some (Vtype.TSet scalar)
+    | None -> None)
+  | Vtype.TTuple fields -> List.assoc_opt p fields
+  | _ -> None
+
+let rec check_expr schema ~env (e : Ast.expr) : Expr.t * Vtype.t =
+  match e with
+  | Ast.Subquery _ ->
+    error
+      "nested queries are only supported as FROM sources and as the right \
+       operand of a top-level IS-IN conjunct"
+  | Ast.Int_lit i -> (Expr.Const (Value.Int i), Vtype.TInt)
+  | Ast.Real_lit f -> (Expr.Const (Value.Real f), Vtype.TReal)
+  | Ast.Str_lit s -> (Expr.Const (Value.Str s), Vtype.TString)
+  | Ast.Bool_lit b -> (Expr.Const (Value.Bool b), Vtype.TBool)
+  | Ast.Null_lit -> (Expr.Const Value.Null, Vtype.TAnyObj)
+  | Ast.Var x -> (
+    match List.assoc_opt x env with
+    | Some ty -> (Expr.Ref x, ty)
+    | None ->
+      if is_class schema x then
+        (* a bare class object: typed as the set of its instances so that
+           [x IN ClassName] and class-method receivers both work *)
+        (Expr.ClassObj x, Vtype.TSet (Vtype.TObj x))
+      else error "unknown variable or class %S" x)
+  | Ast.Prop_access (e', p) -> (
+    let te, ty = check_expr schema ~env e' in
+    match access_type schema ty p with
+    | Some pty -> (Expr.Prop (te, p), pty)
+    | None -> error "type %s has no property %S" (Vtype.to_string ty) p)
+  | Ast.Method_call (Ast.Var c, m, args) when (not (List.mem_assoc c env)) && is_class schema c -> (
+    (* OWNTYPE method on the class object *)
+    match Schema.own_method schema ~cls:c ~meth:m with
+    | Some msig ->
+      let targs = check_args schema ~env (c ^ "->" ^ m) msig.Schema.params args in
+      (Expr.Call (Expr.ClassObj c, m, targs), msig.Schema.returns)
+    | None -> error "class %s has no OWNTYPE method %S" c m)
+  | Ast.Method_call (recv, m, args) -> (
+    let trecv, rty = check_expr schema ~env recv in
+    let inst_call c lifted =
+      match Schema.inst_method schema ~cls:c ~meth:m with
+      | Some msig ->
+        let targs = check_args schema ~env (c ^ "." ^ m) msig.Schema.params args in
+        let ret = msig.Schema.returns in
+        let ret =
+          if not lifted then ret
+          else match ret with Vtype.TSet _ -> ret | scalar -> Vtype.TSet scalar
+        in
+        (Expr.Call (trecv, m, targs), ret)
+      | None -> (
+        (* default property-access method *)
+        match Schema.property_type schema ~cls:c ~prop:m with
+        | Some pty when args = [] ->
+          let pty =
+            if not lifted then pty
+            else match pty with Vtype.TSet _ -> pty | scalar -> Vtype.TSet scalar
+          in
+          (Expr.Call (trecv, m, []), pty)
+        | _ -> error "class %s has no method %S" c m)
+    in
+    match rty with
+    | Vtype.TObj c -> inst_call c false
+    | Vtype.TSet (Vtype.TObj c) -> inst_call c true
+    | ty -> error "method call ->%s on non-object type %s" m (Vtype.to_string ty))
+  | Ast.Binop (op, a, b) -> check_binop schema ~env op a b
+  | Ast.Not e' -> (
+    let te, ty = check_expr schema ~env e' in
+    match ty with
+    | Vtype.TBool -> (Expr.Not te, Vtype.TBool)
+    | _ -> error "NOT applied to non-boolean %s" (Vtype.to_string ty))
+  | Ast.Tuple_lit fields ->
+    let typed = List.map (fun (l, e') -> (l, check_expr schema ~env e')) fields in
+    ( Expr.TupleE (List.map (fun (l, (te, _)) -> (l, te)) typed),
+      Vtype.ttuple (List.map (fun (l, (_, ty)) -> (l, ty)) typed) )
+  | Ast.Set_lit es ->
+    let typed = List.map (check_expr schema ~env) es in
+    let elt_ty =
+      List.fold_left
+        (fun acc (_, ty) ->
+          match acc with
+          | None -> Some ty
+          | Some t ->
+            if compatible t ty then Some (if Vtype.subtype t ty then ty else t)
+            else error "heterogeneous set literal")
+        None typed
+    in
+    ( Expr.SetE (List.map fst typed),
+      Vtype.TSet (Option.value ~default:Vtype.TAnyObj elt_ty) )
+
+and check_args schema ~env what params args =
+  if List.length params <> List.length args then
+    error "%s expects %d argument(s), got %d" what (List.length params)
+      (List.length args);
+  List.map2
+    (fun (pname, pty) arg ->
+      let targ, aty = check_expr schema ~env arg in
+      if not (compatible aty pty) then
+        error "%s: argument %s has type %s, expected %s" what pname
+          (Vtype.to_string aty) (Vtype.to_string pty);
+      targ)
+    params args
+
+and check_binop schema ~env op a b =
+  let ta, tya = check_expr schema ~env a in
+  let tb, tyb = check_expr schema ~env b in
+  let result =
+    match op with
+    | Expr.Eq | Expr.Neq ->
+      if compatible tya tyb then Vtype.TBool
+      else
+        error "incomparable types %s and %s" (Vtype.to_string tya)
+          (Vtype.to_string tyb)
+    | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge ->
+      if (numeric tya && numeric tyb) || (tya = Vtype.TString && tyb = Vtype.TString)
+      then Vtype.TBool
+      else
+        error "ordering comparison of %s and %s" (Vtype.to_string tya)
+          (Vtype.to_string tyb)
+    | Expr.IsIn -> (
+      match tyb with
+      | Vtype.TSet elt when compatible tya elt -> Vtype.TBool
+      | Vtype.TSet _ ->
+        error "IS-IN: element type %s does not match set %s"
+          (Vtype.to_string tya) (Vtype.to_string tyb)
+      | _ -> error "IS-IN: right operand is not a set")
+    | Expr.IsSubset -> (
+      match tya, tyb with
+      | Vtype.TSet ea, Vtype.TSet eb when compatible ea eb -> Vtype.TBool
+      | _ -> error "IS-SUBSET: operands must be compatible sets")
+    | Expr.And | Expr.Or ->
+      if tya = Vtype.TBool && tyb = Vtype.TBool then Vtype.TBool
+      else error "boolean operator on non-boolean operands"
+    | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div ->
+      if numeric tya && numeric tyb then
+        if tya = Vtype.TInt && tyb = Vtype.TInt then Vtype.TInt else Vtype.TReal
+      else error "arithmetic on non-numeric operands"
+    | Expr.Concat ->
+      if tya = Vtype.TString && tyb = Vtype.TString then Vtype.TString
+      else error "++ on non-string operands"
+    | Expr.IndexOp -> (
+      match tya, tyb with
+      | Vtype.TArray elt, Vtype.TInt -> elt
+      | Vtype.TDict (k, v), ty when compatible k ty -> v
+      | Vtype.TArray _, _ -> error "array index must be an INT"
+      | _ ->
+        error "[] applied to %s (neither ARRAY nor DICTIONARY)"
+          (Vtype.to_string tya))
+    | Expr.UnionOp | Expr.InterOp | Expr.DiffOp -> (
+      match tya, tyb with
+      | Vtype.TSet ea, Vtype.TSet eb when compatible ea eb ->
+        if Vtype.subtype ea eb then Vtype.TSet eb else Vtype.TSet ea
+      | _ -> error "set operation on incompatible operands")
+  in
+  (Expr.Binop (op, ta, tb), result)
+
+(* top-level conjuncts of a WHERE clause *)
+let rec conjuncts = function
+  | Ast.Binop (Expr.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec check_query schema (q : Ast.query) : t =
+  let ranges, env =
+    List.fold_left
+      (fun (ranges, env) { Ast.var; source } ->
+        if List.mem_assoc var env then error "duplicate range variable %S" var;
+        match source with
+        | Ast.Var c when (not (List.mem_assoc c env)) && is_class schema c ->
+          ( { var; var_type = Vtype.TObj c; source = Class_extent c } :: ranges,
+            (var, Vtype.TObj c) :: env )
+        | Ast.Subquery sub ->
+          (* nested queries are uncorrelated: checked in an empty scope *)
+          let tsub = check_query schema sub in
+          let elt = tsub.access_type in
+          ( { var; var_type = elt; source = Subquery_src tsub } :: ranges,
+            (var, elt) :: env )
+        | _ -> (
+          let te, ty = check_expr schema ~env source in
+          match ty with
+          | Vtype.TSet elt ->
+            ( { var; var_type = elt; source = Set_expr te } :: ranges,
+              (var, elt) :: env )
+          | _ ->
+            error "range source for %S has non-set type %s" var
+              (Vtype.to_string ty)))
+      ([], []) q.Ast.ranges
+  in
+  let ranges = List.rev ranges in
+  let where, memberships =
+    match q.Ast.where with
+    | None -> (None, [])
+    | Some cond ->
+      let plain, members =
+        List.partition_map
+          (fun conjunct ->
+            match conjunct with
+            | Ast.Binop (Expr.IsIn, lhs, Ast.Subquery sub) ->
+              let member, mty = check_expr schema ~env lhs in
+              let tsub = check_query schema sub in
+              if not (compatible mty tsub.access_type) then
+                error "IS-IN: element type %s does not match the subquery's %s"
+                  (Vtype.to_string mty)
+                  (Vtype.to_string tsub.access_type);
+              Right { member; of_subquery = tsub }
+            | _ -> Left conjunct)
+          (conjuncts cond)
+      in
+      let where =
+        match plain with
+        | [] -> None
+        | c :: cs ->
+          let recombined =
+            List.fold_left (fun acc c' -> Ast.Binop (Expr.And, acc, c')) c cs
+          in
+          let tc, ty = check_expr schema ~env recombined in
+          if ty <> Vtype.TBool then error "WHERE clause has non-boolean type";
+          Some tc
+      in
+      (where, members)
+  in
+  let access, access_type = check_expr schema ~env q.Ast.access in
+  { access; access_type; ranges; where; memberships }

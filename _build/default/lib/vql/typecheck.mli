@@ -1,0 +1,42 @@
+(** Type checking and name resolution for VQL queries.
+
+    Resolves every [Ast.Var] to a range variable (becoming an
+    [Expr.Ref]) or a class object (becoming an [Expr.ClassObj] receiver
+    or a class-extent range source), checks property accesses and method
+    calls against the schema — including the set-lifted access of
+    Section 2.3 — and types all built-in operations. *)
+
+open Soqm_vml
+
+exception Error of string
+
+type source =
+  | Class_extent of string  (** [x IN ClassName] *)
+  | Set_expr of Expr.t
+      (** [x IN e] for a set-valued expression; may reference earlier
+          range variables (dependent ranges, Example 2) *)
+  | Subquery_src of t
+      (** [x IN (ACCESS ...)] — an uncorrelated nested query as range
+          source (the nested queries of Section 8) *)
+
+and trange = { var : string; var_type : Vtype.t; source : source }
+
+(** An [elem IS-IN (ACCESS ...)] conjunct of the WHERE clause. *)
+and membership = { member : Expr.t; of_subquery : t }
+
+and t = {
+  access : Expr.t;
+  access_type : Vtype.t;
+  ranges : trange list;
+  where : Expr.t option;  (** the remaining (non-subquery) condition *)
+  memberships : membership list;
+}
+
+val check_query : Schema.t -> Ast.query -> t
+(** @raise Error with a readable message on any type or resolution
+    error. *)
+
+val check_expr :
+  Schema.t -> env:(string * Vtype.t) list -> Ast.expr -> Expr.t * Vtype.t
+(** Type a stand-alone expression with the given variable typing; used by
+    the equivalence-specification front-end. *)

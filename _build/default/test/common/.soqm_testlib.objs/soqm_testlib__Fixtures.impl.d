@@ -1,0 +1,1 @@
+test/common/fixtures.ml: Alcotest Lazy List Object_store Soqm_algebra Soqm_core Soqm_vml Value

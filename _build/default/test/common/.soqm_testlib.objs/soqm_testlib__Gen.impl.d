@@ -1,0 +1,1 @@
+test/common/gen.ml: Expr General List Printf QCheck2 Soqm_algebra Soqm_vml Value

@@ -1,0 +1,44 @@
+(* Shared test fixtures: document databases of various sizes, alcotest
+   testables, and convenience accessors.  Used by every suite. *)
+
+open Soqm_vml
+
+let tiny_params =
+  {
+    Soqm_core.Datagen.default with
+    n_docs = 6;
+    sections_per_doc = 2;
+    paras_per_section = 3;
+    hit_probability = 0.2;
+  }
+
+let small_params =
+  { Soqm_core.Datagen.default with n_docs = 20; hit_probability = 0.1 }
+
+(* A fresh database per call: suites that reset counters or mutate data
+   must not interfere with each other. *)
+let tiny_db () = Soqm_core.Db.create ~params:tiny_params ()
+let small_db () = Soqm_core.Db.create ~params:small_params ()
+
+(* One shared read-only database for suites that only evaluate queries. *)
+let shared = lazy (Soqm_core.Db.create ~params:small_params ())
+let shared_db () = Lazy.force shared
+
+let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+
+let relation : Soqm_algebra.Relation.t Alcotest.testable =
+  Alcotest.testable Soqm_algebra.Relation.pp Soqm_algebra.Relation.equal
+
+let general : Soqm_algebra.General.t Alcotest.testable =
+  Alcotest.testable Soqm_algebra.General.pp Soqm_algebra.General.equal
+
+let restricted : Soqm_algebra.Restricted.t Alcotest.testable =
+  Alcotest.testable Soqm_algebra.Restricted.pp Soqm_algebra.Restricted.equal
+
+let case name f = Alcotest.test_case name `Quick f
+
+let first_paragraph db =
+  List.hd (Object_store.extent db.Soqm_core.Db.store "Paragraph")
+
+let first_document db =
+  List.hd (Object_store.extent db.Soqm_core.Db.store "Document")

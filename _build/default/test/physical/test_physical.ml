@@ -1,0 +1,425 @@
+(* Tests for the physical algebra: iterator execution against the logical
+   evaluator, operator behaviour, memoization of tuple-independent
+   operator chains, and the cost model's orderings. *)
+
+open Soqm_vml
+open Soqm_algebra
+open Soqm_physical
+module F = Soqm_testlib.Fixtures
+
+let check = Alcotest.check
+
+let db = lazy (F.tiny_db ())
+let store () = (Lazy.force db).Soqm_core.Db.store
+let stats () = (Lazy.force db).Soqm_core.Db.stats
+
+let ctx () = Soqm_core.Engine.exec_ctx (Lazy.force db)
+
+let run_phys p = Exec.run (ctx ()) p
+let run_logical g = Eval.run (store ()) g
+
+(* A restricted term executed via its default physical implementation
+   must agree with the logical evaluator. *)
+let phys_agrees name (g : General.t) () =
+  let r = Translate.of_general g in
+  let plan = Plan.default_implementation r in
+  check F.relation name (run_logical g) (run_phys plan)
+
+(* ------------------------------------------------------------------ *)
+(* Operator-level tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_scan () =
+  let r = run_phys (Plan.FullScan ("p", "Paragraph")) in
+  check Alcotest.int "cardinality"
+    (Object_store.extent_size (store ()) "Paragraph")
+    (Relation.cardinality r)
+
+let test_index_scan () =
+  let r =
+    run_phys
+      (Plan.IndexScan ("d", "Document", "title", Value.Str "Query Optimization"))
+  in
+  check Alcotest.int "one document" 1 (Relation.cardinality r);
+  Alcotest.match_raises "missing index"
+    (function Exec.Error _ -> true | _ -> false)
+    (fun () ->
+      ignore (run_phys (Plan.IndexScan ("s", "Section", "title", Value.Str "x"))))
+
+let test_method_scan () =
+  let r =
+    run_phys
+      (Plan.MethodScan
+         ("p", "Paragraph", "retrieve_by_string", [ Value.Str "Implementation" ]))
+  in
+  let logical =
+    run_logical
+      (General.Select
+         ( Expr.(Call (Ref "p", "contains_string", [ Const (Value.Str "Implementation") ])),
+           General.Get ("p", "Paragraph") ))
+  in
+  check F.relation "method scan = filtered scan" logical r
+
+let test_hash_join_vs_nested_loop () =
+  let left = Plan.MapProp ("d2", "document", "s", Plan.FullScan ("s", "Section")) in
+  let right = Plan.FullScan ("d", "Document") in
+  let hj = Plan.HashJoin ("d2", "d", left, right) in
+  let nl = Plan.NestedLoop (Some (Restricted.CEq, "d2", "d"), left, right) in
+  check F.relation "hash join = nested loop" (run_phys nl) (run_phys hj)
+
+let test_natural_join_intersection () =
+  let lo = Plan.Filter (Restricted.CLe, Restricted.ORef "n", Restricted.OConst (Value.Int 0),
+                        Plan.MapProp ("n", "number", "s", Plan.FullScan ("s", "Section"))) in
+  let hi = Plan.Filter (Restricted.CGe, Restricted.ORef "n", Restricted.OConst (Value.Int 0),
+                        Plan.MapProp ("n", "number", "s", Plan.FullScan ("s", "Section"))) in
+  let r = run_phys (Plan.Project ([ "s" ], Plan.NaturalJoin (lo, hi))) in
+  let expected =
+    run_logical
+      (General.Select
+         ( Expr.(Binop (Eq, Prop (Ref "s", "number"), Const (Value.Int 0))),
+           General.Get ("s", "Section") ))
+  in
+  check F.relation "natural join as intersection" expected r
+
+let test_union_diff () =
+  let lo = Plan.Filter (Restricted.CLe, Restricted.ORef "n", Restricted.OConst (Value.Int 0),
+                        Plan.MapProp ("n", "number", "s", Plan.FullScan ("s", "Section"))) in
+  let all = Plan.MapProp ("n", "number", "s", Plan.FullScan ("s", "Section")) in
+  check F.relation "union with subset" (run_phys all) (run_phys (Plan.Union (lo, all)));
+  let diff = run_phys (Plan.Project ([ "s" ], Plan.Diff (all, lo))) in
+  let expected =
+    run_logical
+      (General.Select
+         ( Expr.(Binop (Gt, Prop (Ref "s", "number"), Const (Value.Int 0))),
+           General.Get ("s", "Section") ))
+  in
+  check F.relation "diff" expected diff
+
+let test_flat_prop () =
+  let r = run_phys (Plan.FlatProp ("s", "sections", "d", Plan.FullScan ("d", "Document"))) in
+  check Alcotest.int "one tuple per (doc, section)"
+    (Object_store.extent_size (store ()) "Section")
+    (Relation.cardinality r)
+
+let test_project_dedups () =
+  let r =
+    run_phys
+      (Plan.Project ([ "a" ], Plan.MapProp ("a", "author", "d", Plan.FullScan ("d", "Document"))))
+  in
+  check Alcotest.bool "fewer authors than documents" true
+    (Relation.cardinality r <= min 7 (Object_store.extent_size (store ()) "Document"))
+
+(* ------------------------------------------------------------------ *)
+(* Memoization of tuple-independent chains                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_const_chain_memoized () =
+  let d = Lazy.force db in
+  let plan =
+    (* select_by_index called with constant args over a full paragraph
+       scan: must be invoked exactly once despite many input tuples *)
+    Plan.MapMeth
+      ( "ds",
+        "select_by_index",
+        Restricted.RClass "Document",
+        [ Restricted.OConst (Value.Str "Query Optimization") ],
+        Plan.FullScan ("p", "Paragraph") )
+  in
+  let _, counters = Soqm_core.Db.with_fresh_counters d (fun () -> run_phys plan) in
+  check Alcotest.int "select_by_index invoked once" 1
+    (Counters.method_call_count counters "Document->select_by_index")
+
+let test_repeated_receiver_memoized () =
+  let d = Lazy.force db in
+  (* section.document per paragraph: distinct sections, not paragraphs,
+     drive the number of property evaluations (memo on receiver value) *)
+  let plan =
+    Plan.MapProp ("doc", "document", "s",
+                  Plan.MapProp ("s", "section", "p", Plan.FullScan ("p", "Paragraph")))
+  in
+  let _, counters = Soqm_core.Db.with_fresh_counters d (fun () -> run_phys plan) in
+  let n_paras = Object_store.extent_size d.Soqm_core.Db.store "Paragraph" in
+  let n_secs = Object_store.extent_size d.Soqm_core.Db.store "Section" in
+  (* p.section: one read per paragraph; s.document: one per distinct section *)
+  check Alcotest.int "property reads bounded by memo" (n_paras + n_secs)
+    (Counters.property_reads counters)
+
+(* ------------------------------------------------------------------ *)
+(* Iterator protocol                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_iterator_streams () =
+  let iter = Exec.open_plan (ctx ()) (Plan.FullScan ("p", "Paragraph")) in
+  let first = iter.Exec.next () in
+  check Alcotest.bool "first tuple" true (Option.is_some first);
+  let rec drain n =
+    match iter.Exec.next () with Some _ -> drain (n + 1) | None -> n
+  in
+  let rest = drain 0 in
+  check Alcotest.int "all tuples seen"
+    (Object_store.extent_size (store ()) "Paragraph")
+    (1 + rest);
+  check Alcotest.bool "exhausted stays exhausted" true (iter.Exec.next () = None)
+
+let test_iterator_close_stops () =
+  let iter = Exec.open_plan (ctx ()) (Plan.FullScan ("p", "Paragraph")) in
+  ignore (iter.Exec.next ());
+  iter.Exec.close ();
+  check Alcotest.bool "closed iterator yields nothing" true (iter.Exec.next () = None)
+
+let test_filter_streams_lazily () =
+  (* a filter pulls from its input only as far as needed *)
+  let d = Lazy.force db in
+  let plan =
+    Plan.Filter
+      ( Restricted.CEq,
+        Restricted.ORef "n",
+        Restricted.OConst (Value.Int 0),
+        Plan.MapProp ("n", "number", "p", Plan.FullScan ("p", "Paragraph")) )
+  in
+  let _, counters =
+    Soqm_core.Db.with_fresh_counters d (fun () ->
+        let iter = Exec.open_plan (ctx ()) plan in
+        let r = iter.Exec.next () in
+        iter.Exec.close ();
+        r)
+  in
+  (* scanning charges the whole extent up front (materialized source),
+     but property reads happen per pulled tuple: far fewer than the
+     extent when we stop after the first match *)
+  check Alcotest.bool "did not evaluate the whole map" true
+    (Counters.property_reads counters
+    < Object_store.extent_size d.Soqm_core.Db.store "Paragraph")
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stale_index_dangling_oid () =
+  (* deleting an object without refreshing indexes leaves a dangling OID
+     in the text index; dereferencing it is a clean dynamic error, and
+     Db.refresh repairs the access path *)
+  let d = F.tiny_db () in
+  let victim_store = d.Soqm_core.Db.store in
+  let victim_ctx = Soqm_core.Engine.exec_ctx d in
+  let scan =
+    Plan.MethodScan
+      ("p", "Paragraph", "retrieve_by_string", [ Value.Str "Implementation" ])
+  in
+  let with_content = Plan.MapProp ("c", "content", "p", scan) in
+  let victim =
+    match Relation.tuples (Exec.run victim_ctx scan) with
+    | ((_, Value.Obj oid) :: _) :: _ -> oid
+    | _ -> Alcotest.fail "expected a hit"
+  in
+  Object_store.delete_object victim_store victim;
+  Alcotest.match_raises "dangling OID surfaces as an error"
+    (function Exec.Error _ -> true | _ -> false)
+    (fun () -> ignore (Exec.run victim_ctx with_content));
+  Soqm_core.Db.refresh d;
+  let r = Exec.run victim_ctx with_content in
+  check Alcotest.bool "refresh repairs the index" true
+    (not
+       (List.exists
+          (fun tup -> Relation.field tup "p" = Value.Obj victim)
+          (Relation.tuples r)))
+
+let test_unbound_ref_is_error () =
+  Alcotest.match_raises "unbound reference"
+    (function Exec.Error _ -> true | _ -> false)
+    (fun () ->
+      ignore
+        (run_phys
+           (Plan.Filter
+              ( Restricted.CEq,
+                Restricted.ORef "nope",
+                Restricted.OConst (Value.Int 1),
+                Plan.FullScan ("p", "Paragraph") ))))
+
+let test_param_operand_is_error () =
+  Alcotest.match_raises "unresolved parameter"
+    (function Exec.Error _ -> true | _ -> false)
+    (fun () ->
+      ignore
+        (run_phys
+           (Plan.Filter
+              ( Restricted.CEq,
+                Restricted.OParam "s",
+                Restricted.OConst (Value.Int 1),
+                Plan.FullScan ("p", "Paragraph") ))))
+
+(* ------------------------------------------------------------------ *)
+(* Agreement with the logical evaluator                                *)
+(* ------------------------------------------------------------------ *)
+
+let q_general =
+  General.Select
+    ( Expr.(
+        Binop
+          ( And,
+            Call (Ref "p", "contains_string", [ Const (Value.Str "Implementation") ]),
+            Binop
+              ( Eq,
+                Prop (Call (Ref "p", "document", []), "title"),
+                Const (Value.Str "Query Optimization") ) )),
+      General.Get ("p", "Paragraph") )
+
+let test_exec_q = phys_agrees "query Q" q_general
+
+let test_exec_dependent =
+  phys_agrees "dependent flat"
+    (General.Project
+       ( [ "d" ],
+         General.Select
+           ( Expr.(Call (Ref "p", "contains_string", [ Const (Value.Str "Implementation") ])),
+             General.Flat
+               ("p", Expr.(Call (Ref "d", "paragraphs", [])), General.Get ("d", "Document"))
+           ) ))
+
+let test_exec_join =
+  phys_agrees "theta join"
+    (General.Join
+       ( Expr.(Binop (Eq, Prop (Ref "s", "document"), Ref "d")),
+         General.Get ("s", "Section"),
+         General.Get ("d", "Document") ))
+
+let prop_exec_agrees =
+  QCheck2.Test.make ~count:40
+    ~name:"default physical implementation agrees with logical evaluator"
+    Soqm_testlib.Gen.term_gen
+    (fun g ->
+      match General.well_formed g with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let plan = Plan.default_implementation (Translate.of_general g) in
+        Relation.equal (run_logical g) (run_phys plan))
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_scan_grows_with_extent () =
+  let s = stats () in
+  let para = Cost.estimate s (Plan.FullScan ("p", "Paragraph")) in
+  let doc = Cost.estimate s (Plan.FullScan ("d", "Document")) in
+  check Alcotest.bool "paragraph scan costs more" true (para.Cost.cost > doc.Cost.cost);
+  check (Alcotest.float 0.5) "paragraph cardinality"
+    (float_of_int (Object_store.extent_size (store ()) "Paragraph"))
+    para.Cost.card
+
+let test_cost_index_beats_scan_filter () =
+  let s = stats () in
+  let scan_filter =
+    Plan.Filter
+      ( Restricted.CEq,
+        Restricted.ORef "t",
+        Restricted.OConst (Value.Str "Query Optimization"),
+        Plan.MapProp ("t", "title", "d", Plan.FullScan ("d", "Document")) )
+  in
+  let index = Plan.IndexScan ("d", "Document", "title", Value.Str "Query Optimization") in
+  check Alcotest.bool "index scan is cheaper" true
+    (Cost.cost s index < Cost.cost s scan_filter)
+
+let test_cost_method_scan_beats_per_object_method () =
+  let s = stats () in
+  let per_object =
+    Plan.Filter
+      ( Restricted.CEq,
+        Restricted.ORef "c",
+        Restricted.OConst (Value.Bool true),
+        Plan.MapMeth
+          ( "c",
+            "contains_string",
+            Restricted.RRef "p",
+            [ Restricted.OConst (Value.Str "Implementation") ],
+            Plan.FullScan ("p", "Paragraph") ) )
+  in
+  let scan =
+    Plan.MethodScan ("p", "Paragraph", "retrieve_by_string", [ Value.Str "Implementation" ])
+  in
+  check Alcotest.bool "retrieve_by_string beats contains_string scan" true
+    (Cost.cost s scan < Cost.cost s per_object)
+
+let test_cost_const_chain_cheap () =
+  let s = stats () in
+  let const_chain base =
+    Plan.MapMeth
+      ( "ds",
+        "select_by_index",
+        Restricted.RClass "Document",
+        [ Restricted.OConst (Value.Str "x") ],
+        base )
+  in
+  let base = Plan.FullScan ("p", "Paragraph") in
+  let with_chain = Cost.cost s (const_chain base) in
+  let base_cost = Cost.cost s base in
+  let card = (Cost.estimate s base).Cost.card in
+  (* the chain must cost roughly one method call, not one per tuple *)
+  check Alcotest.bool "constant chain costs one call" true
+    (with_chain -. base_cost
+    < (Soqm_core.Doc_schema.cost_select_by_index *. 2.0) +. (card *. 0.2))
+
+let test_cost_filter_selectivity () =
+  let s = stats () in
+  let base = Plan.MapMeth
+      ( "c",
+        "contains_string",
+        Restricted.RRef "p",
+        [ Restricted.OConst (Value.Str "Implementation") ],
+        Plan.FullScan ("p", "Paragraph") )
+  in
+  let filtered =
+    Plan.Filter (Restricted.CEq, Restricted.ORef "c", Restricted.OConst (Value.Bool true), base)
+  in
+  let all = Cost.estimate s base in
+  let sel = Cost.estimate s filtered in
+  check Alcotest.bool "selectivity applied" true
+    (sel.Cost.card < all.Cost.card /. 2.0)
+
+let () =
+  Alcotest.run "physical"
+    [
+      ( "operators",
+        [
+          F.case "full scan" test_full_scan;
+          F.case "index scan" test_index_scan;
+          F.case "method scan" test_method_scan;
+          F.case "hash join = nested loop" test_hash_join_vs_nested_loop;
+          F.case "natural join" test_natural_join_intersection;
+          F.case "union & diff" test_union_diff;
+          F.case "flat property" test_flat_prop;
+          F.case "project dedups" test_project_dedups;
+        ] );
+      ( "memoization",
+        [
+          F.case "constant chain" test_const_chain_memoized;
+          F.case "repeated receivers" test_repeated_receiver_memoized;
+        ] );
+      ( "iterators",
+        [
+          F.case "streams tuple by tuple" test_iterator_streams;
+          F.case "close stops the stream" test_iterator_close_stops;
+          F.case "filters pull lazily" test_filter_streams_lazily;
+        ] );
+      ( "failure-injection",
+        [
+          F.case "stale index / dangling OID" test_stale_index_dangling_oid;
+          F.case "unbound reference" test_unbound_ref_is_error;
+          F.case "unresolved parameter" test_param_operand_is_error;
+        ] );
+      ( "agreement",
+        [
+          F.case "query Q" test_exec_q;
+          F.case "dependent range" test_exec_dependent;
+          F.case "theta join" test_exec_join;
+          QCheck_alcotest.to_alcotest prop_exec_agrees;
+        ] );
+      ( "cost",
+        [
+          F.case "scan grows with extent" test_cost_scan_grows_with_extent;
+          F.case "index beats scan+filter" test_cost_index_beats_scan_filter;
+          F.case "method scan beats per-object" test_cost_method_scan_beats_per_object_method;
+          F.case "constant chain is cheap" test_cost_const_chain_cheap;
+          F.case "filter selectivity" test_cost_filter_selectivity;
+        ] );
+    ]
