@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI gate: tier-1 build + tests, then the evaluator scaling assertions
+# (growth exponent < 1.6 across n_docs in {50,200,800,3200}, and the
+# hash-based logical evaluator at least 5x faster than the retained seed
+# list operators at n_docs=800).  Exit code is non-zero on any failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/scaling.exe -- --assert

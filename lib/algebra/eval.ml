@@ -9,6 +9,24 @@ let eval_expr store tuple e =
   try Runtime.eval (Runtime.env ~binding store) e
   with Runtime.Error msg -> error "expression %s: %s" (Expr.to_string e) msg
 
+(* The evaluator charges the store's counters so experiments can report
+   tuples actually touched by the reference interpreter alongside the
+   deterministic method-call costs. *)
+let counters store = Object_store.counters store
+
+(* A theta join whose condition is a top-level equality with one side
+   ranging over each input evaluates as a hash join: [Some (e1, e2)] with
+   [e1] over [refs1] and [e2] over [refs2]. *)
+let equi_join_split cond refs1 refs2 =
+  match (cond : Expr.t) with
+  | Expr.Binop (Expr.Eq, a, b) ->
+    let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+    let ra = Expr.refs a and rb = Expr.refs b in
+    if subset ra refs1 && subset rb refs2 then Some (a, b)
+    else if subset ra refs2 && subset rb refs1 then Some (b, a)
+    else None
+  | _ -> None
+
 let rec run store (t : General.t) : Relation.t =
   let refs_of t = try General.refs t with Invalid_argument msg -> error "%s" msg in
   match t with
@@ -26,88 +44,116 @@ let rec run store (t : General.t) : Relation.t =
   | Select (cond, s) ->
     let input = run store s in
     let keep tup = Value.truthy (eval_expr store tup cond) in
-    Relation.make ~refs:(Relation.refs input)
-      (List.filter keep (Relation.tuples input))
+    let out =
+      Relation.make ~refs:(Relation.refs input)
+        (List.filter keep (Relation.tuples input))
+    in
+    Counters.charge_tuples (counters store) (Relation.cardinality out);
+    out
   | NaturalJoin (s1, s2) ->
     let r1 = run store s1 and r2 = run store s2 in
-    let shared =
-      List.filter (fun r -> List.mem r (Relation.refs r2)) (Relation.refs r1)
-    in
-    let out_refs =
-      List.sort_uniq String.compare (Relation.refs r1 @ Relation.refs r2)
-    in
-    let joins t1 t2 =
-      List.for_all
-        (fun r -> Value.equal (Relation.field t1 r) (Relation.field t2 r))
-        shared
-    in
-    let merge t1 t2 =
-      let extra =
-        List.filter (fun (r, _) -> not (List.mem_assoc r t1)) t2
-      in
-      Relation.tuple_make (t1 @ extra)
-    in
-    Relation.make ~refs:out_refs
-      (List.concat_map
-         (fun t1 ->
-           List.filter_map
-             (fun t2 -> if joins t1 t2 then Some (merge t1 t2) else None)
-             (Relation.tuples r2))
-         (Relation.tuples r1))
+    let out = Relation.natural_join r1 r2 in
+    Counters.charge_index_probes (counters store)
+      (max (Relation.cardinality r1) (Relation.cardinality r2));
+    Counters.charge_tuples (counters store) (Relation.cardinality out);
+    out
   | Union (s1, s2) ->
     let r1 = run store s1 and r2 = run store s2 in
     if not (Relation.same_refs r1 r2) then
       error "union arguments have differing references";
-    Relation.make ~refs:(Relation.refs r1)
-      (Relation.tuples r1 @ Relation.tuples r2)
+    let out = Relation.union r1 r2 in
+    Counters.charge_tuples (counters store) (Relation.cardinality out);
+    out
   | Diff (s1, s2) ->
     let r1 = run store s1 and r2 = run store s2 in
     if not (Relation.same_refs r1 r2) then
       error "diff arguments have differing references";
-    let in_r2 tup = List.exists (fun t2 -> t2 = tup) (Relation.tuples r2) in
-    Relation.make ~refs:(Relation.refs r1)
-      (List.filter (fun tup -> not (in_r2 tup)) (Relation.tuples r1))
+    let out = Relation.diff r1 r2 in
+    Counters.charge_index_probes (counters store) (Relation.cardinality r1);
+    Counters.charge_tuples (counters store) (Relation.cardinality out);
+    out
   | Join (cond, s1, s2) ->
     let r1 = run store s1 and r2 = run store s2 in
-    let out_refs =
-      List.sort_uniq String.compare (Relation.refs r1 @ Relation.refs r2)
+    let refs1 = Relation.refs r1 and refs2 = Relation.refs r2 in
+    let out_refs = List.sort_uniq String.compare (refs1 @ refs2) in
+    if List.length out_refs <> List.length refs1 + List.length refs2 then
+      error "join arguments share references";
+    let tuples =
+      match equi_join_split cond refs1 refs2 with
+      | _ when Relation.cardinality r1 = 0 || Relation.cardinality r2 = 0 ->
+        (* no pairs: the seed evaluator never touched the condition here *)
+        []
+      | Some (e1, e2) ->
+        (* hash equi-join: one key evaluation per input tuple instead of
+           one condition evaluation per tuple pair.  Null keys never
+           match, mirroring [eval_binop Eq]'s null semantics. *)
+        let idx = Relation.KeyTbl.create (max 16 (Relation.cardinality r2)) in
+        List.iter
+          (fun t2 ->
+            match eval_expr store t2 e2 with
+            | Value.Null -> ()
+            | k -> (
+              match Relation.KeyTbl.find_opt idx [ k ] with
+              | Some prev -> Relation.KeyTbl.replace idx [ k ] (t2 :: prev)
+              | None -> Relation.KeyTbl.add idx [ k ] [ t2 ]))
+          (Relation.tuples r2);
+        Counters.charge_index_probes (counters store) (Relation.cardinality r1);
+        List.concat_map
+          (fun t1 ->
+            match eval_expr store t1 e1 with
+            | Value.Null -> []
+            | k -> (
+              match Relation.KeyTbl.find_opt idx [ k ] with
+              | None -> []
+              | Some matches ->
+                List.map (fun t2 -> Relation.Tuple.merge_sorted t1 t2) matches))
+          (Relation.tuples r1)
+      | None ->
+        let always_true =
+          match cond with Expr.Const (Value.Bool true) -> true | _ -> false
+        in
+        List.concat_map
+          (fun t1 ->
+            List.filter_map
+              (fun t2 ->
+                let merged = Relation.Tuple.merge_sorted t1 t2 in
+                if always_true || Value.truthy (eval_expr store merged cond)
+                then Some merged
+                else None)
+              (Relation.tuples r2))
+          (Relation.tuples r1)
     in
-    if
-      List.length out_refs
-      <> List.length (Relation.refs r1) + List.length (Relation.refs r2)
-    then error "join arguments share references";
-    Relation.make ~refs:out_refs
-      (List.concat_map
-         (fun t1 ->
-           List.filter_map
-             (fun t2 ->
-               let merged = Relation.tuple_make (t1 @ t2) in
-               if Value.truthy (eval_expr store merged cond) then Some merged
-               else None)
-             (Relation.tuples r2))
-         (Relation.tuples r1))
+    let out = Relation.make ~refs:out_refs tuples in
+    Counters.charge_tuples (counters store) (Relation.cardinality out);
+    out
   | Map (a, e, s) ->
     let input = run store s in
     if List.mem a (Relation.refs input) then
       error "map target reference %S already present" a;
+    Counters.charge_tuples (counters store) (Relation.cardinality input);
     Relation.make ~refs:(a :: Relation.refs input)
       (List.map
-         (fun tup -> Relation.tuple_make ((a, eval_expr store tup e) :: tup))
+         (fun tup ->
+           Relation.Tuple.insert (a, eval_expr store tup e) tup)
          (Relation.tuples input))
   | Flat (a, e, s) ->
     let input = run store s in
     if List.mem a (Relation.refs input) then
       error "flat target reference %S already present" a;
-    Relation.make ~refs:(a :: Relation.refs input)
-      (List.concat_map
-         (fun tup ->
-           match eval_expr store tup e with
-           | Value.Set vs ->
-             List.map (fun v -> Relation.tuple_make ((a, v) :: tup)) vs
-           | Value.Null -> []
-           | v ->
-             error "flat expression produced non-set %s" (Value.to_string v))
-         (Relation.tuples input))
+    let out =
+      Relation.make ~refs:(a :: Relation.refs input)
+        (List.concat_map
+           (fun tup ->
+             match eval_expr store tup e with
+             | Value.Set vs ->
+               List.map (fun v -> Relation.Tuple.insert (a, v) tup) vs
+             | Value.Null -> []
+             | v ->
+               error "flat expression produced non-set %s" (Value.to_string v))
+           (Relation.tuples input))
+    in
+    Counters.charge_tuples (counters store) (Relation.cardinality out);
+    out
   | Project (rs, s) ->
     let input = run store s in
     let rs = List.sort_uniq String.compare rs in
@@ -117,7 +163,11 @@ let rec run store (t : General.t) : Relation.t =
           error "projection reference %S not present" r)
       rs;
     ignore (refs_of t);
-    Relation.make ~refs:rs
-      (List.map
-         (fun tup -> List.filter (fun (r, _) -> List.mem r rs) tup)
-         (Relation.tuples input))
+    let out =
+      Relation.make ~refs:rs
+        (List.map
+           (fun tup -> List.filter (fun (r, _) -> List.mem r rs) tup)
+           (Relation.tuples input))
+    in
+    Counters.charge_tuples (counters store) (Relation.cardinality out);
+    out

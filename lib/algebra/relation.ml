@@ -4,33 +4,99 @@ type tuple = (string * Value.t) list
 
 type t = { refs : string list; tuples : tuple list }
 
-let tuple_make fields =
-  List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+module Tuple = struct
+  type t = tuple
 
-let rec compare_tuple (a : tuple) (b : tuple) =
-  match a, b with
-  | [], [] -> 0
-  | [], _ :: _ -> -1
-  | _ :: _, [] -> 1
-  | (ra, va) :: a', (rb, vb) :: b' ->
-    let c = String.compare ra rb in
-    if c <> 0 then c
-    else
-      let c = Value.compare va vb in
-      if c <> 0 then c else compare_tuple a' b'
+  let make fields =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+
+  let rec compare (a : t) (b : t) =
+    match a, b with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (ra, va) :: a', (rb, vb) :: b' ->
+      let c = String.compare ra rb in
+      if c <> 0 then c
+      else
+        let c = Value.compare va vb in
+        if c <> 0 then c else compare a' b'
+
+  let equal a b = compare a b = 0
+
+  (* Tuples are canonical (components sorted, values canonically
+     constructed), so structural equality coincides with [equal] and the
+     generic hash is consistent with it.  The deep parameters avoid
+     degenerate bucketing on tuples whose first components agree. *)
+  let hash (t : t) = Hashtbl.hash_param 64 256 t
+
+  let names (t : t) = List.map fst t
+
+  let key key_refs (t : t) = List.map (fun r -> List.assoc r t) key_refs
+
+  (* Insert one field into an already-sorted tuple: O(|t|) instead of a
+     full re-sort. *)
+  let insert ((r, _) as field) (t : t) =
+    let rec go = function
+      | [] -> [ field ]
+      | ((r', _) as f') :: rest as l ->
+        if String.compare r r' <= 0 then field :: l else f' :: go rest
+    in
+    go t
+
+  (* Merge two sorted tuples; on a shared name the left component wins
+     (callers only merge tuples that agree on shared names). *)
+  let merge_sorted (a : t) (b : t) =
+    let rec go a b =
+      match a, b with
+      | [], b -> b
+      | a, [] -> a
+      | ((ra, _) as fa) :: a', ((rb, _) as fb) :: b' ->
+        let c = String.compare ra rb in
+        if c < 0 then fa :: go a' b
+        else if c > 0 then fb :: go a b'
+        else fa :: go a' b'
+    in
+    go a b
+end
+
+let tuple_make = Tuple.make
+let compare_tuple = Tuple.compare
+
+module Tbl = Hashtbl.Make (Tuple)
+
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.equal Value.equal a b
+  let hash (k : t) = Hashtbl.hash_param 64 256 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+(* One O(|refs|) pass: true iff the tuple's component names are exactly
+   [refs], in order.  Canonical tuples hit this without re-sorting. *)
+let rec names_match refs (tup : tuple) =
+  match refs, tup with
+  | [], [] -> true
+  | r :: refs', (n, _) :: tup' -> String.equal r n && names_match refs' tup'
+  | _ -> false
 
 let make ~refs tuples =
   let refs = List.sort_uniq String.compare refs in
-  let tuples = List.map tuple_make tuples in
-  List.iter
-    (fun tup ->
-      let names = List.map fst tup in
-      if names <> refs then
+  let canon tup =
+    if names_match refs tup then tup
+    else
+      let sorted = Tuple.make tup in
+      if names_match refs sorted then sorted
+      else
         invalid_arg
           (Format.asprintf "Relation.make: tuple refs {%s} differ from {%s}"
-             (String.concat ", " names) (String.concat ", " refs)))
-    tuples;
-  { refs; tuples = List.sort_uniq compare_tuple tuples }
+             (String.concat ", " (Tuple.names sorted))
+             (String.concat ", " refs))
+  in
+  let tuples = List.map canon tuples in
+  { refs; tuples = List.sort_uniq Tuple.compare tuples }
 
 let empty ~refs = make ~refs []
 let refs t = t.refs
@@ -48,6 +114,56 @@ let of_values a vs =
   make ~refs:[ a ] (List.map (fun v -> [ (a, v) ]) (List.sort_uniq Value.compare vs))
 
 let column t r = List.map (fun tup -> field tup r) t.tuples
+
+(* ------------------------------------------------------------------ *)
+(* Hash-based bulk operations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let index t key_refs =
+  let tbl = KeyTbl.create (max 16 (List.length t.tuples)) in
+  List.iter
+    (fun tup ->
+      let k = Tuple.key key_refs tup in
+      match KeyTbl.find_opt tbl k with
+      | Some prev -> KeyTbl.replace tbl k (tup :: prev)
+      | None -> KeyTbl.add tbl k [ tup ])
+    t.tuples;
+  tbl
+
+let mem_set t =
+  let tbl = Tbl.create (max 16 (List.length t.tuples)) in
+  List.iter (fun tup -> Tbl.replace tbl tup ()) t.tuples;
+  fun tup -> Tbl.mem tbl tup
+
+let natural_join r1 r2 =
+  let shared = List.filter (fun r -> List.mem r r2.refs) r1.refs in
+  let out_refs = List.sort_uniq String.compare (r1.refs @ r2.refs) in
+  (* build the hash index on the smaller side, probe with the larger *)
+  let build, probe =
+    if cardinality r1 <= cardinality r2 then (r1, r2) else (r2, r1)
+  in
+  let idx = index build shared in
+  make ~refs:out_refs
+    (List.concat_map
+       (fun tp ->
+         match KeyTbl.find_opt idx (Tuple.key shared tp) with
+         | None -> []
+         | Some matches ->
+           List.map (fun tb -> Tuple.merge_sorted tp tb) matches)
+       probe.tuples)
+
+let union a b =
+  if not (same_refs a b) then
+    invalid_arg "Relation.union: arguments have differing references";
+  let in_a = mem_set a in
+  make ~refs:a.refs
+    (a.tuples @ List.filter (fun tup -> not (in_a tup)) b.tuples)
+
+let diff a b =
+  if not (same_refs a b) then
+    invalid_arg "Relation.diff: arguments have differing references";
+  let in_b = mem_set b in
+  make ~refs:a.refs (List.filter (fun tup -> not (in_b tup)) a.tuples)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>{%s} (%d tuples)@," (String.concat ", " t.refs)

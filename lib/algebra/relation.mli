@@ -4,7 +4,11 @@
     [{ [a1: D1, ..., an: Dn] }].  A relation here is a set of tuples over
     a fixed list of references [Ref(S) = {a1, ..., an}]; tuple components
     are unordered (we keep them sorted by reference name) and the tuple
-    set is duplicate-free. *)
+    set is duplicate-free.
+
+    Tuples are canonical — components sorted by name, values canonically
+    constructed — so structural equality, ordering and the generic hash
+    all agree, and the bulk operations below can be hash-based. *)
 
 open Soqm_vml
 
@@ -13,9 +17,46 @@ type tuple = (string * Value.t) list
 
 type t
 
+(** Canonical tuples as a hashable, ordered type.  [hash] is consistent
+    with [equal]; both agree with structural equality on canonical
+    tuples. *)
+module Tuple : sig
+  type t = tuple
+
+  val make : (string * Value.t) list -> t
+  (** Sort components by reference name. *)
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+
+  val names : t -> string list
+  (** Component names, in tuple (sorted) order. *)
+
+  val key : string list -> t -> Value.t list
+  (** [key refs t] projects the values of [refs] out of [t], in the
+      given order — the hash key used by joins.
+      @raise Not_found when a reference is absent. *)
+
+  val insert : string * Value.t -> t -> t
+  (** Insert one field into a sorted tuple (O(|t|), no re-sort). *)
+
+  val merge_sorted : t -> t -> t
+  (** Merge two sorted tuples; on shared names the left component wins
+      (only merge tuples that agree on their shared references). *)
+end
+
+module Tbl : Hashtbl.S with type key = tuple
+(** Hash tables keyed by canonical tuples. *)
+
+module KeyTbl : Hashtbl.S with type key = Value.t list
+(** Hash tables keyed by join keys (projected value lists). *)
+
 val make : refs:string list -> tuple list -> t
 (** Canonicalize (sort refs, sort tuple components, deduplicate tuples)
     and validate that every tuple binds exactly the declared references.
+    Already-canonical tuples are validated in one O(|refs|) comparison
+    against the sorted reference list, without re-sorting.
     @raise Invalid_argument on mismatched tuples. *)
 
 val empty : refs:string list -> t
@@ -40,5 +81,27 @@ val of_values : string -> Value.t list -> t
 
 val column : t -> string -> Value.t list
 (** Values of one reference, in tuple order (duplicates preserved). *)
+
+val index : t -> string list -> tuple list KeyTbl.t
+(** [index t refs] buckets the tuples of [t] by their projection onto
+    [refs] — the build side of a hash join.  With [refs = []] every tuple
+    lands in the single bucket keyed [[]]. *)
+
+val mem_set : t -> tuple -> bool
+(** [mem_set t] builds a hash set over the tuples of [t] once and returns
+    O(1) membership (partial application shares the table). *)
+
+val natural_join : t -> t -> t
+(** Hash natural join: index the smaller side on the shared references,
+    probe with the larger.  With no shared references this is the
+    Cartesian product; with all references shared it is intersection. *)
+
+val union : t -> t -> t
+(** Hash-deduplicating set union.
+    @raise Invalid_argument on differing reference lists. *)
+
+val diff : t -> t -> t
+(** Set difference via hash-set membership.
+    @raise Invalid_argument on differing reference lists. *)
 
 val pp : Format.formatter -> t -> unit

@@ -171,3 +171,11 @@ let run_optimized t src =
 let run_logical_reference (database : Db.t) src =
   let schema = Object_store.schema database.Db.store in
   Eval.run database.Db.store (Soqm_vql.To_algebra.query_to_algebra schema src)
+
+let run_reference (database : Db.t) src =
+  let schema = Object_store.schema database.Db.store in
+  let term = Soqm_vql.To_algebra.query_to_algebra schema src in
+  let c = Object_store.counters database.Db.store in
+  Counters.reset c;
+  let result, elapsed_s = timed (fun () -> Eval.run database.Db.store term) in
+  { result; counters = Counters.snapshot c; opt = None; elapsed_s }

@@ -95,3 +95,9 @@ val run_query : t -> string -> report
 val run_logical_reference : Db.t -> string -> Relation.t
 (** Evaluate with the general-algebra reference interpreter (the
     semantics oracle used by tests). *)
+
+val run_reference : Db.t -> string -> report
+(** Like {!run_logical_reference}, but resets the store counters first
+    and wraps the result in a {!report} (counters, wall-clock time), so
+    experiments can put the logical evaluator's tuples-touched and probe
+    counts next to the physical executor's. *)

@@ -85,7 +85,7 @@ let extend ctx a f input =
         | None -> None
         | Some tuple ->
           Counters.charge_tuple (counters ctx);
-          Some (Relation.tuple_make ((a, f tuple) :: tuple)));
+          Some (Relation.Tuple.insert (a, f tuple) tuple));
     close = input.close;
   }
 
@@ -105,7 +105,7 @@ let unnest ctx a f input =
         (match f tuple with
         | Value.Set members ->
           pending :=
-            List.map (fun v -> Relation.tuple_make ((a, v) :: tuple)) members
+            List.map (fun v -> Relation.Tuple.insert (a, v) tuple) members
         | Value.Null -> pending := []
         | v -> error "flat operator produced non-set %s" (Value.to_string v));
         next ())
@@ -178,7 +178,7 @@ let rec open_plan ctx (plan : Plan.t) : iter =
         match !current with
         | None -> next ()
         | Some lt ->
-          let merged = Relation.tuple_make (lt @ rt) in
+          let merged = Relation.Tuple.merge_sorted lt rt in
           let keep =
             match pred with
             | None -> true
@@ -227,7 +227,7 @@ let rec open_plan ctx (plan : Plan.t) : iter =
           let key = operand_value lt (Restricted.ORef a1) in
           pending :=
             List.map
-              (fun rt -> Relation.tuple_make (lt @ rt))
+              (fun rt -> Relation.Tuple.merge_sorted lt rt)
               (Hashtbl.find_all (Lazy.force table) key);
           next ())
     in
@@ -241,11 +241,13 @@ let rec open_plan ctx (plan : Plan.t) : iter =
     in
     let table =
       lazy
-        (let tbl = Hashtbl.create 256 in
+        (let tbl = Relation.KeyTbl.create 256 in
          List.iter
            (fun rt ->
-             let key = List.map (fun r -> Relation.field rt r) shared in
-             Hashtbl.add tbl key rt)
+             let key = Relation.Tuple.key shared rt in
+             match Relation.KeyTbl.find_opt tbl key with
+             | Some prev -> Relation.KeyTbl.replace tbl key (rt :: prev)
+             | None -> Relation.KeyTbl.add tbl key [ rt ])
            (drain (open_plan ctx right_plan));
          tbl)
     in
@@ -260,12 +262,13 @@ let rec open_plan ctx (plan : Plan.t) : iter =
         match left.next () with
         | None -> None
         | Some lt ->
-          let key = List.map (fun r -> Relation.field lt r) shared in
-          let merge rt =
-            let extra = List.filter (fun (r, _) -> not (List.mem_assoc r lt)) rt in
-            Relation.tuple_make (lt @ extra)
+          let key = Relation.Tuple.key shared lt in
+          let matches =
+            Option.value ~default:[]
+              (Relation.KeyTbl.find_opt (Lazy.force table) key)
           in
-          pending := List.map merge (Hashtbl.find_all (Lazy.force table) key);
+          pending :=
+            List.map (fun rt -> Relation.Tuple.merge_sorted lt rt) matches;
           next ())
     in
     { next; close = left.close }
@@ -293,14 +296,17 @@ let rec open_plan ctx (plan : Plan.t) : iter =
     let left = open_plan ctx left in
     let excluded =
       lazy
-        (let tbl = Hashtbl.create 256 in
-         List.iter (fun t -> Hashtbl.replace tbl t ()) (drain (open_plan ctx right));
+        (let tbl = Relation.Tbl.create 256 in
+         List.iter
+           (fun t -> Relation.Tbl.replace tbl t ())
+           (drain (open_plan ctx right));
          tbl)
     in
     let rec next () =
       match left.next () with
       | None -> None
-      | Some t -> if Hashtbl.mem (Lazy.force excluded) t then next () else Some t
+      | Some t ->
+        if Relation.Tbl.mem (Lazy.force excluded) t then next () else Some t
     in
     { next; close = left.close }
   | Plan.MapProp (a, p, a1, input) ->
@@ -352,15 +358,15 @@ let rec open_plan ctx (plan : Plan.t) : iter =
   | Plan.Project (rs, input) ->
     let rs = List.sort_uniq String.compare rs in
     let input = open_plan ctx input in
-    let seen = Hashtbl.create 256 in
+    let seen = Relation.Tbl.create 256 in
     let rec next () =
       match input.next () with
       | None -> None
       | Some tuple ->
         let projected = List.filter (fun (r, _) -> List.mem r rs) tuple in
-        if Hashtbl.mem seen projected then next ()
+        if Relation.Tbl.mem seen projected then next ()
         else (
-          Hashtbl.replace seen projected ();
+          Relation.Tbl.replace seen projected ();
           Counters.charge_tuple (counters ctx);
           Some projected)
     in

@@ -34,7 +34,9 @@ let charge_method_call t ~meth ~cost =
   t.charged_cost <- t.charged_cost +. cost
 
 let charge_index_probe t = t.index_probes <- t.index_probes + 1
+let charge_index_probes t n = t.index_probes <- t.index_probes + n
 let charge_tuple t = t.tuples_produced <- t.tuples_produced + 1
+let charge_tuples t n = t.tuples_produced <- t.tuples_produced + n
 let objects_fetched t = t.objects_fetched
 let property_reads t = t.property_reads
 let index_probes t = t.index_probes

@@ -24,6 +24,11 @@ val charge_index_probe : t -> unit
 val charge_tuple : t -> unit
 (** One tuple produced by a physical operator. *)
 
+val charge_index_probes : t -> int -> unit
+val charge_tuples : t -> int -> unit
+(** Bulk variants, used by the set-at-a-time logical evaluator to charge
+    a whole operator's probes / produced tuples at once. *)
+
 val objects_fetched : t -> int
 val property_reads : t -> int
 val index_probes : t -> int

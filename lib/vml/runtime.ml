@@ -120,7 +120,8 @@ let rec access store (v : Value.t) prop =
       results <> [] && List.for_all (function Value.Set _ -> true | _ -> false) results
     in
     if all_sets then
-      List.fold_left Value.set_union (Value.set []) results
+      (* one canonicalizing pass, not a quadratic fold of pairwise unions *)
+      Value.set (List.concat_map Value.set_elements results)
     else Value.set (List.filter (fun v -> v <> Value.Null) results)
   | Value.Tuple _ -> (
     try Value.tuple_get v prop
@@ -166,7 +167,7 @@ and invoke store (receiver : Value.t) meth args =
     let all_sets =
       results <> [] && List.for_all (function Value.Set _ -> true | _ -> false) results
     in
-    if all_sets then List.fold_left Value.set_union (Value.set []) results
+    if all_sets then Value.set (List.concat_map Value.set_elements results)
     else Value.set (List.filter (fun v -> v <> Value.Null) results)
   | _ ->
     error "method call ->%s on non-object value %s" meth

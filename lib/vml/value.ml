@@ -103,20 +103,49 @@ let is_in x = function
   | Set xs -> List.exists (equal x) xs
   | _ -> false
 
+(* Hash set over canonical values, keyed by [equal] and the generic hash
+   (consistent on canonically-constructed values), so membership via
+   hashing agrees with [is_in].  Small sets stay on the list path —
+   building a table would cost more than the scan it saves. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash (v : t) = Hashtbl.hash_param 64 256 v
+end)
+
+let mem_tbl ys =
+  let tbl = Tbl.create (List.length ys) in
+  List.iter (fun y -> Tbl.replace tbl y ()) ys;
+  fun x -> Tbl.mem tbl x
+
+let small = 8
+
 let is_subset s1 s2 =
   match s1, s2 with
-  | Set xs, Set _ -> List.for_all (fun x -> is_in x s2) xs
+  | Set xs, Set ys ->
+    if List.length ys <= small then List.for_all (fun x -> is_in x s2) xs
+    else
+      let mem = mem_tbl ys in
+      List.for_all mem xs
   | _ -> false
 
 let set_union a b = set (set_elements a @ set_elements b)
 
 let set_inter a b =
-  let xs = set_elements a in
-  Set (List.filter (fun x -> is_in x b) xs)
+  let xs = set_elements a and ys = set_elements b in
+  if List.length ys <= small then Set (List.filter (fun x -> is_in x b) xs)
+  else
+    let mem = mem_tbl ys in
+    Set (List.filter mem xs)
 
 let set_diff a b =
-  let xs = set_elements a in
-  Set (List.filter (fun x -> not (is_in x b)) xs)
+  let xs = set_elements a and ys = set_elements b in
+  if List.length ys <= small then
+    Set (List.filter (fun x -> not (is_in x b)) xs)
+  else
+    let mem = mem_tbl ys in
+    Set (List.filter (fun x -> not (mem x)) xs)
 
 let truthy = function Bool true -> true | _ -> false
 

@@ -563,6 +563,105 @@ let test_translate_lt_join_flip () =
   check F.relation "still correct" (run g) (eval_restricted r)
 
 (* ------------------------------------------------------------------ *)
+(* Null semantics (see DESIGN.md, "Null semantics")                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_flat_null_is_empty_set () =
+  (* Flat-Null: a Null set expression is read as the empty set, so the
+     input tuple contributes zero output tuples *)
+  let r =
+    run (General.Flat ("x", Expr.Const Value.Null, General.Get ("d", "Document")))
+  in
+  check Alcotest.int "null flattens to nothing" 0 (Relation.cardinality r)
+
+let test_map_null_binds_value () =
+  (* Map-Null: Null is an ordinary scalar; every input tuple survives
+     with [x] bound to Null *)
+  let r =
+    run (General.Map ("x", Expr.Const Value.Null, General.Get ("d", "Document")))
+  in
+  check Alcotest.int "cardinality preserved" (n_docs ()) (Relation.cardinality r);
+  List.iter
+    (fun v -> check F.value "binds NULL" Value.Null v)
+    (Relation.column r "x")
+
+let test_equi_join_null_never_matches () =
+  (* the hash equi-join fast path must preserve [eval_binop Eq]'s null
+     semantics: NULL == NULL is FALSE, so Null keys join with nothing *)
+  let source a vs = General.MethodSource (a, Expr.(SetE (List.map (fun v -> Const v) vs))) in
+  let r =
+    run
+      (General.Join
+         ( Expr.(Binop (Eq, Ref "a", Ref "b")),
+           source "a" [ Value.Null; Value.Int 1; Value.Int 2 ],
+           source "b" [ Value.Null; Value.Int 1; Value.Int 3 ] ))
+  in
+  check F.relation "only the non-null match survives"
+    (Relation.make ~refs:[ "a"; "b" ]
+       [ [ ("a", Value.Int 1); ("b", Value.Int 1) ] ])
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Hash-based relation operators vs the retained naive ones            *)
+(* ------------------------------------------------------------------ *)
+
+let test_natural_join_disjoint_is_product () =
+  let r1 = Relation.of_values "a" [ Value.Int 1; Value.Int 2 ] in
+  let r2 = Relation.of_values "b" [ Value.Str "x"; Value.Str "y"; Value.Str "z" ] in
+  let j = Relation.natural_join r1 r2 in
+  check Alcotest.int "no shared refs: cross product" 6 (Relation.cardinality j);
+  check F.relation "agrees with naive" (Naive.natural_join r1 r2) j
+
+let test_natural_join_empty_refs () =
+  (* zero-reference relations are the algebra's booleans: {} and {[]} *)
+  let unit_r = Relation.make ~refs:[] [ [] ] in
+  let zero_r = Relation.empty ~refs:[] in
+  check F.relation "unit * unit" unit_r (Relation.natural_join unit_r unit_r);
+  check F.relation "unit * zero" zero_r (Relation.natural_join unit_r zero_r);
+  check F.relation "agrees with naive" (Naive.natural_join unit_r zero_r)
+    (Relation.natural_join unit_r zero_r)
+
+let test_union_diff_ref_mismatch_raises () =
+  let r1 = Relation.of_values "a" [ Value.Int 1 ] in
+  let r2 = Relation.of_values "b" [ Value.Int 1 ] in
+  Alcotest.match_raises "union rejects differing refs"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Relation.union r1 r2));
+  Alcotest.match_raises "diff rejects differing refs"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Relation.diff r1 r2))
+
+let prop_natural_join_agrees =
+  QCheck2.Test.make ~count:300
+    ~name:"hash natural_join agrees with naive (all ref overlaps)"
+    Soqm_testlib.Gen.relation_pair_gen
+    (fun (r1, r2) ->
+      Relation.equal (Naive.natural_join r1 r2) (Relation.natural_join r1 r2))
+
+let prop_union_agrees =
+  QCheck2.Test.make ~count:300 ~name:"hash union agrees with naive"
+    Soqm_testlib.Gen.same_refs_relation_pair_gen
+    (fun (r1, r2) -> Relation.equal (Naive.union r1 r2) (Relation.union r1 r2))
+
+let prop_diff_agrees =
+  QCheck2.Test.make ~count:300 ~name:"hash diff agrees with naive"
+    Soqm_testlib.Gen.same_refs_relation_pair_gen
+    (fun (r1, r2) -> Relation.equal (Naive.diff r1 r2) (Relation.diff r1 r2))
+
+let prop_natural_join_identical_refs_is_intersection =
+  QCheck2.Test.make ~count:200
+    ~name:"natural_join with all refs shared = set intersection"
+    Soqm_testlib.Gen.same_refs_relation_pair_gen
+    (fun (r1, r2) ->
+      let j = Relation.natural_join r1 r2 in
+      let inter =
+        Relation.make ~refs:(Relation.refs r1)
+          (let in2 = Relation.mem_set r2 in
+           List.filter in2 (Relation.tuples r1))
+      in
+      Relation.equal inter j)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -606,6 +705,13 @@ let () =
           F.case "canonical form" test_relation_canonical;
           F.case "ref mismatch" test_relation_ref_mismatch;
           F.case "of_values" test_relation_of_values;
+          F.case "disjoint natural_join" test_natural_join_disjoint_is_product;
+          F.case "empty-refs natural_join" test_natural_join_empty_refs;
+          F.case "union/diff ref mismatch" test_union_diff_ref_mismatch_raises;
+          QCheck_alcotest.to_alcotest prop_natural_join_agrees;
+          QCheck_alcotest.to_alcotest prop_union_agrees;
+          QCheck_alcotest.to_alcotest prop_diff_agrees;
+          QCheck_alcotest.to_alcotest prop_natural_join_identical_refs_is_intersection;
         ] );
       ( "general-eval",
         [
@@ -662,6 +768,9 @@ let () =
           F.case "AND = cascade" test_select_conjunction_equals_cascade;
           F.case "project idempotent" test_project_idempotent;
           F.case "union type disagreement" test_restricted_infer_union_disagreement;
+          F.case "flat of NULL" test_flat_null_is_empty_set;
+          F.case "map of NULL" test_map_null_binds_value;
+          F.case "equi-join NULL keys" test_equi_join_null_never_matches;
           F.case "swapped equality join" test_translate_flips_join_comparison;
           F.case "ordering join flip" test_translate_lt_join_flip;
         ] );

@@ -165,6 +165,60 @@ let term_gen : General.t G.t =
     General.Project (List.filteri (fun i _ -> i < k) refs, t)
   else return t
 
+(* ------------------------------------------------------------------ *)
+(* Random relations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Small relations over a tiny value domain (many collisions, so joins,
+   unions and diffs all exercise non-trivial matches), for the property
+   tests comparing the hash-based [Relation] operators against the
+   retained list-based [Naive] ones.  Floats are excluded: [Naive.diff]
+   dates from the seed and uses polymorphic equality, which disagrees
+   with [Value.equal] on NaN / negative zero. *)
+let small_value_gen : Value.t G.t =
+  G.oneof
+    [
+      G.map (fun i -> Value.Int i) (G.int_range 0 3);
+      G.oneofl [ Value.Str "x"; Value.Str "y"; Value.Null; Value.Bool true ];
+      G.map
+        (fun is -> Value.set (List.map (fun i -> Value.Int i) is))
+        (G.list_size (G.int_range 0 2) (G.int_range 0 2));
+    ]
+
+let relation_gen refs : Relation.t G.t =
+  let tuple_gen =
+    G.map
+      (fun vs -> Relation.tuple_make (List.combine refs vs))
+      (G.flatten_l (List.map (fun _ -> small_value_gen) refs))
+  in
+  G.map
+    (fun tuples -> Relation.make ~refs tuples)
+    (G.list_size (G.int_range 0 12) tuple_gen)
+
+(* Reference-list overlap between the two generated relations: disjoint
+   (natural join degenerates to a cross product), partial (the common
+   case), identical (natural join degenerates to intersection) and the
+   zero-reference edge case (relations with at most one empty tuple). *)
+type ref_overlap = Disjoint | Partial | Identical | Empty_refs
+
+let relation_pair_gen : (Relation.t * Relation.t) G.t =
+  let open G in
+  oneofl [ Disjoint; Partial; Identical; Empty_refs ] >>= fun mode ->
+  let refs1, refs2 =
+    match mode with
+    | Disjoint -> ([ "a"; "b" ], [ "c"; "d" ])
+    | Partial -> ([ "a"; "b" ], [ "b"; "c" ])
+    | Identical -> ([ "a"; "b" ], [ "a"; "b" ])
+    | Empty_refs -> ([], [])
+  in
+  pair (relation_gen refs1) (relation_gen refs2)
+
+(* Union/diff require identical reference lists. *)
+let same_refs_relation_pair_gen : (Relation.t * Relation.t) G.t =
+  let open G in
+  oneofl [ []; [ "a" ]; [ "a"; "b" ] ] >>= fun refs ->
+  pair (relation_gen refs) (relation_gen refs)
+
 (* A selection-only paragraph query in the style of the paper's Q, for
    optimizer result-equivalence tests. *)
 let para_query_gen : General.t G.t =

@@ -341,12 +341,30 @@ let test_saturate_all_equivalent () =
     variants
 
 let test_saturate_respects_limits () =
-  let config = { Search.max_variants = 3; max_size_slack = 14 } in
+  let config = { Search.max_variants = 2; max_size_slack = 14 } in
   let variants, truncated =
     Search.saturate ~config schema Builtin_rules.transformations chain_with_select
   in
-  check Alcotest.int "at most 3" 3 (List.length variants);
+  check Alcotest.int "at most 2" 2 (List.length variants);
   check Alcotest.bool "reported truncated" true truncated
+
+let test_saturate_truncation_not_spurious () =
+  (* [chain_with_select] saturates to exactly 3 unique variants, but the
+     rules regenerate them many times over.  With the cap set exactly at
+     the unique count every variant is kept and no genuinely new term is
+     dropped, so [truncated] must be false — the seed reported true here
+     because duplicates of already-seen terms tripped the limit check. *)
+  let variants, truncated =
+    Search.saturate schema Builtin_rules.transformations chain_with_select
+  in
+  check Alcotest.bool "unbounded run not truncated" false truncated;
+  let unique = List.length variants in
+  let config = { Search.max_variants = unique; max_size_slack = 14 } in
+  let variants', truncated' =
+    Search.saturate ~config schema Builtin_rules.transformations chain_with_select
+  in
+  check Alcotest.int "all unique variants kept" unique (List.length variants');
+  check Alcotest.bool "duplicates do not report truncation" false truncated'
 
 (* ------------------------------------------------------------------ *)
 (* Implementation phase                                                *)
@@ -633,6 +651,7 @@ let () =
           F.case "contains input" test_saturate_contains_input;
           F.case "all variants equivalent" test_saturate_all_equivalent;
           F.case "limits respected" test_saturate_respects_limits;
+          F.case "truncation not spurious" test_saturate_truncation_not_spurious;
           QCheck_alcotest.to_alcotest prop_builtin_rules_sound;
           QCheck_alcotest.to_alcotest prop_alpha_idempotent;
         ] );
