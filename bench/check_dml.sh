@@ -1,0 +1,14 @@
+#!/bin/sh
+# CI gate: tier-1 build + tests, then the DML / incremental-maintenance
+# assertions (>= 10% of paragraphs flipped across the wordCount > 500
+# boundary with every E1-E5/Implications query equal to the
+# rebuild-from-scratch oracle WITHOUT regenerating the optimizer, the
+# maintained largeParagraphs sets equal to recomputation from base data,
+# and a >= 90% plan-cache hit rate whose hits skip the search loop).
+# Exit code is non-zero on any failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/dml.exe -- --assert

@@ -170,6 +170,229 @@ let repl_cmd =
     (Cmd.info "repl" ~doc)
     Term.(const repl $ docs_arg $ hit_arg $ seed_arg $ disable_arg $ trace_arg)
 
+(* ------------------------------------------------------------------ *)
+(* DML: insert / update / delete on a saved database dump              *)
+(* ------------------------------------------------------------------ *)
+
+let db_file_arg =
+  let doc =
+    "Database dump to operate on (create one with $(b,save) below or \
+     [Db.save]); rewritten in place after the change."
+  in
+  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+(* value literals: null, true/false, integers, '@Cls#id' object
+   references, everything else a string *)
+let parse_value s =
+  match s with
+  | "null" -> Soqm_vml.Value.Null
+  | "true" -> Soqm_vml.Value.Bool true
+  | "false" -> Soqm_vml.Value.Bool false
+  | _ -> (
+    match int_of_string_opt s with
+    | Some n -> Soqm_vml.Value.Int n
+    | None ->
+      if String.length s > 1 && s.[0] = '@' then
+        match
+          String.split_on_char '#' (String.sub s 1 (String.length s - 1))
+        with
+        | [ cls; id ] when int_of_string_opt id <> None ->
+          Soqm_vml.Value.Obj
+            (Soqm_vml.Oid.make ~cls ~id:(int_of_string id))
+        | _ -> Soqm_vml.Value.Str s
+      else Soqm_vml.Value.Str s)
+
+let parse_oid s =
+  match String.split_on_char '#' s with
+  | [ cls; id ] when int_of_string_opt id <> None ->
+    Ok (Soqm_vml.Oid.make ~cls ~id:(int_of_string id))
+  | _ -> Error (`Msg (Printf.sprintf "expected CLASS#ID, got %S" s))
+
+let oid_conv =
+  Arg.conv
+    ( parse_oid,
+      fun ppf o -> Format.pp_print_string ppf (Soqm_vml.Oid.to_string o) )
+
+let prop_assign_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      Ok
+        ( String.sub s 0 i,
+          parse_value (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> Error (`Msg (Printf.sprintf "expected PROP=VALUE, got %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf (p, _) -> Format.pp_print_string ppf (p ^ "=..."))
+
+(* Load the dump, run one maintained DML action through the engine, save
+   the dump back, and report what maintenance did. *)
+let with_dml_engine file f =
+  try
+    let db = Db.load file in
+    let engine = Engine.generate db in
+    let c = Db.counters db in
+    Soqm_vml.Counters.reset_maintenance c;
+    f db engine;
+    Db.save db file;
+    Format.printf "%a@." Soqm_vml.Counters.pp_maintenance
+      (Soqm_vml.Counters.snapshot c);
+    (match Db.maintenance db with
+    | Some m ->
+      Printf.printf "epoch %d, staleness %.3f\n"
+        (Soqm_maintenance.Maintenance.epoch m)
+        (Soqm_maintenance.Maintenance.staleness m)
+    | None -> ());
+    `Ok ()
+  with
+  | Failure msg | Sys_error msg | Invalid_argument msg -> `Error (false, msg)
+  | Not_found -> `Error (false, "no such object")
+  | Soqm_vml.Runtime.Error msg -> `Error (false, "runtime error: " ^ msg)
+
+let insert_cmd =
+  let cls_arg =
+    let doc = "Class of the new object." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CLASS" ~doc)
+  in
+  let props_arg =
+    let doc =
+      "Initial property values, e.g. word_count=750 content='...' \
+       section=@Section#3."
+    in
+    Arg.(value & pos_right 0 prop_assign_conv [] & info [] ~docv:"PROP=VALUE" ~doc)
+  in
+  let run file cls props =
+    with_dml_engine file (fun _db engine ->
+        let oid = Engine.insert engine ~cls props in
+        Printf.printf "inserted %s\n" (Soqm_vml.Oid.to_string oid))
+  in
+  let doc =
+    "Insert an object; indexes, implication sets, inverse links and \
+     statistics are maintained incrementally."
+  in
+  Cmd.v (Cmd.info "insert" ~doc)
+    Term.(ret (const run $ db_file_arg $ cls_arg $ props_arg))
+
+let update_cmd =
+  let oid_arg =
+    let doc = "Object to update, as CLASS#ID." in
+    Arg.(required & pos 0 (some oid_conv) None & info [] ~docv:"OID" ~doc)
+  in
+  let assign_arg =
+    let doc = "Property assignments, e.g. word_count=750." in
+    Arg.(non_empty & pos_right 0 prop_assign_conv [] & info [] ~docv:"PROP=VALUE" ~doc)
+  in
+  let run file oid assigns =
+    with_dml_engine file (fun _db engine ->
+        List.iter (fun (prop, v) -> Engine.update engine oid ~prop v) assigns;
+        Printf.printf "updated %s (%d propert%s)\n"
+          (Soqm_vml.Oid.to_string oid) (List.length assigns)
+          (if List.length assigns = 1 then "y" else "ies"))
+  in
+  let doc = "Update properties of an object (incrementally maintained)." in
+  Cmd.v (Cmd.info "update" ~doc)
+    Term.(ret (const run $ db_file_arg $ oid_arg $ assign_arg))
+
+let delete_cmd =
+  let oid_arg =
+    let doc = "Object to delete, as CLASS#ID." in
+    Arg.(required & pos 0 (some oid_conv) None & info [] ~docv:"OID" ~doc)
+  in
+  let run file oid =
+    with_dml_engine file (fun _db engine ->
+        Engine.delete engine oid;
+        Printf.printf "deleted %s\n" (Soqm_vml.Oid.to_string oid))
+  in
+  let doc = "Delete an object (incrementally maintained)." in
+  Cmd.v (Cmd.info "delete" ~doc)
+    Term.(ret (const run $ db_file_arg $ oid_arg))
+
+let save_cmd =
+  let out_arg =
+    let doc = "Where to write the dump." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run docs hit seed out =
+    let db = make_db docs hit seed in
+    Db.save db out;
+    Printf.printf "wrote %s (%d documents, %d paragraphs)\n" out docs
+      (Soqm_vml.Object_store.extent_size db.Db.store "Paragraph");
+    `Ok ()
+  in
+  let doc = "Generate a synthetic database and save it for DML commands." in
+  Cmd.v (Cmd.info "save" ~doc)
+    Term.(ret (const run $ docs_arg $ hit_arg $ seed_arg $ out_arg))
+
+(* ------------------------------------------------------------------ *)
+(* stats: mixed read/write workload + maintenance report               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let rounds_arg =
+    let doc = "Number of query/update rounds of the mixed workload." in
+    Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let run docs hit seed rounds =
+    let db = make_db docs hit seed in
+    let engine = Engine.generate db in
+    let c = Db.counters db in
+    Soqm_vml.Counters.reset_maintenance c;
+    let queries =
+      [
+        "ACCESS p FROM p IN Paragraph WHERE \
+         p->contains_string('Implementation') AND (p->document()).title == \
+         'Query Optimization'";
+        "ACCESS d FROM d IN Document WHERE d.title == 'Query Optimization'";
+        "ACCESS p FROM p IN Paragraph WHERE p->wordCount() > 500";
+      ]
+    in
+    let paras =
+      Soqm_vml.Object_store.extent db.Db.store "Paragraph" |> Array.of_list
+    in
+    for round = 1 to rounds do
+      List.iter (fun q -> ignore (Engine.run_optimized engine q)) queries;
+      (* touch a handful of paragraphs per round: flip word counts across
+         the 500 boundary and rewrite content words *)
+      Array.iteri
+        (fun i oid ->
+          if i mod rounds = round - 1 && i mod 17 = 0 then (
+            let wc =
+              match
+                Soqm_vml.Object_store.peek_prop db.Db.store oid "word_count"
+              with
+              | Soqm_vml.Value.Int n when n > 500 -> 100 + i
+              | _ -> 600 + i
+            in
+            Engine.update engine oid ~prop:"word_count"
+              (Soqm_vml.Value.Int wc);
+            Engine.update engine oid ~prop:"content"
+              (Soqm_vml.Value.Str (Printf.sprintf "revised draft %d" i))))
+        paras
+    done;
+    let hits, misses = Engine.cache_stats engine in
+    Format.printf "%a@." Soqm_vml.Counters.pp_maintenance
+      (Soqm_vml.Counters.snapshot c);
+    Printf.printf "plan cache: %d hit(s), %d miss(es), %.1f%% hit rate, %d cached\n"
+      hits misses
+      (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)))
+      (Engine.cache_size engine);
+    (match Db.maintenance db with
+    | Some m ->
+      Printf.printf "maintenance: epoch %d, staleness %.3f, %d recollect(s)\n"
+        (Soqm_maintenance.Maintenance.epoch m)
+        (Soqm_maintenance.Maintenance.staleness m)
+        (Soqm_maintenance.Maintenance.recollects m)
+    | None -> ());
+    `Ok ()
+  in
+  let doc =
+    "Run a mixed read/write workload and print the maintenance counters: \
+     index postings touched, implication-set updates, statistics deltas, \
+     plan-cache hits/misses."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(ret (const run $ docs_arg $ hit_arg $ seed_arg $ rounds_arg))
+
 let rules_cmd =
   let show docs hit seed =
     let db = make_db docs hit seed in
@@ -184,6 +407,9 @@ let main =
     "semantic query optimization for methods in an object-oriented database"
   in
   Cmd.group (Cmd.info "soqm" ~version:"1.0.0" ~doc)
-    [ run_cmd; repl_cmd; schema_cmd; rules_cmd ]
+    [
+      run_cmd; repl_cmd; schema_cmd; rules_cmd; save_cmd; insert_cmd;
+      update_cmd; delete_cmd; stats_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -7,6 +7,7 @@ type t = {
   word_count_index : Sorted_index.t;
   text_index : Oid.t Soqm_ir.Inverted_index.t;
   mutable stats : Statistics.t;
+  mutable maint : Soqm_maintenance.Maintenance.t option;
 }
 
 let register_external_methods t =
@@ -67,9 +68,28 @@ let refresh t =
       | Value.Str text -> Soqm_ir.Inverted_index.add t.text_index ~key:oid ~text
       | _ -> ())
     (Object_store.extent t.store "Paragraph");
-  t.stats <- Statistics.collect t.store
+  (* in place, never reassigned: generated optimizers capture [t.stats];
+     resync recollects itself, so don't scan twice *)
+  match t.maint with
+  | Some m -> Soqm_maintenance.Maintenance.resync m
+  | None -> Statistics.recollect t.stats t.store
 
-let create_empty ?(schema = Doc_schema.schema) () =
+let attach_maintenance t =
+  match t.maint with
+  | Some _ -> ()
+  | None ->
+    t.maint <-
+      Some
+        (Soqm_maintenance.Maintenance.attach
+           ~hash_indexes:[ t.title_index ]
+           ~sorted_indexes:[ t.word_count_index ]
+           ~text_indexes:[ ("Paragraph", "content", t.text_index) ]
+           ~implications:[ Doc_knowledge.word_count_implication ]
+           ~stats:t.stats t.store)
+
+let maintenance t = t.maint
+
+let create_empty ?(schema = Doc_schema.schema) ?(maintain = true) () =
   let store = Object_store.create schema in
   Doc_schema.install_internal_methods store;
   let t =
@@ -79,20 +99,25 @@ let create_empty ?(schema = Doc_schema.schema) () =
       word_count_index = Sorted_index.create ~cls:"Paragraph" ~prop:"word_count";
       text_index = Soqm_ir.Inverted_index.create ();
       stats = Statistics.collect store;
+      maint = None;
     }
   in
   register_external_methods t;
+  if maintain then attach_maintenance t;
   t
 
-let create ?schema ?(params = Datagen.default) () =
-  let t = create_empty ?schema () in
+let create ?schema ?(params = Datagen.default) ?(maintain = true) () =
+  (* bulk-load unmaintained (incremental index splices would be
+     quadratic), then rebuild everything and attach the observers *)
+  let t = create_empty ?schema ~maintain:false () in
   Datagen.populate t.store params;
   refresh t;
+  if maintain then attach_maintenance t;
   t
 
 let save t path = Object_store.save_dump (Object_store.export t.store) path
 
-let load path =
+let load ?(maintain = true) path =
   let dump = Object_store.load_dump path in
   let store = Object_store.import dump in
   Doc_schema.install_internal_methods store;
@@ -103,10 +128,12 @@ let load path =
       word_count_index = Sorted_index.create ~cls:"Paragraph" ~prop:"word_count";
       text_index = Soqm_ir.Inverted_index.create ();
       stats = Statistics.collect store;
+      maint = None;
     }
   in
   register_external_methods t;
   refresh t;
+  if maintain then attach_maintenance t;
   t
 
 let counters t = Object_store.counters t.store

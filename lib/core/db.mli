@@ -17,29 +17,50 @@ type t = {
           path *)
   text_index : Oid.t Soqm_ir.Inverted_index.t;
   mutable stats : Statistics.t;
+      (** recollected in place, never reassigned — generated optimizers
+          capture this value *)
+  mutable maint : Soqm_maintenance.Maintenance.t option;
+      (** incremental maintenance, when attached (the default) *)
 }
 
-val create : ?schema:Soqm_vml.Schema.t -> ?params:Datagen.params -> unit -> t
+val create :
+  ?schema:Soqm_vml.Schema.t ->
+  ?params:Datagen.params ->
+  ?maintain:bool ->
+  unit ->
+  t
 (** Build the document schema (or a cost-variant from
     {!Doc_schema.make}), install all method implementations (internal
     bodies and external natives), populate with {!Datagen}, build both
-    indexes, and collect statistics. *)
+    indexes, and collect statistics.  Unless [maintain:false], then
+    attach incremental maintenance (after the bulk load — point updates
+    during population would be quadratic), so subsequent DML keeps
+    indexes, the [largeParagraphs] implication sets and statistics
+    consistent automatically. *)
 
-val create_empty : ?schema:Soqm_vml.Schema.t -> unit -> t
-(** Same, but with no data; load objects through [store] and call
-    {!refresh} before querying. *)
+val create_empty : ?schema:Soqm_vml.Schema.t -> ?maintain:bool -> unit -> t
+(** Same, but with no data; maintenance (default on) attaches
+    immediately, so objects created through [store] are indexed as they
+    arrive.  For bulk loads pass [~maintain:false], populate, {!refresh},
+    or use {!create}. *)
 
 val refresh : t -> unit
-(** Rebuild indexes and statistics after manual data changes. *)
+(** Rebuild indexes and statistics after manual (unobserved) data
+    changes; with maintenance attached also resyncs the maintained
+    implication sets and bumps the maintenance epoch. *)
+
+val maintenance : t -> Soqm_maintenance.Maintenance.t option
+(** The attached maintenance subsystem, if any. *)
 
 val save : t -> string -> unit
 (** Snapshot the database's data to a file (schema, objects, OIDs;
     indexes and statistics are derived state and rebuilt on load). *)
 
-val load : string -> t
+val load : ?maintain:bool -> string -> t
 (** Restore a database saved with {!save}: re-creates the store,
-    re-registers every method implementation of the document schema, and
-    rebuilds indexes and statistics.  Only meaningful for dumps of the
+    re-registers every method implementation of the document schema,
+    rebuilds indexes and statistics, and (unless [maintain:false])
+    attaches incremental maintenance.  Only meaningful for dumps of the
     document schema (possibly with cost-variant method declarations).
     @raise Failure on corrupt files. *)
 

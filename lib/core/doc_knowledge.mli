@@ -18,4 +18,11 @@ val all_classes : rule_class list
 val specs : ?classes:rule_class list -> unit -> Equivalence.t list
 (** The specifications of the selected classes (default: all). *)
 
+val word_count_implication : Equivalence.t
+(** The [Implications]-class spec on its own:
+    [∀p IN Paragraph: p→wordCount() > 500 ⇒ p IS-IN
+    p→document().largeParagraphs].  Exported separately because the
+    maintenance subsystem compiles the implied set's maintainer from it
+    (the same spec drives both the optimizer rule and the DML upkeep). *)
+
 val class_name : rule_class -> string

@@ -3,6 +3,12 @@ open Soqm_algebra
 open Soqm_storage
 open Soqm_optimizer
 
+type cache_entry = {
+  result : Search.result;
+  entry_epoch : int;  (* maintenance epoch the plan was produced under *)
+  mutable last_used : int;
+}
+
 type t = {
   obj_store : Object_store.t;
   exec : Soqm_physical.Exec.ctx;
@@ -11,8 +17,14 @@ type t = {
   opt_ctx : Rule.opt_ctx;
   config : Search.config;
   (* optimization results keyed by the alpha-canonical logical term, so
-     re-running a query (or an alpha-variant of it) skips the search *)
-  plan_cache : (Restricted.t, Search.result) Hashtbl.t;
+     re-running a query (or an alpha-variant of it) skips the search;
+     bounded LRU, entries from a stale maintenance epoch count as misses *)
+  plan_cache : (Restricted.t, cache_entry) Hashtbl.t;
+  cache_capacity : int;
+  mutable epoch_of : unit -> int;
+  mutable cache_tick : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let exec_ctx (database : Db.t) : Soqm_physical.Exec.ctx =
@@ -48,7 +60,7 @@ let opt_ctx_of (database : Db.t) : Rule.opt_ctx =
   }
 
 let make_engine ~store ~exec ~stats ~has_index ~has_range_index
-    ~builtin_filter ~specs ~inverse_links ~config =
+    ~builtin_filter ~specs ~inverse_links ~config ~cache_capacity =
   let schema = Object_store.schema store in
   let specs =
     if inverse_links then
@@ -69,27 +81,40 @@ let make_engine ~store ~exec ~stats ~has_index ~has_range_index
     opt_ctx = { Rule.schema; stats; has_index; has_range_index };
     config;
     plan_cache = Hashtbl.create 32;
+    cache_capacity;
+    epoch_of = (fun () -> 0);
+    cache_tick = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let generate ?(classes = Doc_knowledge.all_classes) ?(extra_specs = [])
     ?(builtin_filter = fun _ -> true) ?(config = Search.default_config)
-    (database : Db.t) =
+    ?(cache_capacity = 128) (database : Db.t) =
   (* inverse-link knowledge is one of the document knowledge classes, so
      the generic inverse derivation stays off here *)
   let specs = Doc_knowledge.specs ~classes () @ extra_specs in
-  make_engine ~store:database.Db.store ~exec:(exec_ctx database)
-    ~stats:database.Db.stats
-    ~has_index:(opt_ctx_of database).Rule.has_index
-    ~has_range_index:(opt_ctx_of database).Rule.has_range_index
-    ~builtin_filter ~specs ~inverse_links:false ~config
+  let t =
+    make_engine ~store:database.Db.store ~exec:(exec_ctx database)
+      ~stats:database.Db.stats
+      ~has_index:(opt_ctx_of database).Rule.has_index
+      ~has_range_index:(opt_ctx_of database).Rule.has_range_index
+      ~builtin_filter ~specs ~inverse_links:false ~config ~cache_capacity
+  in
+  (* knowledge-preserving DML leaves cached plans valid; a statistics
+     recollect (or resync) bumps the maintenance epoch and invalidates *)
+  (match Db.maintenance database with
+  | Some m -> t.epoch_of <- (fun () -> Soqm_maintenance.Maintenance.epoch m)
+  | None -> ());
+  t
 
 let generate_custom ?(specs = []) ?(inverse_links = true)
     ?(config = Search.default_config)
-    ?(has_range_index = fun ~cls:_ ~prop:_ -> false) ~store ~exec_ctx:exec
-    ~has_index () =
+    ?(has_range_index = fun ~cls:_ ~prop:_ -> false) ?(cache_capacity = 128)
+    ~store ~exec_ctx:exec ~has_index () =
   make_engine ~store ~exec ~stats:(Statistics.collect store) ~has_index
     ~has_range_index ~builtin_filter:(fun _ -> true) ~specs ~inverse_links
-    ~config
+    ~config ~cache_capacity
 
 let store t = t.obj_store
 
@@ -114,19 +139,59 @@ let safe_with_schema schema logical =
 let safe_to_optimize (database : Db.t) logical =
   safe_with_schema (Object_store.schema database.Db.store) logical
 
+let set_epoch_source t f = t.epoch_of <- f
+
+let cache_stats t = (t.cache_hits, t.cache_misses)
+let cache_size t = Hashtbl.length t.plan_cache
+
+let evict_lru t =
+  if Hashtbl.length t.plan_cache >= t.cache_capacity then (
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key e ->
+        match !victim with
+        | Some (_, age) when e.last_used >= age -> ()
+        | _ -> victim := Some (key, e.last_used))
+      t.plan_cache;
+    match !victim with
+    | Some (key, _) -> Hashtbl.remove t.plan_cache key
+    | None -> ())
+
 let optimize t logical =
   let key = Restricted.alpha_canonical logical in
+  let epoch = t.epoch_of () in
+  t.cache_tick <- t.cache_tick + 1;
+  let counters = Object_store.counters t.obj_store in
   match Hashtbl.find_opt t.plan_cache key with
-  | Some cached -> cached
-  | None ->
+  | Some cached when cached.entry_epoch = epoch ->
+    cached.last_used <- t.cache_tick;
+    t.cache_hits <- t.cache_hits + 1;
+    Counters.charge_plan_cache_hit counters;
+    cached.result
+  | stale ->
+    (* a hit from an older epoch is invalid: knowledge or statistics
+       changed since the plan was costed *)
+    if Option.is_some stale then Hashtbl.remove t.plan_cache key;
+    t.cache_misses <- t.cache_misses + 1;
+    Counters.charge_plan_cache_miss counters;
     let result =
       Search.optimize ~config:t.config t.opt_ctx t.transformations
         t.implementations logical
     in
-    Hashtbl.replace t.plan_cache key result;
+    evict_lru t;
+    Hashtbl.replace t.plan_cache key
+      { result; entry_epoch = epoch; last_used = t.cache_tick };
     result
 
 let optimize_query t src = optimize t (logical_of_store t.obj_store src)
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let insert t ~cls props = Object_store.create_object t.obj_store ~cls props
+let update t oid ~prop v = Object_store.set_prop t.obj_store oid prop v
+let delete t oid = Object_store.delete_object t.obj_store oid
 
 type report = {
   result : Relation.t;

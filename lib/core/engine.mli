@@ -18,6 +18,7 @@ val generate :
   ?extra_specs:Soqm_semantics.Equivalence.t list ->
   ?builtin_filter:(string -> bool) ->
   ?config:Search.config ->
+  ?cache_capacity:int ->
   Db.t ->
   t
 (** Generate the optimizer for the document schema: the predefined
@@ -31,6 +32,7 @@ val generate_custom :
   ?inverse_links:bool ->
   ?config:Search.config ->
   ?has_range_index:(cls:string -> prop:string -> bool) ->
+  ?cache_capacity:int ->
   store:Object_store.t ->
   exec_ctx:Soqm_physical.Exec.ctx ->
   has_index:(cls:string -> prop:string -> bool) ->
@@ -65,10 +67,47 @@ val safe_to_optimize : Db.t -> Restricted.t -> (unit, string) result
     side-effect free. *)
 
 val optimize : t -> Restricted.t -> Search.result
+(** Run the rule-based search — or skip it entirely on a plan-cache hit.
+    The cache is a bounded LRU keyed by the alpha-canonical logical term
+    and guarded by the maintenance epoch: knowledge-preserving DML leaves
+    cached plans valid, while epoch bumps (statistics recollects,
+    resyncs, explicit invalidation) turn every older entry into a miss.
+    Hits and misses are counted both cumulatively ({!cache_stats}) and on
+    the store's {!Counters} ([plan_cache_hits]/[plan_cache_misses]). *)
 
 val optimize_query : t -> string -> Search.result
 (** Parse, typecheck and translate against the engine's schema, then
     optimize. *)
+
+val set_epoch_source : t -> (unit -> int) -> unit
+(** Override where {!optimize} reads the current maintenance epoch.
+    {!generate} wires this to the database's attached maintenance
+    automatically; default is the constant 0 (cache never invalidates). *)
+
+val cache_stats : t -> int * int
+(** Cumulative plan-cache [(hits, misses)] since generation.  Kept on the
+    engine because per-run reports reset the store counters. *)
+
+val cache_size : t -> int
+(** Number of plans currently cached (bounded by the LRU capacity). *)
+
+(** {1 DML}
+
+    Updates go through the engine's store, so the attached maintenance
+    observers keep indexes, implication sets, inverse links and
+    statistics consistent — and the plan cache epoch-invalidates exactly
+    when the optimizer's knowledge actually changed. *)
+
+val insert : t -> cls:string -> (string * Value.t) list -> Oid.t
+(** Create an object with initial property values. *)
+
+val update : t -> Oid.t -> prop:string -> Value.t -> unit
+(** Set one property ([Object_store.set_prop] semantics: typechecked,
+    inverse links maintained). *)
+
+val delete : t -> Oid.t -> unit
+(** Remove an object; observers un-derive its index postings, implied-set
+    memberships and backlinks from the event's final-value snapshot. *)
 
 (** Everything one execution produced. *)
 type report = {

@@ -14,15 +14,26 @@ let postings t word =
 let add t ~key ~text =
   List.iter (fun w -> Hashtbl.replace (postings t w) key ()) (Tokenizer.vocabulary text)
 
+let remove_word t w key =
+  match Hashtbl.find_opt t w with
+  | None -> ()
+  | Some s ->
+    Hashtbl.remove s key;
+    if Hashtbl.length s = 0 then Hashtbl.remove t w
+
 let remove t ~key ~text =
+  List.iter (fun w -> remove_word t w key) (Tokenizer.vocabulary text)
+
+let replace t ~key ~old_text ~text =
+  let new_words = Tokenizer.vocabulary text in
+  let keep = Hashtbl.create (List.length new_words) in
+  List.iter (fun w -> Hashtbl.replace keep w ()) new_words;
+  (* only drop postings for words that really left; postings are keyed
+     sets, so re-adding the surviving words is idempotent *)
   List.iter
-    (fun w ->
-      match Hashtbl.find_opt t w with
-      | None -> ()
-      | Some s ->
-        Hashtbl.remove s key;
-        if Hashtbl.length s = 0 then Hashtbl.remove t w)
-    (Tokenizer.vocabulary text)
+    (fun w -> if not (Hashtbl.mem keep w) then remove_word t w key)
+    (Tokenizer.vocabulary old_text);
+  List.iter (fun w -> Hashtbl.replace (postings t w) key ()) new_words
 
 let lookup t word =
   match Hashtbl.find_opt t (String.lowercase_ascii word) with

@@ -13,11 +13,19 @@ val clear : 'k t -> unit
 (** Drop all postings. *)
 
 val add : 'k t -> key:'k -> text:string -> unit
-(** Index [text] under [key].  Re-adding a key accumulates postings (use
-    {!remove} first to replace). *)
+(** Index [text] under [key].  Re-adding a key accumulates postings: the
+    new text's words are added but stale postings of the previous text
+    survive.  Bulk loaders that index each key exactly once may use this
+    directly; update paths must go through {!replace}. *)
 
 val remove : 'k t -> key:'k -> text:string -> unit
 (** Remove the postings [text] created for [key]. *)
+
+val replace : 'k t -> key:'k -> old_text:string -> text:string -> unit
+(** Reindex [key] from [old_text] to [text]: postings for words that only
+    occur in [old_text] are removed, words of [text] are (re)added.
+    Equivalent to {!remove} followed by {!add}, without touching the
+    postings of words common to both texts. *)
 
 val lookup : 'k t -> string -> 'k list
 (** Keys whose text contains the given word (case-insensitive); [] for

@@ -1,8 +1,8 @@
 open Soqm_vml
 
-(* Entries sorted by (value, oid); a dynamic array would do better under
-   heavy churn, but index maintenance is not what the experiments
-   measure. *)
+(* Entries sorted by (value, oid).  Point updates splice a fresh array
+   around a binary-searched position — O(n) copy per op, good enough for
+   the incremental-maintenance workloads; bulk loads go through [build]. *)
 type t = { cls : string; prop : string; mutable entries : (Value.t * Oid.t) array }
 
 let create ~cls ~prop = { cls; prop; entries = [||] }
@@ -13,19 +13,36 @@ let compare_entry (v1, o1) (v2, o2) =
   let c = Value.compare v1 v2 in
   if c <> 0 then c else Oid.compare o1 o2
 
+(* index of the first entry >= [entry] *)
+let lower_bound t entry =
+  let n = Array.length t.entries in
+  let rec go l r =
+    if l >= r then l
+    else
+      let m = (l + r) / 2 in
+      if compare_entry t.entries.(m) entry < 0 then go (m + 1) r else go l m
+  in
+  go 0 n
+
 let insert t v oid =
   let entry = (v, oid) in
-  if not (Array.exists (fun e -> compare_entry e entry = 0) t.entries) then (
-    t.entries <- Array.append t.entries [| entry |];
-    Array.sort compare_entry t.entries)
+  let i = lower_bound t entry in
+  let n = Array.length t.entries in
+  if i >= n || compare_entry t.entries.(i) entry <> 0 then (
+    let a = Array.make (n + 1) entry in
+    Array.blit t.entries 0 a 0 i;
+    Array.blit t.entries i a (i + 1) (n - i);
+    t.entries <- a)
 
 let delete t v oid =
   let entry = (v, oid) in
-  t.entries <-
-    Array.of_list
-      (List.filter
-         (fun e -> compare_entry e entry <> 0)
-         (Array.to_list t.entries))
+  let i = lower_bound t entry in
+  let n = Array.length t.entries in
+  if i < n && compare_entry t.entries.(i) entry = 0 then (
+    let a = Array.make (n - 1) entry in
+    Array.blit t.entries 0 a 0 i;
+    Array.blit t.entries (i + 1) a i (n - i - 1);
+    t.entries <- a)
 
 type bound = Unbounded | Inclusive of Value.t | Exclusive of Value.t
 

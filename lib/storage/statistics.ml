@@ -1,25 +1,33 @@
 open Soqm_vml
 
+(* Cardinalities and set-size totals are maintained exactly under DML
+   (note_* deltas); distinct counts are only refreshed by a full
+   [recollect], so every scalar write also bumps the staleness tick. *)
 type t = {
   schema : Schema.t;
   cards : (string, float) Hashtbl.t;
-  fanouts : (string * string, float) Hashtbl.t;
+  set_totals : (string * string, float) Hashtbl.t;
+      (* total set size per set-valued property; fanout = total / card *)
   distincts : (string * string, float) Hashtbl.t;
+  mutable writes_since_collect : int;
+  mutable base_population : float;
+      (* total objects at last full collect, the staleness denominator *)
 }
 
 let schema t = t.schema
 
-let collect store =
-  let schema = Object_store.schema store in
-  let cards = Hashtbl.create 16 in
-  let fanouts = Hashtbl.create 32 in
-  let distincts = Hashtbl.create 32 in
+let recollect t store =
+  Hashtbl.reset t.cards;
+  Hashtbl.reset t.set_totals;
+  Hashtbl.reset t.distincts;
+  let population = ref 0 in
   List.iter
     (fun (cd : Schema.class_def) ->
       let cls = cd.Schema.cls_name in
       let ext = Object_store.extent store cls in
       let n = List.length ext in
-      Hashtbl.replace cards cls (float_of_int n);
+      population := !population + n;
+      Hashtbl.replace t.cards cls (float_of_int n);
       List.iter
         (fun (p : Schema.property) ->
           match p.Schema.prop_type with
@@ -32,8 +40,8 @@ let collect store =
                   | _ -> acc)
                 0 ext
             in
-            let fanout = if n = 0 then 1.0 else float_of_int total /. float_of_int n in
-            Hashtbl.replace fanouts (cls, p.Schema.prop_name) fanout
+            Hashtbl.replace t.set_totals (cls, p.Schema.prop_name)
+              (float_of_int total)
           | _ ->
             let seen = Hashtbl.create 64 in
             List.iter
@@ -41,16 +49,35 @@ let collect store =
                 let v = Object_store.peek_prop store oid p.Schema.prop_name in
                 Hashtbl.replace seen v ())
               ext;
-            Hashtbl.replace distincts (cls, p.Schema.prop_name)
+            Hashtbl.replace t.distincts (cls, p.Schema.prop_name)
               (float_of_int (max 1 (Hashtbl.length seen))))
         cd.Schema.properties)
-    (Schema.classes schema);
-  { schema; cards; fanouts; distincts }
+    (Schema.classes (Object_store.schema store));
+  t.writes_since_collect <- 0;
+  t.base_population <- float_of_int !population
+
+let collect store =
+  let t =
+    {
+      schema = Object_store.schema store;
+      cards = Hashtbl.create 16;
+      set_totals = Hashtbl.create 32;
+      distincts = Hashtbl.create 32;
+      writes_since_collect = 0;
+      base_population = 0.;
+    }
+  in
+  recollect t store;
+  t
 
 let cardinality t cls = Option.value ~default:0. (Hashtbl.find_opt t.cards cls)
 
 let fanout t ~cls ~prop =
-  Option.value ~default:1.0 (Hashtbl.find_opt t.fanouts (cls, prop))
+  match Hashtbl.find_opt t.set_totals (cls, prop) with
+  | None -> 1.0
+  | Some total ->
+    let n = cardinality t cls in
+    if n <= 0. then 1.0 else total /. n
 
 let distinct t ~cls ~prop =
   Option.value ~default:1.0 (Hashtbl.find_opt t.distincts (cls, prop))
@@ -75,13 +102,43 @@ let method_result_card t ~cls ~meth =
   | Some { Schema.returns = Vtype.TSet _; _ } -> 10.0
   | _ -> 1.0
 
+(* ------------------------------------------------------------------ *)
+(* Incremental deltas                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tick t = t.writes_since_collect <- t.writes_since_collect + 1
+
+let note_created t ~cls =
+  Hashtbl.replace t.cards cls (cardinality t cls +. 1.);
+  tick t
+
+let note_deleted t ~cls =
+  Hashtbl.replace t.cards cls (Float.max 0. (cardinality t cls -. 1.));
+  tick t
+
+let note_set_size t ~cls ~prop ~delta =
+  if delta <> 0 then (
+    let total =
+      Option.value ~default:0. (Hashtbl.find_opt t.set_totals (cls, prop))
+    in
+    Hashtbl.replace t.set_totals (cls, prop)
+      (Float.max 0. (total +. float_of_int delta));
+    tick t)
+
+let note_scalar_write t ~cls:_ ~prop:_ = tick t
+
+let staleness t =
+  float_of_int t.writes_since_collect /. Float.max 1. t.base_population
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   Hashtbl.iter (fun c n -> Format.fprintf ppf "|%s| = %.0f@ " c n) t.cards;
   Hashtbl.iter
-    (fun (c, p) f -> Format.fprintf ppf "fanout %s.%s = %.2f@ " c p f)
-    t.fanouts;
+    (fun (c, p) _ ->
+      Format.fprintf ppf "fanout %s.%s = %.2f@ " c p (fanout t ~cls:c ~prop:p))
+    t.set_totals;
   Hashtbl.iter
     (fun (c, p) d -> Format.fprintf ppf "distinct %s.%s = %.0f@ " c p d)
     t.distincts;
+  Format.fprintf ppf "staleness = %.3f@ " (staleness t);
   Format.fprintf ppf "@]"

@@ -2,8 +2,19 @@
 
     The optimizer's cost model needs extent cardinalities, per-property
     fanouts and distinct counts, and the declared method selectivities
-    from the schema.  Statistics are collected once from a populated
-    store (administrative reads, not charged to query counters). *)
+    from the schema.
+
+    Statistics live in two regimes.  A {e full collect} ({!collect},
+    {!recollect}) scans every extent; afterwards, DML flows cheap deltas
+    in through the [note_*] functions (the incremental maintainers of
+    [Soqm_maintenance] call them on every store change event): extent
+    cardinalities and set-valued fanout totals are maintained {e exactly},
+    while distinct counts only drift.  Every delta bumps a staleness tick;
+    once {!staleness} — accumulated writes over the population of the last
+    full collect — crosses the maintenance policy's threshold, a full
+    in-place {!recollect} refreshes the drifting estimates (and the plan
+    cache's epoch is bumped, see [Engine]).  All scans use administrative
+    reads, not charged to query counters. *)
 
 open Soqm_vml
 
@@ -12,9 +23,15 @@ type t
 val collect : Object_store.t -> t
 (** Scan extents and properties and record:
     - cardinality of every class extent;
-    - for every set-valued property, the average fanout (average set
-      size over live instances);
+    - for every set-valued property, the total and average set size over
+      live instances (the fanout);
     - for every scalar property, the number of distinct values. *)
+
+val recollect : t -> Object_store.t -> unit
+(** Repeat the full scan {e in place}, refreshing all estimates and
+    resetting {!staleness} to 0.  In-place matters: generated optimizers
+    capture the [t] at generation time, so a recollect reaches every
+    cached cost model without regenerating. *)
 
 val schema : t -> Schema.t
 
@@ -26,7 +43,8 @@ val fanout : t -> cls:string -> prop:string -> float
     and unknown ones. *)
 
 val distinct : t -> cls:string -> prop:string -> float
-(** Distinct values of a scalar property (≥ 1). *)
+(** Distinct values of a scalar property (≥ 1).  Only refreshed by a full
+    (re)collect — the estimate drifts between collects. *)
 
 val eq_selectivity : t -> cls:string -> prop:string -> float
 (** Estimated selectivity of [x.prop == const]: [1 / distinct]. *)
@@ -43,5 +61,26 @@ val method_result_card : t -> cls:string -> meth:string -> float
     class method declared with selectivity [s] returning a set of [C']
     instances, this is [s * cardinality C']; otherwise falls back to the
     average fanout heuristic. *)
+
+(** {1 Incremental deltas}
+
+    Cheap per-event adjustments; each bumps the staleness tick. *)
+
+val note_created : t -> cls:string -> unit
+(** One object added to the class extent: cardinality + 1. *)
+
+val note_deleted : t -> cls:string -> unit
+(** One object removed: cardinality - 1. *)
+
+val note_set_size : t -> cls:string -> prop:string -> delta:int -> unit
+(** A set-valued property changed size by [delta] elements; adjusts the
+    fanout total (no-op, no tick, when [delta = 0]). *)
+
+val note_scalar_write : t -> cls:string -> prop:string -> unit
+(** A scalar property was written: distinct counts may have drifted. *)
+
+val staleness : t -> float
+(** Accumulated deltas since the last full collect, relative to the total
+    object population at that collect.  0 right after a (re)collect. *)
 
 val pp : Format.formatter -> t -> unit

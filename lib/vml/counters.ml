@@ -5,6 +5,13 @@ type t = {
   mutable tuples_produced : int;
   mutable charged_cost : float;
   calls : (string, int) Hashtbl.t;
+  (* maintenance-side counters: work done keeping derived data and the
+     plan cache consistent, as opposed to work done answering queries *)
+  mutable postings_touched : int;
+  mutable implication_updates : int;
+  mutable stats_deltas : int;
+  mutable plan_cache_hits : int;
+  mutable plan_cache_misses : int;
 }
 
 let create () =
@@ -15,8 +22,15 @@ let create () =
     tuples_produced = 0;
     charged_cost = 0.;
     calls = Hashtbl.create 16;
+    postings_touched = 0;
+    implication_updates = 0;
+    stats_deltas = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
   }
 
+(* resets only the query-cost side: per-run reports reset around every
+   execution, and that must not wipe the cumulative maintenance metrics *)
 let reset t =
   t.objects_fetched <- 0;
   t.property_reads <- 0;
@@ -24,6 +38,13 @@ let reset t =
   t.tuples_produced <- 0;
   t.charged_cost <- 0.;
   Hashtbl.reset t.calls
+
+let reset_maintenance t =
+  t.postings_touched <- 0;
+  t.implication_updates <- 0;
+  t.stats_deltas <- 0;
+  t.plan_cache_hits <- 0;
+  t.plan_cache_misses <- 0
 
 let charge_object_fetch t = t.objects_fetched <- t.objects_fetched + 1
 let charge_property_read t = t.property_reads <- t.property_reads + 1
@@ -37,6 +58,20 @@ let charge_index_probe t = t.index_probes <- t.index_probes + 1
 let charge_index_probes t n = t.index_probes <- t.index_probes + n
 let charge_tuple t = t.tuples_produced <- t.tuples_produced + 1
 let charge_tuples t n = t.tuples_produced <- t.tuples_produced + n
+
+let charge_postings_touched t n = t.postings_touched <- t.postings_touched + n
+
+let charge_implication_update t =
+  t.implication_updates <- t.implication_updates + 1
+
+let charge_stats_delta t = t.stats_deltas <- t.stats_deltas + 1
+let charge_plan_cache_hit t = t.plan_cache_hits <- t.plan_cache_hits + 1
+let charge_plan_cache_miss t = t.plan_cache_misses <- t.plan_cache_misses + 1
+let postings_touched t = t.postings_touched
+let implication_updates t = t.implication_updates
+let stats_deltas t = t.stats_deltas
+let plan_cache_hits t = t.plan_cache_hits
+let plan_cache_misses t = t.plan_cache_misses
 let objects_fetched t = t.objects_fetched
 let property_reads t = t.property_reads
 let index_probes t = t.index_probes
@@ -70,6 +105,11 @@ let snapshot t =
   copy.tuples_produced <- t.tuples_produced;
   copy.charged_cost <- t.charged_cost;
   Hashtbl.iter (Hashtbl.replace copy.calls) t.calls;
+  copy.postings_touched <- t.postings_touched;
+  copy.implication_updates <- t.implication_updates;
+  copy.stats_deltas <- t.stats_deltas;
+  copy.plan_cache_hits <- t.plan_cache_hits;
+  copy.plan_cache_misses <- t.plan_cache_misses;
   copy
 
 let pp ppf t =
@@ -81,3 +121,10 @@ let pp ppf t =
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (m, n) -> Format.fprintf ppf "%s=%d" m n))
     (method_calls t) t.charged_cost (total_cost t)
+
+let pp_maintenance ppf t =
+  Format.fprintf ppf
+    "@[<v>index postings touched: %d@ implication-set updates: %d@ \
+     statistics deltas: %d@ plan cache: %d hit(s), %d miss(es)@]"
+    t.postings_touched t.implication_updates t.stats_deltas t.plan_cache_hits
+    t.plan_cache_misses

@@ -10,7 +10,15 @@
 type t
 
 val create : unit -> t
+
 val reset : t -> unit
+(** Zero the query-cost counters.  Maintenance counters are {e not}
+    touched: per-run reports reset around every execution, while
+    maintenance metrics accumulate across a whole workload — zero them
+    explicitly with {!reset_maintenance}. *)
+
+val reset_maintenance : t -> unit
+(** Zero the maintenance counters only. *)
 
 val charge_object_fetch : t -> unit
 (** One object dereferenced in the store. *)
@@ -28,6 +36,34 @@ val charge_index_probes : t -> int -> unit
 val charge_tuples : t -> int -> unit
 (** Bulk variants, used by the set-at-a-time logical evaluator to charge
     a whole operator's probes / produced tuples at once. *)
+
+(** {1 Maintenance counters}
+
+    Work done keeping derived data consistent under DML — charged by the
+    incremental maintainers ([Soqm_maintenance]) and the engine's plan
+    cache, so mixed read/write experiments can report maintenance effort
+    next to query effort.  Not part of {!total_cost}: they account a
+    different activity. *)
+
+val charge_postings_touched : t -> int -> unit
+(** [n] index entries added/removed while maintaining an access path
+    (inverted-index postings, hash/sorted index entries). *)
+
+val charge_implication_update : t -> unit
+(** One membership change of a maintained implication set (e.g. a
+    paragraph entering or leaving [Document.largeParagraphs]). *)
+
+val charge_stats_delta : t -> unit
+(** One incremental statistics adjustment (cardinality, fanout total or
+    staleness tick). *)
+
+val charge_plan_cache_hit : t -> unit
+val charge_plan_cache_miss : t -> unit
+val postings_touched : t -> int
+val implication_updates : t -> int
+val stats_deltas : t -> int
+val plan_cache_hits : t -> int
+val plan_cache_misses : t -> int
 
 val objects_fetched : t -> int
 val property_reads : t -> int
@@ -52,3 +88,6 @@ val snapshot : t -> t
 (** Independent copy (for before/after deltas). *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_maintenance : Format.formatter -> t -> unit
+(** Print only the maintenance counters (the [soqm stats] report). *)

@@ -1,3 +1,16 @@
+type origin = User | Derived
+
+type change =
+  | Created of Oid.t
+  | Prop_set of {
+      oid : Oid.t;
+      prop : string;
+      old_value : Value.t;
+      new_value : Value.t;
+      origin : origin;
+    }
+  | Deleted of { oid : Oid.t; props : (string * Value.t) list }
+
 type t = {
   schema : Schema.t;
   counters : Counters.t;
@@ -6,24 +19,15 @@ type t = {
   extents : (string, Oid.t list ref) Hashtbl.t;
   inst_impls : (string * string, impl) Hashtbl.t;
   own_impls : (string * string, impl) Hashtbl.t;
+  mutable observers : (change -> unit) list;  (* in subscription order *)
 }
 
 and impl = Body of Expr.t | Native of (t -> Value.t -> Value.t list -> Value.t)
 
 let fail fmt = Format.kasprintf invalid_arg fmt
 
-let create schema =
-  let extents = Hashtbl.create 16 in
-  List.iter (fun c -> Hashtbl.replace extents c (ref [])) (Schema.class_names schema);
-  {
-    schema;
-    counters = Counters.create ();
-    next_id = 0;
-    objects = Hashtbl.create 1024;
-    extents;
-    inst_impls = Hashtbl.create 32;
-    own_impls = Hashtbl.create 32;
-  }
+let notify t ev = List.iter (fun f -> f ev) t.observers
+let subscribe t f = t.observers <- t.observers @ [ f ]
 
 let schema t = t.schema
 let counters t = t.counters
@@ -47,7 +51,7 @@ let prop_def t oid prop =
   | Some p -> p
   | None -> fail "Object_store: class %s has no property %S" (Oid.cls oid) prop
 
-(* Raw reads/writes that bypass accounting and inverse maintenance; used
+(* Raw reads/writes that bypass accounting and change notification; used
    internally by the inverse-link bookkeeping itself. *)
 let raw_get t oid prop =
   match Hashtbl.find_opt (record t oid) prop with
@@ -56,29 +60,39 @@ let raw_get t oid prop =
 
 let raw_set t oid prop v = Hashtbl.replace (record t oid) prop v
 
+(* A backlink write is a real state change, so it is published to the
+   observers as a [Derived] property set — but it must not re-enter the
+   inverse bookkeeping itself (the inverse observer skips [Derived]
+   events), or setting [s.document] would clobber itself through the
+   [d.sections] round trip. *)
+let derived_set t oid prop v =
+  let old_value = raw_get t oid prop in
+  raw_set t oid prop v;
+  notify t (Prop_set { oid; prop; old_value; new_value = v; origin = Derived })
+
 (* Inverse maintenance.  When [cls.prop] has inverse [(cls', prop')]:
    - if prop is object-valued, the linked object's prop' gains/loses us;
    - the inverse side may be object-valued or set-valued.  *)
 let add_backlink t ~target ~inv_prop ~me =
   if exists t target then
     match raw_get t target inv_prop with
-    | Value.Set xs -> raw_set t target inv_prop (Value.set (Value.Obj me :: xs))
+    | Value.Set xs -> derived_set t target inv_prop (Value.set (Value.Obj me :: xs))
     | Value.Null -> (
       match
         Schema.property_type t.schema ~cls:(Oid.cls target) ~prop:inv_prop
       with
       | Some (Vtype.TSet _) ->
-        raw_set t target inv_prop (Value.set [ Value.Obj me ])
-      | _ -> raw_set t target inv_prop (Value.Obj me))
-    | _ -> raw_set t target inv_prop (Value.Obj me)
+        derived_set t target inv_prop (Value.set [ Value.Obj me ])
+      | _ -> derived_set t target inv_prop (Value.Obj me))
+    | _ -> derived_set t target inv_prop (Value.Obj me)
 
 let remove_backlink t ~target ~inv_prop ~me =
   if exists t target then
     match raw_get t target inv_prop with
     | Value.Set xs ->
-      raw_set t target inv_prop
+      derived_set t target inv_prop
         (Value.Set (List.filter (fun v -> not (Value.equal v (Value.Obj me))) xs))
-    | Value.Obj o when Oid.equal o me -> raw_set t target inv_prop Value.Null
+    | Value.Obj o when Oid.equal o me -> derived_set t target inv_prop Value.Null
     | _ -> ()
 
 let targets_of = function
@@ -98,7 +112,44 @@ let maintain_inverse t oid prop ~old_value ~new_value =
       (fun target -> add_backlink t ~target ~inv_prop ~me:oid)
       (targets_of new_value)
 
-let set_prop t oid prop v =
+(* Inverse links are one maintainer of redundant data among several
+   (Section 5.1); it is builtin and registered first so that any external
+   maintainer observes a store whose inverses are already consistent. *)
+let inverse_observer t = function
+  | Prop_set { origin = Derived; _ } -> ()
+  | Prop_set { oid; prop; old_value; new_value; origin = User } ->
+    maintain_inverse t oid prop ~old_value ~new_value
+  | Created _ -> ()
+  | Deleted { oid; props } ->
+    let cd = Schema.class_exn t.schema (Oid.cls oid) in
+    List.iter
+      (fun (p : Schema.property) ->
+        if Option.is_some p.inverse then
+          let old_value =
+            Option.value ~default:Value.Null (List.assoc_opt p.prop_name props)
+          in
+          maintain_inverse t oid p.prop_name ~old_value ~new_value:Value.Null)
+      cd.Schema.properties
+
+let create schema =
+  let extents = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace extents c (ref [])) (Schema.class_names schema);
+  let t =
+    {
+      schema;
+      counters = Counters.create ();
+      next_id = 0;
+      objects = Hashtbl.create 1024;
+      extents;
+      inst_impls = Hashtbl.create 32;
+      own_impls = Hashtbl.create 32;
+      observers = [];
+    }
+  in
+  t.observers <- [ inverse_observer t ];
+  t
+
+let set_prop_origin t origin oid prop v =
   let def = prop_def t oid prop in
   if not (Vtype.check def.Schema.prop_type v) then
     fail "Object_store: value %s ill-typed for %s.%s : %s" (Value.to_string v)
@@ -106,7 +157,10 @@ let set_prop t oid prop v =
       (Vtype.to_string def.Schema.prop_type);
   let old_value = raw_get t oid prop in
   raw_set t oid prop v;
-  maintain_inverse t oid prop ~old_value ~new_value:v
+  notify t (Prop_set { oid; prop; old_value; new_value = v; origin })
+
+let set_prop t oid prop v = set_prop_origin t User oid prop v
+let set_prop_derived t oid prop v = set_prop_origin t Derived oid prop v
 
 let get_prop t oid prop =
   let _def = prop_def t oid prop in
@@ -136,22 +190,21 @@ let create_object t ~cls props =
         raw_set t oid p.Schema.prop_name (Value.Set [])
       | _ -> ())
     cd.Schema.properties;
+  notify t (Created oid);
   List.iter (fun (p, v) -> set_prop t oid p v) props;
   oid
 
 let delete_object t oid =
-  (* Clear our outgoing links first so inverse bookkeeping removes the
-     backlinks pointing at us. *)
-  let cd = Schema.class_exn t.schema (Oid.cls oid) in
-  List.iter
-    (fun (p : Schema.property) ->
-      if Option.is_some p.inverse then
-        maintain_inverse t oid p.prop_name ~old_value:(raw_get t oid p.prop_name)
-          ~new_value:Value.Null)
-    cd.Schema.properties;
+  let props =
+    Hashtbl.fold (fun p v acc -> (p, v) :: acc) (record t oid) []
+  in
   Hashtbl.remove t.objects oid;
   let ext = extent_ref t (Oid.cls oid) in
-  ext := List.filter (fun o -> not (Oid.equal o oid)) !ext
+  ext := List.filter (fun o -> not (Oid.equal o oid)) !ext;
+  (* the snapshot of the final property values travels with the event so
+     that observers (inverse links, indexes, implication sets) can
+     un-derive without dereferencing the now-dead OID *)
+  notify t (Deleted { oid; props })
 
 type dump = {
   d_schema : Schema.t;

@@ -3,12 +3,52 @@
 
     This is the data-model substrate standing in for the VODAK store.  It
     keeps one extent per class, dereferences typed OIDs to property
-    records, maintains declared inverse links on writes (the paper's
-    "redundant data ... easily kept consistent by encapsulating the
-    consistency check into corresponding methods", Section 5.1), and holds
-    the registered method implementations. *)
+    records, and holds the registered method implementations.
+
+    Every write ({!create_object}, {!set_prop}, {!delete_object}) emits a
+    typed {!change} event to the subscribed observers.  This is how the
+    paper's "redundant data ... easily kept consistent by encapsulating
+    the consistency check into corresponding methods" (Section 5.1) is
+    realised: declared inverse links are maintained by a builtin observer
+    registered at {!create}, and the external derived artifacts (value
+    indexes, the inverted text index, implication sets, statistics
+    deltas) hang off the same mechanism via [Soqm_maintenance].  A store
+    with no external subscribers behaves exactly as before — inverse
+    links are still maintained. *)
 
 type t
+
+(** {1 Change events} *)
+
+(** Who performed a write: [User] writes come through {!set_prop} and
+    trigger inverse-link maintenance; [Derived] writes are performed by
+    consistency maintainers (backlink updates, implication-set updates)
+    and are published but do not re-enter inverse bookkeeping. *)
+type origin = User | Derived
+
+type change =
+  | Created of Oid.t
+      (** emitted after extent insertion, before the initial property
+          values are set (each of which emits its own [Prop_set]) *)
+  | Prop_set of {
+      oid : Oid.t;
+      prop : string;
+      old_value : Value.t;
+      new_value : Value.t;
+      origin : origin;
+    }
+  | Deleted of { oid : Oid.t; props : (string * Value.t) list }
+      (** emitted after removal; [props] snapshots the final property
+          values so observers can un-derive without dereferencing the
+          dead OID *)
+
+val subscribe : t -> (change -> unit) -> unit
+(** Register an observer, called synchronously on every subsequent write
+    in subscription order (after the builtin inverse-link observer).
+    Observers must not call {!subscribe} reentrantly.  Note that an
+    observer writing through {!set_prop_derived} causes nested events:
+    the [Derived] events of backlink updates reach observers before the
+    [User] event that caused them completes its observer round. *)
 
 (** A method implementation: an internal body in the expression language
     (evaluated with [SELF] and the declared parameters bound), or an
@@ -53,9 +93,16 @@ val peek_prop : t -> Oid.t -> string -> Value.t
     such as index builds and statistics collection. *)
 
 val set_prop : t -> Oid.t -> string -> Value.t -> unit
-(** Write a property; typechecks the value and maintains declared inverse
-    links: setting [Section#s.document := d] adds [s] to [d.sections] (and
-    removes it from the previous document's set). *)
+(** Write a property; typechecks the value, emits a [User] {!change} and
+    maintains declared inverse links: setting [Section#s.document := d]
+    adds [s] to [d.sections] (and removes it from the previous document's
+    set). *)
+
+val set_prop_derived : t -> Oid.t -> string -> Value.t -> unit
+(** Like {!set_prop} but the event carries origin [Derived]: for
+    maintainers writing derived artifacts (e.g. implication sets such as
+    [Document.largeParagraphs]).  Typechecks, but does {e not} maintain
+    inverse links — derived properties must not declare inverses. *)
 
 (** {1 Snapshots} *)
 

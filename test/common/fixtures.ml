@@ -25,6 +25,7 @@ let shared = lazy (Soqm_core.Db.create ~params:small_params ())
 let shared_db () = Lazy.force shared
 
 let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+let oid_t : Oid.t Alcotest.testable = Alcotest.testable Oid.pp Oid.equal
 
 let relation : Soqm_algebra.Relation.t Alcotest.testable =
   Alcotest.testable Soqm_algebra.Relation.pp Soqm_algebra.Relation.equal

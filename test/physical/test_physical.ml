@@ -196,10 +196,12 @@ let test_filter_streams_lazily () =
 (* ------------------------------------------------------------------ *)
 
 let test_stale_index_dangling_oid () =
-  (* deleting an object without refreshing indexes leaves a dangling OID
-     in the text index; dereferencing it is a clean dynamic error, and
-     Db.refresh repairs the access path *)
-  let d = F.tiny_db () in
+  (* deleting an object in an UNMAINTAINED database (maintenance off)
+     leaves a dangling OID in the text index; dereferencing it is a clean
+     dynamic error, and Db.refresh repairs the access path.  With
+     maintenance attached (the default) the delete would have removed the
+     postings — see test/maintenance. *)
+  let d = Soqm_core.Db.create ~params:F.tiny_params ~maintain:false () in
   let victim_store = d.Soqm_core.Db.store in
   let victim_ctx = Soqm_core.Engine.exec_ctx d in
   let scan =
