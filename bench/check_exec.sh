@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI gate: tier-1 build + tests (which include the QCheck parity suite:
+# compiled executor == interpreted executor == Naive oracle on random
+# plans), then the batch-executor assertions — median ns/row speedup
+# >= 3x over the interpreted executor on the EXP-A operator mix at
+# n_docs=800, zero result-set divergence between executors, and the
+# plan-cache hit rate from PR 2 still >= 90% with hits now also skipping
+# plan compilation.  Writes BENCH_exec.json next to this script's parent
+# directory.  Exit code is non-zero on any failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/exec.exe -- --assert --docs 800 --json BENCH_exec.json

@@ -15,8 +15,12 @@
       the naive side runs at.
 
    Run with:     dune exec bench/scaling.exe
-   Assert mode:  dune exec bench/scaling.exe -- --assert
-   (exit code 1 when a bound is violated) *)
+   Assert mode:  dune exec bench/scaling.exe -- --assert [--json PATH]
+   (exit code 1 when a bound is violated)
+
+   [--json PATH] additionally writes the measured rows and fitted
+   exponents as machine-readable JSON (same shape family as
+   BENCH_exec.json), so the bench trajectory accumulates across PRs. *)
 
 open Soqm_vml
 open Soqm_core
@@ -147,8 +151,39 @@ let exponent rows value =
     log (value b /. value a) /. log (float b.paras /. float a.paras)
   | _ -> nan
 
+let json_of_rows rows ~e_q ~e_join =
+  let row r =
+    let naive =
+      match r.naive_join_s with
+      | Some s -> Printf.sprintf "%.6f" s
+      | None -> "null"
+    in
+    Printf.sprintf
+      "    {\"n_docs\": %d, \"paragraphs\": %d, \"worked_q_s\": %.6f, \
+       \"joins_s\": %.6f, \"naive_joins_s\": %s}"
+      r.n_docs r.paras r.q_s r.join_s naive
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"bench\": \"scaling\",\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"exponent_worked_q\": %.3f,\n\
+    \  \"exponent_joins\": %.3f\n\
+     }\n"
+    (String.concat ",\n" (List.map row rows))
+    e_q e_join
+
+let arg_value flag parse =
+  let rec go = function
+    | f :: v :: _ when String.equal f flag -> Some (parse v)
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
 let () =
   let assert_mode = Array.exists (String.equal "--assert") Sys.argv in
+  let json_path = arg_value "--json" Fun.id in
   let failed = ref false in
   Printf.printf "logical-evaluator scaling (reference interpreter, Eval.run)\n";
   Printf.printf "%8s %12s | %12s %12s %14s %9s\n" "docs" "paragraphs"
@@ -169,6 +204,13 @@ let () =
   Printf.printf
     "\ngrowth exponent over the last size doubling: worked Q %.2f, joins %.2f\n"
     e_q e_join;
+  (match json_path with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (json_of_rows rows ~e_q ~e_join);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
   let bound = 1.75 in
   if e_join > bound || e_q > bound then (
     Printf.printf "FAIL: evaluator scales superlinearly (bound %.2f)\n" bound;

@@ -115,6 +115,84 @@ let run_cmd =
         (const run $ query_arg $ docs_arg $ hit_arg $ seed_arg $ disable_arg
        $ trace_arg $ naive_arg $ dot_arg))
 
+(* ------------------------------------------------------------------ *)
+(* explain: the slot-compiled operator tree                            *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let analyze_arg =
+    let doc =
+      "Also execute the plan and annotate every operator with the actual \
+       rows and blocks it emitted (from the executor's per-node counters)."
+    in
+    Arg.(value & flag & info [ "analyze" ] ~doc)
+  in
+  let explain query docs hit seed disabled analyze =
+    try
+      let db = make_db docs hit seed in
+      let classes =
+        List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
+      in
+      let engine = Engine.generate ~classes db in
+      let logical = Engine.logical_of_query db query in
+      match Engine.safe_to_optimize db logical with
+      | Error msg -> `Error (false, "cannot optimize: " ^ msg)
+      | Ok () ->
+        let opt, compiled = Engine.optimize_compiled engine logical in
+        let actuals =
+          if analyze then begin
+            let ns = Soqm_physical.Exec.make_stats compiled in
+            ignore
+              (Soqm_physical.Exec.run_compiled ~stats:ns (Engine.exec_ctx db)
+                 compiled);
+            Some ns
+          end
+          else None
+        in
+        let annot (c : Soqm_physical.Plan.compiled) =
+          let e = Soqm_physical.Cost.estimate db.Db.stats c.Soqm_physical.Plan.source in
+          let est =
+            Printf.sprintf "width=%d est_rows=%.0f"
+              (Soqm_algebra.Relation.Layout.width c.Soqm_physical.Plan.layout)
+              e.Soqm_physical.Cost.card
+          in
+          match actuals with
+          | Some ns ->
+            Printf.sprintf "(%s actual_rows=%d blocks=%d)" est
+              ns.Soqm_physical.Exec.node_rows.(c.Soqm_physical.Plan.cid)
+              ns.Soqm_physical.Exec.node_blocks.(c.Soqm_physical.Plan.cid)
+          | None -> Printf.sprintf "(%s)" est
+        in
+        Printf.printf
+          "plan: estimated cost %.1f, %d variant(s) explored, %d operator(s), \
+           block size %d\n"
+          opt.Soqm_optimizer.Search.best_cost
+          opt.Soqm_optimizer.Search.variants_explored
+          (Soqm_physical.Plan.node_count compiled)
+          Soqm_physical.Exec.block_size;
+        print_endline (Soqm_physical.Plan.compiled_to_string ~annot compiled);
+        `Ok ()
+    with
+    | Soqm_vql.Parser.Error msg -> `Error (false, "parse error: " ^ msg)
+    | Soqm_vql.Typecheck.Error msg -> `Error (false, "type error: " ^ msg)
+    | Soqm_physical.Plan.Compile_error msg ->
+      `Error (false, "compile error: " ^ msg)
+    | Soqm_algebra.Eval.Error msg | Soqm_physical.Exec.Error msg ->
+      `Error (false, "execution error: " ^ msg)
+  in
+  let doc =
+    "Print the optimized query's slot-compiled operator tree: per operator \
+     its output layout, layout width and estimated rows (from the collected \
+     statistics); with $(b,--analyze), also the actual rows and blocks \
+     observed by executing the plan."
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      ret
+        (const explain $ query_arg $ docs_arg $ hit_arg $ seed_arg
+       $ disable_arg $ analyze_arg))
+
 let schema_cmd =
   let show () =
     Format.printf "%a@." Soqm_vml.Schema.pp Doc_schema.schema;
@@ -408,8 +486,8 @@ let main =
   in
   Cmd.group (Cmd.info "soqm" ~version:"1.0.0" ~doc)
     [
-      run_cmd; repl_cmd; schema_cmd; rules_cmd; save_cmd; insert_cmd;
-      update_cmd; delete_cmd; stats_cmd;
+      run_cmd; explain_cmd; repl_cmd; schema_cmd; rules_cmd; save_cmd;
+      insert_cmd; update_cmd; delete_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -5,7 +5,7 @@ exception Error of string
 let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 let eval_expr store tuple e =
-  let binding r = List.assoc_opt r tuple in
+  let binding r = Relation.Tuple.find_opt r tuple in
   try Runtime.eval (Runtime.env ~binding store) e
   with Runtime.Error msg -> error "expression %s: %s" (Expr.to_string e) msg
 
@@ -165,9 +165,7 @@ let rec run store (t : General.t) : Relation.t =
     ignore (refs_of t);
     let out =
       Relation.make ~refs:rs
-        (List.map
-           (fun tup -> List.filter (fun (r, _) -> List.mem r rs) tup)
-           (Relation.tuples input))
+        (List.map (fun tup -> Relation.Tuple.project rs tup) (Relation.tuples input))
     in
     Counters.charge_tuples (counters store) (Relation.cardinality out);
     out

@@ -44,6 +44,15 @@ module Tuple : sig
   val merge_sorted : t -> t -> t
   (** Merge two sorted tuples; on shared names the left component wins
       (only merge tuples that agree on their shared references). *)
+
+  val find_opt : string -> t -> Value.t option
+  (** Sorted-order lookup; stops early once the name cannot appear.
+      The shared replacement for the O(width) [List.assoc_opt] helpers
+      that used to be duplicated between the evaluators. *)
+
+  val project : string list -> t -> t
+  (** Project onto a {e sorted} reference list in one merge-style pass.
+      Names absent from the tuple are silently dropped. *)
 end
 
 module Tbl : Hashtbl.S with type key = tuple
@@ -51,6 +60,68 @@ module Tbl : Hashtbl.S with type key = tuple
 
 module KeyTbl : Hashtbl.S with type key = Value.t list
 (** Hash tables keyed by join keys (projected value lists). *)
+
+(** Layouts: the compile-time side of slot-resolved execution.
+
+    A layout fixes, once per operator, where each attribute of that
+    operator's output lives: the sorted, duplicate-free array of
+    attribute names.  Name resolution ([slot]) happens against the
+    layout when a plan is {e compiled}; at execution time tuples are
+    plain [Value.t array]s ("rows") indexed by slot, and the helpers
+    below precompute the copy plans (projection, join merge, column
+    insertion) that the batch kernels replay with integer indexing
+    only.  Layout order deliberately coincides with canonical tuple
+    order, so converting a row to a tuple never re-sorts. *)
+module Layout : sig
+  type t = string array
+  (** Sorted, duplicate-free attribute names; index = slot. *)
+
+  val of_refs : string list -> t
+  val width : t -> int
+  val names : t -> string list
+  val equal : t -> t -> bool
+
+  val slot : t -> string -> int option
+  (** Binary search; [None] when the attribute is absent. *)
+
+  val slot_exn : t -> string -> int
+  (** @raise Invalid_argument when the attribute is absent. *)
+
+  val union : t -> t -> t
+
+  val row_of_tuple : t -> tuple -> Value.t array
+  (** Strip names off a canonical tuple whose names are exactly the
+      layout.  @raise Invalid_argument on mismatch. *)
+
+  val tuple_of_row : t -> Value.t array -> tuple
+  (** Reattach names; the result is canonical by construction. *)
+
+  val projection : src:t -> string list -> t * int array
+  (** Output layout plus, per output slot, the source slot to copy.
+      @raise Invalid_argument when a name is absent from [src]. *)
+
+  val merge_plan : left:t -> right:t -> t * int array
+  (** Join-output layout plus a signed copy plan: entry [i >= 0] copies
+      [left.(i)], entry [i < 0] copies [right.(-i - 1)].  Shared names
+      copy from the left, matching {!Tuple.merge_sorted}. *)
+
+  val insertion : t -> string -> t * int
+  (** Layout with one attribute added, and the slot it lands in.
+      @raise Invalid_argument when already present. *)
+end
+
+module Row : sig
+  type t = Value.t array
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+(** Rows (slot-indexed tuples) as a hashable type; [equal] is
+    positionwise {!Value.equal} and the generic [hash] is consistent
+    with it on canonical values — same contract as {!Tuple}. *)
+
+module RowTbl : Hashtbl.S with type key = Value.t array
+(** Hash tables keyed by rows (join builds, dedup, diff sets). *)
 
 val make : refs:string list -> tuple list -> t
 (** Canonicalize (sort refs, sort tuple components, deduplicate tuples)

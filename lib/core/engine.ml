@@ -7,6 +7,9 @@ type cache_entry = {
   result : Search.result;
   entry_epoch : int;  (* maintenance epoch the plan was produced under *)
   mutable last_used : int;
+  mutable compiled : Soqm_physical.Plan.compiled option;
+      (* slot-compiled best plan, filled on first execution: a cache hit
+         skips both the rule search and plan compilation *)
 }
 
 type t = {
@@ -157,7 +160,7 @@ let evict_lru t =
     | Some (key, _) -> Hashtbl.remove t.plan_cache key
     | None -> ())
 
-let optimize t logical =
+let optimize_entry t logical =
   let key = Restricted.alpha_canonical logical in
   let epoch = t.epoch_of () in
   t.cache_tick <- t.cache_tick + 1;
@@ -167,7 +170,7 @@ let optimize t logical =
     cached.last_used <- t.cache_tick;
     t.cache_hits <- t.cache_hits + 1;
     Counters.charge_plan_cache_hit counters;
-    cached.result
+    cached
   | stale ->
     (* a hit from an older epoch is invalid: knowledge or statistics
        changed since the plan was costed *)
@@ -179,9 +182,25 @@ let optimize t logical =
         t.implementations logical
     in
     evict_lru t;
-    Hashtbl.replace t.plan_cache key
-      { result; entry_epoch = epoch; last_used = t.cache_tick };
-    result
+    let entry =
+      { result; entry_epoch = epoch; last_used = t.cache_tick; compiled = None }
+    in
+    Hashtbl.replace t.plan_cache key entry;
+    entry
+
+let optimize t logical = (optimize_entry t logical).result
+
+let optimize_compiled t logical =
+  let entry = optimize_entry t logical in
+  let compiled =
+    match entry.compiled with
+    | Some c -> c
+    | None ->
+      let c = Soqm_physical.Exec.compile t.exec entry.result.Search.best_plan in
+      entry.compiled <- Some c;
+      c
+  in
+  (entry.result, compiled)
 
 let optimize_query t src = optimize t (logical_of_store t.obj_store src)
 
@@ -221,12 +240,20 @@ let run_query t src =
   let plan = Soqm_physical.Plan.default_implementation logical in
   execute_with t.exec t.obj_store plan None
 
+let execute_compiled_with exec store compiled opt =
+  let c = Object_store.counters store in
+  Counters.reset c;
+  let result, elapsed_s =
+    timed (fun () -> Soqm_physical.Exec.run_compiled exec compiled)
+  in
+  { result; counters = Counters.snapshot c; opt; elapsed_s }
+
 let run_optimized t src =
   let logical = logical_of_store t.obj_store src in
   match safe_with_schema (Object_store.schema t.obj_store) logical with
   | Ok () ->
-    let opt = optimize t logical in
-    execute_with t.exec t.obj_store opt.Search.best_plan (Some opt)
+    let opt, compiled = optimize_compiled t logical in
+    execute_compiled_with t.exec t.obj_store compiled (Some opt)
   | Error _ ->
     (* a potentially updating query: execute as written *)
     execute_with t.exec t.obj_store

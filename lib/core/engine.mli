@@ -75,6 +75,12 @@ val optimize : t -> Restricted.t -> Search.result
     Hits and misses are counted both cumulatively ({!cache_stats}) and on
     the store's {!Counters} ([plan_cache_hits]/[plan_cache_misses]). *)
 
+val optimize_compiled : t -> Restricted.t -> Search.result * Soqm_physical.Plan.compiled
+(** Like {!optimize}, but also returns the slot-compiled best plan.  The
+    compiled form is cached alongside the search result, so a plan-cache
+    hit skips both the rule search and plan compilation; {!run_optimized}
+    executes through this path. *)
+
 val optimize_query : t -> string -> Search.result
 (** Parse, typecheck and translate against the engine's schema, then
     optimize. *)

@@ -23,6 +23,15 @@ let tuple_cost = 0.01
 let fetch_cost = 1.2 (* object fetch + property read *)
 let probe_cost = 1.0
 
+(* The batch executor hands results downstream a block at a time; each
+   operator pays a per-block dispatch overhead on top of the per-row
+   work.  At [Exec.block_size] rows per block this term is tiny per
+   tuple, but it makes the model prefer plans that keep blocks full. *)
+let block_cost = 0.5
+
+let block_dispatch card =
+  Float.ceil (Float.max 0.0 card /. float_of_int Exec.block_size) *. block_cost
+
 let is_const_operand consts = function
   | Restricted.OConst _ -> true
   | Restricted.ORef r -> List.mem r consts
@@ -112,12 +121,14 @@ let rec analyze stats (plan : Plan.t) : info =
   | Plan.Unit -> { e = { card = 1.0; cost = 0.0 }; prov = []; consts = [] }
   | Plan.FullScan (a, cls) ->
     let n = Statistics.cardinality stats cls in
-    { e = { card = n; cost = n *. 1.0 }; prov = [ (a, PObj cls) ]; consts = [] }
+    { e = { card = n; cost = (n *. 1.0) +. block_dispatch n };
+      prov = [ (a, PObj cls) ];
+      consts = [] }
   | Plan.IndexScan (a, cls, prop, _) ->
     let n = Statistics.cardinality stats cls in
     let card = Float.max 1.0 (n *. Statistics.eq_selectivity stats ~cls ~prop) in
     {
-      e = { card; cost = probe_cost +. (card *. 0.1) };
+      e = { card; cost = probe_cost +. (card *. 0.1) +. block_dispatch card };
       prov = [ (a, PObj cls) ];
       consts = [];
     }
@@ -135,7 +146,7 @@ let rec analyze stats (plan : Plan.t) : info =
     in
     let card = Float.max 1.0 (n *. sel) in
     {
-      e = { card; cost = probe_cost +. (card *. 0.1) };
+      e = { card; cost = probe_cost +. (card *. 0.1) +. block_dispatch card };
       prov = [ (a, PObj cls) ];
       consts = [];
     }
@@ -148,7 +159,7 @@ let rec analyze stats (plan : Plan.t) : info =
       | _ -> POther
     in
     {
-      e = { card; cost = mcost +. (card *. tuple_cost) };
+      e = { card; cost = mcost +. (card *. tuple_cost) +. block_dispatch card };
       prov = [ (a, elem_prov) ];
       consts = [];
     }
@@ -160,7 +171,9 @@ let rec analyze stats (plan : Plan.t) : info =
       e =
         {
           card = i.e.card *. sel;
-          cost = i.e.cost +. (i.e.card *. tuple_cost);
+          cost =
+            i.e.cost +. (i.e.card *. tuple_cost)
+            +. block_dispatch (i.e.card *. sel);
         };
     }
   | Plan.NestedLoop (pred, p1, p2) ->
@@ -168,14 +181,22 @@ let rec analyze stats (plan : Plan.t) : info =
     let raw = i1.e.card *. i2.e.card in
     let sel = match pred with None -> 1.0 | Some (Restricted.CEq, _, _) -> 1.0 /. Float.max 1.0 (Float.max i1.e.card i2.e.card) | Some _ -> 0.33 in
     merge_infos i1 i2
-      { card = raw *. sel; cost = i1.e.cost +. i2.e.cost +. (raw *. tuple_cost) }
+      {
+        card = raw *. sel;
+        cost =
+          i1.e.cost +. i2.e.cost +. (raw *. tuple_cost)
+          +. block_dispatch (raw *. sel);
+      }
   | Plan.HashJoin (_, _, p1, p2) ->
     let i1 = analyze stats p1 and i2 = analyze stats p2 in
     let card = Float.min i1.e.card i2.e.card in
     merge_infos i1 i2
       {
         card;
-        cost = i1.e.cost +. i2.e.cost +. ((i1.e.card +. i2.e.card) *. 0.02);
+        cost =
+          i1.e.cost +. i2.e.cost
+          +. ((i1.e.card +. i2.e.card) *. 0.02)
+          +. block_dispatch card;
       }
   | Plan.NaturalJoin (p1, p2) ->
     let i1 = analyze stats p1 and i2 = analyze stats p2 in
@@ -183,15 +204,26 @@ let rec analyze stats (plan : Plan.t) : info =
     merge_infos i1 i2
       {
         card;
-        cost = i1.e.cost +. i2.e.cost +. ((i1.e.card +. i2.e.card) *. 0.02);
+        cost =
+          i1.e.cost +. i2.e.cost
+          +. ((i1.e.card +. i2.e.card) *. 0.02)
+          +. block_dispatch card;
       }
   | Plan.Union (p1, p2) ->
     let i1 = analyze stats p1 and i2 = analyze stats p2 in
     merge_infos i1 i2
-      { card = i1.e.card +. i2.e.card; cost = i1.e.cost +. i2.e.cost }
+      {
+        card = i1.e.card +. i2.e.card;
+        cost =
+          i1.e.cost +. i2.e.cost +. block_dispatch (i1.e.card +. i2.e.card);
+      }
   | Plan.Diff (p1, p2) ->
     let i1 = analyze stats p1 and i2 = analyze stats p2 in
-    merge_infos i1 i2 { card = i1.e.card; cost = i1.e.cost +. i2.e.cost }
+    merge_infos i1 i2
+      {
+        card = i1.e.card;
+        cost = i1.e.cost +. i2.e.cost +. block_dispatch i1.e.card;
+      }
   | Plan.MapProp (a, p, a1, input) | Plan.FlatProp (a, p, a1, input) ->
     let i = analyze stats input in
     let recv_prov = Option.value ~default:POther (List.assoc_opt a1 i.prov) in
@@ -220,7 +252,13 @@ let rec analyze stats (plan : Plan.t) : info =
       else (i.e.card, result_prov)
     in
     {
-      e = { card; cost = i.e.cost +. (evals *. per_eval) +. (card *. tuple_cost) };
+      e =
+        {
+          card;
+          cost =
+            i.e.cost +. (evals *. per_eval) +. (card *. tuple_cost)
+            +. block_dispatch card;
+        };
       prov = (a, prov_a) :: i.prov;
       consts = (if const then a :: i.consts else i.consts);
     }
@@ -269,7 +307,13 @@ let rec analyze stats (plan : Plan.t) : info =
       else (i.e.card, result_prov)
     in
     {
-      e = { card; cost = i.e.cost +. (evals *. mcost) +. (card *. tuple_cost) };
+      e =
+        {
+          card;
+          cost =
+            i.e.cost +. (evals *. mcost) +. (card *. tuple_cost)
+            +. block_dispatch card;
+        };
       prov = (a, prov_a) :: i.prov;
       consts = (if const then a :: i.consts else i.consts);
     }
@@ -284,7 +328,12 @@ let rec analyze stats (plan : Plan.t) : info =
       | _ -> POther
     in
     {
-      e = { card = i.e.card; cost = i.e.cost +. (i.e.card *. tuple_cost) };
+      e =
+        {
+          card = i.e.card;
+          cost =
+            i.e.cost +. (i.e.card *. tuple_cost) +. block_dispatch i.e.card;
+        };
       prov = (a, prov_a) :: i.prov;
       consts = (if const then a :: i.consts else i.consts);
     }
@@ -308,7 +357,9 @@ let rec analyze stats (plan : Plan.t) : info =
       e =
         {
           card = i.e.card *. k;
-          cost = i.e.cost +. (i.e.card *. k *. tuple_cost);
+          cost =
+            i.e.cost +. (i.e.card *. k *. tuple_cost)
+            +. block_dispatch (i.e.card *. k);
         };
       prov = (a, elem_prov) :: i.prov;
       consts = i.consts;
@@ -316,7 +367,12 @@ let rec analyze stats (plan : Plan.t) : info =
   | Plan.Project (rs, input) ->
     let i = analyze stats input in
     {
-      e = { card = i.e.card; cost = i.e.cost +. (i.e.card *. tuple_cost) };
+      e =
+        {
+          card = i.e.card;
+          cost =
+            i.e.cost +. (i.e.card *. tuple_cost) +. block_dispatch i.e.card;
+        };
       prov = List.filter (fun (r, _) -> List.mem r rs) i.prov;
       consts = List.filter (fun r -> List.mem r rs) i.consts;
     }

@@ -27,18 +27,6 @@ type iter = { next : unit -> Relation.tuple option; close : unit -> unit }
 
 let counters ctx = Object_store.counters ctx.store
 
-let operand_value tuple = function
-  | Restricted.ORef r -> (
-    match List.assoc_opt r tuple with
-    | Some v -> v
-    | None -> error "unbound reference %S in physical plan" r)
-  | Restricted.OConst v -> v
-  | Restricted.OParam p -> error "unresolved specification parameter %S" p
-
-let receiver_value tuple = function
-  | Restricted.RRef r -> operand_value tuple (Restricted.ORef r)
-  | Restricted.RClass c -> Value.Cls c
-
 let eval_cmp c x y =
   try Runtime.eval_binop (Restricted.cmp_to_binop c) x y
   with Runtime.Error msg -> error "%s" msg
@@ -55,63 +43,6 @@ let eval_op op (vs : Value.t list) =
   | Restricted.OpSet, vs -> Value.set vs
   | _ -> error "operator arity mismatch in physical plan"
 
-let of_list tuples =
-  let remaining = ref tuples in
-  {
-    next =
-      (fun () ->
-        match !remaining with
-        | [] -> None
-        | t :: rest ->
-          remaining := rest;
-          Some t);
-    close = (fun () -> remaining := []);
-  }
-
-let drain iter =
-  let rec go acc =
-    match iter.next () with None -> List.rev acc | Some t -> go (t :: acc)
-  in
-  let tuples = go [] in
-  iter.close ();
-  tuples
-
-(* One output tuple per input tuple, extended with [a := f tuple]. *)
-let extend ctx a f input =
-  {
-    next =
-      (fun () ->
-        match input.next () with
-        | None -> None
-        | Some tuple ->
-          Counters.charge_tuple (counters ctx);
-          Some (Relation.Tuple.insert (a, f tuple) tuple));
-    close = input.close;
-  }
-
-(* One output tuple per member of the set [f tuple]. *)
-let unnest ctx a f input =
-  let pending = ref [] in
-  let rec next () =
-    match !pending with
-    | t :: rest ->
-      pending := rest;
-      Counters.charge_tuple (counters ctx);
-      Some t
-    | [] -> (
-      match input.next () with
-      | None -> None
-      | Some tuple ->
-        (match f tuple with
-        | Value.Set members ->
-          pending :=
-            List.map (fun v -> Relation.Tuple.insert (a, v) tuple) members
-        | Value.Null -> pending := []
-        | v -> error "flat operator produced non-set %s" (Value.to_string v));
-        next ())
-  in
-  { next; close = input.close }
-
 let memoized1 f =
   let memo = Hashtbl.create 64 in
   fun key ->
@@ -122,257 +53,1005 @@ let memoized1 f =
       Hashtbl.replace memo key v;
       v
 
-let rec open_plan ctx (plan : Plan.t) : iter =
-  match plan with
-  | Plan.Unit -> of_list [ [] ]
-  | Plan.FullScan (a, cls) ->
-    let oids =
-      try Object_store.extent ctx.store cls
-      with Invalid_argument msg -> error "%s" msg
-    in
-    let tuples =
-      List.map
-        (fun o ->
-          Counters.charge_object_fetch (counters ctx);
-          [ (a, Value.Obj o) ])
-        oids
-    in
-    of_list tuples
-  | Plan.IndexScan (a, cls, prop, key) -> (
-    match ctx.probe_index ~cls ~prop key with
-    | Some oids -> of_list (List.map (fun o -> [ (a, Value.Obj o) ]) oids)
-    | None -> error "no index on %s.%s" cls prop)
-  | Plan.RangeScan (a, cls, prop, lo, hi) -> (
-    match ctx.probe_range ~cls ~prop ~lo ~hi with
-    | Some oids -> of_list (List.map (fun o -> [ (a, Value.Obj o) ]) oids)
-    | None -> error "no ordered index on %s.%s" cls prop)
-  | Plan.MethodScan (a, cls, m, args) -> (
-    match
-      try Runtime.invoke ctx.store (Value.Cls cls) m args
-      with Runtime.Error msg -> error "%s" msg
-    with
-    | Value.Set members -> of_list (List.map (fun v -> [ (a, v) ]) members)
-    | v -> error "method scan %s->%s produced non-set %s" cls m (Value.to_string v))
-  | Plan.Filter (c, x, y, input) ->
-    let input = open_plan ctx input in
-    let rec next () =
-      match input.next () with
-      | None -> None
-      | Some tuple ->
-        if Value.truthy (eval_cmp c (operand_value tuple x) (operand_value tuple y))
-        then (
-          Counters.charge_tuple (counters ctx);
-          Some tuple)
-        else next ()
-    in
-    { next; close = input.close }
-  | Plan.NestedLoop (pred, left, right) ->
-    let left = open_plan ctx left in
-    let right_tuples = lazy (drain (open_plan ctx right)) in
-    let current = ref None in
-    let remaining = ref [] in
-    let rec next () =
-      match !remaining with
-      | rt :: rest -> (
-        remaining := rest;
-        match !current with
-        | None -> next ()
-        | Some lt ->
-          let merged = Relation.Tuple.merge_sorted lt rt in
-          let keep =
-            match pred with
-            | None -> true
-            | Some (c, a1, a2) ->
-              Value.truthy
-                (eval_cmp c
-                   (operand_value merged (Restricted.ORef a1))
-                   (operand_value merged (Restricted.ORef a2)))
-          in
-          if keep then (
-            Counters.charge_tuple (counters ctx);
-            Some merged)
-          else next ())
-      | [] -> (
-        match left.next () with
-        | None -> None
-        | Some lt ->
-          current := Some lt;
-          remaining := Lazy.force right_tuples;
-          next ())
-    in
-    { next; close = left.close }
-  | Plan.HashJoin (a1, a2, left, right) ->
-    let left = open_plan ctx left in
-    let table =
-      lazy
-        (let tbl = Hashtbl.create 256 in
-         List.iter
-           (fun rt ->
-             let key = operand_value rt (Restricted.ORef a2) in
-             Hashtbl.add tbl key rt)
-           (drain (open_plan ctx right));
-         tbl)
-    in
-    let pending = ref [] in
-    let rec next () =
-      match !pending with
-      | t :: rest ->
-        pending := rest;
-        Counters.charge_tuple (counters ctx);
-        Some t
-      | [] -> (
-        match left.next () with
-        | None -> None
-        | Some lt ->
-          let key = operand_value lt (Restricted.ORef a1) in
-          pending :=
-            List.map
-              (fun rt -> Relation.Tuple.merge_sorted lt rt)
-              (Hashtbl.find_all (Lazy.force table) key);
-          next ())
-    in
-    { next; close = left.close }
-  | Plan.NaturalJoin (left_plan, right_plan) ->
-    let left = open_plan ctx left_plan in
-    let shared =
-      List.filter
-        (fun r -> List.mem r (Plan.refs right_plan))
-        (Plan.refs left_plan)
-    in
-    let table =
-      lazy
-        (let tbl = Relation.KeyTbl.create 256 in
-         List.iter
-           (fun rt ->
-             let key = Relation.Tuple.key shared rt in
-             match Relation.KeyTbl.find_opt tbl key with
-             | Some prev -> Relation.KeyTbl.replace tbl key (rt :: prev)
-             | None -> Relation.KeyTbl.add tbl key [ rt ])
-           (drain (open_plan ctx right_plan));
-         tbl)
-    in
-    let pending = ref [] in
-    let rec next () =
-      match !pending with
-      | t :: rest ->
-        pending := rest;
-        Counters.charge_tuple (counters ctx);
-        Some t
-      | [] -> (
-        match left.next () with
-        | None -> None
-        | Some lt ->
-          let key = Relation.Tuple.key shared lt in
-          let matches =
-            Option.value ~default:[]
-              (Relation.KeyTbl.find_opt (Lazy.force table) key)
-          in
-          pending :=
-            List.map (fun rt -> Relation.Tuple.merge_sorted lt rt) matches;
-          next ())
-    in
-    { next; close = left.close }
-  | Plan.Union (left, right) ->
-    let left = open_plan ctx left in
-    let right = lazy (open_plan ctx right) in
-    let on_right = ref false in
-    let rec next () =
-      if !on_right then (Lazy.force right).next ()
-      else
-        match left.next () with
-        | Some t -> Some t
-        | None ->
-          on_right := true;
-          next ()
-    in
+(* ------------------------------------------------------------------ *)
+(* Interpreted path: one canonical tuple per next(), names resolved    *)
+(* with assoc lookups on every row.  Kept as the reference executor    *)
+(* the batch path is property-tested against.                          *)
+(* ------------------------------------------------------------------ *)
+
+module Interpreted = struct
+  let operand_value tuple = function
+    | Restricted.ORef r -> (
+      match Relation.Tuple.find_opt r tuple with
+      | Some v -> v
+      | None -> error "unbound reference %S in physical plan" r)
+    | Restricted.OConst v -> v
+    | Restricted.OParam p -> error "unresolved specification parameter %S" p
+
+  let receiver_value tuple = function
+    | Restricted.RRef r -> operand_value tuple (Restricted.ORef r)
+    | Restricted.RClass c -> Value.Cls c
+
+  let of_list tuples =
+    let remaining = ref tuples in
     {
-      next;
-      close =
+      next =
         (fun () ->
-          left.close ();
-          if Lazy.is_val right then (Lazy.force right).close ());
+          match !remaining with
+          | [] -> None
+          | t :: rest ->
+            remaining := rest;
+            Some t);
+      close = (fun () -> remaining := []);
     }
-  | Plan.Diff (left, right) ->
-    let left = open_plan ctx left in
-    let excluded =
-      lazy
-        (let tbl = Relation.Tbl.create 256 in
-         List.iter
-           (fun t -> Relation.Tbl.replace tbl t ())
-           (drain (open_plan ctx right));
-         tbl)
+
+  let drain iter =
+    let rec go acc =
+      match iter.next () with None -> List.rev acc | Some t -> go (t :: acc)
     in
+    let tuples = go [] in
+    iter.close ();
+    tuples
+
+  (* One output tuple per input tuple, extended with [a := f tuple]. *)
+  let extend ctx a f input =
+    {
+      next =
+        (fun () ->
+          match input.next () with
+          | None -> None
+          | Some tuple ->
+            Counters.charge_tuple (counters ctx);
+            Some (Relation.Tuple.insert (a, f tuple) tuple));
+      close = input.close;
+    }
+
+  (* One output tuple per member of the set [f tuple]. *)
+  let unnest ctx a f input =
+    let pending = ref [] in
     let rec next () =
-      match left.next () with
-      | None -> None
-      | Some t ->
-        if Relation.Tbl.mem (Lazy.force excluded) t then next () else Some t
-    in
-    { next; close = left.close }
-  | Plan.MapProp (a, p, a1, input) ->
-    let access =
-      memoized1 (fun recv ->
-          try Runtime.access ctx.store recv p
-          with Runtime.Error msg -> error "%s" msg)
-    in
-    extend ctx a
-      (fun tuple -> access (operand_value tuple (Restricted.ORef a1)))
-      (open_plan ctx input)
-  | Plan.MapMeth (a, m, recv, args, input) ->
-    let call =
-      memoized1 (fun (rv, avs) ->
-          try Runtime.invoke ctx.store rv m avs
-          with Runtime.Error msg -> error "%s" msg)
-    in
-    extend ctx a
-      (fun tuple ->
-        call (receiver_value tuple recv, List.map (operand_value tuple) args))
-      (open_plan ctx input)
-  | Plan.FlatProp (a, p, a1, input) ->
-    let access =
-      memoized1 (fun recv ->
-          try Runtime.access ctx.store recv p
-          with Runtime.Error msg -> error "%s" msg)
-    in
-    unnest ctx a
-      (fun tuple -> access (operand_value tuple (Restricted.ORef a1)))
-      (open_plan ctx input)
-  | Plan.FlatMeth (a, m, recv, args, input) ->
-    let call =
-      memoized1 (fun (rv, avs) ->
-          try Runtime.invoke ctx.store rv m avs
-          with Runtime.Error msg -> error "%s" msg)
-    in
-    unnest ctx a
-      (fun tuple ->
-        call (receiver_value tuple recv, List.map (operand_value tuple) args))
-      (open_plan ctx input)
-  | Plan.MapOp (a, op, xs, input) ->
-    extend ctx a
-      (fun tuple -> eval_op op (List.map (operand_value tuple) xs))
-      (open_plan ctx input)
-  | Plan.FlatOp (a, op, xs, input) ->
-    unnest ctx a
-      (fun tuple -> eval_op op (List.map (operand_value tuple) xs))
-      (open_plan ctx input)
-  | Plan.Project (rs, input) ->
-    let rs = List.sort_uniq String.compare rs in
-    let input = open_plan ctx input in
-    let seen = Relation.Tbl.create 256 in
-    let rec next () =
-      match input.next () with
-      | None -> None
-      | Some tuple ->
-        let projected = List.filter (fun (r, _) -> List.mem r rs) tuple in
-        if Relation.Tbl.mem seen projected then next ()
-        else (
-          Relation.Tbl.replace seen projected ();
-          Counters.charge_tuple (counters ctx);
-          Some projected)
+      match !pending with
+      | t :: rest ->
+        pending := rest;
+        Counters.charge_tuple (counters ctx);
+        Some t
+      | [] -> (
+        match input.next () with
+        | None -> None
+        | Some tuple ->
+          (match f tuple with
+          | Value.Set members ->
+            pending :=
+              List.map (fun v -> Relation.Tuple.insert (a, v) tuple) members
+          | Value.Null -> pending := []
+          | v -> error "flat operator produced non-set %s" (Value.to_string v));
+          next ())
     in
     { next; close = input.close }
 
-let run ctx plan =
-  let iter = open_plan ctx plan in
-  let tuples = drain iter in
-  Relation.make ~refs:(Plan.refs plan) tuples
+  let rec open_plan ctx (plan : Plan.t) : iter =
+    match plan with
+    | Plan.Unit -> of_list [ [] ]
+    | Plan.FullScan (a, cls) ->
+      let oids =
+        try Object_store.extent ctx.store cls
+        with Invalid_argument msg -> error "%s" msg
+      in
+      let tuples =
+        List.map
+          (fun o ->
+            Counters.charge_object_fetch (counters ctx);
+            [ (a, Value.Obj o) ])
+          oids
+      in
+      of_list tuples
+    | Plan.IndexScan (a, cls, prop, key) -> (
+      match ctx.probe_index ~cls ~prop key with
+      | Some oids -> of_list (List.map (fun o -> [ (a, Value.Obj o) ]) oids)
+      | None -> error "no index on %s.%s" cls prop)
+    | Plan.RangeScan (a, cls, prop, lo, hi) -> (
+      match ctx.probe_range ~cls ~prop ~lo ~hi with
+      | Some oids -> of_list (List.map (fun o -> [ (a, Value.Obj o) ]) oids)
+      | None -> error "no ordered index on %s.%s" cls prop)
+    | Plan.MethodScan (a, cls, m, args) -> (
+      match
+        try Runtime.invoke ctx.store (Value.Cls cls) m args
+        with Runtime.Error msg -> error "%s" msg
+      with
+      | Value.Set members -> of_list (List.map (fun v -> [ (a, v) ]) members)
+      | v ->
+        error "method scan %s->%s produced non-set %s" cls m (Value.to_string v))
+    | Plan.Filter (c, x, y, input) ->
+      let input = open_plan ctx input in
+      let rec next () =
+        match input.next () with
+        | None -> None
+        | Some tuple ->
+          if
+            Value.truthy
+              (eval_cmp c (operand_value tuple x) (operand_value tuple y))
+          then (
+            Counters.charge_tuple (counters ctx);
+            Some tuple)
+          else next ()
+      in
+      { next; close = input.close }
+    | Plan.NestedLoop (pred, left, right) ->
+      let left = open_plan ctx left in
+      let right_tuples = lazy (drain (open_plan ctx right)) in
+      let current = ref None in
+      let remaining = ref [] in
+      let rec next () =
+        match !remaining with
+        | rt :: rest -> (
+          remaining := rest;
+          match !current with
+          | None -> next ()
+          | Some lt ->
+            let merged = Relation.Tuple.merge_sorted lt rt in
+            let keep =
+              match pred with
+              | None -> true
+              | Some (c, a1, a2) ->
+                Value.truthy
+                  (eval_cmp c
+                     (operand_value merged (Restricted.ORef a1))
+                     (operand_value merged (Restricted.ORef a2)))
+            in
+            if keep then (
+              Counters.charge_tuple (counters ctx);
+              Some merged)
+            else next ())
+        | [] -> (
+          match left.next () with
+          | None -> None
+          | Some lt ->
+            current := Some lt;
+            remaining := Lazy.force right_tuples;
+            next ())
+      in
+      { next; close = left.close }
+    | Plan.HashJoin (a1, a2, left, right) ->
+      (* equi-join: Null keys never match (DESIGN.md §7), so they are
+         skipped on both the build and the probe side — mirroring the
+         logical evaluator's hash equi-join fast path. *)
+      let left = open_plan ctx left in
+      let table =
+        lazy
+          (let tbl = Hashtbl.create 256 in
+           List.iter
+             (fun rt ->
+               match operand_value rt (Restricted.ORef a2) with
+               | Value.Null -> ()
+               | key -> Hashtbl.add tbl key rt)
+             (drain (open_plan ctx right));
+           tbl)
+      in
+      let pending = ref [] in
+      let rec next () =
+        match !pending with
+        | t :: rest ->
+          pending := rest;
+          Counters.charge_tuple (counters ctx);
+          Some t
+        | [] -> (
+          match left.next () with
+          | None -> None
+          | Some lt ->
+            (match operand_value lt (Restricted.ORef a1) with
+            | Value.Null -> pending := []
+            | key ->
+              pending :=
+                List.map
+                  (fun rt -> Relation.Tuple.merge_sorted lt rt)
+                  (Hashtbl.find_all (Lazy.force table) key));
+            next ())
+      in
+      { next; close = left.close }
+    | Plan.NaturalJoin (left_plan, right_plan) ->
+      let left = open_plan ctx left_plan in
+      let shared =
+        List.filter
+          (fun r -> List.mem r (Plan.refs right_plan))
+          (Plan.refs left_plan)
+      in
+      let table =
+        lazy
+          (let tbl = Relation.KeyTbl.create 256 in
+           List.iter
+             (fun rt ->
+               let key = Relation.Tuple.key shared rt in
+               match Relation.KeyTbl.find_opt tbl key with
+               | Some prev -> Relation.KeyTbl.replace tbl key (rt :: prev)
+               | None -> Relation.KeyTbl.add tbl key [ rt ])
+             (drain (open_plan ctx right_plan));
+           tbl)
+      in
+      let pending = ref [] in
+      let rec next () =
+        match !pending with
+        | t :: rest ->
+          pending := rest;
+          Counters.charge_tuple (counters ctx);
+          Some t
+        | [] -> (
+          match left.next () with
+          | None -> None
+          | Some lt ->
+            let key = Relation.Tuple.key shared lt in
+            let matches =
+              Option.value ~default:[]
+                (Relation.KeyTbl.find_opt (Lazy.force table) key)
+            in
+            pending :=
+              List.map (fun rt -> Relation.Tuple.merge_sorted lt rt) matches;
+            next ())
+      in
+      { next; close = left.close }
+    | Plan.Union (left, right) ->
+      let left = open_plan ctx left in
+      let right = lazy (open_plan ctx right) in
+      let on_right = ref false in
+      let rec next () =
+        if !on_right then (Lazy.force right).next ()
+        else
+          match left.next () with
+          | Some t -> Some t
+          | None ->
+            on_right := true;
+            next ()
+      in
+      {
+        next;
+        close =
+          (fun () ->
+            left.close ();
+            if Lazy.is_val right then (Lazy.force right).close ());
+      }
+    | Plan.Diff (left, right) ->
+      let left = open_plan ctx left in
+      let excluded =
+        lazy
+          (let tbl = Relation.Tbl.create 256 in
+           List.iter
+             (fun t -> Relation.Tbl.replace tbl t ())
+             (drain (open_plan ctx right));
+           tbl)
+      in
+      let rec next () =
+        match left.next () with
+        | None -> None
+        | Some t ->
+          if Relation.Tbl.mem (Lazy.force excluded) t then next () else Some t
+      in
+      { next; close = left.close }
+    | Plan.MapProp (a, p, a1, input) ->
+      let access =
+        memoized1 (fun recv ->
+            try Runtime.access ctx.store recv p
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      extend ctx a
+        (fun tuple -> access (operand_value tuple (Restricted.ORef a1)))
+        (open_plan ctx input)
+    | Plan.MapMeth (a, m, recv, args, input) ->
+      let call =
+        memoized1 (fun (rv, avs) ->
+            try Runtime.invoke ctx.store rv m avs
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      extend ctx a
+        (fun tuple ->
+          call (receiver_value tuple recv, List.map (operand_value tuple) args))
+        (open_plan ctx input)
+    | Plan.FlatProp (a, p, a1, input) ->
+      let access =
+        memoized1 (fun recv ->
+            try Runtime.access ctx.store recv p
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      unnest ctx a
+        (fun tuple -> access (operand_value tuple (Restricted.ORef a1)))
+        (open_plan ctx input)
+    | Plan.FlatMeth (a, m, recv, args, input) ->
+      let call =
+        memoized1 (fun (rv, avs) ->
+            try Runtime.invoke ctx.store rv m avs
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      unnest ctx a
+        (fun tuple ->
+          call (receiver_value tuple recv, List.map (operand_value tuple) args))
+        (open_plan ctx input)
+    | Plan.MapOp (a, op, xs, input) ->
+      extend ctx a
+        (fun tuple -> eval_op op (List.map (operand_value tuple) xs))
+        (open_plan ctx input)
+    | Plan.FlatOp (a, op, xs, input) ->
+      unnest ctx a
+        (fun tuple -> eval_op op (List.map (operand_value tuple) xs))
+        (open_plan ctx input)
+    | Plan.Project (rs, input) ->
+      let rs = List.sort_uniq String.compare rs in
+      let input = open_plan ctx input in
+      let seen = Relation.Tbl.create 256 in
+      let rec next () =
+        match input.next () with
+        | None -> None
+        | Some tuple ->
+          let projected = Relation.Tuple.project rs tuple in
+          if Relation.Tbl.mem seen projected then next ()
+          else (
+            Relation.Tbl.replace seen projected ();
+            Counters.charge_tuple (counters ctx);
+            Some projected)
+      in
+      { next; close = input.close }
+
+  let run ctx plan =
+    let iter = open_plan ctx plan in
+    let tuples = drain iter in
+    Relation.make ~refs:(Plan.refs plan) tuples
+end
+
+(* ------------------------------------------------------------------ *)
+(* Batch path: rows are [Value.t array]s indexed by compile-time       *)
+(* slots, produced a block at a time.  The per-row loops below do      *)
+(* integer indexing and array blits only — every name was resolved     *)
+(* when the plan was compiled.                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* 128 rows per block: the largest power of two for which a block's
+   backing array (rows + header) still fits OCaml's minor heap
+   allocation limit (Max_young_wosize = 256 words).  Bigger blocks are
+   allocated directly on the major heap, where every stored row pointer
+   pays a write barrier and the block itself drives major-GC marking —
+   measured at 2-3x the per-row cost of the whole kernel. *)
+let block_size = 128
+
+type biter = {
+  next_block : unit -> Relation.Row.t array option;
+  close_blocks : unit -> unit;
+}
+
+type node_stats = { node_rows : int array; node_blocks : int array }
+
+let make_stats c =
+  let n = Plan.node_count c in
+  { node_rows = Array.make n 0; node_blocks = Array.make n 0 }
+
+(* -- row kernels ---------------------------------------------------- *)
+
+let insert_row (row : Value.t array) at v =
+  let w = Array.length row in
+  let out = Array.make (w + 1) v in
+  Array.blit row 0 out 0 at;
+  Array.blit row at out (at + 1) (w - at);
+  out
+
+(* [Array.make] + [Array.blit] cost ~30ns per row (C calls), an order of
+   magnitude more than the cons cells the interpreted executor allocates
+   inline.  Since every operator's input width is fixed at compile time,
+   the hot small widths are specialized to array literals — inline
+   allocation with initializing stores, no write barrier — and only wide
+   rows fall back to the generic blit path. *)
+let make_inserter ~at ~width : Relation.Row.t -> Value.t -> Relation.Row.t =
+  match width, at with
+  | 0, _ -> fun _ v -> [| v |]
+  | 1, 0 -> fun r v -> [| v; r.(0) |]
+  | 1, _ -> fun r v -> [| r.(0); v |]
+  | 2, 0 -> fun r v -> [| v; r.(0); r.(1) |]
+  | 2, 1 -> fun r v -> [| r.(0); v; r.(1) |]
+  | 2, _ -> fun r v -> [| r.(0); r.(1); v |]
+  | 3, 0 -> fun r v -> [| v; r.(0); r.(1); r.(2) |]
+  | 3, 1 -> fun r v -> [| r.(0); v; r.(1); r.(2) |]
+  | 3, 2 -> fun r v -> [| r.(0); r.(1); v; r.(2) |]
+  | 3, _ -> fun r v -> [| r.(0); r.(1); r.(2); v |]
+  | 4, 0 -> fun r v -> [| v; r.(0); r.(1); r.(2); r.(3) |]
+  | 4, 1 -> fun r v -> [| r.(0); v; r.(1); r.(2); r.(3) |]
+  | 4, 2 -> fun r v -> [| r.(0); r.(1); v; r.(2); r.(3) |]
+  | 4, 3 -> fun r v -> [| r.(0); r.(1); r.(2); v; r.(3) |]
+  | 4, _ -> fun r v -> [| r.(0); r.(1); r.(2); r.(3); v |]
+  | 5, 0 -> fun r v -> [| v; r.(0); r.(1); r.(2); r.(3); r.(4) |]
+  | 5, 1 -> fun r v -> [| r.(0); v; r.(1); r.(2); r.(3); r.(4) |]
+  | 5, 2 -> fun r v -> [| r.(0); r.(1); v; r.(2); r.(3); r.(4) |]
+  | 5, 3 -> fun r v -> [| r.(0); r.(1); r.(2); v; r.(3); r.(4) |]
+  | 5, 4 -> fun r v -> [| r.(0); r.(1); r.(2); r.(3); v; r.(4) |]
+  | 5, _ -> fun r v -> [| r.(0); r.(1); r.(2); r.(3); r.(4); v |]
+  | 6, 0 -> fun r v -> [| v; r.(0); r.(1); r.(2); r.(3); r.(4); r.(5) |]
+  | 6, 1 -> fun r v -> [| r.(0); v; r.(1); r.(2); r.(3); r.(4); r.(5) |]
+  | 6, 2 -> fun r v -> [| r.(0); r.(1); v; r.(2); r.(3); r.(4); r.(5) |]
+  | 6, 3 -> fun r v -> [| r.(0); r.(1); r.(2); v; r.(3); r.(4); r.(5) |]
+  | 6, 4 -> fun r v -> [| r.(0); r.(1); r.(2); r.(3); v; r.(4); r.(5) |]
+  | 6, 5 -> fun r v -> [| r.(0); r.(1); r.(2); r.(3); r.(4); v; r.(5) |]
+  | 6, _ -> fun r v -> [| r.(0); r.(1); r.(2); r.(3); r.(4); r.(5); v |]
+  | _ -> fun r v -> insert_row r at v
+
+(* Replay a signed merge plan: [i >= 0] copies [l.(i)], [i < 0] copies
+   [r.(-i - 1)] — see {!Relation.Layout.merge_plan}. *)
+let merge_rows (plan : int array) (l : Value.t array) (r : Value.t array) =
+  let w = Array.length plan in
+  let out = Array.make w Value.Null in
+  for i = 0 to w - 1 do
+    let s = plan.(i) in
+    out.(i) <- (if s >= 0 then l.(s) else r.(-s - 1))
+  done;
+  out
+
+(* One side-resolved getter per output slot; widths up to 4 build the
+   merged row as a literal. *)
+let make_merger (plan : int array) =
+  let g s : Relation.Row.t -> Relation.Row.t -> Value.t =
+    if s >= 0 then fun l _ -> l.(s)
+    else
+      let j = -s - 1 in
+      fun _ r -> r.(j)
+  in
+  match Array.map g plan with
+  | [| a |] -> fun l r -> [| a l r |]
+  | [| a; b |] -> fun l r -> [| a l r; b l r |]
+  | [| a; b; c |] -> fun l r -> [| a l r; b l r; c l r |]
+  | [| a; b; c; d |] -> fun l r -> [| a l r; b l r; c l r; d l r |]
+  | [| a; b; c; d; e |] -> fun l r -> [| a l r; b l r; c l r; d l r; e l r |]
+  | [| a; b; c; d; e; f |] ->
+    fun l r -> [| a l r; b l r; c l r; d l r; e l r; f l r |]
+  | [| a; b; c; d; e; f; g |] ->
+    fun l r -> [| a l r; b l r; c l r; d l r; e l r; f l r; g l r |]
+  | [| a; b; c; d; e; f; g; h |] ->
+    fun l r -> [| a l r; b l r; c l r; d l r; e l r; f l r; g l r; h l r |]
+  | _ -> fun l r -> merge_rows plan l r
+
+let copy_row (srcs : int array) (row : Value.t array) =
+  let w = Array.length srcs in
+  if w = 0 then [||]
+  else begin
+    let out = Array.make w Value.Null in
+    for i = 0 to w - 1 do
+      out.(i) <- row.(srcs.(i))
+    done;
+    out
+  end
+
+let make_copier (srcs : int array) : Relation.Row.t -> Relation.Row.t =
+  match srcs with
+  | [||] -> fun _ -> [||]
+  | [| a |] -> fun r -> [| r.(a) |]
+  | [| a; b |] -> fun r -> [| r.(a); r.(b) |]
+  | [| a; b; c |] -> fun r -> [| r.(a); r.(b); r.(c) |]
+  | [| a; b; c; d |] -> fun r -> [| r.(a); r.(b); r.(c); r.(d) |]
+  | _ -> fun r -> copy_row srcs r
+
+(* Growable row buffer for kernels whose output cardinality is not
+   known up front (joins, flattens). *)
+module Rowbuf = struct
+  type t = { mutable rows : Relation.Row.t array; mutable n : int }
+
+  let create () = { rows = Array.make 64 [||]; n = 0 }
+
+  let push b row =
+    let cap = Array.length b.rows in
+    if b.n = cap then begin
+      let grown = Array.make (2 * cap) [||] in
+      Array.blit b.rows 0 grown 0 b.n;
+      b.rows <- grown
+    end;
+    b.rows.(b.n) <- row;
+    b.n <- b.n + 1
+
+  let contents b =
+    if b.n = Array.length b.rows then b.rows else Array.sub b.rows 0 b.n
+end
+
+let slot_getter = function
+  | Plan.SSlot i -> fun (row : Value.t array) -> row.(i)
+  | Plan.SConst v -> fun _ -> v
+
+let receiver_getter = function
+  | Plan.RSlot i -> fun (row : Value.t array) -> row.(i)
+  | Plan.RClassObj c ->
+    let v = Value.Cls c in
+    fun _ -> v
+
+(* Build the operand list of a row without intermediate arrays. *)
+let args_of getters (row : Relation.Row.t) =
+  let rec go i =
+    if i >= Array.length getters then [] else getters.(i) row :: go (i + 1)
+  in
+  go 0
+
+(* Specialize an operator application at open time: the common arities
+   dispatch straight to the kernel, skipping per-row operand lists. *)
+let op_applier op (args : Plan.slot_operand array) : Relation.Row.t -> Value.t =
+  let getters = Array.map slot_getter args in
+  match op, getters with
+  | Restricted.OpIdent, [| g |] -> g
+  | Restricted.OpBin b, [| gx; gy |] ->
+    fun row -> (
+      try Runtime.eval_binop b (gx row) (gy row)
+      with Runtime.Error msg -> error "%s" msg)
+  | _ -> fun row -> eval_op op (args_of getters row)
+
+let open_compiled ?stats ctx (root : Plan.compiled) : biter =
+  let cnt = counters ctx in
+  (* Every emitted block is recorded against its operator's [cid]:
+     the block counter always, per-node rows/blocks when an [--analyze]
+     stats sink is attached. *)
+  let record cid (rows : Relation.Row.t array) =
+    Counters.charge_block cnt;
+    (match stats with
+    | Some s ->
+      s.node_rows.(cid) <- s.node_rows.(cid) + Array.length rows;
+      s.node_blocks.(cid) <- s.node_blocks.(cid) + 1
+    | None -> ());
+    Some rows
+  in
+  (* Emit single-column blocks straight off a scan's result list — the
+     extent is never materialized as one big (major-heap) array. *)
+  let scan_blocks ?(charge = false) cid f xs =
+    let remaining = ref xs in
+    let next_block () =
+      match !remaining with
+      | [] -> None
+      | xs ->
+        let buf = Array.make block_size [||] in
+        let k = ref 0 in
+        let rec take xs =
+          if !k = block_size then xs
+          else
+            match xs with
+            | [] -> []
+            | x :: rest ->
+              if charge then Counters.charge_object_fetch cnt;
+              buf.(!k) <- [| f x |];
+              incr k;
+              take rest
+        in
+        remaining := take xs;
+        let out = if !k = block_size then buf else Array.sub buf 0 !k in
+        record cid out
+    in
+    { next_block; close_blocks = (fun () -> remaining := []) }
+  in
+  (* Chunk a fully materialized row array into blocks. *)
+  let of_rows cid (rows : Relation.Row.t array) =
+    let n = Array.length rows in
+    let pos = ref 0 in
+    {
+      next_block =
+        (fun () ->
+          if !pos >= n then None
+          else begin
+            let k = min block_size (n - !pos) in
+            let out = Array.sub rows !pos k in
+            pos := !pos + k;
+            record cid out
+          end);
+      close_blocks = (fun () -> pos := n);
+    }
+  in
+  (* Pull input blocks, expand each into an output row array, re-chunk
+     into blocks of at most [block_size].  [charge] marks operators
+     whose outputs count as produced tuples (parity with the
+     interpreted executor's accounting). *)
+  let expanding ~charge cid input expand =
+    let pending = ref [||] in
+    let pos = ref 0 in
+    let rec next_block () =
+      let avail = Array.length !pending - !pos in
+      if avail > 0 then begin
+        let out =
+          if !pos = 0 && avail <= block_size then begin
+            let p = !pending in
+            pending := [||];
+            p
+          end
+          else begin
+            let k = min block_size avail in
+            let o = Array.sub !pending !pos k in
+            pos := !pos + k;
+            o
+          end
+        in
+        if charge then Counters.charge_tuples cnt (Array.length out);
+        record cid out
+      end
+      else
+        match input.next_block () with
+        | None -> None
+        | Some rows ->
+          pending := expand rows;
+          pos := 0;
+          next_block ()
+    in
+    { next_block; close_blocks = input.close_blocks }
+  in
+  let drain_rows b =
+    let rec go acc =
+      match b.next_block () with None -> acc | Some rows -> go (rows :: acc)
+    in
+    let blocks = List.rev (go []) in
+    b.close_blocks ();
+    Array.concat blocks
+  in
+  (* Keep-subset kernel shared by filter/diff/project: [keep] decides
+     per row (and may transform it). *)
+  let filtering ~charge cid input keep =
+    expanding ~charge cid input (fun rows ->
+        let n = Array.length rows in
+        let buf = Array.make n [||] in
+        let k = ref 0 in
+        for i = 0 to n - 1 do
+          match keep rows.(i) with
+          | Some row ->
+            buf.(!k) <- row;
+            incr k
+          | None -> ()
+        done;
+        if !k = n then buf else Array.sub buf 0 !k)
+  in
+  (* Pure-predicate variant of [filtering]: rows pass unchanged, so no
+     per-row [Some] allocation. *)
+  let selecting ~charge cid input pred =
+    expanding ~charge cid input (fun rows ->
+        let n = Array.length rows in
+        let buf = Array.make n [||] in
+        let k = ref 0 in
+        for i = 0 to n - 1 do
+          let row = rows.(i) in
+          if pred row then begin
+            buf.(!k) <- row;
+            incr k
+          end
+        done;
+        if !k = n then buf else Array.sub buf 0 !k)
+  in
+  let rec go (c : Plan.compiled) : biter =
+    let cid = c.Plan.cid in
+    match c.Plan.cop with
+    | Plan.CUnit -> of_rows cid [| [||] |]
+    | Plan.CFullScan cls ->
+      let oids =
+        try Object_store.extent ctx.store cls
+        with Invalid_argument msg -> error "%s" msg
+      in
+      scan_blocks ~charge:true cid (fun o -> Value.Obj o) oids
+    | Plan.CIndexScan (cls, prop, key) -> (
+      match ctx.probe_index ~cls ~prop key with
+      | Some oids -> scan_blocks cid (fun o -> Value.Obj o) oids
+      | None -> error "no index on %s.%s" cls prop)
+    | Plan.CRangeScan (cls, prop, lo, hi) -> (
+      match ctx.probe_range ~cls ~prop ~lo ~hi with
+      | Some oids -> scan_blocks cid (fun o -> Value.Obj o) oids
+      | None -> error "no ordered index on %s.%s" cls prop)
+    | Plan.CMethodScan (cls, m, args) -> (
+      match
+        try Runtime.invoke ctx.store (Value.Cls cls) m args
+        with Runtime.Error msg -> error "%s" msg
+      with
+      | Value.Set members -> scan_blocks cid Fun.id members
+      | v ->
+        error "method scan %s->%s produced non-set %s" cls m (Value.to_string v))
+    | Plan.CFilter (cmp, x, y, input) ->
+      let gx = slot_getter x and gy = slot_getter y in
+      selecting ~charge:true cid (go input) (fun row ->
+          Value.truthy (eval_cmp cmp (gx row) (gy row)))
+    | Plan.CNestedLoop (pred, merge, left, right) ->
+      (* Direct block producer: a [block_size] output buffer is filled
+         from the (left row, right row) cursor pair — no intermediate
+         per-left-block materialization of the cross product. *)
+      let right_rows = lazy (drain_rows (go right)) in
+      let merged_of = make_merger merge in
+      let keep =
+        match pred with
+        | None -> fun _ -> true
+        | Some (cmp, i, j) ->
+          fun (merged : Value.t array) ->
+            Value.truthy (eval_cmp cmp merged.(i) merged.(j))
+      in
+      let left = go left in
+      let lrows = ref [||] in
+      let li = ref 0 in
+      let ri = ref 0 in
+      let done_ = ref false in
+      let rec next_block () =
+        if !done_ then None
+        else begin
+          let rrows = Lazy.force right_rows in
+          let nr = Array.length rrows in
+          let buf = Array.make block_size [||] in
+          let k = ref 0 in
+          let rec fill () =
+            if !k >= block_size then ()
+            else if !li >= Array.length !lrows then
+              match left.next_block () with
+              | None -> done_ := true
+              | Some rows ->
+                lrows := rows;
+                li := 0;
+                ri := 0;
+                fill ()
+            else if !ri >= nr then begin
+              incr li;
+              ri := 0;
+              fill ()
+            end
+            else begin
+              let merged = merged_of (!lrows).(!li) rrows.(!ri) in
+              incr ri;
+              if keep merged then begin
+                buf.(!k) <- merged;
+                incr k
+              end;
+              fill ()
+            end
+          in
+          fill ();
+          if !k = 0 then next_block ()
+          else begin
+            let out = if !k = block_size then buf else Array.sub buf 0 !k in
+            Counters.charge_tuples cnt !k;
+            record cid out
+          end
+        end
+      in
+      { next_block; close_blocks = left.close_blocks }
+    | Plan.CHashJoin (ls, rs, merge, left, right) ->
+      (* Null keys never match (DESIGN.md §7): skipped on build and
+         probe, exactly like the interpreted executor. *)
+      let merged_of = make_merger merge in
+      (* build side bucketed once (match lists in right-input order), so
+         a probe is one lookup — no [find_all] list allocation *)
+      let table =
+        lazy
+          (let rrows = drain_rows (go right) in
+           (* sized to the build side up front: growing a hashtable
+              rehashes every entry, roughly doubling build cost *)
+           let tbl = Hashtbl.create (max 16 (Array.length rrows)) in
+           for ri = Array.length rrows - 1 downto 0 do
+             let rrow = rrows.(ri) in
+             match rrow.(rs) with
+             | Value.Null -> ()
+             | key ->
+               Hashtbl.replace tbl key
+                 (rrow
+                 ::
+                 (match Hashtbl.find_opt tbl key with
+                 | Some prev -> prev
+                 | None -> []))
+           done;
+           tbl)
+      in
+      expanding ~charge:true cid (go left) (fun lrows ->
+          let tbl = Lazy.force table in
+          let acc = Rowbuf.create () in
+          for li = 0 to Array.length lrows - 1 do
+            let lrow = lrows.(li) in
+            match lrow.(ls) with
+            | Value.Null -> ()
+            | key -> (
+              match Hashtbl.find_opt tbl key with
+              | None -> ()
+              | Some matches ->
+                List.iter
+                  (fun rrow -> Rowbuf.push acc (merged_of lrow rrow))
+                  matches)
+          done;
+          Rowbuf.contents acc)
+    | Plan.CNaturalJoin ([| il |], [| ir |], merge, left, right) ->
+      (* one shared column: key by the value itself (structural match,
+         so Nulls {e do} join — unlike the equi-join above) *)
+      let merged_of = make_merger merge in
+      let table =
+        lazy
+          (let rrows = drain_rows (go right) in
+           let tbl = Hashtbl.create (max 16 (Array.length rrows)) in
+           for ri = Array.length rrows - 1 downto 0 do
+             let rrow = rrows.(ri) in
+             let key = rrow.(ir) in
+             Hashtbl.replace tbl key
+               (rrow
+               ::
+               (match Hashtbl.find_opt tbl key with
+               | Some prev -> prev
+               | None -> []))
+           done;
+           tbl)
+      in
+      expanding ~charge:true cid (go left) (fun lrows ->
+          let tbl = Lazy.force table in
+          let acc = Rowbuf.create () in
+          for li = 0 to Array.length lrows - 1 do
+            let lrow = lrows.(li) in
+            match Hashtbl.find_opt tbl lrow.(il) with
+            | None -> ()
+            | Some matches ->
+              List.iter
+                (fun rrow -> Rowbuf.push acc (merged_of lrow rrow))
+                matches
+          done;
+          Rowbuf.contents acc)
+    | Plan.CNaturalJoin (kl, kr, merge, left, right) ->
+      (* structural match on the shared columns: Nulls {e do} match,
+         mirroring KeyTbl-based natural join / intersection. *)
+      let merged_of = make_merger merge in
+      let key_l = make_copier kl in
+      let key_r = make_copier kr in
+      let table =
+        lazy
+          (let rrows = drain_rows (go right) in
+           let tbl = Relation.RowTbl.create (max 16 (Array.length rrows)) in
+           Array.iter
+             (fun rrow ->
+               let key = key_r rrow in
+               match Relation.RowTbl.find_opt tbl key with
+               | Some prev -> Relation.RowTbl.replace tbl key (rrow :: prev)
+               | None -> Relation.RowTbl.add tbl key [ rrow ])
+             rrows;
+           tbl)
+      in
+      expanding ~charge:true cid (go left) (fun lrows ->
+          let tbl = Lazy.force table in
+          let acc = Rowbuf.create () in
+          for li = 0 to Array.length lrows - 1 do
+            let lrow = lrows.(li) in
+            match Relation.RowTbl.find_opt tbl (key_l lrow) with
+            | None -> ()
+            | Some matches ->
+              List.iter
+                (fun rrow -> Rowbuf.push acc (merged_of lrow rrow))
+                matches
+          done;
+          Rowbuf.contents acc)
+    | Plan.CUnion (left, right) ->
+      let left = go left in
+      let right = lazy (go right) in
+      let on_right = ref false in
+      let rec next_block () =
+        if !on_right then
+          match (Lazy.force right).next_block () with
+          | None -> None
+          | Some rows -> record cid rows
+        else
+          match left.next_block () with
+          | Some rows -> record cid rows
+          | None ->
+            on_right := true;
+            next_block ()
+      in
+      {
+        next_block;
+        close_blocks =
+          (fun () ->
+            left.close_blocks ();
+            if Lazy.is_val right then (Lazy.force right).close_blocks ());
+      }
+    | Plan.CDiff (left, right) ->
+      (* the probe is decided once the exclusion side is drained: an
+         empty exclusion set (constant-false restrictions are a common
+         rewriting residue) makes diff a pass-through, skipping the
+         per-row hash entirely *)
+      let pred =
+        lazy
+          (let rrows = drain_rows (go right) in
+           if Array.length rrows = 0 then fun _ -> true
+           else begin
+             let tbl = Relation.RowTbl.create (Array.length rrows) in
+             Array.iter (fun row -> Relation.RowTbl.replace tbl row ()) rrows;
+             fun row -> not (Relation.RowTbl.mem tbl row)
+           end)
+      in
+      selecting ~charge:false cid (go left) (fun row -> (Lazy.force pred) row)
+    | Plan.CMapProp (at, p, recv, input) ->
+      let ins = make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout) in
+      let access =
+        memoized1 (fun rv ->
+            try Runtime.access ctx.store rv p
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      expanding ~charge:true cid (go input)
+        (Array.map (fun row -> ins row (access row.(recv))))
+    | Plan.CMapMeth (at, m, recv, args, input) ->
+      let ins = make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout) in
+      let grecv = receiver_getter recv in
+      let getters = Array.map slot_getter args in
+      let call =
+        memoized1 (fun (rv, avs) ->
+            try Runtime.invoke ctx.store rv m avs
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      expanding ~charge:true cid (go input)
+        (Array.map (fun row -> ins row (call (grecv row, args_of getters row))))
+    | Plan.CMapOp (at, op, args, input) ->
+      let ins = make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout) in
+      let apply = op_applier op args in
+      expanding ~charge:true cid (go input)
+        (Array.map (fun row -> ins row (apply row)))
+    | Plan.CFlatProp (at, p, recv, input) ->
+      let ins = make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout) in
+      let access =
+        memoized1 (fun rv ->
+            try Runtime.access ctx.store rv p
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      expanding ~charge:true cid (go input) (fun rows ->
+          expand_rows ins rows (fun row -> access row.(recv)))
+    | Plan.CFlatMeth (at, m, recv, args, input) ->
+      let ins = make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout) in
+      let grecv = receiver_getter recv in
+      let getters = Array.map slot_getter args in
+      let call =
+        memoized1 (fun (rv, avs) ->
+            try Runtime.invoke ctx.store rv m avs
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      expanding ~charge:true cid (go input) (fun rows ->
+          expand_rows ins rows (fun row -> call (grecv row, args_of getters row)))
+    | Plan.CFlatOp (at, op, args, input) ->
+      let ins = make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout) in
+      let apply = op_applier op args in
+      expanding ~charge:true cid (go input) (fun rows ->
+          expand_rows ins rows apply)
+    | Plan.CProject ([| i |], input) ->
+      (* single-column projection: dedup keyed by the value itself, no
+         per-row key array *)
+      let seen = Hashtbl.create 256 in
+      filtering ~charge:true cid (go input) (fun row ->
+          let v = row.(i) in
+          if Hashtbl.mem seen v then None
+          else begin
+            (* [add], not [replace]: the membership check just ran, so
+               the cheaper no-search insert is safe *)
+            Hashtbl.add seen v ();
+            Some [| v |]
+          end)
+    | Plan.CProject (srcs, input) ->
+      let proj = make_copier srcs in
+      let seen = Relation.RowTbl.create 256 in
+      filtering ~charge:true cid (go input) (fun row ->
+          let projected = proj row in
+          if Relation.RowTbl.mem seen projected then None
+          else begin
+            Relation.RowTbl.add seen projected ();
+            Some projected
+          end)
+  (* One output row per member of the set [f row], inserted via [ins]. *)
+  and expand_rows ins rows f =
+    let acc = Rowbuf.create () in
+    for i = 0 to Array.length rows - 1 do
+      let row = rows.(i) in
+      match f row with
+      | Value.Set members ->
+        List.iter (fun v -> Rowbuf.push acc (ins row v)) members
+      | Value.Null -> ()
+      | v -> error "flat operator produced non-set %s" (Value.to_string v)
+    done;
+    Rowbuf.contents acc
+  in
+  go root
+
+let drain_blocks b =
+  let rec go acc =
+    match b.next_block () with None -> acc | Some rows -> go (rows :: acc)
+  in
+  let blocks = List.rev (go []) in
+  b.close_blocks ();
+  blocks
+
+let compile ctx plan =
+  try Plan.compile plan
+  with Plan.Compile_error msg ->
+    Counters.charge_slot_miss (counters ctx);
+    error "%s" msg
+
+let run_compiled ?stats ctx (c : Plan.compiled) =
+  let blocks = drain_blocks (open_compiled ?stats ctx c) in
+  let layout = c.Plan.layout in
+  let tuples =
+    List.concat_map
+      (fun rows ->
+        Array.to_list (Array.map (Relation.Layout.tuple_of_row layout) rows))
+      blocks
+  in
+  Relation.make ~refs:(Relation.Layout.names layout) tuples
+
+let run ctx plan = run_compiled ctx (compile ctx plan)

@@ -1,13 +1,25 @@
-(** Execution of physical plans in the Volcano iterator model.
+(** Execution of physical plans.
 
-    Every operator compiles to an open/next/close iterator; materializing
-    operators (hash builds, diff, projection dedup) buffer internally.
+    Two executors share one context:
+
+    {ul
+    {- {!Interpreted} is the original Volcano path — one canonical tuple
+       per [next ()], references resolved by name on every row.  It is
+       the executable specification the batch path is property-tested
+       against.}
+    {- The default path ({!run}) first {!compile}s the plan — resolving
+       every reference, join key and projection to an integer slot
+       against per-operator {!Relation.Layout.t}s — then evaluates
+       blocks of rows ([Value.t array array], up to {!block_size} rows
+       per block) with tight array kernels: no assoc lists and no name
+       lookups inside the per-row loops.}}
+
     Per-operator memo tables cache method invocations and property
-    accesses keyed by receiver and argument {e values}: safe because
-    optimized queries are side-effect free, and exactly what makes
-    tuple-independent operator chains (a class-method call with constant
-    arguments and the accesses hanging off it) cost one evaluation per
-    execution instead of one per tuple. *)
+    accesses keyed by receiver and argument {e values} in both paths:
+    safe because optimized queries are side-effect free, and exactly
+    what makes tuple-independent operator chains (a class-method call
+    with constant arguments and the accesses hanging off it) cost one
+    evaluation per execution instead of one per tuple. *)
 
 open Soqm_vml
 open Soqm_algebra
@@ -36,8 +48,49 @@ type iter = {
   close : unit -> unit;
 }
 
-val open_plan : ctx -> Plan.t -> iter
-(** Open the plan's root iterator.  @raise Error on dynamic failures. *)
+(** The tuple-at-a-time reference executor. *)
+module Interpreted : sig
+  val open_plan : ctx -> Plan.t -> iter
+  (** Open the plan's root iterator.  @raise Error on dynamic failures. *)
+
+  val run : ctx -> Plan.t -> Relation.t
+  (** Exhaust the plan and canonicalize the result into a relation. *)
+end
+
+(** {1 Batch execution} *)
+
+val block_size : int
+(** Maximum rows per emitted block (128) — sized so a block's backing
+    array stays within the minor-heap allocation limit
+    ([Max_young_wosize]); see DESIGN.md §9. *)
+
+type biter = {
+  next_block : unit -> Relation.Row.t array option;
+      (** at most {!block_size} rows, laid out per the operator's
+          compiled layout; rows may be shared with input blocks *)
+  close_blocks : unit -> unit;
+}
+
+type node_stats = { node_rows : int array; node_blocks : int array }
+(** Per-operator actuals, indexed by [Plan.compiled] node id — the
+    [explain --analyze] sink. *)
+
+val make_stats : Plan.compiled -> node_stats
+
+val compile : ctx -> Plan.t -> Plan.compiled
+(** {!Plan.compile}, with compile failures charged to the slot-miss
+    counter and re-raised as {!Error} (same messages the interpreted
+    executor raises at run time). *)
+
+val open_compiled : ?stats:node_stats -> ctx -> Plan.compiled -> biter
+(** Open the root block iterator.  Every emitted block charges the
+    block counter; with [stats] it also accumulates per-node actual
+    rows/blocks.  @raise Error on dynamic failures. *)
+
+val drain_blocks : biter -> Relation.Row.t array list
+
+val run_compiled : ?stats:node_stats -> ctx -> Plan.compiled -> Relation.t
+(** Exhaust the compiled plan and canonicalize the result. *)
 
 val run : ctx -> Plan.t -> Relation.t
-(** Exhaust the plan and canonicalize the result into a relation. *)
+(** [compile] + [run_compiled] — the default executor. *)

@@ -104,6 +104,206 @@ let rec default_implementation (r : Restricted.t) : t =
   | Restricted.FlatOperator (a, op, xs, s) -> FlatOp (a, op, xs, default_implementation s)
   | Restricted.Project (rs, s) -> Project (rs, default_implementation s)
 
+(* ------------------------------------------------------------------ *)
+(* Slot compilation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Compile_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+type slot_operand = SSlot of int | SConst of Value.t
+type slot_receiver = RSlot of int | RClassObj of string
+
+type compiled = {
+  cid : int;
+  layout : Relation.Layout.t;
+  source : t;
+  cop : cop;
+}
+
+and cop =
+  | CUnit
+  | CFullScan of string
+  | CIndexScan of string * string * Value.t
+  | CRangeScan of string * string * Sorted_index.bound * Sorted_index.bound
+  | CMethodScan of string * string * Value.t list
+  | CFilter of Restricted.cmp * slot_operand * slot_operand * compiled
+  | CNestedLoop of (Restricted.cmp * int * int) option * int array * compiled * compiled
+  | CHashJoin of int * int * int array * compiled * compiled
+  | CNaturalJoin of int array * int array * int array * compiled * compiled
+  | CUnion of compiled * compiled
+  | CDiff of compiled * compiled
+  | CMapProp of int * string * int * compiled
+  | CMapMeth of int * string * slot_receiver * slot_operand array * compiled
+  | CFlatProp of int * string * int * compiled
+  | CFlatMeth of int * string * slot_receiver * slot_operand array * compiled
+  | CMapOp of int * Restricted.opname * slot_operand array * compiled
+  | CFlatOp of int * Restricted.opname * slot_operand array * compiled
+  | CProject of int array * compiled
+
+let compile (plan : t) : compiled =
+  let next = ref 0 in
+  let fresh () =
+    let i = !next in
+    incr next;
+    i
+  in
+  let ref_slot layout r =
+    match Relation.Layout.slot layout r with
+    | Some i -> i
+    | None -> fail "unbound reference %S in physical plan" r
+  in
+  let operand layout = function
+    | Restricted.ORef r -> SSlot (ref_slot layout r)
+    | Restricted.OConst v -> SConst v
+    | Restricted.OParam p -> fail "unresolved specification parameter %S" p
+  in
+  let insertion layout a =
+    match Relation.Layout.slot layout a with
+    | Some _ -> fail "duplicate target reference %S in physical plan" a
+    | None -> Relation.Layout.insertion layout a
+  in
+  let node source layout cop = { cid = fresh (); layout; source; cop } in
+  let rec go (p : t) : compiled =
+    (* preorder ids: a node's cid is smaller than its descendants' *)
+    match p with
+    | Unit -> node p (Relation.Layout.of_refs []) CUnit
+    | FullScan (a, cls) -> node p (Relation.Layout.of_refs [ a ]) (CFullScan cls)
+    | IndexScan (a, cls, prop, key) ->
+      node p (Relation.Layout.of_refs [ a ]) (CIndexScan (cls, prop, key))
+    | RangeScan (a, cls, prop, lo, hi) ->
+      node p (Relation.Layout.of_refs [ a ]) (CRangeScan (cls, prop, lo, hi))
+    | MethodScan (a, cls, m, args) ->
+      node p (Relation.Layout.of_refs [ a ]) (CMethodScan (cls, m, args))
+    | Filter (c, x, y, input) ->
+      let n = node p [||] CUnit in
+      let ci = go input in
+      { n with layout = ci.layout; cop = CFilter (c, operand ci.layout x, operand ci.layout y, ci) }
+    | NestedLoop (pred, left, right) ->
+      let n = node p [||] CUnit in
+      let cl = go left and cr = go right in
+      let layout, merge = Relation.Layout.merge_plan ~left:cl.layout ~right:cr.layout in
+      let pred =
+        Option.map
+          (fun (c, a1, a2) -> (c, ref_slot layout a1, ref_slot layout a2))
+          pred
+      in
+      { n with layout; cop = CNestedLoop (pred, merge, cl, cr) }
+    | HashJoin (a1, a2, left, right) ->
+      let n = node p [||] CUnit in
+      let cl = go left and cr = go right in
+      let layout, merge = Relation.Layout.merge_plan ~left:cl.layout ~right:cr.layout in
+      { n with layout;
+        cop = CHashJoin (ref_slot cl.layout a1, ref_slot cr.layout a2, merge, cl, cr) }
+    | NaturalJoin (left, right) ->
+      let n = node p [||] CUnit in
+      let cl = go left and cr = go right in
+      let shared =
+        List.filter
+          (fun r -> Option.is_some (Relation.Layout.slot cr.layout r))
+          (Relation.Layout.names cl.layout)
+      in
+      let layout, merge = Relation.Layout.merge_plan ~left:cl.layout ~right:cr.layout in
+      let key l = Array.of_list (List.map (ref_slot l) shared) in
+      { n with layout;
+        cop = CNaturalJoin (key cl.layout, key cr.layout, merge, cl, cr) }
+    | Union (left, right) ->
+      let n = node p [||] CUnit in
+      let cl = go left and cr = go right in
+      if not (Relation.Layout.equal cl.layout cr.layout) then
+        fail "union arguments have differing references";
+      { n with layout = cl.layout; cop = CUnion (cl, cr) }
+    | Diff (left, right) ->
+      let n = node p [||] CUnit in
+      let cl = go left and cr = go right in
+      if not (Relation.Layout.equal cl.layout cr.layout) then
+        fail "diff arguments have differing references";
+      { n with layout = cl.layout; cop = CDiff (cl, cr) }
+    | MapProp (a, prop, a1, input) ->
+      let n = node p [||] CUnit in
+      let ci = go input in
+      let recv = ref_slot ci.layout a1 in
+      let layout, at = insertion ci.layout a in
+      { n with layout; cop = CMapProp (at, prop, recv, ci) }
+    | FlatProp (a, prop, a1, input) ->
+      let n = node p [||] CUnit in
+      let ci = go input in
+      let recv = ref_slot ci.layout a1 in
+      let layout, at = insertion ci.layout a in
+      { n with layout; cop = CFlatProp (at, prop, recv, ci) }
+    | MapMeth (a, m, recv, args, input) ->
+      let n = node p [||] CUnit in
+      let ci = go input in
+      let recv =
+        match recv with
+        | Restricted.RRef r -> RSlot (ref_slot ci.layout r)
+        | Restricted.RClass c -> RClassObj c
+      in
+      let args = Array.of_list (List.map (operand ci.layout) args) in
+      let layout, at = insertion ci.layout a in
+      { n with layout; cop = CMapMeth (at, m, recv, args, ci) }
+    | FlatMeth (a, m, recv, args, input) ->
+      let n = node p [||] CUnit in
+      let ci = go input in
+      let recv =
+        match recv with
+        | Restricted.RRef r -> RSlot (ref_slot ci.layout r)
+        | Restricted.RClass c -> RClassObj c
+      in
+      let args = Array.of_list (List.map (operand ci.layout) args) in
+      let layout, at = insertion ci.layout a in
+      { n with layout; cop = CFlatMeth (at, m, recv, args, ci) }
+    | MapOp (a, op, xs, input) ->
+      let n = node p [||] CUnit in
+      let ci = go input in
+      let xs = Array.of_list (List.map (operand ci.layout) xs) in
+      let layout, at = insertion ci.layout a in
+      { n with layout; cop = CMapOp (at, op, xs, ci) }
+    | FlatOp (a, op, xs, input) ->
+      let n = node p [||] CUnit in
+      let ci = go input in
+      let xs = Array.of_list (List.map (operand ci.layout) xs) in
+      let layout, at = insertion ci.layout a in
+      { n with layout; cop = CFlatOp (at, op, xs, ci) }
+    | Project (rs, input) ->
+      let n = node p [||] CUnit in
+      let ci = go input in
+      let rs = List.sort_uniq String.compare rs in
+      (match
+         List.find_opt
+           (fun r -> Option.is_none (Relation.Layout.slot ci.layout r))
+           rs
+       with
+      | Some r -> fail "projection reference %S not present" r
+      | None -> ());
+      let layout, srcs = Relation.Layout.projection ~src:ci.layout rs in
+      { n with layout; cop = CProject (srcs, ci) }
+  in
+  go plan
+
+let compiled_inputs c =
+  match c.cop with
+  | CUnit | CFullScan _ | CIndexScan _ | CRangeScan _ | CMethodScan _ -> []
+  | CFilter (_, _, _, i)
+  | CMapProp (_, _, _, i)
+  | CMapMeth (_, _, _, _, i)
+  | CFlatProp (_, _, _, i)
+  | CFlatMeth (_, _, _, _, i)
+  | CMapOp (_, _, _, i)
+  | CFlatOp (_, _, _, i)
+  | CProject (_, i) ->
+    [ i ]
+  | CNestedLoop (_, _, l, r)
+  | CHashJoin (_, _, _, l, r)
+  | CNaturalJoin (_, _, _, l, r)
+  | CUnion (l, r)
+  | CDiff (l, r) ->
+    [ l; r ]
+
+let rec node_count c =
+  1 + List.fold_left (fun n i -> n + node_count i) 0 (compiled_inputs c)
+
 let pp_values ppf vs =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
@@ -191,3 +391,93 @@ let rec pp ppf = function
     Format.fprintf ppf "@[<v2>project<%s>(@,%a)@]" (String.concat ", " rs) pp i
 
 let to_string t = Format.asprintf "%a" pp t
+
+let opname_label = function
+  | Restricted.OpBin b -> Format.asprintf "%a" Expr.pp_binop b
+  | Restricted.OpNot -> "NOT"
+  | Restricted.OpIdent -> "ident"
+  | Restricted.OpTuple ls -> "tuple[" ^ String.concat "," ls ^ "]"
+  | Restricted.OpSet -> "set"
+
+let slot_operand_label = function
+  | SSlot i -> Printf.sprintf "@%d" i
+  | SConst v -> Value.to_string v
+
+let slot_receiver_label = function
+  | RSlot i -> Printf.sprintf "@%d" i
+  | RClassObj c -> "class " ^ c
+
+let slots_label a =
+  String.concat ", "
+    (Array.to_list (Array.map (Printf.sprintf "@%d") a))
+
+let compiled_label c =
+  let bound_label what = function
+    | Sorted_index.Unbounded -> what ^ " unbounded"
+    | Sorted_index.Inclusive v -> Printf.sprintf "%s>= %s" what (Value.to_string v)
+    | Sorted_index.Exclusive v -> Printf.sprintf "%s> %s" what (Value.to_string v)
+  in
+  match c.cop with
+  | CUnit -> "unit"
+  | CFullScan cls -> Printf.sprintf "full_scan<%s>" cls
+  | CIndexScan (cls, p, k) ->
+    Printf.sprintf "index_scan<%s.%s = %s>" cls p (Value.to_string k)
+  | CRangeScan (cls, p, lo, hi) ->
+    Printf.sprintf "range_scan<%s.%s, %s, %s>" cls p (bound_label "" lo)
+      (bound_label "" hi)
+  | CMethodScan (cls, m, args) ->
+    Printf.sprintf "method_scan<%s->%s(%s)>" cls m
+      (String.concat ", " (List.map Value.to_string args))
+  | CFilter (cmp, x, y, _) ->
+    Printf.sprintf "filter<%s %s %s>" (slot_operand_label x) (cmp_name cmp)
+      (slot_operand_label y)
+  | CNestedLoop (None, _, _, _) -> "nested_loop<true>"
+  | CNestedLoop (Some (cmp, i, j), _, _, _) ->
+    Printf.sprintf "nested_loop<@%d %s @%d>" i (cmp_name cmp) j
+  | CHashJoin (i, j, _, _, _) ->
+    Printf.sprintf "hash_join<left@%d == right@%d>" i j
+  | CNaturalJoin (kl, kr, _, _, _) ->
+    Printf.sprintf "natural_join_hash<%s>"
+      (String.concat ", "
+         (List.map2
+            (fun i j -> Printf.sprintf "left@%d = right@%d" i j)
+            (Array.to_list kl) (Array.to_list kr)))
+  | CUnion _ -> "union"
+  | CDiff _ -> "diff"
+  | CMapProp (at, p, recv, _) ->
+    Printf.sprintf "map_property<@%d := @%d.%s>" at recv p
+  | CFlatProp (at, p, recv, _) ->
+    Printf.sprintf "flat_property<@%d := @%d.%s>" at recv p
+  | CMapMeth (at, m, recv, args, _) ->
+    Printf.sprintf "map_method<@%d := %s->%s(%s)>" at (slot_receiver_label recv)
+      m
+      (String.concat ", " (Array.to_list (Array.map slot_operand_label args)))
+  | CFlatMeth (at, m, recv, args, _) ->
+    Printf.sprintf "flat_method<@%d := %s->%s(%s)>" at
+      (slot_receiver_label recv) m
+      (String.concat ", " (Array.to_list (Array.map slot_operand_label args)))
+  | CMapOp (at, op, xs, _) ->
+    Printf.sprintf "map_operator<@%d := %s(%s)>" at (opname_label op)
+      (String.concat ", " (Array.to_list (Array.map slot_operand_label xs)))
+  | CFlatOp (at, op, xs, _) ->
+    Printf.sprintf "flat_operator<@%d := %s(%s)>" at (opname_label op)
+      (String.concat ", " (Array.to_list (Array.map slot_operand_label xs)))
+  | CProject (srcs, _) -> Printf.sprintf "project<%s>" (slots_label srcs)
+
+let pp_compiled ?(annot = fun (_ : compiled) -> "") ppf root =
+  let rec go indent c =
+    let a = annot c in
+    Format.fprintf ppf "%s#%d %s  [%s]%s" indent c.cid (compiled_label c)
+      (String.concat ", " (Relation.Layout.names c.layout))
+      (if a = "" then "" else "  " ^ a);
+    List.iter
+      (fun i ->
+        Format.fprintf ppf "@,";
+        go (indent ^ "  ") i)
+      (compiled_inputs c)
+  in
+  Format.fprintf ppf "@[<v>";
+  go "" root;
+  Format.fprintf ppf "@]"
+
+let compiled_to_string ?annot c = Format.asprintf "%a" (pp_compiled ?annot) c

@@ -59,3 +59,77 @@ val default_implementation : Restricted.t -> t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 Slot compilation}
+
+    Before execution a plan is {e compiled}: every reference, projection
+    list and join key is resolved once, against the producing operator's
+    output {!Relation.Layout.t}, to an integer slot.  The batch executor
+    then runs over rows ([Value.t array]) with integer indexing only —
+    no name lookups, no assoc lists in the per-row loops. *)
+
+exception Compile_error of string
+(** Raised by {!compile} when a reference cannot be resolved against its
+    input layout (same message the interpreted executor produces at run
+    time) or when a specification parameter survived into the plan. *)
+
+type slot_operand =
+  | SSlot of int  (** read the operand from this slot of the input row *)
+  | SConst of Value.t
+
+type slot_receiver =
+  | RSlot of int
+  | RClassObj of string  (** class object receiver, resolved at open *)
+
+type compiled = {
+  cid : int;
+      (** preorder node id, dense in [0, node_count); the key used by
+          per-node actual-row statistics ([explain --analyze]) *)
+  layout : Relation.Layout.t;  (** output layout of this operator *)
+  source : t;  (** the physical node this was compiled from *)
+  cop : cop;
+}
+
+and cop =
+  | CUnit
+  | CFullScan of string
+  | CIndexScan of string * string * Value.t
+  | CRangeScan of
+      string * string * Soqm_storage.Sorted_index.bound
+      * Soqm_storage.Sorted_index.bound
+  | CMethodScan of string * string * Value.t list
+  | CFilter of Restricted.cmp * slot_operand * slot_operand * compiled
+  | CNestedLoop of
+      (Restricted.cmp * int * int) option * int array * compiled * compiled
+      (** predicate slots index the {e merged} row; the [int array] is the
+          signed merge plan (see {!Relation.Layout.merge_plan}) *)
+  | CHashJoin of int * int * int array * compiled * compiled
+      (** build/probe key slots index the left/right input rows *)
+  | CNaturalJoin of int array * int array * int array * compiled * compiled
+      (** shared-key slots on the left/right inputs, then the merge plan *)
+  | CUnion of compiled * compiled
+  | CDiff of compiled * compiled
+  | CMapProp of int * string * int * compiled
+      (** [target slot in output row, property, receiver slot in input row] *)
+  | CMapMeth of int * string * slot_receiver * slot_operand array * compiled
+  | CFlatProp of int * string * int * compiled
+  | CFlatMeth of int * string * slot_receiver * slot_operand array * compiled
+  | CMapOp of int * Restricted.opname * slot_operand array * compiled
+  | CFlatOp of int * Restricted.opname * slot_operand array * compiled
+  | CProject of int array * compiled
+      (** per output slot, the input slot to copy *)
+
+val compile : t -> compiled
+(** Resolve every name to a slot and precompute all copy plans.
+    @raise Compile_error on unbound references, parameter operands,
+    duplicate map targets, or union/diff layout mismatch. *)
+
+val compiled_inputs : compiled -> compiled list
+val node_count : compiled -> int
+
+val pp_compiled :
+  ?annot:(compiled -> string) -> Format.formatter -> compiled -> unit
+(** Indented operator tree with per-node layouts; [annot] appends e.g.
+    estimated/actual row counts per node (the [explain] subcommand). *)
+
+val compiled_to_string : ?annot:(compiled -> string) -> compiled -> string

@@ -3,6 +3,8 @@ type t = {
   mutable property_reads : int;
   mutable index_probes : int;
   mutable tuples_produced : int;
+  mutable blocks_produced : int;
+  mutable slot_misses : int;
   mutable charged_cost : float;
   calls : (string, int) Hashtbl.t;
   (* maintenance-side counters: work done keeping derived data and the
@@ -20,6 +22,8 @@ let create () =
     property_reads = 0;
     index_probes = 0;
     tuples_produced = 0;
+    blocks_produced = 0;
+    slot_misses = 0;
     charged_cost = 0.;
     calls = Hashtbl.create 16;
     postings_touched = 0;
@@ -36,6 +40,8 @@ let reset t =
   t.property_reads <- 0;
   t.index_probes <- 0;
   t.tuples_produced <- 0;
+  t.blocks_produced <- 0;
+  t.slot_misses <- 0;
   t.charged_cost <- 0.;
   Hashtbl.reset t.calls
 
@@ -58,6 +64,8 @@ let charge_index_probe t = t.index_probes <- t.index_probes + 1
 let charge_index_probes t n = t.index_probes <- t.index_probes + n
 let charge_tuple t = t.tuples_produced <- t.tuples_produced + 1
 let charge_tuples t n = t.tuples_produced <- t.tuples_produced + n
+let charge_block t = t.blocks_produced <- t.blocks_produced + 1
+let charge_slot_miss t = t.slot_misses <- t.slot_misses + 1
 
 let charge_postings_touched t n = t.postings_touched <- t.postings_touched + n
 
@@ -76,6 +84,8 @@ let objects_fetched t = t.objects_fetched
 let property_reads t = t.property_reads
 let index_probes t = t.index_probes
 let tuples_produced t = t.tuples_produced
+let blocks_produced t = t.blocks_produced
+let slot_misses t = t.slot_misses
 
 let method_calls t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.calls []
@@ -103,6 +113,8 @@ let snapshot t =
   copy.property_reads <- t.property_reads;
   copy.index_probes <- t.index_probes;
   copy.tuples_produced <- t.tuples_produced;
+  copy.blocks_produced <- t.blocks_produced;
+  copy.slot_misses <- t.slot_misses;
   copy.charged_cost <- t.charged_cost;
   Hashtbl.iter (Hashtbl.replace copy.calls) t.calls;
   copy.postings_touched <- t.postings_touched;
@@ -115,8 +127,9 @@ let snapshot t =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>objects fetched: %d@ property reads: %d@ index probes: %d@ tuples: \
-     %d@ method calls: %a@ charged cost: %.1f@ total cost: %.1f@]"
+     %d@ blocks: %d@ method calls: %a@ charged cost: %.1f@ total cost: %.1f@]"
     t.objects_fetched t.property_reads t.index_probes t.tuples_produced
+    t.blocks_produced
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (m, n) -> Format.fprintf ppf "%s=%d" m n))

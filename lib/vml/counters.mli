@@ -34,8 +34,20 @@ val charge_tuple : t -> unit
 
 val charge_index_probes : t -> int -> unit
 val charge_tuples : t -> int -> unit
-(** Bulk variants, used by the set-at-a-time logical evaluator to charge
-    a whole operator's probes / produced tuples at once. *)
+(** Bulk variants, used by the set-at-a-time logical evaluator and the
+    batch executor to charge a whole operator's / block's probes and
+    produced tuples at once. *)
+
+val charge_block : t -> unit
+(** One block of rows emitted by a batch operator (the compiled
+    executor's unit of dispatch; rows within are charged via
+    {!charge_tuples}). *)
+
+val charge_slot_miss : t -> unit
+(** One failed compile-time name-to-slot resolution: plan compilation
+    found a reference or parameter the operator's input layout cannot
+    supply and gave up on the plan.  Always zero for plans produced from
+    well-typed queries. *)
 
 (** {1 Maintenance counters}
 
@@ -69,6 +81,8 @@ val objects_fetched : t -> int
 val property_reads : t -> int
 val index_probes : t -> int
 val tuples_produced : t -> int
+val blocks_produced : t -> int
+val slot_misses : t -> int
 
 val method_calls : t -> (string * int) list
 (** Invocation count per method name, sorted by name. *)

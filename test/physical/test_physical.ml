@@ -16,6 +16,7 @@ let stats () = (Lazy.force db).Soqm_core.Db.stats
 let ctx () = Soqm_core.Engine.exec_ctx (Lazy.force db)
 
 let run_phys p = Exec.run (ctx ()) p
+let run_interp p = Exec.Interpreted.run (ctx ()) p
 let run_logical g = Eval.run (store ()) g
 
 (* A restricted term executed via its default physical implementation
@@ -149,7 +150,7 @@ let test_repeated_receiver_memoized () =
 (* ------------------------------------------------------------------ *)
 
 let test_iterator_streams () =
-  let iter = Exec.open_plan (ctx ()) (Plan.FullScan ("p", "Paragraph")) in
+  let iter = Exec.Interpreted.open_plan (ctx ()) (Plan.FullScan ("p", "Paragraph")) in
   let first = iter.Exec.next () in
   check Alcotest.bool "first tuple" true (Option.is_some first);
   let rec drain n =
@@ -162,7 +163,7 @@ let test_iterator_streams () =
   check Alcotest.bool "exhausted stays exhausted" true (iter.Exec.next () = None)
 
 let test_iterator_close_stops () =
-  let iter = Exec.open_plan (ctx ()) (Plan.FullScan ("p", "Paragraph")) in
+  let iter = Exec.Interpreted.open_plan (ctx ()) (Plan.FullScan ("p", "Paragraph")) in
   ignore (iter.Exec.next ());
   iter.Exec.close ();
   check Alcotest.bool "closed iterator yields nothing" true (iter.Exec.next () = None)
@@ -179,7 +180,7 @@ let test_filter_streams_lazily () =
   in
   let _, counters =
     Soqm_core.Db.with_fresh_counters d (fun () ->
-        let iter = Exec.open_plan (ctx ()) plan in
+        let iter = Exec.Interpreted.open_plan (ctx ()) plan in
         let r = iter.Exec.next () in
         iter.Exec.close ();
         r)
@@ -295,6 +296,138 @@ let prop_exec_agrees =
       | Ok () ->
         let plan = Plan.default_implementation (Translate.of_general g) in
         Relation.equal (run_logical g) (run_phys plan))
+
+(* Three-way parity on random plans: the slot-compiled batch executor,
+   the tuple-at-a-time interpreter and the logical evaluator must agree
+   on every well-formed term. *)
+let prop_compiled_parity =
+  QCheck2.Test.make ~count:40
+    ~name:"compiled batch executor = interpreted = logical evaluator"
+    Soqm_testlib.Gen.term_gen
+    (fun g ->
+      match General.well_formed g with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let plan = Plan.default_implementation (Translate.of_general g) in
+        let reference = run_logical g in
+        Relation.equal reference (run_interp plan)
+        && Relation.equal reference (run_phys plan))
+
+(* ------------------------------------------------------------------ *)
+(* Batch executor: compilation, Null-key joins, block accounting       *)
+(* ------------------------------------------------------------------ *)
+
+(* Joins checked against the list-based Naive oracle on both executors. *)
+let test_joins_match_naive_oracle () =
+  let lo =
+    Plan.Filter (Restricted.CLe, Restricted.ORef "n", Restricted.OConst (Value.Int 0),
+                 Plan.MapProp ("n", "number", "s", Plan.FullScan ("s", "Section")))
+  in
+  let hi =
+    Plan.Filter (Restricted.CGe, Restricted.ORef "n", Restricted.OConst (Value.Int 0),
+                 Plan.MapProp ("n", "number", "s", Plan.FullScan ("s", "Section")))
+  in
+  let r_lo = run_phys lo and r_hi = run_phys hi in
+  check F.relation "natural join = naive"
+    (Naive.natural_join r_lo r_hi)
+    (run_phys (Plan.NaturalJoin (lo, hi)));
+  check F.relation "union = naive" (Naive.union r_lo r_hi)
+    (run_phys (Plan.Union (lo, hi)));
+  check F.relation "diff = naive" (Naive.diff r_lo r_hi)
+    (run_phys (Plan.Diff (lo, hi)));
+  check F.relation "interpreted natural join = naive"
+    (Naive.natural_join r_lo r_hi)
+    (run_interp (Plan.NaturalJoin (lo, hi)))
+
+(* DESIGN.md §7: NULL == NULL is FALSE, so equi-joins (hash join and
+   CEq nested loop) never match Null keys — on either executor — while
+   the natural join's structural matching does unify shared Null
+   columns. *)
+let test_null_keys_pin () =
+  let with_null a base =
+    Plan.MapOp (a, Restricted.OpIdent, [ Restricted.OConst Value.Null ], base)
+  in
+  let left = with_null "k1" (Plan.FullScan ("d", "Document")) in
+  let right = with_null "k2" (Plan.FullScan ("e", "Document")) in
+  let hj = Plan.HashJoin ("k1", "k2", left, right) in
+  let nl = Plan.NestedLoop (Some (Restricted.CEq, "k1", "k2"), left, right) in
+  check Alcotest.int "hash join skips Null keys" 0 (Relation.cardinality (run_phys hj));
+  check Alcotest.int "interpreted hash join agrees" 0
+    (Relation.cardinality (run_interp hj));
+  check Alcotest.int "CEq nested loop agrees" 0 (Relation.cardinality (run_phys nl));
+  check Alcotest.int "interpreted nested loop agrees" 0
+    (Relation.cardinality (run_interp nl));
+  (* shared column [k], Null on both sides: intersection keeps them *)
+  let l = with_null "k" (Plan.FullScan ("d", "Document")) in
+  let nj = Plan.NaturalJoin (l, l) in
+  let n_docs = Object_store.extent_size (store ()) "Document" in
+  check Alcotest.int "natural join matches Nulls structurally" n_docs
+    (Relation.cardinality (run_phys nj));
+  check F.relation "both executors agree on Null natural join"
+    (run_interp nj) (run_phys nj)
+
+let test_block_accounting () =
+  let d = Lazy.force db in
+  let plan = Plan.FullScan ("p", "Paragraph") in
+  let _, counters = Soqm_core.Db.with_fresh_counters d (fun () -> run_phys plan) in
+  let n = Object_store.extent_size (store ()) "Paragraph" in
+  let expected = (n + Exec.block_size - 1) / Exec.block_size in
+  check Alcotest.int "one block per block_size rows" expected
+    (Counters.blocks_produced counters);
+  check Alcotest.int "well-typed plan has no slot misses" 0
+    (Counters.slot_misses counters);
+  let _, interp_counters =
+    Soqm_core.Db.with_fresh_counters d (fun () -> run_interp plan)
+  in
+  check Alcotest.int "interpreted path emits no blocks" 0
+    (Counters.blocks_produced interp_counters)
+
+let test_slot_miss_charged () =
+  let d = Lazy.force db in
+  let bad =
+    Plan.Filter
+      ( Restricted.CEq,
+        Restricted.ORef "nope",
+        Restricted.OConst (Value.Int 1),
+        Plan.FullScan ("p", "Paragraph") )
+  in
+  let _, counters =
+    Soqm_core.Db.with_fresh_counters d (fun () ->
+        try ignore (run_phys bad) with Exec.Error _ -> ())
+  in
+  check Alcotest.int "failed compilation charges a slot miss" 1
+    (Counters.slot_misses counters)
+
+let test_analyze_stats () =
+  let plan =
+    Plan.Project
+      ([ "a" ], Plan.MapProp ("a", "author", "d", Plan.FullScan ("d", "Document")))
+  in
+  let compiled = Exec.compile (ctx ()) plan in
+  check Alcotest.int "three operators" 3 (Plan.node_count compiled);
+  let stats = Exec.make_stats compiled in
+  let r = Exec.run_compiled ~stats (ctx ()) compiled in
+  (* node 0 is the root (preorder ids): its actual rows are the result *)
+  check Alcotest.int "root actual rows = result cardinality"
+    (Relation.cardinality r) stats.Exec.node_rows.(0);
+  let n_docs = Object_store.extent_size (store ()) "Document" in
+  check Alcotest.int "scan actual rows = extent" n_docs
+    stats.Exec.node_rows.(2)
+
+let test_compile_layouts () =
+  let plan =
+    Plan.MapProp ("d2", "document", "s", Plan.FullScan ("s", "Section"))
+  in
+  let compiled = Exec.compile (ctx ()) plan in
+  check (Alcotest.list Alcotest.string) "layout is sorted refs"
+    [ "d2"; "s" ]
+    (Relation.Layout.names compiled.Plan.layout);
+  Alcotest.match_raises "union layout mismatch is a compile error"
+    (function Plan.Compile_error _ -> true | _ -> false)
+    (fun () ->
+      ignore
+        (Plan.compile
+           (Plan.Union (Plan.FullScan ("a", "Document"), Plan.FullScan ("b", "Document")))))
 
 (* ------------------------------------------------------------------ *)
 (* Cost model                                                          *)
@@ -415,6 +548,16 @@ let () =
           F.case "dependent range" test_exec_dependent;
           F.case "theta join" test_exec_join;
           QCheck_alcotest.to_alcotest prop_exec_agrees;
+          QCheck_alcotest.to_alcotest prop_compiled_parity;
+        ] );
+      ( "batch-executor",
+        [
+          F.case "joins match naive oracle" test_joins_match_naive_oracle;
+          F.case "Null-key join semantics" test_null_keys_pin;
+          F.case "block accounting" test_block_accounting;
+          F.case "slot miss on bad plan" test_slot_miss_charged;
+          F.case "analyze stats" test_analyze_stats;
+          F.case "compiled layouts" test_compile_layouts;
         ] );
       ( "cost",
         [
