@@ -6,9 +6,12 @@
 # maintained largeParagraphs sets equal to recomputation from base data,
 # and a >= 90% plan-cache hit rate whose hits skip the search loop).
 # Exit code is non-zero on any failure.
+#
+# Pass --seed N (default 42) to regenerate the database from another
+# Datagen seed; the flag is shared by all bench executables.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-dune exec bench/dml.exe -- --assert
+dune exec bench/dml.exe -- --assert "$@"

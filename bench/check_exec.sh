@@ -7,9 +7,12 @@
 # plan-cache hit rate from PR 2 still >= 90% with hits now also skipping
 # plan compilation.  Writes BENCH_exec.json next to this script's parent
 # directory.  Exit code is non-zero on any failure.
+#
+# Pass --seed N (default 42) to regenerate the database from another
+# Datagen seed; the flag is shared by all bench executables.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-dune exec bench/exec.exe -- --assert --docs 800 --json BENCH_exec.json
+dune exec bench/exec.exe -- --assert --docs 800 --json BENCH_exec.json "$@"

@@ -3,9 +3,12 @@
 # (growth exponent < 1.6 across n_docs in {50,200,800,3200}, and the
 # hash-based logical evaluator at least 5x faster than the retained seed
 # list operators at n_docs=800).  Exit code is non-zero on any failure.
+#
+# Pass --seed N (default 42) to regenerate the databases from another
+# Datagen seed; the flag is shared by all bench executables.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-dune exec bench/scaling.exe -- --assert
+dune exec bench/scaling.exe -- --assert "$@"

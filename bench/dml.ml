@@ -24,8 +24,11 @@
       workload.
 
    Run with:     dune exec bench/dml.exe
-   Assert mode:  dune exec bench/dml.exe -- --assert [--docs N]
-   (exit code 1 when a bound is violated) *)
+   Assert mode:  dune exec bench/dml.exe -- --assert [--docs N] [--seed N]
+   (exit code 1 when a bound is violated)
+
+   [--seed N] regenerates the database from a different Datagen seed
+   (default 42); shared across all benches. *)
 
 open Soqm_vml
 open Soqm_core
@@ -127,10 +130,10 @@ let large_sets_consistent store =
 
 (* ------------------------------------------------------------------ *)
 
-let run_gate ~n_docs =
+let run_gate ~n_docs ~seed =
   Printf.printf
     "== DML gate: maintained database vs rebuild-from-scratch oracle ==\n";
-  let db = Db.create ~params:{ Datagen.default with n_docs } () in
+  let db = Db.create ~params:{ Datagen.default with n_docs; seed } () in
   let store = db.Db.store in
   let engine = Engine.generate db in
   Counters.reset_maintenance (Db.counters db);
@@ -208,9 +211,9 @@ let run_gate ~n_docs =
 (* EXPERIMENTS tables                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let throughput_table ~n_docs dt_incremental =
+let throughput_table ~n_docs ~seed dt_incremental =
   Printf.printf "\n== update throughput: incremental vs full rebuild ==\n";
-  let db = Db.create ~params:{ Datagen.default with n_docs } () in
+  let db = Db.create ~params:{ Datagen.default with n_docs; seed } () in
   let n_updates =
     2 * ((Object_store.extent_size db.Db.store "Paragraph" + 7) / 8)
   in
@@ -227,13 +230,13 @@ let throughput_table ~n_docs dt_incremental =
      path)\n"
     (dt_refresh *. float_of_int n_updates /. dt_incremental)
 
-let mixed_workload_table ~n_docs =
+let mixed_workload_table ~n_docs ~seed =
   Printf.printf "\n== mixed read/write workload (300 ops) ==\n";
   Printf.printf "%-12s %10s %12s %12s %10s\n" "write frac" "time(ms)"
     "cache hits" "cache miss" "hit rate";
   List.iter
     (fun write_frac ->
-      let db = Db.create ~params:{ Datagen.default with n_docs } () in
+      let db = Db.create ~params:{ Datagen.default with n_docs; seed } () in
       let engine = Engine.generate db in
       let paras =
         Array.of_list (Object_store.extent db.Db.store "Paragraph")
@@ -266,19 +269,21 @@ let mixed_workload_table ~n_docs =
 
 let () =
   let assert_mode = Array.exists (String.equal "--assert") Sys.argv in
-  let n_docs =
-    let n = ref 100 in
+  let int_flag flag default =
+    let n = ref default in
     Array.iteri
       (fun i a ->
-        if String.equal a "--docs" && i + 1 < Array.length Sys.argv then
+        if String.equal a flag && i + 1 < Array.length Sys.argv then
           n := int_of_string Sys.argv.(i + 1))
       Sys.argv;
     !n
   in
-  let dt_updates = run_gate ~n_docs in
+  let n_docs = int_flag "--docs" 100 in
+  let seed = int_flag "--seed" Datagen.default.Datagen.seed in
+  let dt_updates = run_gate ~n_docs ~seed in
   if not assert_mode then (
-    throughput_table ~n_docs dt_updates;
-    mixed_workload_table ~n_docs);
+    throughput_table ~n_docs ~seed dt_updates;
+    mixed_workload_table ~n_docs ~seed);
   if !failures > 0 then (
     Printf.printf "\n%d check(s) FAILED\n" !failures;
     exit 1)

@@ -16,9 +16,14 @@
    established in PR 2 (hits now also skip plan compilation).
 
    Run with:     dune exec bench/exec.exe
-   Assert mode:  dune exec bench/exec.exe -- --assert [--docs N] [--json PATH]
+   Assert mode:  dune exec bench/exec.exe -- --assert [--docs N] [--seed N]
+                                             [--json PATH]
    (exit code 1 when median speedup < 3x, any result diverges, or the
-   plan-cache hit rate drops below 90%) *)
+   plan-cache hit rate drops below 90%)
+
+   [--seed N] regenerates the database from a different Datagen seed
+   (default 42); all benches share the flag so a run over several seeds
+   exercises the gates on independent data sets. *)
 
 open Soqm_vml
 open Soqm_core
@@ -243,8 +248,9 @@ let arg_value flag default parse =
 let () =
   let assert_mode = Array.exists (String.equal "--assert") Sys.argv in
   let n_docs = arg_value "--docs" 800 int_of_string in
+  let seed = arg_value "--seed" Datagen.default.Datagen.seed int_of_string in
   let json_path = arg_value "--json" "BENCH_exec.json" Fun.id in
-  let db = Db.create ~params:{ Datagen.default with n_docs } () in
+  let db = Db.create ~params:{ Datagen.default with n_docs; seed } () in
   let ctx = Engine.exec_ctx db in
   let schema = Object_store.schema db.Db.store in
   let paras = Object_store.extent_size db.Db.store "Paragraph" in

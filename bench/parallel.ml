@@ -1,0 +1,405 @@
+(* Morsel-driven parallel executor benchmark and CI gate.
+
+   Runs the EXP-A operator mix (the same plans as bench/exec.ml) and
+   checks three things:
+
+   1. Zero divergence.  For every entry the parallel results at jobs=2
+      and jobs=4 must [Relation.equal] the serial compiled result and
+      the tuple-at-a-time interpreter's; the structural joins are
+      additionally checked against the list-based [Naive] oracle and
+      the worked EXP-A query against the logical reference evaluator.
+      The oracles bound the parity sizes: [Naive]'s joins are O(n*m)
+      nested list scans and the four-way materialized comparison on the
+      quadratic-output entries allocates the full result four times, so
+      parity runs at n_docs=800 (Naive joins at 200) regardless of
+      [--docs] — the timing phase below still covers the full size with
+      an exact row-count cross-check between all three drains.
+
+   2. No serial regression.  The [~jobs:1] dispatch must stay within 5%
+      of the plain block-stream drain (PR 3's single-thread path) on
+      total time over the mix at full size — jobs=1 takes the identical
+      streaming code path, so this guards the dispatch itself.
+
+   3. Speedup.  Median ns/row speedup of jobs=4 over jobs=1 across the
+      mix at n_docs=3200 must reach 1.8x.  This bound needs hardware:
+      it is enforced only when [Domain.recommended_domain_count ()]
+      reports at least 4 cores; on smaller hosts the measurement still
+      runs and is reported, the JSON records
+      ["speedup_gate_enforced": false], and the bound is skipped with a
+      visible reason (divergence and regression checks always apply).
+
+   Run with:     dune exec bench/parallel.exe
+   Assert mode:  dune exec bench/parallel.exe -- --assert [--docs N]
+                                                 [--seed N] [--json PATH]
+   (exit code 1 when an enforced bound is violated)
+
+   [--seed N] regenerates the databases from a different Datagen seed
+   (default 42); shared across all benches.  Writes BENCH_parallel.json
+   (same schema family as BENCH_exec.json). *)
+
+open Soqm_vml
+open Soqm_core
+module A = Soqm_algebra
+module P = Soqm_physical
+
+let query_q =
+  "ACCESS p FROM p IN Paragraph WHERE p->contains_string('Implementation') \
+   AND (p->document()).title == 'Query Optimization'"
+
+let reps = 5
+let min_median_speedup = 1.8
+let jobs_hi = 4
+let max_serial_regression = 1.05
+let parity_docs = 800 (* materialized four-way comparison cap *)
+let naive_docs = 200 (* the O(n*m) list-oracle cap *)
+
+(* ------------------------------------------------------------------ *)
+(* The operator mix (mirrors bench/exec.ml)                            *)
+(* ------------------------------------------------------------------ *)
+
+let ident a src base =
+  P.Plan.MapOp (a, A.Restricted.OpIdent, [ A.Restricted.ORef src ], base)
+
+let scan_p = P.Plan.FullScan ("p", "Paragraph")
+
+let chain names src base =
+  snd
+    (List.fold_left
+       (fun (src, plan) name -> (name, ident name src plan))
+       (src, base) names)
+
+let map_chain = chain [ "k1"; "k2"; "k3" ] "p" scan_p
+let map_wide = chain [ "m1"; "m2"; "m3"; "m4"; "m5"; "m6" ] "p" scan_p
+
+let filter_plan =
+  P.Plan.Filter
+    (A.Restricted.CEq, A.Restricted.ORef "k1", A.Restricted.ORef "p", map_chain)
+
+let hash_left = chain [ "a1"; "a2" ] "p" scan_p
+let hash_right = chain [ "b1"; "b2" ] "q" (P.Plan.FullScan ("q", "Paragraph"))
+let hash_join_plan = P.Plan.HashJoin ("a1", "b1", hash_left, hash_right)
+let nat_left = chain [ "c1"; "c2" ] "p" scan_p
+let nat_right = chain [ "d1" ] "p" scan_p
+let natural_join_plan = P.Plan.NaturalJoin (nat_left, nat_right)
+
+let nested_loop_plan =
+  P.Plan.NestedLoop
+    ( None,
+      chain [ "x1" ] "d" (P.Plan.FullScan ("d", "Document")),
+      chain [ "y1" ] "e" (P.Plan.FullScan ("e", "Document")) )
+
+let union_plan = P.Plan.Union (map_chain, map_chain)
+
+let never_filter base =
+  P.Plan.Filter
+    ( A.Restricted.CEq,
+      A.Restricted.OConst (Value.Int 1),
+      A.Restricted.OConst (Value.Int 2),
+      base )
+
+let diff_plan = P.Plan.Diff (map_chain, never_filter map_chain)
+let project_plan = P.Plan.Project ([ "p" ], map_wide)
+
+let entries schema =
+  let worked_q =
+    P.Plan.default_implementation
+      (A.Translate.of_general
+         (Soqm_vql.To_algebra.query_to_algebra schema query_q))
+  in
+  [
+    ("full_scan", scan_p);
+    ("map_chain", map_chain);
+    ("map_wide", map_wide);
+    ("filter", filter_plan);
+    ("hash_join", hash_join_plan);
+    ("natural_join", natural_join_plan);
+    ("nested_loop", nested_loop_plan);
+    ("union", union_plan);
+    ("diff", diff_plan);
+    ("project", project_plan);
+    ("worked_q_naive", worked_q);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parity: parallel = serial compiled = interpreted (= oracles)        *)
+(* ------------------------------------------------------------------ *)
+
+(* CEq key semantics for the Naive theta-join leg: Null never matches. *)
+let hash_join_pred tup =
+  match (List.assoc_opt "a1" tup, List.assoc_opt "b1" tup) with
+  | Some Value.Null, _ | _, Some Value.Null -> false
+  | Some a, Some b -> Value.equal a b
+  | _ -> false
+
+(* Entries with an exact list-based oracle: recompute the result from
+   the materialized children with the seed [Naive] operators. *)
+let naive_oracle ctx name =
+  let run p = P.Exec.run ctx p in
+  match name with
+  | "hash_join" ->
+    Some (A.Naive.join hash_join_pred (run hash_left) (run hash_right))
+  | "natural_join" ->
+    Some (A.Naive.natural_join (run nat_left) (run nat_right))
+  | "union" -> Some (A.Naive.union (run map_chain) (run map_chain))
+  | "diff" ->
+    Some (A.Naive.diff (run map_chain) (run (never_filter map_chain)))
+  | _ -> None
+
+(* All four executors on one database; [naive] additionally holds the
+   structural joins to the seed list oracle. *)
+let divergent_on ctx db ~naive (name, plan) =
+  let compiled = P.Exec.compile ctx plan in
+  let serial = P.Exec.run_compiled ctx compiled in
+  (not (A.Relation.equal serial (P.Exec.Interpreted.run ctx plan)))
+  || List.exists
+       (fun jobs ->
+         not (A.Relation.equal serial (P.Exec.run_compiled ~jobs ctx compiled)))
+       [ 2; jobs_hi ]
+  || (naive
+     &&
+     match naive_oracle ctx name with
+     | Some oracle -> not (A.Relation.equal serial oracle)
+     | None -> false)
+  ||
+  match name with
+  | "worked_q_naive" ->
+    not (A.Relation.equal serial (Engine.run_logical_reference db query_q))
+  | _ -> false
+
+let divergences ~seed ~n_docs schema =
+  let db_of n = Db.create ~params:{ Datagen.default with n_docs = n; seed } () in
+  let parity_db = db_of (min n_docs parity_docs) in
+  let parity_ctx = Engine.exec_ctx parity_db in
+  let naive_db = db_of (min n_docs naive_docs) in
+  let naive_ctx = Engine.exec_ctx naive_db in
+  List.filter_map
+    (fun entry ->
+      if
+        divergent_on parity_ctx parity_db ~naive:false entry
+        || divergent_on naive_ctx naive_db ~naive:true entry
+      then Some (fst entry)
+      else None)
+    (entries schema)
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let n = f () in
+  (n, Unix.gettimeofday () -. t0)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* PR 3's single-thread path: stream-count the block drain. *)
+let drain_serial ctx compiled () =
+  let b = P.Exec.open_compiled ctx compiled in
+  let n = ref 0 in
+  let rec go () =
+    match b.P.Exec.next_block () with
+    | Some rows ->
+      n := !n + Array.length rows;
+      go ()
+    | None -> b.P.Exec.close_blocks ()
+  in
+  go ();
+  !n
+
+(* The jobs-dispatched path: jobs=1 degrades to the same streaming
+   drain, jobs>1 materializes through the morsel-parallel evaluator. *)
+let drain_jobs ctx compiled ~jobs () =
+  if jobs <= 1 then drain_serial ctx compiled ()
+  else Array.length (P.Exec.eval_parallel ctx ~jobs compiled)
+
+let measure_side f =
+  Gc.compact ();
+  ignore (f ()) (* warm-up *);
+  let rows = ref 0 in
+  let times =
+    List.init reps (fun _ ->
+        let n, s = time f in
+        rows := n;
+        s)
+  in
+  (!rows, median times)
+
+(* The serial-regression comparison times the *same* code path twice
+   (jobs=1 dispatches to the plain drain), so measure the two sides
+   interleaved rep by rep with alternating order — back-to-back blocks
+   (or a fixed order) let GC debt from one side's run land on the
+   other's clock and masquerade as a dispatch cost against the 5%
+   bound.  Each side reports its median (for the table) and its minimum
+   (for the regression ratio: the min of two identical code paths is
+   far less sensitive to interference on a busy host). *)
+let measure_interleaved fa fb =
+  Gc.compact ();
+  ignore (fa ());
+  ignore (fb ()) (* warm-ups *);
+  let ra = ref 0 and rb = ref 0 in
+  let ta = ref [] and tb = ref [] in
+  for i = 1 to reps do
+    let first, second = if i mod 2 = 0 then (fb, fa) else (fa, fb) in
+    let sw = i mod 2 = 0 in
+    let n1, s1 = time first in
+    let n2, s2 = time second in
+    let (na, sa), (nb, sb) =
+      if sw then ((n2, s2), (n1, s1)) else ((n1, s1), (n2, s2))
+    in
+    ra := na;
+    ta := sa :: !ta;
+    rb := nb;
+    tb := sb :: !tb
+  done;
+  let mn xs = List.fold_left Float.min Float.infinity xs in
+  ((!ra, median !ta, mn !ta), (!rb, median !tb, mn !tb))
+
+type entry_result = {
+  name : string;
+  rows : int;
+  serial_min : float; (* plain block drain, fastest rep *)
+  jobs1_s : float; (* via the jobs dispatch, median seconds *)
+  jobs1_min : float;
+  par_s : float; (* jobs = jobs_hi, median seconds *)
+  speedup : float; (* jobs1_s / par_s *)
+}
+
+let measure_entry ctx (name, plan) =
+  let compiled = P.Exec.compile ctx plan in
+  let (rows_s, _, serial_min), (rows_1, jobs1_s, jobs1_min) =
+    measure_interleaved (drain_serial ctx compiled)
+      (drain_jobs ctx compiled ~jobs:1)
+  in
+  let rows_p, par_s = measure_side (drain_jobs ctx compiled ~jobs:jobs_hi) in
+  (* the three drains must agree exactly on cardinality at full size *)
+  assert (rows_s = rows_1 && rows_1 = rows_p);
+  { name; rows = rows_p; serial_min; jobs1_s; jobs1_min; par_s;
+    speedup = jobs1_s /. par_s }
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (BENCH_parallel.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let per_row r t = t /. float_of_int (max 1 r.rows) *. 1e9
+
+let write_json path ~n_docs ~paras ~cores ~enforced results ~median_speedup
+    ~serial_ratio ~divergences =
+  let oc = open_out path in
+  let entry r =
+    Printf.sprintf
+      "    {\"name\": %S, \"rows\": %d, \"jobs1_ns_per_row\": %.1f, \
+       \"jobs%d_ns_per_row\": %.1f, \"speedup\": %.2f}"
+      r.name r.rows (per_row r r.jobs1_s) jobs_hi (per_row r r.par_s)
+      r.speedup
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"parallel\",\n\
+    \  \"n_docs\": %d,\n\
+    \  \"paragraphs\": %d,\n\
+    \  \"block_size\": %d,\n\
+    \  \"morsel_size\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"entries\": [\n%s\n  ],\n\
+    \  \"median_speedup\": %.2f,\n\
+    \  \"serial_regression\": %.3f,\n\
+    \  \"divergences\": %d,\n\
+    \  \"speedup_gate_enforced\": %b\n\
+     }\n"
+    n_docs paras P.Exec.block_size P.Exec.morsel_size jobs_hi cores reps
+    (String.concat ",\n" (List.map entry results))
+    median_speedup serial_ratio (List.length divergences) enforced;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let arg_value flag default parse =
+  let rec go = function
+    | f :: v :: _ when String.equal f flag -> parse v
+    | _ :: rest -> go rest
+    | [] -> default
+  in
+  go (Array.to_list Sys.argv)
+
+let () =
+  let assert_mode = Array.exists (String.equal "--assert") Sys.argv in
+  let n_docs = arg_value "--docs" 3200 int_of_string in
+  let seed = arg_value "--seed" Datagen.default.Datagen.seed int_of_string in
+  let json_path = arg_value "--json" "BENCH_parallel.json" Fun.id in
+  let cores = Domain.recommended_domain_count () in
+  let db = Db.create ~params:{ Datagen.default with n_docs; seed } () in
+  let ctx = Engine.exec_ctx db in
+  let schema = Object_store.schema db.Db.store in
+  let paras = Object_store.extent_size db.Db.store "Paragraph" in
+  Printf.printf
+    "morsel-parallel vs serial compiled (n_docs=%d, %d paragraphs, \
+     morsel=%d, jobs=%d, %d core(s) available)\n"
+    n_docs paras P.Exec.morsel_size jobs_hi cores;
+  Printf.printf
+    "parity: 4 executors at n_docs=%d, Naive join oracle at n_docs=%d\n"
+    (min n_docs parity_docs) (min n_docs naive_docs);
+  let diverged = divergences ~seed ~n_docs schema in
+  Printf.printf "%-16s %10s %13s %13s %9s\n" "operator" "rows" "jobs1 ns/row"
+    (Printf.sprintf "jobs%d ns/row" jobs_hi)
+    "speedup";
+  let results = List.map (measure_entry ctx) (entries schema) in
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %10d %13.1f %13.1f %8.2fx%s\n" r.name r.rows
+        (per_row r r.jobs1_s) (per_row r r.par_s) r.speedup
+        (if List.mem r.name diverged then "  DIVERGED" else ""))
+    results;
+  let median_speedup = median (List.map (fun r -> r.speedup) results) in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0. results in
+  let serial_ratio =
+    total (fun r -> r.jobs1_min) /. total (fun r -> r.serial_min)
+  in
+  let enforced = cores >= jobs_hi in
+  Printf.printf "\nmedian speedup at jobs=%d: %.2fx (bound %.1fx%s)\n" jobs_hi
+    median_speedup min_median_speedup
+    (if enforced then "" else ", NOT enforced on this host");
+  Printf.printf "jobs=1 total vs plain serial drain: %.3fx (bound %.2fx)\n"
+    serial_ratio max_serial_regression;
+  write_json json_path ~n_docs ~paras ~cores ~enforced results ~median_speedup
+    ~serial_ratio ~divergences:diverged;
+  Printf.printf "wrote %s\n" json_path;
+  let failed = ref false in
+  if diverged <> [] then begin
+    Printf.printf "FAIL: %d entries diverged between executors: %s\n"
+      (List.length diverged)
+      (String.concat ", " diverged);
+    failed := true
+  end;
+  if serial_ratio > max_serial_regression then begin
+    Printf.printf
+      "FAIL: jobs=1 dispatch is %.3fx the plain serial drain (bound %.2fx)\n"
+      serial_ratio max_serial_regression;
+    failed := true
+  end;
+  if enforced then begin
+    if median_speedup < min_median_speedup then begin
+      Printf.printf "FAIL: median speedup %.2fx below the %.1fx bound\n"
+        median_speedup min_median_speedup;
+      failed := true
+    end
+  end
+  else
+    Printf.printf
+      "SKIP: speedup bound needs >= %d cores, host reports %d (divergence \
+       and serial-regression checks still enforced)\n"
+      jobs_hi cores;
+  if not !failed then
+    Printf.printf "OK: %d/%d results identical under jobs in {2,%d}%s\n"
+      (List.length results - List.length diverged)
+      (List.length results) jobs_hi
+      (if enforced then
+         Printf.sprintf ", median parallel speedup %.2fx" median_speedup
+       else "");
+  if !failed && assert_mode then exit 1

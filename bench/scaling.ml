@@ -15,8 +15,12 @@
       the naive side runs at.
 
    Run with:     dune exec bench/scaling.exe
-   Assert mode:  dune exec bench/scaling.exe -- --assert [--json PATH]
+   Assert mode:  dune exec bench/scaling.exe -- --assert [--seed N]
+                                                [--json PATH]
    (exit code 1 when a bound is violated)
+
+   [--seed N] regenerates the databases from a different Datagen seed
+   (default 42); shared across all benches.
 
    [--json PATH] additionally writes the measured rows and fitted
    exponents as machine-readable JSON (same shape family as
@@ -102,10 +106,10 @@ let hash_suite store sections documents paragraphs selected =
   let d = A.Eval.run store diff_term in
   (j, nj, d)
 
-let measure () =
+let measure ~seed =
   List.map
     (fun n_docs ->
-      let db = Db.create ~params:{ Datagen.default with n_docs } () in
+      let db = Db.create ~params:{ Datagen.default with n_docs; seed } () in
       let store = db.Db.store in
       let schema = Object_store.schema store in
       let q_term = Soqm_vql.To_algebra.query_to_algebra schema query_q in
@@ -184,11 +188,16 @@ let arg_value flag parse =
 let () =
   let assert_mode = Array.exists (String.equal "--assert") Sys.argv in
   let json_path = arg_value "--json" Fun.id in
+  let seed =
+    Option.value
+      ~default:Datagen.default.Datagen.seed
+      (arg_value "--seed" int_of_string)
+  in
   let failed = ref false in
   Printf.printf "logical-evaluator scaling (reference interpreter, Eval.run)\n";
   Printf.printf "%8s %12s | %12s %12s %14s %9s\n" "docs" "paragraphs"
     "worked Q (s)" "joins (s)" "naive joins(s)" "speedup";
-  let rows = measure () in
+  let rows = measure ~seed in
   List.iter
     (fun r ->
       let naive, speedup =

@@ -18,10 +18,18 @@ let seed_arg =
   let doc = "Random seed of the data generator." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let make_db docs hit_probability seed =
+let jobs_arg =
+  let doc =
+    "Worker domains for query execution: 1 (default) is the serial block \
+     executor, N >= 2 the morsel-driven parallel executor (same results, \
+     same row order)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let make_db ?(jobs = 1) docs hit_probability seed =
   Db.create
     ~params:{ Datagen.default with n_docs = docs; hit_probability; seed }
-    ()
+    ~jobs ()
 
 let classes_conv =
   let parse s =
@@ -73,9 +81,9 @@ let print_report label (r : Engine.report) =
     (r.Engine.elapsed_s *. 1000.)
 
 let run_cmd =
-  let run query docs hit seed disabled trace naive dot =
+  let run query docs hit seed jobs disabled trace naive dot =
     try
-      let db = make_db docs hit seed in
+      let db = make_db ~jobs docs hit seed in
       let classes =
         List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
       in
@@ -112,8 +120,8 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run $ query_arg $ docs_arg $ hit_arg $ seed_arg $ disable_arg
-       $ trace_arg $ naive_arg $ dot_arg))
+        (const run $ query_arg $ docs_arg $ hit_arg $ seed_arg $ jobs_arg
+       $ disable_arg $ trace_arg $ naive_arg $ dot_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain: the slot-compiled operator tree                            *)
@@ -127,9 +135,9 @@ let explain_cmd =
     in
     Arg.(value & flag & info [ "analyze" ] ~doc)
   in
-  let explain query docs hit seed disabled analyze =
+  let explain query docs hit seed jobs disabled analyze =
     try
-      let db = make_db docs hit seed in
+      let db = make_db ~jobs docs hit seed in
       let classes =
         List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
       in
@@ -143,8 +151,8 @@ let explain_cmd =
           if analyze then begin
             let ns = Soqm_physical.Exec.make_stats compiled in
             ignore
-              (Soqm_physical.Exec.run_compiled ~stats:ns (Engine.exec_ctx db)
-                 compiled);
+              (Soqm_physical.Exec.run_compiled ~stats:ns ~jobs
+                 (Engine.exec_ctx db) compiled);
             Some ns
           end
           else None
@@ -158,9 +166,18 @@ let explain_cmd =
           in
           match actuals with
           | Some ns ->
-            Printf.sprintf "(%s actual_rows=%d blocks=%d)" est
-              ns.Soqm_physical.Exec.node_rows.(c.Soqm_physical.Plan.cid)
-              ns.Soqm_physical.Exec.node_blocks.(c.Soqm_physical.Plan.cid)
+            let cid = c.Soqm_physical.Plan.cid in
+            let parallel =
+              if jobs > 1 then
+                Printf.sprintf " morsels=%d parts=%d"
+                  ns.Soqm_physical.Exec.node_morsels.(cid)
+                  ns.Soqm_physical.Exec.node_partitions.(cid)
+              else ""
+            in
+            Printf.sprintf "(%s actual_rows=%d blocks=%d%s)" est
+              ns.Soqm_physical.Exec.node_rows.(cid)
+              ns.Soqm_physical.Exec.node_blocks.(cid)
+              parallel
           | None -> Printf.sprintf "(%s)" est
         in
         Printf.printf
@@ -184,13 +201,14 @@ let explain_cmd =
     "Print the optimized query's slot-compiled operator tree: per operator \
      its output layout, layout width and estimated rows (from the collected \
      statistics); with $(b,--analyze), also the actual rows and blocks \
-     observed by executing the plan."
+     observed by executing the plan (plus per-node morsel and partition \
+     counts when $(b,--jobs) is at least 2)."
   in
   Cmd.v
     (Cmd.info "explain" ~doc)
     Term.(
       ret
-        (const explain $ query_arg $ docs_arg $ hit_arg $ seed_arg
+        (const explain $ query_arg $ docs_arg $ hit_arg $ seed_arg $ jobs_arg
        $ disable_arg $ analyze_arg))
 
 let schema_cmd =
@@ -205,8 +223,8 @@ let schema_cmd =
   Cmd.v (Cmd.info "schema" ~doc) Term.(const show $ const ())
 
 let repl_cmd =
-  let repl docs hit seed disabled trace =
-    let db = make_db docs hit seed in
+  let repl docs hit seed jobs disabled trace =
+    let db = make_db ~jobs docs hit seed in
     let classes =
       List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
     in
@@ -246,7 +264,9 @@ let repl_cmd =
   let doc = "Interactive VQL session (the paper's interactive mode)." in
   Cmd.v
     (Cmd.info "repl" ~doc)
-    Term.(const repl $ docs_arg $ hit_arg $ seed_arg $ disable_arg $ trace_arg)
+    Term.(
+      const repl $ docs_arg $ hit_arg $ seed_arg $ jobs_arg $ disable_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* DML: insert / update / delete on a saved database dump              *)
@@ -410,8 +430,8 @@ let stats_cmd =
     let doc = "Number of query/update rounds of the mixed workload." in
     Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"N" ~doc)
   in
-  let run docs hit seed rounds =
-    let db = make_db docs hit seed in
+  let run docs hit seed jobs rounds =
+    let db = make_db ~jobs docs hit seed in
     let engine = Engine.generate db in
     let c = Db.counters db in
     Soqm_vml.Counters.reset_maintenance c;
@@ -469,7 +489,8 @@ let stats_cmd =
      plan-cache hits/misses."
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(ret (const run $ docs_arg $ hit_arg $ seed_arg $ rounds_arg))
+    Term.(
+      ret (const run $ docs_arg $ hit_arg $ seed_arg $ jobs_arg $ rounds_arg))
 
 let rules_cmd =
   let show docs hit seed =

@@ -8,6 +8,7 @@ type t = {
   text_index : Oid.t Soqm_ir.Inverted_index.t;
   mutable stats : Statistics.t;
   mutable maint : Soqm_maintenance.Maintenance.t option;
+  mutable default_jobs : int;
 }
 
 let register_external_methods t =
@@ -89,7 +90,8 @@ let attach_maintenance t =
 
 let maintenance t = t.maint
 
-let create_empty ?(schema = Doc_schema.schema) ?(maintain = true) () =
+let create_empty ?(schema = Doc_schema.schema) ?(maintain = true) ?(jobs = 1) ()
+    =
   let store = Object_store.create schema in
   Doc_schema.install_internal_methods store;
   let t =
@@ -100,16 +102,17 @@ let create_empty ?(schema = Doc_schema.schema) ?(maintain = true) () =
       text_index = Soqm_ir.Inverted_index.create ();
       stats = Statistics.collect store;
       maint = None;
+      default_jobs = max 1 jobs;
     }
   in
   register_external_methods t;
   if maintain then attach_maintenance t;
   t
 
-let create ?schema ?(params = Datagen.default) ?(maintain = true) () =
+let create ?schema ?(params = Datagen.default) ?(maintain = true) ?jobs () =
   (* bulk-load unmaintained (incremental index splices would be
      quadratic), then rebuild everything and attach the observers *)
-  let t = create_empty ?schema ~maintain:false () in
+  let t = create_empty ?schema ~maintain:false ?jobs () in
   Datagen.populate t.store params;
   refresh t;
   if maintain then attach_maintenance t;
@@ -117,7 +120,7 @@ let create ?schema ?(params = Datagen.default) ?(maintain = true) () =
 
 let save t path = Object_store.save_dump (Object_store.export t.store) path
 
-let load ?(maintain = true) path =
+let load ?(maintain = true) ?(jobs = 1) path =
   let dump = Object_store.load_dump path in
   let store = Object_store.import dump in
   Doc_schema.install_internal_methods store;
@@ -129,12 +132,15 @@ let load ?(maintain = true) path =
       text_index = Soqm_ir.Inverted_index.create ();
       stats = Statistics.collect store;
       maint = None;
+      default_jobs = max 1 jobs;
     }
   in
   register_external_methods t;
   refresh t;
   if maintain then attach_maintenance t;
   t
+
+let set_jobs t jobs = t.default_jobs <- max 1 jobs
 
 let counters t = Object_store.counters t.store
 

@@ -21,12 +21,17 @@ type t = {
           capture this value *)
   mutable maint : Soqm_maintenance.Maintenance.t option;
       (** incremental maintenance, when attached (the default) *)
+  mutable default_jobs : int;
+      (** worker count engines generated from this database execute
+          with unless overridden per run; 1 (the default) is the serial
+          block executor *)
 }
 
 val create :
   ?schema:Soqm_vml.Schema.t ->
   ?params:Datagen.params ->
   ?maintain:bool ->
+  ?jobs:int ->
   unit ->
   t
 (** Build the document schema (or a cost-variant from
@@ -38,7 +43,8 @@ val create :
     indexes, the [largeParagraphs] implication sets and statistics
     consistent automatically. *)
 
-val create_empty : ?schema:Soqm_vml.Schema.t -> ?maintain:bool -> unit -> t
+val create_empty :
+  ?schema:Soqm_vml.Schema.t -> ?maintain:bool -> ?jobs:int -> unit -> t
 (** Same, but with no data; maintenance (default on) attaches
     immediately, so objects created through [store] are indexed as they
     arrive.  For bulk loads pass [~maintain:false], populate, {!refresh},
@@ -56,13 +62,16 @@ val save : t -> string -> unit
 (** Snapshot the database's data to a file (schema, objects, OIDs;
     indexes and statistics are derived state and rebuilt on load). *)
 
-val load : ?maintain:bool -> string -> t
+val load : ?maintain:bool -> ?jobs:int -> string -> t
 (** Restore a database saved with {!save}: re-creates the store,
     re-registers every method implementation of the document schema,
     rebuilds indexes and statistics, and (unless [maintain:false])
     attaches incremental maintenance.  Only meaningful for dumps of the
     document schema (possibly with cost-variant method declarations).
     @raise Failure on corrupt files. *)
+
+val set_jobs : t -> int -> unit
+(** Set {!field-t.default_jobs} (clamped to at least 1). *)
 
 val counters : t -> Counters.t
 (** The store's cost counters. *)

@@ -28,6 +28,7 @@ type t = {
   mutable cache_tick : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable jobs : int;  (* default worker count for executions *)
 }
 
 let exec_ctx (database : Db.t) : Soqm_physical.Exec.ctx =
@@ -63,7 +64,7 @@ let opt_ctx_of (database : Db.t) : Rule.opt_ctx =
   }
 
 let make_engine ~store ~exec ~stats ~has_index ~has_range_index
-    ~builtin_filter ~specs ~inverse_links ~config ~cache_capacity =
+    ~builtin_filter ~specs ~inverse_links ~config ~cache_capacity ~jobs =
   let schema = Object_store.schema store in
   let specs =
     if inverse_links then
@@ -89,6 +90,7 @@ let make_engine ~store ~exec ~stats ~has_index ~has_range_index
     cache_tick = 0;
     cache_hits = 0;
     cache_misses = 0;
+    jobs = max 1 jobs;
   }
 
 let generate ?(classes = Doc_knowledge.all_classes) ?(extra_specs = [])
@@ -103,6 +105,7 @@ let generate ?(classes = Doc_knowledge.all_classes) ?(extra_specs = [])
       ~has_index:(opt_ctx_of database).Rule.has_index
       ~has_range_index:(opt_ctx_of database).Rule.has_range_index
       ~builtin_filter ~specs ~inverse_links:false ~config ~cache_capacity
+      ~jobs:database.Db.default_jobs
   in
   (* knowledge-preserving DML leaves cached plans valid; a statistics
      recollect (or resync) bumps the maintenance epoch and invalidates *)
@@ -114,12 +117,14 @@ let generate ?(classes = Doc_knowledge.all_classes) ?(extra_specs = [])
 let generate_custom ?(specs = []) ?(inverse_links = true)
     ?(config = Search.default_config)
     ?(has_range_index = fun ~cls:_ ~prop:_ -> false) ?(cache_capacity = 128)
-    ~store ~exec_ctx:exec ~has_index () =
+    ?(jobs = 1) ~store ~exec_ctx:exec ~has_index () =
   make_engine ~store ~exec ~stats:(Statistics.collect store) ~has_index
     ~has_range_index ~builtin_filter:(fun _ -> true) ~specs ~inverse_links
-    ~config ~cache_capacity
+    ~config ~cache_capacity ~jobs
 
 let store t = t.obj_store
+let set_jobs t jobs = t.jobs <- max 1 jobs
+let jobs t = t.jobs
 
 let rule_count t =
   List.length t.transformations + List.length t.implementations
@@ -224,39 +229,44 @@ let timed f =
   let x = f () in
   (x, Unix.gettimeofday () -. t0)
 
-let execute_with exec store plan opt =
-  let c = Object_store.counters store in
-  Counters.reset c;
-  let result, elapsed_s = timed (fun () -> Soqm_physical.Exec.run exec plan) in
-  { result; counters = Counters.snapshot c; opt; elapsed_s }
-
-let run_naive (database : Db.t) src =
-  let logical = logical_of_query database src in
-  let plan = Soqm_physical.Plan.default_implementation logical in
-  execute_with (exec_ctx database) database.Db.store plan None
-
-let run_query t src =
-  let logical = logical_of_store t.obj_store src in
-  let plan = Soqm_physical.Plan.default_implementation logical in
-  execute_with t.exec t.obj_store plan None
-
-let execute_compiled_with exec store compiled opt =
+let execute_with ~jobs exec store plan opt =
   let c = Object_store.counters store in
   Counters.reset c;
   let result, elapsed_s =
-    timed (fun () -> Soqm_physical.Exec.run_compiled exec compiled)
+    timed (fun () -> Soqm_physical.Exec.run ~jobs exec plan)
   in
   { result; counters = Counters.snapshot c; opt; elapsed_s }
 
-let run_optimized t src =
+let run_naive ?jobs (database : Db.t) src =
+  let jobs = Option.value ~default:database.Db.default_jobs jobs in
+  let logical = logical_of_query database src in
+  let plan = Soqm_physical.Plan.default_implementation logical in
+  execute_with ~jobs (exec_ctx database) database.Db.store plan None
+
+let run_query ?jobs t src =
+  let jobs = Option.value ~default:t.jobs jobs in
+  let logical = logical_of_store t.obj_store src in
+  let plan = Soqm_physical.Plan.default_implementation logical in
+  execute_with ~jobs t.exec t.obj_store plan None
+
+let execute_compiled_with ~jobs exec store compiled opt =
+  let c = Object_store.counters store in
+  Counters.reset c;
+  let result, elapsed_s =
+    timed (fun () -> Soqm_physical.Exec.run_compiled ~jobs exec compiled)
+  in
+  { result; counters = Counters.snapshot c; opt; elapsed_s }
+
+let run_optimized ?jobs t src =
+  let jobs = Option.value ~default:t.jobs jobs in
   let logical = logical_of_store t.obj_store src in
   match safe_with_schema (Object_store.schema t.obj_store) logical with
   | Ok () ->
     let opt, compiled = optimize_compiled t logical in
-    execute_compiled_with t.exec t.obj_store compiled (Some opt)
+    execute_compiled_with ~jobs t.exec t.obj_store compiled (Some opt)
   | Error _ ->
     (* a potentially updating query: execute as written *)
-    execute_with t.exec t.obj_store
+    execute_with ~jobs t.exec t.obj_store
       (Soqm_physical.Plan.default_implementation logical)
       None
 

@@ -33,6 +33,7 @@ val generate_custom :
   ?config:Search.config ->
   ?has_range_index:(cls:string -> prop:string -> bool) ->
   ?cache_capacity:int ->
+  ?jobs:int ->
   store:Object_store.t ->
   exec_ctx:Soqm_physical.Exec.ctx ->
   has_index:(cls:string -> prop:string -> bool) ->
@@ -49,6 +50,13 @@ val store : t -> Object_store.t
 val rule_count : t -> int
 (** Number of transformation + implementation rules (for the scaling
     experiment). *)
+
+val set_jobs : t -> int -> unit
+(** Default worker count for this engine's executions (clamped to at
+    least 1).  {!generate} seeds it from the database's
+    [default_jobs]. *)
+
+val jobs : t -> int
 
 val exec_ctx : Db.t -> Soqm_physical.Exec.ctx
 (** Execution context exposing the database's value indexes. *)
@@ -123,17 +131,19 @@ type report = {
   elapsed_s : float;  (** wall-clock execution time, seconds *)
 }
 
-val run_naive : Db.t -> string -> report
+val run_naive : ?jobs:int -> Db.t -> string -> report
 (** Straightforward evaluation: translate and execute the canonical plan
     with the default structural implementation — no transformations, no
-    access-path selection. *)
+    access-path selection.  [jobs] (default: the database's
+    [default_jobs]) selects serial (1) or morsel-parallel execution. *)
 
-val run_optimized : t -> string -> report
-(** Optimize, then execute the chosen plan.  When the query calls a
-    method not declared side-effect free, optimization is skipped and the
-    query runs like {!run_naive} (the report's [opt] is [None]). *)
+val run_optimized : ?jobs:int -> t -> string -> report
+(** Optimize, then execute the chosen plan with [jobs] workers (default:
+    the engine's {!jobs}).  When the query calls a method not declared
+    side-effect free, optimization is skipped and the query runs like
+    {!run_naive} (the report's [opt] is [None]). *)
 
-val run_query : t -> string -> report
+val run_query : ?jobs:int -> t -> string -> report
 (** {!run_naive} against the engine's own store/schema (works for custom
     engines too). *)
 

@@ -414,11 +414,21 @@ type biter = {
   close_blocks : unit -> unit;
 }
 
-type node_stats = { node_rows : int array; node_blocks : int array }
+type node_stats = {
+  node_rows : int array;
+  node_blocks : int array;
+  node_morsels : int array;
+  node_partitions : int array;
+}
 
 let make_stats c =
   let n = Plan.node_count c in
-  { node_rows = Array.make n 0; node_blocks = Array.make n 0 }
+  {
+    node_rows = Array.make n 0;
+    node_blocks = Array.make n 0;
+    node_morsels = Array.make n 0;
+    node_partitions = Array.make n 0;
+  }
 
 (* -- row kernels ---------------------------------------------------- *)
 
@@ -541,6 +551,20 @@ module Rowbuf = struct
   let contents b =
     if b.n = Array.length b.rows then b.rows else Array.sub b.rows 0 b.n
 end
+
+(* One output row per member of the set [f row], inserted via [ins];
+   shared by the serial flat kernels and the morsel-parallel ones. *)
+let expand_rows ins rows f =
+  let acc = Rowbuf.create () in
+  for i = 0 to Array.length rows - 1 do
+    let row = rows.(i) in
+    match f row with
+    | Value.Set members ->
+      List.iter (fun v -> Rowbuf.push acc (ins row v)) members
+    | Value.Null -> ()
+    | v -> error "flat operator produced non-set %s" (Value.to_string v)
+  done;
+  Rowbuf.contents acc
 
 let slot_getter = function
   | Plan.SSlot i -> fun (row : Value.t array) -> row.(i)
@@ -1014,18 +1038,6 @@ let open_compiled ?stats ctx (root : Plan.compiled) : biter =
             Relation.RowTbl.add seen projected ();
             Some projected
           end)
-  (* One output row per member of the set [f row], inserted via [ins]. *)
-  and expand_rows ins rows f =
-    let acc = Rowbuf.create () in
-    for i = 0 to Array.length rows - 1 do
-      let row = rows.(i) in
-      match f row with
-      | Value.Set members ->
-        List.iter (fun v -> Rowbuf.push acc (ins row v)) members
-      | Value.Null -> ()
-      | v -> error "flat operator produced non-set %s" (Value.to_string v)
-    done;
-    Rowbuf.contents acc
   in
   go root
 
@@ -1037,21 +1049,590 @@ let drain_blocks b =
   b.close_blocks ();
   blocks
 
+(* ------------------------------------------------------------------ *)
+(* Morsel-driven parallel path: every operator materializes its output *)
+(* as one row array; workers claim fixed-size morsels of the input via *)
+(* an atomic cursor and write their results into morsel-indexed slots, *)
+(* so the concatenated output is row-for-row identical to a serial     *)
+(* left-to-right pass no matter which worker ran which morsel.  Joins  *)
+(* and diff partition the build side by key hash and build one table   *)
+(* per partition (each preserving build-input order), so probes are    *)
+(* lock-free reads of tables published by the pool's join barrier.     *)
+(* ------------------------------------------------------------------ *)
+
+(* 1024 rows per morsel: big enough that the atomic cursor and the
+   per-morsel allocations are noise next to the kernel work (a morsel is
+   8 blocks of the serial executor's dispatch unit), small enough that a
+   3200-document scan still splits into enough morsels to keep four
+   workers busy and to absorb skew from expensive rows (method calls). *)
+let morsel_size = 1024
+
+(* Partitions for the hash-join / diff build sides: the smallest power
+   of two >= jobs, so [hash land (nparts - 1)] spreads build work over
+   all workers while keeping partition tables few and large. *)
+let partition_count jobs =
+  let rec go p = if p >= jobs then p else go (2 * p) in
+  go 1
+
+let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
+    Relation.Row.t array =
+  let pool = Pool.global () in
+  let cnt = counters ctx in
+  let nparts = partition_count jobs in
+  let morsels_of n = (n + morsel_size - 1) / morsel_size in
+  (* Block accounting mirrors the serial executor: an operator's
+     materialized output counts as ceil(n / block_size) blocks. *)
+  let record cid ~morsels ~partitions (rows : Relation.Row.t array) =
+    let n = Array.length rows in
+    let blocks = (n + block_size - 1) / block_size in
+    Counters.charge_blocks cnt blocks;
+    (match stats with
+    | Some s ->
+      s.node_rows.(cid) <- s.node_rows.(cid) + n;
+      s.node_blocks.(cid) <- s.node_blocks.(cid) + blocks;
+      s.node_morsels.(cid) <- s.node_morsels.(cid) + morsels;
+      s.node_partitions.(cid) <- s.node_partitions.(cid) + partitions
+    | None -> ());
+    rows
+  in
+  (* Hand task ids [0, m) to the pool's workers via an atomic cursor. *)
+  let parallel_for m (f : w:int -> int -> unit) =
+    if m = 1 then f ~w:0 0
+    else if m > 1 then begin
+      let cursor = Atomic.make 0 in
+      Pool.run pool ~jobs (fun w ->
+          let rec claim () =
+            let i = Atomic.fetch_and_add cursor 1 in
+            if i < m then begin
+              f ~w i;
+              claim ()
+            end
+          in
+          claim ())
+    end
+  in
+  (* Morsel-parallel map over index range [0, n): each morsel's output
+     lands in its own slot and the slots are concatenated in morsel
+     order (the determinism argument, DESIGN.md §10). *)
+  let chunked n (f : w:int -> lo:int -> hi:int -> Relation.Row.t array) =
+    let m = morsels_of n in
+    if m = 0 then [||]
+    else if m = 1 then f ~w:0 ~lo:0 ~hi:n
+    else begin
+      let out = Array.make m [||] in
+      parallel_for m (fun ~w i ->
+          let lo = i * morsel_size in
+          out.(i) <- f ~w ~lo ~hi:(min n (lo + morsel_size)));
+      Array.concat (Array.to_list out)
+    end
+  in
+  (* 1:1 kernels write straight into a preallocated output array. *)
+  let mapped rows (f : w:int -> Relation.Row.t -> Relation.Row.t) =
+    let n = Array.length rows in
+    let out = Array.make n [||] in
+    parallel_for (morsels_of n) (fun ~w i ->
+        let lo = i * morsel_size in
+        let hi = min n (lo + morsel_size) in
+        for j = lo to hi - 1 do
+          out.(j) <- f ~w rows.(j)
+        done);
+    out
+  in
+  (* The serial kernels share one memo table per operator; across
+     domains that would race, so each worker memoizes privately.  The
+     result rows are unaffected — only the property-read / method-call
+     tallies may exceed the serial run's (each worker warms its own
+     cache). *)
+  let per_worker_memo : 'a 'b. ('a -> 'b) -> w:int -> 'a -> 'b =
+   fun f ->
+    let memos = Array.init (max 1 jobs) (fun _ -> Hashtbl.create 64) in
+    fun ~w key ->
+      let memo = memos.(w) in
+      match Hashtbl.find_opt memo key with
+      | Some v -> v
+      | None ->
+        let v = f key in
+        Hashtbl.replace memo key v;
+        v
+  in
+  (* Ordered two-phase partitioning of a materialized build side.
+     Phase A buckets each morsel into [nparts] per-morsel row buffers
+     (morsel order preserved inside each bucket); phase B concatenates
+     partition [p]'s buckets in morsel order — recovering build-input
+     order — and folds them into that partition's table, one worker per
+     partition.  The pool join between the phases publishes the
+     buckets; the join after phase B publishes the tables to probes. *)
+  let partitioned :
+      'tbl.
+      Relation.Row.t array ->
+      (Relation.Row.t -> int option) ->
+      (Relation.Row.t array -> 'tbl) ->
+      'tbl array =
+   fun rows part_of build ->
+    let n = Array.length rows in
+    let m = morsels_of n in
+    let buckets = Array.make (max 1 m) [||] in
+    parallel_for m (fun ~w:_ i ->
+        let lo = i * morsel_size in
+        let hi = min n (lo + morsel_size) in
+        let bufs = Array.init nparts (fun _ -> Rowbuf.create ()) in
+        for j = lo to hi - 1 do
+          let row = rows.(j) in
+          match part_of row with
+          | Some p -> Rowbuf.push bufs.(p) row
+          | None -> ()
+        done;
+        buckets.(i) <- Array.map Rowbuf.contents bufs);
+    let tables = Array.make nparts None in
+    parallel_for nparts (fun ~w:_ p ->
+        let parts = Array.init m (fun i -> buckets.(i).(p)) in
+        tables.(p) <- Some (build (Array.concat (Array.to_list parts))));
+    Array.map Option.get tables
+  in
+  let scan_rows cid oids =
+    let oids = Array.of_list oids in
+    let n = Array.length oids in
+    let rows =
+      chunked n (fun ~w:_ ~lo ~hi ->
+          Array.init (hi - lo) (fun i -> [| Value.Obj oids.(lo + i) |]))
+    in
+    record cid ~morsels:(morsels_of n) ~partitions:0 rows
+  in
+  let rec eval (c : Plan.compiled) : Relation.Row.t array =
+    let cid = c.Plan.cid in
+    match c.Plan.cop with
+    | Plan.CUnit -> record cid ~morsels:0 ~partitions:0 [| [||] |]
+    | Plan.CFullScan cls ->
+      let oids =
+        try Object_store.extent ctx.store cls
+        with Invalid_argument msg -> error "%s" msg
+      in
+      Counters.charge_object_fetches cnt (List.length oids);
+      scan_rows cid oids
+    | Plan.CIndexScan (cls, prop, key) -> (
+      match ctx.probe_index ~cls ~prop key with
+      | Some oids -> scan_rows cid oids
+      | None -> error "no index on %s.%s" cls prop)
+    | Plan.CRangeScan (cls, prop, lo, hi) -> (
+      match ctx.probe_range ~cls ~prop ~lo ~hi with
+      | Some oids -> scan_rows cid oids
+      | None -> error "no ordered index on %s.%s" cls prop)
+    | Plan.CMethodScan (cls, m, args) -> (
+      match
+        try Runtime.invoke ctx.store (Value.Cls cls) m args
+        with Runtime.Error msg -> error "%s" msg
+      with
+      | Value.Set members ->
+        let members = Array.of_list members in
+        let n = Array.length members in
+        let rows =
+          chunked n (fun ~w:_ ~lo ~hi ->
+              Array.init (hi - lo) (fun i -> [| members.(lo + i) |]))
+        in
+        record cid ~morsels:(morsels_of n) ~partitions:0 rows
+      | v ->
+        error "method scan %s->%s produced non-set %s" cls m (Value.to_string v))
+    | Plan.CFilter (cmp, x, y, input) ->
+      let gx = slot_getter x and gy = slot_getter y in
+      let rows = eval input in
+      let n = Array.length rows in
+      let out =
+        chunked n (fun ~w:_ ~lo ~hi ->
+            let buf = Array.make (hi - lo) [||] in
+            let k = ref 0 in
+            for i = lo to hi - 1 do
+              let row = rows.(i) in
+              if Value.truthy (eval_cmp cmp (gx row) (gy row)) then begin
+                buf.(!k) <- row;
+                incr k
+              end
+            done;
+            if !k = hi - lo then buf else Array.sub buf 0 !k)
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of n) ~partitions:0 out
+    | Plan.CNestedLoop (pred, merge, left, right) ->
+      let merged_of = make_merger merge in
+      let keep =
+        match pred with
+        | None -> fun _ -> true
+        | Some (cmp, i, j) ->
+          fun (merged : Value.t array) ->
+            Value.truthy (eval_cmp cmp merged.(i) merged.(j))
+      in
+      let rrows = eval right in
+      let lrows = eval left in
+      let n = Array.length lrows in
+      let out =
+        chunked n (fun ~w:_ ~lo ~hi ->
+            let acc = Rowbuf.create () in
+            for i = lo to hi - 1 do
+              let lrow = lrows.(i) in
+              for j = 0 to Array.length rrows - 1 do
+                let merged = merged_of lrow rrows.(j) in
+                if keep merged then Rowbuf.push acc merged
+              done
+            done;
+            Rowbuf.contents acc)
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of n) ~partitions:0 out
+    | Plan.CHashJoin (ls, rs, merge, left, right) ->
+      (* Null keys never match (DESIGN.md §7): dropped while bucketing
+         the build side, skipped on probe. *)
+      let merged_of = make_merger merge in
+      let part_of_key key = Hashtbl.hash key land (nparts - 1) in
+      let rrows = eval right in
+      let tables =
+        partitioned rrows
+          (fun row ->
+            match row.(rs) with
+            | Value.Null -> None
+            | key -> Some (part_of_key key))
+          (fun rows ->
+            let tbl = Hashtbl.create (max 16 (Array.length rows)) in
+            (* reverse iteration + prepend: match lists come out in
+               build-input order, same as the serial executor *)
+            for i = Array.length rows - 1 downto 0 do
+              let rrow = rows.(i) in
+              let key = rrow.(rs) in
+              Hashtbl.replace tbl key
+                (rrow
+                ::
+                (match Hashtbl.find_opt tbl key with
+                | Some prev -> prev
+                | None -> []))
+            done;
+            tbl)
+      in
+      let lrows = eval left in
+      let n = Array.length lrows in
+      let out =
+        chunked n (fun ~w:_ ~lo ~hi ->
+            let acc = Rowbuf.create () in
+            for i = lo to hi - 1 do
+              let lrow = lrows.(i) in
+              match lrow.(ls) with
+              | Value.Null -> ()
+              | key -> (
+                match Hashtbl.find_opt tables.(part_of_key key) key with
+                | None -> ()
+                | Some matches ->
+                  List.iter
+                    (fun rrow -> Rowbuf.push acc (merged_of lrow rrow))
+                    matches)
+            done;
+            Rowbuf.contents acc)
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid
+        ~morsels:(morsels_of (Array.length rrows) + morsels_of n)
+        ~partitions:nparts out
+    | Plan.CNaturalJoin ([| il |], [| ir |], merge, left, right) ->
+      (* structural match on the one shared column: Nulls {e do} join *)
+      let merged_of = make_merger merge in
+      let part_of_key key = Hashtbl.hash key land (nparts - 1) in
+      let rrows = eval right in
+      let tables =
+        partitioned rrows
+          (fun row -> Some (part_of_key row.(ir)))
+          (fun rows ->
+            let tbl = Hashtbl.create (max 16 (Array.length rows)) in
+            for i = Array.length rows - 1 downto 0 do
+              let rrow = rows.(i) in
+              let key = rrow.(ir) in
+              Hashtbl.replace tbl key
+                (rrow
+                ::
+                (match Hashtbl.find_opt tbl key with
+                | Some prev -> prev
+                | None -> []))
+            done;
+            tbl)
+      in
+      let lrows = eval left in
+      let n = Array.length lrows in
+      let out =
+        chunked n (fun ~w:_ ~lo ~hi ->
+            let acc = Rowbuf.create () in
+            for i = lo to hi - 1 do
+              let lrow = lrows.(i) in
+              let key = lrow.(il) in
+              match Hashtbl.find_opt tables.(part_of_key key) key with
+              | None -> ()
+              | Some matches ->
+                List.iter
+                  (fun rrow -> Rowbuf.push acc (merged_of lrow rrow))
+                  matches
+            done;
+            Rowbuf.contents acc)
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid
+        ~morsels:(morsels_of (Array.length rrows) + morsels_of n)
+        ~partitions:nparts out
+    | Plan.CNaturalJoin (kl, kr, merge, left, right) ->
+      let merged_of = make_merger merge in
+      let key_l = make_copier kl in
+      let key_r = make_copier kr in
+      let part_of_key key = Relation.Row.hash key land (nparts - 1) in
+      let rrows = eval right in
+      let tables =
+        partitioned rrows
+          (fun row -> Some (part_of_key (key_r row)))
+          (fun rows ->
+            let tbl = Relation.RowTbl.create (max 16 (Array.length rows)) in
+            for i = Array.length rows - 1 downto 0 do
+              let rrow = rows.(i) in
+              let key = key_r rrow in
+              Relation.RowTbl.replace tbl key
+                (rrow
+                ::
+                (match Relation.RowTbl.find_opt tbl key with
+                | Some prev -> prev
+                | None -> []))
+            done;
+            tbl)
+      in
+      let lrows = eval left in
+      let n = Array.length lrows in
+      let out =
+        chunked n (fun ~w:_ ~lo ~hi ->
+            let acc = Rowbuf.create () in
+            for i = lo to hi - 1 do
+              let lrow = lrows.(i) in
+              let key = key_l lrow in
+              match Relation.RowTbl.find_opt tables.(part_of_key key) key with
+              | None -> ()
+              | Some matches ->
+                List.iter
+                  (fun rrow -> Rowbuf.push acc (merged_of lrow rrow))
+                  matches
+            done;
+            Rowbuf.contents acc)
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid
+        ~morsels:(morsels_of (Array.length rrows) + morsels_of n)
+        ~partitions:nparts out
+    | Plan.CUnion (left, right) ->
+      let l = eval left in
+      let r = eval right in
+      record cid ~morsels:0 ~partitions:0 (Array.append l r)
+    | Plan.CDiff (left, right) ->
+      let rrows = eval right in
+      let lrows = eval left in
+      if Array.length rrows = 0 then
+        (* empty exclusion set: diff is a pass-through (same fast path
+           as the serial executor) *)
+        record cid ~morsels:0 ~partitions:0 lrows
+      else begin
+        let part_of row = Relation.Row.hash row land (nparts - 1) in
+        let tables =
+          partitioned rrows
+            (fun row -> Some (part_of row))
+            (fun rows ->
+              let tbl = Relation.RowTbl.create (max 16 (Array.length rows)) in
+              Array.iter (fun row -> Relation.RowTbl.replace tbl row ()) rows;
+              tbl)
+        in
+        let n = Array.length lrows in
+        let out =
+          chunked n (fun ~w:_ ~lo ~hi ->
+              let buf = Array.make (hi - lo) [||] in
+              let k = ref 0 in
+              for i = lo to hi - 1 do
+                let row = lrows.(i) in
+                if not (Relation.RowTbl.mem tables.(part_of row) row) then begin
+                  buf.(!k) <- row;
+                  incr k
+                end
+              done;
+              if !k = hi - lo then buf else Array.sub buf 0 !k)
+        in
+        record cid
+          ~morsels:(morsels_of (Array.length rrows) + morsels_of n)
+          ~partitions:nparts out
+      end
+    | Plan.CMapProp (at, p, recv, input) ->
+      let ins =
+        make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout)
+      in
+      let access =
+        per_worker_memo (fun rv ->
+            try Runtime.access ctx.store rv p
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      let rows = eval input in
+      let out = mapped rows (fun ~w row -> ins row (access ~w row.(recv))) in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of (Array.length rows)) ~partitions:0 out
+    | Plan.CMapMeth (at, m, recv, args, input) ->
+      let ins =
+        make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout)
+      in
+      let grecv = receiver_getter recv in
+      let getters = Array.map slot_getter args in
+      let call =
+        per_worker_memo (fun (rv, avs) ->
+            try Runtime.invoke ctx.store rv m avs
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      let rows = eval input in
+      let out =
+        mapped rows (fun ~w row ->
+            ins row (call ~w (grecv row, args_of getters row)))
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of (Array.length rows)) ~partitions:0 out
+    | Plan.CMapOp (at, op, args, input) ->
+      let ins =
+        make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout)
+      in
+      let apply = op_applier op args in
+      let rows = eval input in
+      let out = mapped rows (fun ~w:_ row -> ins row (apply row)) in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of (Array.length rows)) ~partitions:0 out
+    | Plan.CFlatProp (at, p, recv, input) ->
+      let ins =
+        make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout)
+      in
+      let access =
+        per_worker_memo (fun rv ->
+            try Runtime.access ctx.store rv p
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      let rows = eval input in
+      let n = Array.length rows in
+      let out =
+        chunked n (fun ~w ~lo ~hi ->
+            expand_rows ins (Array.sub rows lo (hi - lo)) (fun row ->
+                access ~w row.(recv)))
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of n) ~partitions:0 out
+    | Plan.CFlatMeth (at, m, recv, args, input) ->
+      let ins =
+        make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout)
+      in
+      let grecv = receiver_getter recv in
+      let getters = Array.map slot_getter args in
+      let call =
+        per_worker_memo (fun (rv, avs) ->
+            try Runtime.invoke ctx.store rv m avs
+            with Runtime.Error msg -> error "%s" msg)
+      in
+      let rows = eval input in
+      let n = Array.length rows in
+      let out =
+        chunked n (fun ~w ~lo ~hi ->
+            expand_rows ins (Array.sub rows lo (hi - lo)) (fun row ->
+                call ~w (grecv row, args_of getters row)))
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of n) ~partitions:0 out
+    | Plan.CFlatOp (at, op, args, input) ->
+      let ins =
+        make_inserter ~at ~width:(Relation.Layout.width input.Plan.layout)
+      in
+      let apply = op_applier op args in
+      let rows = eval input in
+      let n = Array.length rows in
+      let out =
+        chunked n (fun ~w:_ ~lo ~hi ->
+            expand_rows ins (Array.sub rows lo (hi - lo)) apply)
+      in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of n) ~partitions:0 out
+    | Plan.CProject ([| i |], input) ->
+      (* per-morsel local dedup in parallel, then a serial merge in
+         morsel order: the survivors are exactly the first occurrences
+         a serial pass would keep, in the same order *)
+      let rows = eval input in
+      let n = Array.length rows in
+      let m = morsels_of n in
+      let locals = Array.make (max 1 m) [||] in
+      parallel_for m (fun ~w:_ mi ->
+          let lo = mi * morsel_size in
+          let hi = min n (lo + morsel_size) in
+          let seen = Hashtbl.create 64 in
+          let acc = Rowbuf.create () in
+          for j = lo to hi - 1 do
+            let v = rows.(j).(i) in
+            if not (Hashtbl.mem seen v) then begin
+              Hashtbl.add seen v ();
+              Rowbuf.push acc [| v |]
+            end
+          done;
+          locals.(mi) <- Rowbuf.contents acc);
+      let seen = Hashtbl.create 256 in
+      let acc = Rowbuf.create () in
+      Array.iter
+        (Array.iter (fun row ->
+             let v = row.(0) in
+             if not (Hashtbl.mem seen v) then begin
+               Hashtbl.add seen v ();
+               Rowbuf.push acc row
+             end))
+        locals;
+      let out = Rowbuf.contents acc in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:m ~partitions:0 out
+    | Plan.CProject (srcs, input) ->
+      let proj = make_copier srcs in
+      let rows = eval input in
+      let n = Array.length rows in
+      let m = morsels_of n in
+      let locals = Array.make (max 1 m) [||] in
+      parallel_for m (fun ~w:_ mi ->
+          let lo = mi * morsel_size in
+          let hi = min n (lo + morsel_size) in
+          let seen = Relation.RowTbl.create 64 in
+          let acc = Rowbuf.create () in
+          for j = lo to hi - 1 do
+            let projected = proj rows.(j) in
+            if not (Relation.RowTbl.mem seen projected) then begin
+              Relation.RowTbl.add seen projected ();
+              Rowbuf.push acc projected
+            end
+          done;
+          locals.(mi) <- Rowbuf.contents acc);
+      let seen = Relation.RowTbl.create 256 in
+      let acc = Rowbuf.create () in
+      Array.iter
+        (Array.iter (fun projected ->
+             if not (Relation.RowTbl.mem seen projected) then begin
+               Relation.RowTbl.add seen projected ();
+               Rowbuf.push acc projected
+             end))
+        locals;
+      let out = Rowbuf.contents acc in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:m ~partitions:0 out
+  in
+  eval root
+
 let compile ctx plan =
   try Plan.compile plan
   with Plan.Compile_error msg ->
     Counters.charge_slot_miss (counters ctx);
     error "%s" msg
 
-let run_compiled ?stats ctx (c : Plan.compiled) =
-  let blocks = drain_blocks (open_compiled ?stats ctx c) in
+let run_compiled ?stats ?(jobs = 1) ctx (c : Plan.compiled) =
   let layout = c.Plan.layout in
   let tuples =
-    List.concat_map
-      (fun rows ->
-        Array.to_list (Array.map (Relation.Layout.tuple_of_row layout) rows))
-      blocks
+    if jobs > 1 then
+      Array.to_list
+        (Array.map
+           (Relation.Layout.tuple_of_row layout)
+           (eval_parallel ?stats ctx ~jobs c))
+    else
+      List.concat_map
+        (fun rows ->
+          Array.to_list (Array.map (Relation.Layout.tuple_of_row layout) rows))
+        (drain_blocks (open_compiled ?stats ctx c))
   in
   Relation.make ~refs:(Relation.Layout.names layout) tuples
 
-let run ctx plan = run_compiled ctx (compile ctx plan)
+let run ?jobs ctx plan = run_compiled ?jobs ctx (compile ctx plan)

@@ -71,7 +71,17 @@ type biter = {
   close_blocks : unit -> unit;
 }
 
-type node_stats = { node_rows : int array; node_blocks : int array }
+type node_stats = {
+  node_rows : int array;
+  node_blocks : int array;
+  node_morsels : int array;
+      (** input morsels processed by the parallel path (0 under serial
+          execution) *)
+  node_partitions : int array;
+      (** build-side partitions used by the parallel hash join / diff
+          kernels (0 under serial execution and for non-partitioned
+          operators) *)
+}
 (** Per-operator actuals, indexed by [Plan.compiled] node id — the
     [explain --analyze] sink. *)
 
@@ -89,8 +99,34 @@ val open_compiled : ?stats:node_stats -> ctx -> Plan.compiled -> biter
 
 val drain_blocks : biter -> Relation.Row.t array list
 
-val run_compiled : ?stats:node_stats -> ctx -> Plan.compiled -> Relation.t
-(** Exhaust the compiled plan and canonicalize the result. *)
+(** {1 Morsel-driven parallel execution}
 
-val run : ctx -> Plan.t -> Relation.t
+    With [jobs >= 2], operators evaluate bottom-up on the {!Pool.global}
+    domain pool: each operator materializes its output as one row array,
+    workers claim {!morsel_size}-row morsels of the input through an
+    atomic cursor, and per-morsel results are concatenated in morsel
+    order — so the parallel output is row-for-row identical to the
+    serial executor's (DESIGN.md §10).  Equi- and natural joins (and
+    diff) hash-partition their build side and build one table per
+    partition in parallel, preserving build-input match order. *)
+
+val morsel_size : int
+(** Rows per work unit claimed by a parallel worker (1024 = 8 serial
+    blocks); see DESIGN.md §10 for the sizing rationale. *)
+
+val eval_parallel :
+  ?stats:node_stats -> ctx -> jobs:int -> Plan.compiled -> Relation.Row.t array
+(** Evaluate with [jobs] workers and return the root's materialized
+    rows (in deterministic, serial-identical order — exposed for the
+    determinism tests and benchmarks).  @raise Error on dynamic
+    failures, re-raised on the caller after all workers join. *)
+
+val run_compiled :
+  ?stats:node_stats -> ?jobs:int -> ctx -> Plan.compiled -> Relation.t
+(** Exhaust the compiled plan and canonicalize the result.  [jobs]
+    (default 1) selects the executor: 1 streams blocks exactly as
+    before — no pool, no domain spawns — while [>= 2] runs the
+    morsel-parallel path. *)
+
+val run : ?jobs:int -> ctx -> Plan.t -> Relation.t
 (** [compile] + [run_compiled] — the default executor. *)

@@ -1,143 +1,175 @@
+(* Domain-safe counters: the scalar tallies are [Atomic.t]s so parallel
+   kernels on several domains never lose increments; the method-call
+   tally (a hashtable) and the float cost accumulator are guarded by one
+   mutex — they are charged per method invocation, orders of magnitude
+   rarer than per-tuple charges, so the lock is off every hot path. *)
+
 type t = {
-  mutable objects_fetched : int;
-  mutable property_reads : int;
-  mutable index_probes : int;
-  mutable tuples_produced : int;
-  mutable blocks_produced : int;
-  mutable slot_misses : int;
+  objects_fetched : int Atomic.t;
+  property_reads : int Atomic.t;
+  index_probes : int Atomic.t;
+  tuples_produced : int Atomic.t;
+  blocks_produced : int Atomic.t;
+  slot_misses : int Atomic.t;
+  m : Mutex.t;  (* guards [charged_cost] and [calls] *)
   mutable charged_cost : float;
   calls : (string, int) Hashtbl.t;
   (* maintenance-side counters: work done keeping derived data and the
      plan cache consistent, as opposed to work done answering queries *)
-  mutable postings_touched : int;
-  mutable implication_updates : int;
-  mutable stats_deltas : int;
-  mutable plan_cache_hits : int;
-  mutable plan_cache_misses : int;
+  postings_touched : int Atomic.t;
+  implication_updates : int Atomic.t;
+  stats_deltas : int Atomic.t;
+  plan_cache_hits : int Atomic.t;
+  plan_cache_misses : int Atomic.t;
 }
 
 let create () =
   {
-    objects_fetched = 0;
-    property_reads = 0;
-    index_probes = 0;
-    tuples_produced = 0;
-    blocks_produced = 0;
-    slot_misses = 0;
+    objects_fetched = Atomic.make 0;
+    property_reads = Atomic.make 0;
+    index_probes = Atomic.make 0;
+    tuples_produced = Atomic.make 0;
+    blocks_produced = Atomic.make 0;
+    slot_misses = Atomic.make 0;
+    m = Mutex.create ();
     charged_cost = 0.;
     calls = Hashtbl.create 16;
-    postings_touched = 0;
-    implication_updates = 0;
-    stats_deltas = 0;
-    plan_cache_hits = 0;
-    plan_cache_misses = 0;
+    postings_touched = Atomic.make 0;
+    implication_updates = Atomic.make 0;
+    stats_deltas = Atomic.make 0;
+    plan_cache_hits = Atomic.make 0;
+    plan_cache_misses = Atomic.make 0;
   }
 
 (* resets only the query-cost side: per-run reports reset around every
    execution, and that must not wipe the cumulative maintenance metrics *)
 let reset t =
-  t.objects_fetched <- 0;
-  t.property_reads <- 0;
-  t.index_probes <- 0;
-  t.tuples_produced <- 0;
-  t.blocks_produced <- 0;
-  t.slot_misses <- 0;
+  Atomic.set t.objects_fetched 0;
+  Atomic.set t.property_reads 0;
+  Atomic.set t.index_probes 0;
+  Atomic.set t.tuples_produced 0;
+  Atomic.set t.blocks_produced 0;
+  Atomic.set t.slot_misses 0;
+  Mutex.lock t.m;
   t.charged_cost <- 0.;
-  Hashtbl.reset t.calls
+  Hashtbl.reset t.calls;
+  Mutex.unlock t.m
 
 let reset_maintenance t =
-  t.postings_touched <- 0;
-  t.implication_updates <- 0;
-  t.stats_deltas <- 0;
-  t.plan_cache_hits <- 0;
-  t.plan_cache_misses <- 0
+  Atomic.set t.postings_touched 0;
+  Atomic.set t.implication_updates 0;
+  Atomic.set t.stats_deltas 0;
+  Atomic.set t.plan_cache_hits 0;
+  Atomic.set t.plan_cache_misses 0
 
-let charge_object_fetch t = t.objects_fetched <- t.objects_fetched + 1
-let charge_property_read t = t.property_reads <- t.property_reads + 1
+let charge_object_fetch t = Atomic.incr t.objects_fetched
+
+let charge_object_fetches t n =
+  ignore (Atomic.fetch_and_add t.objects_fetched n)
+
+let charge_property_read t = Atomic.incr t.property_reads
 
 let charge_method_call t ~meth ~cost =
+  Mutex.lock t.m;
   let n = Option.value ~default:0 (Hashtbl.find_opt t.calls meth) in
   Hashtbl.replace t.calls meth (n + 1);
-  t.charged_cost <- t.charged_cost +. cost
+  t.charged_cost <- t.charged_cost +. cost;
+  Mutex.unlock t.m
 
-let charge_index_probe t = t.index_probes <- t.index_probes + 1
-let charge_index_probes t n = t.index_probes <- t.index_probes + n
-let charge_tuple t = t.tuples_produced <- t.tuples_produced + 1
-let charge_tuples t n = t.tuples_produced <- t.tuples_produced + n
-let charge_block t = t.blocks_produced <- t.blocks_produced + 1
-let charge_slot_miss t = t.slot_misses <- t.slot_misses + 1
+let charge_index_probe t = Atomic.incr t.index_probes
+let charge_index_probes t n = ignore (Atomic.fetch_and_add t.index_probes n)
+let charge_tuple t = Atomic.incr t.tuples_produced
+let charge_tuples t n = ignore (Atomic.fetch_and_add t.tuples_produced n)
+let charge_block t = Atomic.incr t.blocks_produced
+let charge_blocks t n = ignore (Atomic.fetch_and_add t.blocks_produced n)
+let charge_slot_miss t = Atomic.incr t.slot_misses
 
-let charge_postings_touched t n = t.postings_touched <- t.postings_touched + n
+let charge_postings_touched t n =
+  ignore (Atomic.fetch_and_add t.postings_touched n)
 
-let charge_implication_update t =
-  t.implication_updates <- t.implication_updates + 1
-
-let charge_stats_delta t = t.stats_deltas <- t.stats_deltas + 1
-let charge_plan_cache_hit t = t.plan_cache_hits <- t.plan_cache_hits + 1
-let charge_plan_cache_miss t = t.plan_cache_misses <- t.plan_cache_misses + 1
-let postings_touched t = t.postings_touched
-let implication_updates t = t.implication_updates
-let stats_deltas t = t.stats_deltas
-let plan_cache_hits t = t.plan_cache_hits
-let plan_cache_misses t = t.plan_cache_misses
-let objects_fetched t = t.objects_fetched
-let property_reads t = t.property_reads
-let index_probes t = t.index_probes
-let tuples_produced t = t.tuples_produced
-let blocks_produced t = t.blocks_produced
-let slot_misses t = t.slot_misses
+let charge_implication_update t = Atomic.incr t.implication_updates
+let charge_stats_delta t = Atomic.incr t.stats_deltas
+let charge_plan_cache_hit t = Atomic.incr t.plan_cache_hits
+let charge_plan_cache_miss t = Atomic.incr t.plan_cache_misses
+let postings_touched t = Atomic.get t.postings_touched
+let implication_updates t = Atomic.get t.implication_updates
+let stats_deltas t = Atomic.get t.stats_deltas
+let plan_cache_hits t = Atomic.get t.plan_cache_hits
+let plan_cache_misses t = Atomic.get t.plan_cache_misses
+let objects_fetched t = Atomic.get t.objects_fetched
+let property_reads t = Atomic.get t.property_reads
+let index_probes t = Atomic.get t.index_probes
+let tuples_produced t = Atomic.get t.tuples_produced
+let blocks_produced t = Atomic.get t.blocks_produced
+let slot_misses t = Atomic.get t.slot_misses
 
 let method_calls t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.calls []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Mutex.lock t.m;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.calls [] in
+  Mutex.unlock t.m;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
 
 let method_call_count t meth =
-  Option.value ~default:0 (Hashtbl.find_opt t.calls meth)
+  Mutex.lock t.m;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.calls meth) in
+  Mutex.unlock t.m;
+  n
 
-let total_method_calls t = Hashtbl.fold (fun _ n acc -> acc + n) t.calls 0
-let charged_cost t = t.charged_cost
+let total_method_calls t =
+  Mutex.lock t.m;
+  let n = Hashtbl.fold (fun _ n acc -> acc + n) t.calls 0 in
+  Mutex.unlock t.m;
+  n
+
+let charged_cost t =
+  Mutex.lock t.m;
+  let c = t.charged_cost in
+  Mutex.unlock t.m;
+  c
 
 (* Uniform weights for the structural operations: an object fetch is the
    unit, property reads and probes are cheaper, tuple production cheaper
    still.  Declared method costs are expressed in the same unit. *)
 let total_cost t =
-  t.charged_cost
-  +. (1.0 *. float_of_int t.objects_fetched)
-  +. (0.2 *. float_of_int t.property_reads)
-  +. (0.5 *. float_of_int t.index_probes)
-  +. (0.05 *. float_of_int t.tuples_produced)
+  charged_cost t
+  +. (1.0 *. float_of_int (objects_fetched t))
+  +. (0.2 *. float_of_int (property_reads t))
+  +. (0.5 *. float_of_int (index_probes t))
+  +. (0.05 *. float_of_int (tuples_produced t))
 
 let snapshot t =
   let copy = create () in
-  copy.objects_fetched <- t.objects_fetched;
-  copy.property_reads <- t.property_reads;
-  copy.index_probes <- t.index_probes;
-  copy.tuples_produced <- t.tuples_produced;
-  copy.blocks_produced <- t.blocks_produced;
-  copy.slot_misses <- t.slot_misses;
+  Atomic.set copy.objects_fetched (Atomic.get t.objects_fetched);
+  Atomic.set copy.property_reads (Atomic.get t.property_reads);
+  Atomic.set copy.index_probes (Atomic.get t.index_probes);
+  Atomic.set copy.tuples_produced (Atomic.get t.tuples_produced);
+  Atomic.set copy.blocks_produced (Atomic.get t.blocks_produced);
+  Atomic.set copy.slot_misses (Atomic.get t.slot_misses);
+  Mutex.lock t.m;
   copy.charged_cost <- t.charged_cost;
   Hashtbl.iter (Hashtbl.replace copy.calls) t.calls;
-  copy.postings_touched <- t.postings_touched;
-  copy.implication_updates <- t.implication_updates;
-  copy.stats_deltas <- t.stats_deltas;
-  copy.plan_cache_hits <- t.plan_cache_hits;
-  copy.plan_cache_misses <- t.plan_cache_misses;
+  Mutex.unlock t.m;
+  Atomic.set copy.postings_touched (Atomic.get t.postings_touched);
+  Atomic.set copy.implication_updates (Atomic.get t.implication_updates);
+  Atomic.set copy.stats_deltas (Atomic.get t.stats_deltas);
+  Atomic.set copy.plan_cache_hits (Atomic.get t.plan_cache_hits);
+  Atomic.set copy.plan_cache_misses (Atomic.get t.plan_cache_misses);
   copy
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>objects fetched: %d@ property reads: %d@ index probes: %d@ tuples: \
      %d@ blocks: %d@ method calls: %a@ charged cost: %.1f@ total cost: %.1f@]"
-    t.objects_fetched t.property_reads t.index_probes t.tuples_produced
-    t.blocks_produced
+    (objects_fetched t) (property_reads t) (index_probes t)
+    (tuples_produced t) (blocks_produced t)
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (m, n) -> Format.fprintf ppf "%s=%d" m n))
-    (method_calls t) t.charged_cost (total_cost t)
+    (method_calls t) (charged_cost t) (total_cost t)
 
 let pp_maintenance ppf t =
   Format.fprintf ppf
     "@[<v>index postings touched: %d@ implication-set updates: %d@ \
      statistics deltas: %d@ plan cache: %d hit(s), %d miss(es)@]"
-    t.postings_touched t.implication_updates t.stats_deltas t.plan_cache_hits
-    t.plan_cache_misses
+    (postings_touched t) (implication_updates t) (stats_deltas t)
+    (plan_cache_hits t) (plan_cache_misses t)

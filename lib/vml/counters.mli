@@ -10,6 +10,10 @@
 type t
 
 val create : unit -> t
+(** Counters are domain-safe: the scalar tallies are atomics and the
+    method-call tally is mutex-guarded, so physical operators running on
+    several domains (the morsel-driven executor) never lose
+    increments. *)
 
 val reset : t -> unit
 (** Zero the query-cost counters.  Maintenance counters are {e not}
@@ -34,14 +38,19 @@ val charge_tuple : t -> unit
 
 val charge_index_probes : t -> int -> unit
 val charge_tuples : t -> int -> unit
+val charge_object_fetches : t -> int -> unit
 (** Bulk variants, used by the set-at-a-time logical evaluator and the
-    batch executor to charge a whole operator's / block's probes and
-    produced tuples at once. *)
+    batch executor to charge a whole operator's / block's probes, fetches
+    and produced tuples at once. *)
 
 val charge_block : t -> unit
 (** One block of rows emitted by a batch operator (the compiled
     executor's unit of dispatch; rows within are charged via
     {!charge_tuples}). *)
+
+val charge_blocks : t -> int -> unit
+(** Bulk variant: [n] blocks' worth of rows at once (the parallel
+    executor charges a materialized operator output in one go). *)
 
 val charge_slot_miss : t -> unit
 (** One failed compile-time name-to-slot resolution: plan compilation

@@ -430,6 +430,174 @@ let test_compile_layouts () =
            (Plan.Union (Plan.FullScan ("a", "Document"), Plan.FullScan ("b", "Document")))))
 
 (* ------------------------------------------------------------------ *)
+(* Morsel-driven parallel execution                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_protocol () =
+  let pool = Pool.create () in
+  check Alcotest.int "no helpers before first run" 0 (Pool.helpers pool);
+  let hits = Array.make 8 0 in
+  Pool.run pool ~jobs:8 (fun w -> hits.(w) <- hits.(w) + 1);
+  Array.iteri
+    (fun w h -> check Alcotest.int (Printf.sprintf "index %d ran once" w) 1 h)
+    hits;
+  check Alcotest.bool "helpers were spawned" true (Pool.helpers pool > 0);
+  (* a worker exception is re-raised on the caller, after the join *)
+  Alcotest.match_raises "worker failure propagates"
+    (function Failure msg -> String.equal msg "boom" | _ -> false)
+    (fun () -> Pool.run pool ~jobs:4 (fun w -> if w = 3 then failwith "boom"));
+  (* the pool is reusable after a failed run *)
+  let n = Atomic.make 0 in
+  Pool.run pool ~jobs:4 (fun _ -> Atomic.incr n);
+  check Alcotest.int "reusable after failure" 4 (Atomic.get n);
+  Pool.shutdown pool;
+  check Alcotest.int "shutdown joins all helpers" 0 (Pool.helpers pool)
+
+(* jobs = 1 must be exactly the serial executor: no pool machinery, no
+   domain ever spawned. *)
+let test_serial_spawns_no_domains () =
+  let plan =
+    Plan.Project
+      ([ "a" ], Plan.MapProp ("a", "author", "d", Plan.FullScan ("d", "Document")))
+  in
+  let before = Pool.total_spawned () in
+  ignore (Exec.run ~jobs:1 (ctx ()) plan);
+  ignore (Exec.run (ctx ()) plan);
+  check Alcotest.int "jobs=1 spawns no helper domains" before
+    (Pool.total_spawned ())
+
+(* Parallel execution must equal the serial compiled executor on random
+   well-formed plans, for several worker counts — including
+   oversubscription (8 workers on any host, [recommended_domain_count]
+   is 1 in CI). *)
+let prop_parallel_parity =
+  QCheck2.Test.make ~count:30
+    ~name:"parallel executor (jobs in {2,3,4}) = serial compiled"
+    Soqm_testlib.Gen.term_gen
+    (fun g ->
+      match General.well_formed g with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let plan = Plan.default_implementation (Translate.of_general g) in
+        let serial = run_phys plan in
+        List.for_all
+          (fun jobs -> Relation.equal serial (Exec.run ~jobs (ctx ()) plan))
+          [ 2; 3; 4 ])
+
+let test_parallel_oversubscribed () =
+  let plan =
+    Plan.HashJoin
+      ( "d2", "d",
+        Plan.MapProp ("d2", "document", "s", Plan.FullScan ("s", "Section")),
+        Plan.FullScan ("d", "Document") )
+  in
+  check F.relation "jobs=8 (> cores) matches serial" (run_phys plan)
+    (Exec.run ~jobs:8 (ctx ()) plan)
+
+(* The partitioned parallel joins must keep DESIGN.md §7 Null-key
+   semantics: equi-joins drop Null keys while bucketing, natural joins
+   match them structurally. *)
+let test_parallel_null_keys () =
+  let with_null a base =
+    Plan.MapOp (a, Restricted.OpIdent, [ Restricted.OConst Value.Null ], base)
+  in
+  let left = with_null "k1" (Plan.FullScan ("d", "Document")) in
+  let right = with_null "k2" (Plan.FullScan ("e", "Document")) in
+  let hj = Plan.HashJoin ("k1", "k2", left, right) in
+  check Alcotest.int "parallel hash join skips Null keys" 0
+    (Relation.cardinality (Exec.run ~jobs:3 (ctx ()) hj));
+  let l = with_null "k" (Plan.FullScan ("d", "Document")) in
+  let nj = Plan.NaturalJoin (l, l) in
+  let n_docs = Object_store.extent_size (store ()) "Document" in
+  check Alcotest.int "parallel natural join matches Nulls structurally"
+    n_docs
+    (Relation.cardinality (Exec.run ~jobs:3 (ctx ()) nj));
+  check F.relation "parallel = serial on Null natural join" (run_phys nj)
+    (Exec.run ~jobs:3 (ctx ()) nj)
+
+(* Stronger than set equality: the materialized parallel output must be
+   row-for-row identical to the serial executor's block stream (morsel
+   results concatenate in morsel order, partitioned joins preserve
+   build-input match order). *)
+let test_parallel_row_order () =
+  let plans =
+    [
+      Plan.FullScan ("p", "Paragraph");
+      Plan.HashJoin
+        ( "d2", "d",
+          Plan.MapProp ("d2", "document", "s", Plan.FullScan ("s", "Section")),
+          Plan.FullScan ("d", "Document") );
+      Plan.NestedLoop
+        (None, Plan.FullScan ("p", "Paragraph"), Plan.FullScan ("s", "Section"));
+      Plan.Union
+        ( Plan.FullScan ("p", "Paragraph"),
+          Plan.FullScan ("p", "Paragraph") );
+      Plan.FlatProp ("s", "sections", "d", Plan.FullScan ("d", "Document"));
+    ]
+  in
+  List.iter
+    (fun plan ->
+      let compiled = Exec.compile (ctx ()) plan in
+      let serial =
+        Array.concat (Exec.drain_blocks (Exec.open_compiled (ctx ()) compiled))
+      in
+      List.iter
+        (fun jobs ->
+          let par = Exec.eval_parallel (ctx ()) ~jobs compiled in
+          check Alcotest.int "same row count" (Array.length serial)
+            (Array.length par);
+          Array.iteri
+            (fun i row ->
+              if not (Relation.Row.equal row par.(i)) then
+                Alcotest.failf "row %d differs under jobs=%d" i jobs)
+            serial)
+        [ 2; 4 ])
+    plans
+
+let test_parallel_analyze_stats () =
+  let d = Lazy.force db in
+  let plan =
+    Plan.Project
+      ([ "a" ], Plan.MapProp ("a", "author", "d", Plan.FullScan ("d", "Document")))
+  in
+  let compiled = Exec.compile (ctx ()) plan in
+  let _, serial_counters =
+    Soqm_core.Db.with_fresh_counters d (fun () ->
+        Exec.run_compiled (ctx ()) compiled)
+  in
+  let stats = Exec.make_stats compiled in
+  let (r, _), par_counters =
+    Soqm_core.Db.with_fresh_counters d (fun () ->
+        (Exec.run_compiled ~stats ~jobs:4 (ctx ()) compiled, ()))
+  in
+  check Alcotest.int "root actual rows = result cardinality"
+    (Relation.cardinality r) stats.Exec.node_rows.(0);
+  let n_docs = Object_store.extent_size (store ()) "Document" in
+  check Alcotest.int "scan actual rows = extent" n_docs
+    stats.Exec.node_rows.(2);
+  check Alcotest.bool "scan processed at least one morsel" true
+    (stats.Exec.node_morsels.(2) >= 1);
+  (* bulk charges from worker domains must not lose increments and must
+     match the serial per-row accounting *)
+  check Alcotest.int "tuples charged = serial"
+    (Counters.tuples_produced serial_counters)
+    (Counters.tuples_produced par_counters)
+
+let test_parallel_join_partition_stats () =
+  let join =
+    Plan.HashJoin
+      ( "d2", "d",
+        Plan.MapProp ("d2", "document", "s", Plan.FullScan ("s", "Section")),
+        Plan.FullScan ("d", "Document") )
+  in
+  let compiled = Exec.compile (ctx ()) join in
+  let stats = Exec.make_stats compiled in
+  ignore (Exec.run_compiled ~stats ~jobs:4 (ctx ()) compiled);
+  (* root (cid 0) is the hash join: 4 jobs -> 4 build partitions *)
+  check Alcotest.int "hash join used jobs partitions" 4
+    stats.Exec.node_partitions.(0)
+
+(* ------------------------------------------------------------------ *)
 (* Cost model                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -558,6 +726,17 @@ let () =
           F.case "slot miss on bad plan" test_slot_miss_charged;
           F.case "analyze stats" test_analyze_stats;
           F.case "compiled layouts" test_compile_layouts;
+        ] );
+      ( "parallel",
+        [
+          F.case "pool protocol" test_pool_protocol;
+          F.case "jobs=1 spawns nothing" test_serial_spawns_no_domains;
+          QCheck_alcotest.to_alcotest prop_parallel_parity;
+          F.case "oversubscribed jobs > cores" test_parallel_oversubscribed;
+          F.case "Null-key join semantics" test_parallel_null_keys;
+          F.case "row-for-row determinism" test_parallel_row_order;
+          F.case "analyze stats (parallel)" test_parallel_analyze_stats;
+          F.case "join partition stats" test_parallel_join_partition_stats;
         ] );
       ( "cost",
         [

@@ -268,6 +268,46 @@ let test_counters_charged () =
   ignore (Object_store.peek_prop store d "title");
   check tint "peek is free" 1 (Counters.objects_fetched c)
 
+(* The parallel executor charges counters from several domains at once:
+   hammer one counter set from two domains and check no increment is
+   lost (the tallies are atomics, the method-call table is
+   mutex-guarded). *)
+let test_counters_domain_safe () =
+  let c = Counters.create () in
+  let rounds = 50_000 in
+  let hammer () =
+    for i = 1 to rounds do
+      Counters.charge_tuple c;
+      Counters.charge_tuples c 2;
+      Counters.charge_object_fetch c;
+      Counters.charge_index_probe c;
+      Counters.charge_block c;
+      Counters.charge_postings_touched c 1;
+      if i mod 100 = 0 then
+        Counters.charge_method_call c ~meth:"m" ~cost:1.0
+    done
+  in
+  let other = Domain.spawn hammer in
+  hammer ();
+  Domain.join other;
+  check tint "no lost tuple increments" (2 * 3 * rounds)
+    (Counters.tuples_produced c);
+  check tint "no lost fetches" (2 * rounds) (Counters.objects_fetched c);
+  check tint "no lost probes" (2 * rounds) (Counters.index_probes c);
+  check tint "no lost blocks" (2 * rounds) (Counters.blocks_produced c);
+  check tint "no lost maintenance charges" (2 * rounds)
+    (Counters.postings_touched c);
+  check tint "no lost method calls" (2 * rounds / 100)
+    (Counters.method_call_count c "m");
+  (* reset semantics survive the rewrite: query counters zero, the
+     maintenance side accumulates until reset_maintenance *)
+  Counters.reset c;
+  check tint "reset zeroes query counters" 0 (Counters.tuples_produced c);
+  check tint "reset keeps maintenance counters" (2 * rounds)
+    (Counters.postings_touched c);
+  Counters.reset_maintenance c;
+  check tint "reset_maintenance zeroes them" 0 (Counters.postings_touched c)
+
 (* ------------------------------------------------------------------ *)
 (* Runtime                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -517,6 +557,8 @@ let () =
           Alcotest.test_case "inverse on delete" `Quick
             test_inverse_maintained_on_delete;
           Alcotest.test_case "counters charged" `Quick test_counters_charged;
+          Alcotest.test_case "counters domain-safe" `Quick
+            test_counters_domain_safe;
         ] );
       ( "runtime",
         [
