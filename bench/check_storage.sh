@@ -1,0 +1,10 @@
+#!/bin/sh
+# Storage gate: build, run the unit suites, then assert the disk
+# subsystem bounds (EXP-A disk-vs-memory parity, pool hit rate, WAL
+# recovery replay time; prefetch speedup on multi-core hosts) at
+# n_docs=800 and refresh BENCH_storage.json.
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+dune exec bench/storage.exe -- --assert --docs 800 --json BENCH_storage.json "$@"

@@ -151,12 +151,23 @@ let run_gate ~n_docs ~seed =
   check "update workload flips >= 10% of paragraphs"
     (float_of_int flipped >= 0.10 *. float_of_int total);
 
-  (* rebuild-from-scratch oracle: save, reload (indexes, statistics and
-     implied sets re-derived from base data), fresh optimizer *)
-  let dump = Filename.temp_file "soqm_dml" ".dump" in
-  Db.save db dump;
-  let oracle_db = Db.load dump in
-  Sys.remove dump;
+  (* rebuild-from-scratch oracle: save to a paged database directory,
+     reload (indexes, statistics and implied sets re-derived from base
+     data), fresh optimizer *)
+  let oracle_db =
+    let dir = Filename.temp_file "soqm_dml" ".db" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun e -> Sys.remove (Filename.concat dir e))
+          (Sys.readdir dir);
+        Unix.rmdir dir)
+      (fun () ->
+        Db.save db dir;
+        Db.load dir)
+  in
   let oracle_engine = Engine.generate oracle_db in
 
   List.iter

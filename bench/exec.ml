@@ -206,7 +206,8 @@ let measure_entry ctx (name, plan) =
 (* JSON emission (BENCH_exec.json)                                     *)
 (* ------------------------------------------------------------------ *)
 
-let write_json path ~n_docs ~paras results ~median_speedup ~hit_rate =
+let write_json path ~n_docs ~paras ~seed ~cores results ~median_speedup
+    ~hit_rate =
   let oc = open_out path in
   let entry r =
     Printf.sprintf
@@ -219,6 +220,8 @@ let write_json path ~n_docs ~paras results ~median_speedup ~hit_rate =
     \  \"bench\": \"exec\",\n\
     \  \"n_docs\": %d,\n\
     \  \"paragraphs\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"cores\": %d,\n\
     \  \"block_size\": %d,\n\
     \  \"reps\": %d,\n\
     \  \"entries\": [\n%s\n  ],\n\
@@ -226,7 +229,7 @@ let write_json path ~n_docs ~paras results ~median_speedup ~hit_rate =
     \  \"divergences\": %d,\n\
     \  \"plan_cache_hit_rate\": %.3f\n\
      }\n"
-    n_docs paras P.Exec.block_size reps
+    n_docs paras seed cores P.Exec.block_size reps
     (String.concat ",\n" (List.map entry results))
     median_speedup
     (List.length (List.filter (fun r -> r.diverged) results))
@@ -279,7 +282,9 @@ let () =
     min_median_speedup;
   Printf.printf "plan-cache hit rate over %d runs: %.1f%% (bound %.0f%%)\n"
     (hits + misses) (100. *. hit_rate) (100. *. min_hit_rate);
-  write_json json_path ~n_docs ~paras results ~median_speedup ~hit_rate;
+  write_json json_path ~n_docs ~paras ~seed
+    ~cores:(Domain.recommended_domain_count ())
+    results ~median_speedup ~hit_rate;
   Printf.printf "wrote %s\n" json_path;
   let failed = ref false in
   if divergences <> [] then begin

@@ -285,8 +285,8 @@ let measure_entry ctx (name, plan) =
 
 let per_row r t = t /. float_of_int (max 1 r.rows) *. 1e9
 
-let write_json path ~n_docs ~paras ~cores ~enforced results ~median_speedup
-    ~serial_ratio ~divergences =
+let write_json path ~n_docs ~paras ~seed ~cores ~enforced results
+    ~median_speedup ~serial_ratio ~divergences =
   let oc = open_out path in
   let entry r =
     Printf.sprintf
@@ -300,6 +300,7 @@ let write_json path ~n_docs ~paras ~cores ~enforced results ~median_speedup
     \  \"bench\": \"parallel\",\n\
     \  \"n_docs\": %d,\n\
     \  \"paragraphs\": %d,\n\
+    \  \"seed\": %d,\n\
     \  \"block_size\": %d,\n\
     \  \"morsel_size\": %d,\n\
     \  \"jobs\": %d,\n\
@@ -311,7 +312,7 @@ let write_json path ~n_docs ~paras ~cores ~enforced results ~median_speedup
     \  \"divergences\": %d,\n\
     \  \"speedup_gate_enforced\": %b\n\
      }\n"
-    n_docs paras P.Exec.block_size P.Exec.morsel_size jobs_hi cores reps
+    n_docs paras seed P.Exec.block_size P.Exec.morsel_size jobs_hi cores reps
     (String.concat ",\n" (List.map entry results))
     median_speedup serial_ratio (List.length divergences) enforced;
   close_out oc
@@ -367,8 +368,8 @@ let () =
     (if enforced then "" else ", NOT enforced on this host");
   Printf.printf "jobs=1 total vs plain serial drain: %.3fx (bound %.2fx)\n"
     serial_ratio max_serial_regression;
-  write_json json_path ~n_docs ~paras ~cores ~enforced results ~median_speedup
-    ~serial_ratio ~divergences:diverged;
+  write_json json_path ~n_docs ~paras ~seed ~cores ~enforced results
+    ~median_speedup ~serial_ratio ~divergences:diverged;
   Printf.printf "wrote %s\n" json_path;
   let failed = ref false in
   if diverged <> [] then begin

@@ -1,0 +1,299 @@
+(* Disk storage subsystem benchmark and CI gate.
+
+   Exercises the PR-5 paged store ([Soqm_disk]) end to end:
+
+   1. Cold scans: time a full [Store.scan_all] of a saved database
+      through a deliberately small buffer pool, with and without the
+      prefetching helper domain.  On hosts with >= 2 cores the
+      prefetched scan must be >= 1.5x faster (I/O overlapped with
+      record decoding); on single-core hosts the bound is recorded but
+      not enforced, mirroring the speedup gate of bench/parallel.ml.
+
+   2. Query parity: the EXP-A query mix on a database opened from disk
+      ([Db.open_disk]) must return results identical to the in-memory
+      database it was saved from — zero divergences.
+
+   3. Buffer pool locality: with the pool sized at HALF the database's
+      data pages, a repeated working-set mix (worked query Q, title
+      lookup, a Section full scan, point fetches of every Document)
+      must be served >= 90% from resident frames.
+
+   4. Crash recovery: replaying a few hundred committed, uncheckpointed
+      WAL batches on open must recover every batch and finish within a
+      generous wall-clock bound.
+
+   Run with:     dune exec bench/storage.exe
+   Assert mode:  dune exec bench/storage.exe -- --assert [--docs N] [--seed N]
+   (exit code 1 when a bound is violated)
+
+   Emits BENCH_storage.json; [--seed N] is shared across all benches. *)
+
+open Soqm_vml
+open Soqm_core
+module A = Soqm_algebra
+module Store = Soqm_disk.Store
+module Wal = Soqm_disk.Wal
+
+(* the EXP-A mix of bench/dml.ml *)
+let queries =
+  [
+    ( "worked example Q (E1+E2+E5)",
+      "ACCESS p FROM p IN Paragraph WHERE \
+       p->contains_string('Implementation') AND (p->document()).title == \
+       'Query Optimization'" );
+    ( "title lookup (E2)",
+      "ACCESS d FROM d IN Document WHERE d.title == 'Query Optimization'" );
+    ( "large paragraphs (Implications)",
+      "ACCESS p FROM p IN Paragraph WHERE p->wordCount() > 500" );
+    ( "section/document join (E3/E4)",
+      "ACCESS [n: s.number, t: d.title] FROM s IN Section, d IN Document \
+       WHERE s.document == d AND d.title == 'Query Optimization'" );
+    ( "text containment (E5)",
+      "ACCESS p FROM p IN Paragraph WHERE \
+       p->contains_string('Implementation')" );
+  ]
+
+(* gates *)
+let min_prefetch_speedup = 1.5
+let min_hit_rate = 0.90
+let max_replay_ms = 5000.
+let recovery_batches = 300
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then (
+    incr failures;
+    Printf.printf "FAIL %s\n" name)
+  else Printf.printf "ok   %s\n" name
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let with_temp_dir prefix f =
+  let dir = Filename.temp_file prefix ".db" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun entry -> Sys.remove (Filename.concat dir entry))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let arg_value flag default parse =
+  let rec go = function
+    | f :: v :: _ when String.equal f flag -> parse v
+    | _ :: rest -> go rest
+    | [] -> default
+  in
+  go (Array.to_list Sys.argv)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: cold scans, prefetched vs plain                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A fresh [open_dir] per repetition keeps the buffer pool cold; the
+   64-frame pool is far below the data size, so every page of the scan
+   goes through a segment read that the helper domain can overlap. *)
+let cold_scan_ms ~prefetch ~reps dir =
+  let best = ref infinity in
+  let rows = ref 0 in
+  for _ = 1 to reps do
+    let d = Store.open_dir ~pool_pages:64 dir in
+    let (records, _pages), dt =
+      time (fun () -> Store.scan_all ~prefetch d)
+    in
+    Store.close ~checkpoint:false d;
+    rows := List.length records;
+    if dt < !best then best := dt
+  done;
+  (!best *. 1000., !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 4: WAL recovery replay                                        *)
+(* ------------------------------------------------------------------ *)
+
+let recovery_replay_ms ~schema =
+  with_temp_dir "soqm_storage_rec" (fun dir ->
+      let d = Store.create ~schema dir in
+      for i = 0 to recovery_batches - 1 do
+        let oid = Oid.make ~cls:"Document" ~id:(1_000_000 + i) in
+        Store.apply d
+          [
+            Wal.Insert
+              {
+                oid;
+                props =
+                  [
+                    ("title", Value.Str (Printf.sprintf "recovered doc %d" i));
+                  ];
+              };
+            Wal.Update
+              { oid; prop = "word_total"; value = Value.Int (i * 7) };
+          ]
+      done;
+      (* crash: dirty pool pages are dropped, only the WAL survives *)
+      Store.close ~checkpoint:false d;
+      let d', dt = time (fun () -> Store.open_dir dir) in
+      let recovered = Store.recovered_batches d' in
+      Store.close ~checkpoint:false d';
+      (dt *. 1000., recovered))
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (BENCH_storage.json)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let write_json path ~n_docs ~paras ~seed ~cores ~total_pages ~plain_ms
+    ~prefetch_ms ~speedup ~enforced ~divergences ~pool_frames ~pool_hits
+    ~pages_read ~hit_rate ~replay_ms ~recovered =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"storage\",\n\
+    \  \"n_docs\": %d,\n\
+    \  \"paragraphs\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"total_data_pages\": %d,\n\
+    \  \"cold_scan\": {\"plain_ms\": %.1f, \"prefetch_ms\": %.1f, \
+     \"speedup\": %.2f, \"bound\": %.2f, \"speedup_gate_enforced\": %b},\n\
+    \  \"parity_divergences\": %d,\n\
+    \  \"pool\": {\"pool_pages\": %d, \"hits\": %d, \"page_reads\": %d, \
+     \"hit_rate\": %.3f, \"bound\": %.2f},\n\
+    \  \"recovery\": {\"batches\": %d, \"recovered\": %d, \"replay_ms\": \
+     %.1f, \"bound_ms\": %.0f}\n\
+     }\n"
+    n_docs paras seed cores total_pages plain_ms prefetch_ms speedup
+    min_prefetch_speedup enforced divergences pool_frames pool_hits pages_read
+    hit_rate min_hit_rate recovery_batches recovered replay_ms max_replay_ms;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let assert_mode = Array.exists (String.equal "--assert") Sys.argv in
+  let n_docs = arg_value "--docs" 800 int_of_string in
+  let seed = arg_value "--seed" Datagen.default.Datagen.seed int_of_string in
+  let json_path = arg_value "--json" "BENCH_storage.json" Fun.id in
+  let reps = arg_value "--reps" 3 int_of_string in
+  let cores = Domain.recommended_domain_count () in
+  let db = Db.create ~params:{ Datagen.default with n_docs; seed } () in
+  let paras = Object_store.extent_size db.Db.store "Paragraph" in
+  with_temp_dir "soqm_storage" @@ fun dir ->
+  let (), dt_save = time (fun () -> Db.save db dir) in
+  (* page geometry of the saved image *)
+  let total_pages =
+    let d = Store.open_dir dir in
+    let n = Store.total_data_pages d in
+    Store.close ~checkpoint:false d;
+    n
+  in
+  Printf.printf
+    "storage bench (n_docs=%d, %d paragraphs, %d data pages, %d core(s))\n"
+    n_docs paras total_pages cores;
+  Printf.printf "saved database in %.1f ms\n\n" (dt_save *. 1000.);
+
+  (* -- cold scans ------------------------------------------------- *)
+  let plain_ms, rows_plain = cold_scan_ms ~prefetch:false ~reps dir in
+  let prefetch_ms, rows_pre = cold_scan_ms ~prefetch:true ~reps dir in
+  let speedup = plain_ms /. prefetch_ms in
+  let enforced = assert_mode && cores >= 2 in
+  Printf.printf
+    "cold scan of %d records: plain %.1f ms, prefetched %.1f ms (%.2fx, \
+     bound %.1fx %s)\n"
+    rows_plain plain_ms prefetch_ms speedup min_prefetch_speedup
+    (if enforced then "enforced" else "not enforced on this host");
+  check "prefetched and plain cold scans decode the same records"
+    (rows_plain = rows_pre);
+  if enforced then
+    check
+      (Printf.sprintf "prefetched cold scan >= %.1fx over plain"
+         min_prefetch_speedup)
+      (speedup >= min_prefetch_speedup);
+
+  (* -- parity + pool locality on one attached database ------------ *)
+  let pool_frames = max 8 (total_pages / 2) in
+  let ddb = Db.open_disk ~pool_pages:pool_frames dir in
+  let dstore =
+    match ddb.Db.disk with
+    | Some d -> d
+    | None -> failwith "open_disk did not attach a store"
+  in
+  let mem_engine = Engine.generate db in
+  let disk_engine = Engine.generate ddb in
+  let divergences =
+    List.fold_left
+      (fun acc (name, q) ->
+        let mem = Engine.run_optimized mem_engine q in
+        let disk = Engine.run_optimized disk_engine q in
+        let same = A.Relation.equal mem.Engine.result disk.Engine.result in
+        check (Printf.sprintf "%s: disk == memory" name) same;
+        if same then acc else acc + 1)
+      0 queries
+  in
+
+  (* working-set mix: two optimized queries, one unoptimizable full
+     scan, and a point fetch of every Document record.  The pool holds
+     half the database, the mix's working set is much smaller, so after
+     the first round every page request should find a resident frame. *)
+  let docs = Store.extent dstore "Document" in
+  let rounds = 20 in
+  Counters.reset_storage (Store.counters dstore);
+  let (), dt_mix =
+    time (fun () ->
+        for _ = 1 to rounds do
+          ignore (Engine.run_optimized disk_engine (snd (List.hd queries)));
+          ignore
+            (Engine.run_optimized disk_engine
+               "ACCESS d FROM d IN Document WHERE d.title == 'Query \
+                Optimization'");
+          ignore (Engine.run_optimized disk_engine "ACCESS s FROM s IN Section");
+          List.iter (fun oid -> ignore (Store.fetch dstore oid)) docs
+        done)
+  in
+  let c = Store.counters dstore in
+  let pool_hits = Counters.pool_hits c in
+  let pages_read = Counters.pages_read c in
+  let hit_rate =
+    float_of_int pool_hits /. float_of_int (max 1 (pool_hits + pages_read))
+  in
+  Printf.printf
+    "\npool locality over %d rounds (%d frames = half of %d pages): %d \
+     hit(s), %d page read(s), %.1f%% hit rate in %.1f ms\n"
+    rounds pool_frames total_pages pool_hits pages_read (100. *. hit_rate)
+    (dt_mix *. 1000.);
+  check
+    (Printf.sprintf "pool hit rate >= %.0f%% with pool at half the data size"
+       (100. *. min_hit_rate))
+    (hit_rate >= min_hit_rate);
+  Db.close ddb;
+
+  (* -- recovery replay -------------------------------------------- *)
+  let replay_ms, recovered =
+    recovery_replay_ms ~schema:(Object_store.schema db.Db.store)
+  in
+  Printf.printf "\nrecovery: %d/%d batches replayed in %.1f ms\n" recovered
+    recovery_batches replay_ms;
+  check "recovery replays every committed batch"
+    (recovered = recovery_batches);
+  if assert_mode then
+    check
+      (Printf.sprintf "recovery replay <= %.0f ms" max_replay_ms)
+      (replay_ms <= max_replay_ms);
+
+  write_json json_path ~n_docs ~paras ~seed ~cores ~total_pages ~plain_ms
+    ~prefetch_ms ~speedup ~enforced ~divergences ~pool_frames ~pool_hits
+    ~pages_read ~hit_rate ~replay_ms ~recovered;
+  Printf.printf "wrote %s\n" json_path;
+  if !failures > 0 then (
+    Printf.printf "\n%d check(s) FAILED\n" !failures;
+    exit 1)
+  else Printf.printf "\nall checks passed\n"

@@ -26,6 +26,13 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let pool_pages_arg =
+  let doc =
+    "Buffer-pool capacity in 4 KiB page frames for the paged disk store \
+     (default 256)."
+  in
+  Arg.(value & opt (some int) None & info [ "pool-pages" ] ~docv:"N" ~doc)
+
 let make_db ?(jobs = 1) docs hit_probability seed =
   Db.create
     ~params:{ Datagen.default with n_docs = docs; hit_probability; seed }
@@ -135,9 +142,21 @@ let explain_cmd =
     in
     Arg.(value & flag & info [ "analyze" ] ~doc)
   in
-  let explain query docs hit seed jobs disabled analyze =
+  let db_dir_arg =
+    let doc =
+      "Explain against this paged database directory instead of a fresh \
+       synthetic database; with $(b,--analyze), full-scan operators then \
+       also report the disk pages they touched ($(b,pages=))."
+    in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
+  in
+  let explain query docs hit seed jobs disabled analyze db_dir pool_pages =
     try
-      let db = make_db ~jobs docs hit seed in
+      let db =
+        match db_dir with
+        | Some dir -> Db.open_disk ~jobs ?pool_pages dir
+        | None -> make_db ~jobs docs hit seed
+      in
       let classes =
         List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
       in
@@ -174,10 +193,16 @@ let explain_cmd =
                   ns.Soqm_physical.Exec.node_partitions.(cid)
               else ""
             in
-            Printf.sprintf "(%s actual_rows=%d blocks=%d%s)" est
+            let pages =
+              if db.Db.disk <> None then
+                Printf.sprintf " pages=%d"
+                  ns.Soqm_physical.Exec.node_pages.(cid)
+              else ""
+            in
+            Printf.sprintf "(%s actual_rows=%d blocks=%d%s%s)" est
               ns.Soqm_physical.Exec.node_rows.(cid)
               ns.Soqm_physical.Exec.node_blocks.(cid)
-              parallel
+              parallel pages
           | None -> Printf.sprintf "(%s)" est
         in
         Printf.printf
@@ -188,10 +213,12 @@ let explain_cmd =
           (Soqm_physical.Plan.node_count compiled)
           Soqm_physical.Exec.block_size;
         print_endline (Soqm_physical.Plan.compiled_to_string ~annot compiled);
+        Db.close db;
         `Ok ()
     with
     | Soqm_vql.Parser.Error msg -> `Error (false, "parse error: " ^ msg)
     | Soqm_vql.Typecheck.Error msg -> `Error (false, "type error: " ^ msg)
+    | Soqm_disk.Store.Format_error msg -> `Error (false, "bad database: " ^ msg)
     | Soqm_physical.Plan.Compile_error msg ->
       `Error (false, "compile error: " ^ msg)
     | Soqm_algebra.Eval.Error msg | Soqm_physical.Exec.Error msg ->
@@ -202,14 +229,15 @@ let explain_cmd =
      its output layout, layout width and estimated rows (from the collected \
      statistics); with $(b,--analyze), also the actual rows and blocks \
      observed by executing the plan (plus per-node morsel and partition \
-     counts when $(b,--jobs) is at least 2)."
+     counts when $(b,--jobs) is at least 2, and disk pages touched when \
+     run against a paged database, $(b,--db))."
   in
   Cmd.v
     (Cmd.info "explain" ~doc)
     Term.(
       ret
         (const explain $ query_arg $ docs_arg $ hit_arg $ seed_arg $ jobs_arg
-       $ disable_arg $ analyze_arg))
+       $ disable_arg $ analyze_arg $ db_dir_arg $ pool_pages_arg))
 
 let schema_cmd =
   let show () =
@@ -274,10 +302,11 @@ let repl_cmd =
 
 let db_file_arg =
   let doc =
-    "Database dump to operate on (create one with $(b,save) below or \
-     [Db.save]); rewritten in place after the change."
+    "Paged database directory to operate on (create one with $(b,save) \
+     below or [Db.save]); changes are WAL-logged and checkpointed on \
+     close."
   in
-  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
 
 (* value literals: null, true/false, integers, '@Cls#id' object
    references, everything else a string *)
@@ -323,16 +352,18 @@ let prop_assign_conv =
   Arg.conv
     (parse, fun ppf (p, _) -> Format.pp_print_string ppf (p ^ "=..."))
 
-(* Load the dump, run one maintained DML action through the engine, save
-   the dump back, and report what maintenance did. *)
-let with_dml_engine file f =
+(* Open the database directory attached (every DML event is WAL-logged
+   before the maintenance observers run), run one maintained DML action
+   through the engine, checkpoint on close, and report what maintenance
+   did. *)
+let with_dml_engine ?pool_pages file f =
   try
-    let db = Db.load file in
+    let db = Db.open_disk ?pool_pages file in
     let engine = Engine.generate db in
     let c = Db.counters db in
     Soqm_vml.Counters.reset_maintenance c;
     f db engine;
-    Db.save db file;
+    Db.close db;
     Format.printf "%a@." Soqm_vml.Counters.pp_maintenance
       (Soqm_vml.Counters.snapshot c);
     (match Db.maintenance db with
@@ -343,6 +374,7 @@ let with_dml_engine file f =
     | None -> ());
     `Ok ()
   with
+  | Soqm_disk.Store.Format_error msg -> `Error (false, "bad database: " ^ msg)
   | Failure msg | Sys_error msg | Invalid_argument msg -> `Error (false, msg)
   | Not_found -> `Error (false, "no such object")
   | Soqm_vml.Runtime.Error msg -> `Error (false, "runtime error: " ^ msg)
@@ -407,8 +439,11 @@ let delete_cmd =
 
 let save_cmd =
   let out_arg =
-    let doc = "Where to write the dump." in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+    let doc =
+      "Database directory to write (one slotted-page heap segment per \
+       class, a meta file and an empty WAL)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
   in
   let run docs hit seed out =
     let db = make_db docs hit seed in
@@ -417,9 +452,82 @@ let save_cmd =
       (Soqm_vml.Object_store.extent_size db.Db.store "Paragraph");
     `Ok ()
   in
-  let doc = "Generate a synthetic database and save it for DML commands." in
+  let doc =
+    "Generate a synthetic database and save it as a paged database \
+     directory for the $(b,open) / DML commands."
+  in
   Cmd.v (Cmd.info "save" ~doc)
     Term.(ret (const run $ docs_arg $ hit_arg $ seed_arg $ out_arg))
+
+(* ------------------------------------------------------------------ *)
+(* open / checkpoint: the paged disk store                             *)
+(* ------------------------------------------------------------------ *)
+
+let dir_pos_arg =
+  let doc = "The paged database directory." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let open_cmd =
+  let run dir pool_pages =
+    try
+      let d = Soqm_disk.Store.open_dir ?pool_pages dir in
+      let schema = Soqm_disk.Store.schema d in
+      Printf.printf
+        "opened %s: format ok, %d recovered WAL batch(es), %d WAL byte(s) \
+         pending, pool %d page(s)\n"
+        dir
+        (Soqm_disk.Store.recovered_batches d)
+        (Soqm_disk.Store.wal_bytes d)
+        (Soqm_disk.Store.pool_pages d);
+      List.iter
+        (fun name ->
+          Printf.printf "  %-12s %6d object(s) in %4d page(s)\n" name
+            (List.length (Soqm_disk.Store.extent d name))
+            (Soqm_disk.Store.data_pages d name))
+        (Soqm_vml.Schema.class_names schema);
+      Printf.printf "  next OID serial %d, %d data page(s) total\n"
+        (Soqm_disk.Store.next_id d)
+        (Soqm_disk.Store.total_data_pages d);
+      Soqm_disk.Store.close ~checkpoint:false d;
+      `Ok ()
+    with Soqm_disk.Store.Format_error msg ->
+      `Error (false, "bad database: " ^ msg)
+  in
+  let doc =
+    "Open a paged database directory (running WAL crash recovery if \
+     needed) and print its layout: per-class object and page counts, \
+     recovered batches, pending WAL bytes.  Read-only apart from the \
+     recovery truncation."
+  in
+  Cmd.v (Cmd.info "open" ~doc)
+    Term.(ret (const run $ dir_pos_arg $ pool_pages_arg))
+
+let checkpoint_cmd =
+  let run dir pool_pages =
+    try
+      let d = Soqm_disk.Store.open_dir ?pool_pages dir in
+      let pending = Soqm_disk.Store.wal_bytes d in
+      let recovered = Soqm_disk.Store.recovered_batches d in
+      Soqm_disk.Store.checkpoint d;
+      let written =
+        Soqm_vml.Counters.pages_written (Soqm_disk.Store.counters d)
+      in
+      Soqm_disk.Store.close ~checkpoint:false d;
+      Printf.printf
+        "checkpointed %s: %d WAL batch(es) replayed, %d WAL byte(s) \
+         truncated, %d page write(s)\n"
+        dir recovered pending written;
+      `Ok ()
+    with Soqm_disk.Store.Format_error msg ->
+      `Error (false, "bad database: " ^ msg)
+  in
+  let doc =
+    "Replay any committed WAL batches into the heap segments, flush and \
+     fsync every dirty page, and truncate the WAL — after this the \
+     database directory is clean (recovery on the next open is a no-op)."
+  in
+  Cmd.v (Cmd.info "checkpoint" ~doc)
+    Term.(ret (const run $ dir_pos_arg $ pool_pages_arg))
 
 (* ------------------------------------------------------------------ *)
 (* stats: mixed read/write workload + maintenance report               *)
@@ -430,8 +538,20 @@ let stats_cmd =
     let doc = "Number of query/update rounds of the mixed workload." in
     Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"N" ~doc)
   in
-  let run docs hit seed jobs rounds =
-    let db = make_db ~jobs docs hit seed in
+  let db_dir_arg =
+    let doc =
+      "Run against this paged database directory instead of a fresh \
+       synthetic database; prints the storage counters (page reads/writes, \
+       pool hits/evictions, WAL records/commits) of the workload."
+    in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
+  in
+  let run docs hit seed jobs rounds db_dir pool_pages =
+    let db =
+      match db_dir with
+      | Some dir -> Db.open_disk ~jobs ?pool_pages dir
+      | None -> make_db ~jobs docs hit seed
+    in
     let engine = Engine.generate db in
     let c = Db.counters db in
     Soqm_vml.Counters.reset_maintenance c;
@@ -481,16 +601,23 @@ let stats_cmd =
         (Soqm_maintenance.Maintenance.staleness m)
         (Soqm_maintenance.Maintenance.recollects m)
     | None -> ());
+    if db.Db.disk <> None then
+      Format.printf "%a@." Soqm_vml.Counters.pp_storage
+        (Soqm_vml.Counters.snapshot c);
+    Db.close db;
     `Ok ()
   in
   let doc =
     "Run a mixed read/write workload and print the maintenance counters: \
      index postings touched, implication-set updates, statistics deltas, \
-     plan-cache hits/misses."
+     plan-cache hits/misses — plus the storage counters when run against \
+     a paged database directory ($(b,--db))."
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      ret (const run $ docs_arg $ hit_arg $ seed_arg $ jobs_arg $ rounds_arg))
+      ret
+        (const run $ docs_arg $ hit_arg $ seed_arg $ jobs_arg $ rounds_arg
+       $ db_dir_arg $ pool_pages_arg))
 
 let rules_cmd =
   let show docs hit seed =
@@ -508,7 +635,7 @@ let main =
   Cmd.group (Cmd.info "soqm" ~version:"1.0.0" ~doc)
     [
       run_cmd; explain_cmd; repl_cmd; schema_cmd; rules_cmd; save_cmd;
-      insert_cmd; update_cmd; delete_cmd; stats_cmd;
+      open_cmd; checkpoint_cmd; insert_cmd; update_cmd; delete_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -9,6 +9,7 @@ type t = {
   mutable stats : Statistics.t;
   mutable maint : Soqm_maintenance.Maintenance.t option;
   mutable default_jobs : int;
+  mutable disk : Soqm_disk.Store.t option;
 }
 
 let register_external_methods t =
@@ -103,6 +104,7 @@ let create_empty ?(schema = Doc_schema.schema) ?(maintain = true) ?(jobs = 1) ()
       stats = Statistics.collect store;
       maint = None;
       default_jobs = max 1 jobs;
+      disk = None;
     }
   in
   register_external_methods t;
@@ -118,11 +120,45 @@ let create ?schema ?(params = Datagen.default) ?(maintain = true) ?jobs () =
   if maintain then attach_maintenance t;
   t
 
-let save t path = Object_store.save_dump (Object_store.export t.store) path
+module Disk = Soqm_disk.Store
 
-let load ?(maintain = true) ?(jobs = 1) path =
-  let dump = Object_store.load_dump path in
-  let store = Object_store.import dump in
+(* [save] exports to the paged disk format: a database directory with
+   one heap segment per class, a meta file and an (empty) WAL. *)
+let save t path =
+  let dump = Object_store.export t.store in
+  let d =
+    Disk.create ~counters:(Object_store.counters t.store)
+      ~schema:(Object_store.dump_schema dump) path
+  in
+  Disk.bulk_load d ~next_id:(Object_store.dump_next_id dump)
+    (Object_store.dump_objects dump);
+  Disk.close ~checkpoint:false d
+
+(* Translate store change events into WAL-committed disk batches.  The
+   subscription happens after [refresh] (so resyncing derived state on
+   open does not re-log records already on disk) and before
+   [attach_maintenance] — DML events append their WAL records before the
+   maintenance observers run and bump the epoch. *)
+let attach_disk t d =
+  t.disk <- Some d;
+  Object_store.subscribe t.store (function
+    | Object_store.Created oid -> Disk.apply d [ Soqm_disk.Wal.Insert { oid; props = [] } ]
+    | Object_store.Prop_set { oid; prop; new_value; _ } ->
+      Disk.apply d [ Soqm_disk.Wal.Update { oid; prop; value = new_value } ]
+    | Object_store.Deleted { oid; _ } ->
+      Disk.apply d [ Soqm_disk.Wal.Delete { oid } ])
+
+let of_disk ~attach ~maintain ~jobs ~pool_pages path =
+  let counters = Counters.create () in
+  let d = Disk.open_dir ?pool_pages ~counters path in
+  (* the cold materialization scan: a prefetcher domain reads each
+     segment ahead of the decoding consumer *)
+  let rows, _pages = Disk.scan_all ~prefetch:true d in
+  let dump =
+    Object_store.make_dump ~schema:(Disk.schema d) ~next_id:(Disk.next_id d)
+      rows
+  in
+  let store = Object_store.import ~counters dump in
   Doc_schema.install_internal_methods store;
   let t =
     {
@@ -133,12 +169,32 @@ let load ?(maintain = true) ?(jobs = 1) path =
       stats = Statistics.collect store;
       maint = None;
       default_jobs = max 1 jobs;
+      disk = None;
     }
   in
   register_external_methods t;
   refresh t;
+  if attach then attach_disk t d else Disk.close ~checkpoint:false d;
   if maintain then attach_maintenance t;
   t
+
+let open_disk ?(maintain = true) ?(jobs = 1) ?pool_pages path =
+  of_disk ~attach:true ~maintain ~jobs ~pool_pages path
+
+(* [load] is an import shim over the disk format: materialize and detach
+   (read-only on the directory; recovery truncation aside). *)
+let load ?(maintain = true) ?(jobs = 1) path =
+  of_disk ~attach:false ~maintain ~jobs ~pool_pages:None path
+
+let checkpoint t =
+  match t.disk with Some d -> Disk.checkpoint d | None -> ()
+
+let close t =
+  match t.disk with
+  | Some d ->
+    Disk.close d;
+    t.disk <- None
+  | None -> ()
 
 let set_jobs t jobs = t.default_jobs <- max 1 jobs
 

@@ -25,6 +25,9 @@ type t = {
       (** worker count engines generated from this database execute
           with unless overridden per run; 1 (the default) is the serial
           block executor *)
+  mutable disk : Soqm_disk.Store.t option;
+      (** the attached paged disk store when the database was opened
+          with {!open_disk}; [None] for purely in-memory databases *)
 }
 
 val create :
@@ -59,16 +62,42 @@ val maintenance : t -> Soqm_maintenance.Maintenance.t option
 (** The attached maintenance subsystem, if any. *)
 
 val save : t -> string -> unit
-(** Snapshot the database's data to a file (schema, objects, OIDs;
-    indexes and statistics are derived state and rebuilt on load). *)
+(** Export the database's data to a paged disk database directory
+    ([Soqm_disk]): one slotted-page heap segment per class, a meta file
+    with the binary-encoded schema, and an empty WAL.  Indexes and
+    statistics are derived state and rebuilt on load.  Overwrites any
+    previous database in the directory. *)
 
 val load : ?maintain:bool -> ?jobs:int -> string -> t
-(** Restore a database saved with {!save}: re-creates the store,
-    re-registers every method implementation of the document schema,
+(** Import shim over the disk format: open the directory (running WAL
+    recovery), materialize every record into a fresh in-memory store
+    through the prefetching scan, then detach from the disk files —
+    subsequent DML is {e not} written back (use {!open_disk} for that).
+    Re-registers every method implementation of the document schema,
     rebuilds indexes and statistics, and (unless [maintain:false])
-    attaches incremental maintenance.  Only meaningful for dumps of the
-    document schema (possibly with cost-variant method declarations).
-    @raise Failure on corrupt files. *)
+    attaches incremental maintenance.  Only meaningful for databases of
+    the document schema (possibly with cost-variant method declarations).
+    @raise Soqm_disk.Store.Format_error on foreign or corrupt
+    directories. *)
+
+val open_disk :
+  ?maintain:bool -> ?jobs:int -> ?pool_pages:int -> string -> t
+(** Like {!load}, but stay attached to the disk store: every subsequent
+    store change event appends a checksummed, fsynced WAL record {e
+    before} the maintenance observers bump the epoch, and is applied to
+    the buffer-pooled pages.  [pool_pages] sizes the buffer pool.  The
+    attached store is {!field-t.disk}; full scans of engines generated
+    from this database drive its page traffic (the [pages=] column of
+    [explain --analyze]).  Close with {!close} to checkpoint and release
+    the files. *)
+
+val checkpoint : t -> unit
+(** Flush dirty pages, fsync the segments and truncate the WAL of the
+    attached disk store; no-op for in-memory databases. *)
+
+val close : t -> unit
+(** Checkpoint and detach the disk store, if any.  The database remains
+    usable in memory; further DML is no longer made durable. *)
 
 val set_jobs : t -> int -> unit
 (** Set {!field-t.default_jobs} (clamped to at least 1). *)

@@ -50,6 +50,11 @@ let exec_ctx (database : Db.t) : Soqm_physical.Exec.ctx =
                (Object_store.counters database.Db.store)
                ~lo ~hi)
         else None);
+    scan_pages =
+      (fun ~cls ->
+        match database.Db.disk with
+        | Some d -> Some (Soqm_disk.Store.touch_scan d cls)
+        | None -> None);
   }
 
 let opt_ctx_of (database : Db.t) : Rule.opt_ctx =

@@ -1,0 +1,41 @@
+(** Fixed-capacity buffer pool with pin counts and clock eviction.
+
+    Frames cache heap-segment pages keyed by (class, page number).
+    {!pin} returns the resident frame bytes, reading through the
+    supplied callback on a miss; pinned frames are never evicted, and
+    the clock hand gives every resident frame a second chance (one
+    reference bit) before reassigning it.  Dirty frames are written back
+    through the write callback on eviction and on {!flush}.
+
+    All operations are serialized by an internal mutex, so a prefetcher
+    domain and a consumer domain can share the pool; page bytes returned
+    by {!pin} remain valid until the matching {!unpin}.  Traffic is
+    charged to [Counters]: [pool_hits], [pages_read], [pages_written],
+    [pool_evictions]. *)
+
+type t
+
+val create :
+  pages:int ->
+  counters:Soqm_vml.Counters.t ->
+  read_page:(cls:string -> page:int -> bytes -> unit) ->
+  write_page:(cls:string -> page:int -> bytes -> unit) ->
+  t
+(** A pool of [pages] frames (at least 4 are allocated regardless). *)
+
+val capacity : t -> int
+
+val pin : t -> cls:string -> page:int -> bytes
+(** Resident page bytes, faulted in on a miss.  Blank images read from
+    beyond a segment's end are formatted as empty pages.
+    @raise Failure when every frame is pinned. *)
+
+val unpin : t -> cls:string -> page:int -> dirty:bool -> unit
+(** Release one pin; [dirty:true] marks the frame as needing write-back.
+    @raise Invalid_argument if the page is not resident or not pinned. *)
+
+val flush : t -> unit
+(** Write back every dirty frame (they stay resident and clean). *)
+
+val resident : t -> (string * int) list
+(** Pages currently cached (for tests and stats). *)

@@ -1,0 +1,344 @@
+open Soqm_vml
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* varints and strings                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [n] interpreted as an unsigned bit pattern: logical shifts, so a
+   negative int (top bit set, e.g. a zigzagged [min_int]) terminates *)
+let write_uvarint_bits buf n =
+  let rec go n =
+    if n >= 0 && n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else (
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7))
+  in
+  go n
+
+let write_uvarint buf n =
+  if n < 0 then invalid_arg "Codec.write_uvarint: negative";
+  write_uvarint_bits buf n
+
+(* zigzag: the sign bit moves to bit 0 so small magnitudes stay short *)
+let write_varint buf n = write_uvarint_bits buf ((n lsl 1) lxor (n asr 62))
+
+let write_string buf s =
+  write_uvarint buf (String.length s);
+  Buffer.add_string buf s
+
+type cursor = { data : string; mutable p : int }
+
+let cursor ?(pos = 0) data = { data; p = pos }
+let pos c = c.p
+
+let read_byte c =
+  if c.p >= String.length c.data then corrupt "unexpected end of input";
+  let b = Char.code c.data.[c.p] in
+  c.p <- c.p + 1;
+  b
+
+let read_uvarint c =
+  let rec go shift acc =
+    if shift > 63 then corrupt "varint too long";
+    let b = read_byte c in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b < 0x80 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_varint c =
+  let z = read_uvarint c in
+  (z lsr 1) lxor (-(z land 1))
+
+let read_string c =
+  let n = read_uvarint c in
+  if n < 0 || c.p + n > String.length c.data then corrupt "truncated string";
+  let s = String.sub c.data c.p n in
+  c.p <- c.p + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_real buf f =
+  let bits = Int64.bits_of_float f in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 bits;
+  Buffer.add_bytes buf b
+
+let read_real c =
+  if c.p + 8 > String.length c.data then corrupt "truncated real";
+  let bits = String.get_int64_le c.data c.p in
+  c.p <- c.p + 8;
+  Int64.float_of_bits bits
+
+let rec write_value buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_char buf '\000'
+  | Value.Bool false -> Buffer.add_char buf '\001'
+  | Value.Bool true -> Buffer.add_char buf '\002'
+  | Value.Int n ->
+    Buffer.add_char buf '\003';
+    write_varint buf n
+  | Value.Real f ->
+    Buffer.add_char buf '\004';
+    write_real buf f
+  | Value.Str s ->
+    Buffer.add_char buf '\005';
+    write_string buf s
+  | Value.Obj oid ->
+    Buffer.add_char buf '\006';
+    write_string buf (Oid.cls oid);
+    write_uvarint buf (Oid.id oid)
+  | Value.Cls c ->
+    Buffer.add_char buf '\007';
+    write_string buf c
+  | Value.Tuple comps ->
+    Buffer.add_char buf '\008';
+    write_uvarint buf (List.length comps);
+    List.iter
+      (fun (label, v) ->
+        write_string buf label;
+        write_value buf v)
+      comps
+  | Value.Set elts ->
+    Buffer.add_char buf '\009';
+    write_uvarint buf (List.length elts);
+    List.iter (write_value buf) elts
+  | Value.Arr elts ->
+    Buffer.add_char buf '\010';
+    write_uvarint buf (Array.length elts);
+    Array.iter (write_value buf) elts
+  | Value.Dict entries ->
+    Buffer.add_char buf '\011';
+    write_uvarint buf (List.length entries);
+    List.iter
+      (fun (k, v) ->
+        write_value buf k;
+        write_value buf v)
+      entries
+
+let rec read_value c : Value.t =
+  match read_byte c with
+  | 0 -> Value.Null
+  | 1 -> Value.Bool false
+  | 2 -> Value.Bool true
+  | 3 -> Value.Int (read_varint c)
+  | 4 -> Value.Real (read_real c)
+  | 5 -> Value.Str (read_string c)
+  | 6 ->
+    let cls = read_string c in
+    let id = read_uvarint c in
+    Value.Obj (Oid.make ~cls ~id)
+  | 7 -> Value.Cls (read_string c)
+  | 8 ->
+    let n = read_uvarint c in
+    let comps =
+      List.init n (fun _ ->
+          let label = read_string c in
+          let v = read_value c in
+          (label, v))
+    in
+    (try Value.tuple comps
+     with Invalid_argument _ -> corrupt "duplicate tuple label")
+  | 9 ->
+    let n = read_uvarint c in
+    Value.set (List.init n (fun _ -> read_value c))
+  | 10 ->
+    let n = read_uvarint c in
+    if n > String.length c.data - c.p then corrupt "oversized array";
+    Value.Arr (Array.init n (fun _ -> read_value c))
+  | 11 ->
+    let n = read_uvarint c in
+    let entries =
+      List.init n (fun _ ->
+          let k = read_value c in
+          let v = read_value c in
+          (k, v))
+    in
+    (try Value.dict entries
+     with Invalid_argument _ -> corrupt "duplicate dictionary key")
+  | t -> corrupt "unknown value tag %d" t
+
+let write_props buf props =
+  write_uvarint buf (List.length props);
+  List.iter
+    (fun (name, v) ->
+      write_string buf name;
+      write_value buf v)
+    props
+
+let read_props c =
+  let n = read_uvarint c in
+  List.init n (fun _ ->
+      let name = read_string c in
+      let v = read_value c in
+      (name, v))
+
+(* ------------------------------------------------------------------ *)
+(* types and schemas                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_vtype buf (t : Vtype.t) =
+  match t with
+  | Vtype.TString -> Buffer.add_char buf '\000'
+  | Vtype.TInt -> Buffer.add_char buf '\001'
+  | Vtype.TReal -> Buffer.add_char buf '\002'
+  | Vtype.TBool -> Buffer.add_char buf '\003'
+  | Vtype.TObj cls ->
+    Buffer.add_char buf '\004';
+    write_string buf cls
+  | Vtype.TAnyObj -> Buffer.add_char buf '\005'
+  | Vtype.TTuple comps ->
+    Buffer.add_char buf '\006';
+    write_uvarint buf (List.length comps);
+    List.iter
+      (fun (label, t) ->
+        write_string buf label;
+        write_vtype buf t)
+      comps
+  | Vtype.TSet t ->
+    Buffer.add_char buf '\007';
+    write_vtype buf t
+  | Vtype.TArray t ->
+    Buffer.add_char buf '\008';
+    write_vtype buf t
+  | Vtype.TDict (k, v) ->
+    Buffer.add_char buf '\009';
+    write_vtype buf k;
+    write_vtype buf v
+
+let rec read_vtype c : Vtype.t =
+  match read_byte c with
+  | 0 -> Vtype.TString
+  | 1 -> Vtype.TInt
+  | 2 -> Vtype.TReal
+  | 3 -> Vtype.TBool
+  | 4 -> Vtype.TObj (read_string c)
+  | 5 -> Vtype.TAnyObj
+  | 6 ->
+    let n = read_uvarint c in
+    Vtype.ttuple
+      (List.init n (fun _ ->
+           let label = read_string c in
+           let t = read_vtype c in
+           (label, t)))
+  | 7 -> Vtype.TSet (read_vtype c)
+  | 8 -> Vtype.TArray (read_vtype c)
+  | 9 ->
+    let k = read_vtype c in
+    let v = read_vtype c in
+    Vtype.TDict (k, v)
+  | t -> corrupt "unknown type tag %d" t
+
+let write_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let read_bool c =
+  match read_byte c with
+  | 0 -> false
+  | 1 -> true
+  | b -> corrupt "bad boolean byte %d" b
+
+let write_option write buf = function
+  | None -> Buffer.add_char buf '\000'
+  | Some x ->
+    Buffer.add_char buf '\001';
+    write buf x
+
+let read_option read c = if read_bool c then Some (read c) else None
+
+let write_meth buf (m : Schema.method_sig) =
+  write_string buf m.Schema.meth_name;
+  write_uvarint buf (List.length m.Schema.params);
+  List.iter
+    (fun (name, t) ->
+      write_string buf name;
+      write_vtype buf t)
+    m.Schema.params;
+  write_vtype buf m.Schema.returns;
+  write_bool buf (m.Schema.kind = Schema.External);
+  write_bool buf m.Schema.side_effect_free;
+  write_real buf m.Schema.cost_per_call;
+  write_option write_real buf m.Schema.selectivity
+
+let read_meth c : Schema.method_sig =
+  let meth_name = read_string c in
+  let nparams = read_uvarint c in
+  let params =
+    List.init nparams (fun _ ->
+        let name = read_string c in
+        let t = read_vtype c in
+        (name, t))
+  in
+  let returns = read_vtype c in
+  let kind = if read_bool c then Schema.External else Schema.Internal in
+  let side_effect_free = read_bool c in
+  let cost_per_call = read_real c in
+  let selectivity = read_option read_real c in
+  {
+    Schema.meth_name;
+    params;
+    returns;
+    kind;
+    side_effect_free;
+    cost_per_call;
+    selectivity;
+  }
+
+let write_prop buf (p : Schema.property) =
+  write_string buf p.Schema.prop_name;
+  write_vtype buf p.Schema.prop_type;
+  write_option
+    (fun buf (cls, prop) ->
+      write_string buf cls;
+      write_string buf prop)
+    buf p.Schema.inverse
+
+let read_prop c : Schema.property =
+  let prop_name = read_string c in
+  let prop_type = read_vtype c in
+  let inverse =
+    read_option
+      (fun c ->
+        let cls = read_string c in
+        let prop = read_string c in
+        (cls, prop))
+      c
+  in
+  { Schema.prop_name; prop_type; inverse }
+
+let write_list write buf xs =
+  write_uvarint buf (List.length xs);
+  List.iter (write buf) xs
+
+let read_list read c =
+  let n = read_uvarint c in
+  List.init n (fun _ -> read c)
+
+let write_schema buf schema =
+  write_list
+    (fun buf (cd : Schema.class_def) ->
+      write_string buf cd.Schema.cls_name;
+      write_list write_meth buf cd.Schema.own_methods;
+      write_list write_prop buf cd.Schema.properties;
+      write_list write_meth buf cd.Schema.inst_methods)
+    buf (Schema.classes schema)
+
+let read_schema c =
+  let classes =
+    read_list
+      (fun c ->
+        let cls_name = read_string c in
+        let own_methods = read_list read_meth c in
+        let properties = read_list read_prop c in
+        let inst_methods = read_list read_meth c in
+        { Schema.cls_name; own_methods; properties; inst_methods })
+      c
+  in
+  try Schema.make classes
+  with Invalid_argument msg -> corrupt "invalid schema: %s" msg

@@ -1,0 +1,50 @@
+(** Binary codec for on-disk values, records and schemas.
+
+    Replaces [Marshal] as the persistent format: every encoding is a
+    deterministic, versionable byte layout — LEB128 varints (zigzag for
+    signed), length-prefixed strings, one tag byte per {!Value.t}
+    constructor — so foreign bytes fail decoding with {!Corrupt} instead
+    of undefined behavior.  Collection values are rebuilt through the
+    canonical smart constructors on decode, so a round trip always yields
+    a canonical value. *)
+
+open Soqm_vml
+
+exception Corrupt of string
+(** Raised by every [read_*] on malformed or truncated input. *)
+
+(** {1 Encoding} *)
+
+val write_uvarint : Buffer.t -> int -> unit
+(** Unsigned LEB128. @raise Invalid_argument on negative input. *)
+
+val write_varint : Buffer.t -> int -> unit
+(** Signed (zigzag) LEB128. *)
+
+val write_string : Buffer.t -> string -> unit
+(** Length-prefixed bytes. *)
+
+val write_value : Buffer.t -> Value.t -> unit
+val write_props : Buffer.t -> (string * Value.t) list -> unit
+(** Property list: count, then (name, value) pairs. *)
+
+val write_schema : Buffer.t -> Schema.t -> unit
+
+(** {1 Decoding} *)
+
+type cursor
+(** A read position over an immutable byte string. *)
+
+val cursor : ?pos:int -> string -> cursor
+val pos : cursor -> int
+(** Current read offset. *)
+
+val read_uvarint : cursor -> int
+val read_varint : cursor -> int
+val read_string : cursor -> string
+val read_value : cursor -> Value.t
+val read_props : cursor -> (string * Value.t) list
+
+val read_schema : cursor -> Schema.t
+(** Decodes and re-validates via {!Schema.make}; a structurally valid
+    encoding of an invalid schema raises {!Corrupt}. *)

@@ -1,0 +1,47 @@
+let size = 4096
+let header = 4
+let slot_bytes = 4
+let capacity = size - header - slot_bytes
+
+let format page =
+  Bytes.fill page 0 size '\000';
+  Bytes.set_uint16_le page 2 size
+
+let is_blank page = Bytes.get_uint16_le page 0 = 0 && Bytes.get_uint16_le page 2 = 0
+let nslots page = Bytes.get_uint16_le page 0
+let free_end page = Bytes.get_uint16_le page 2
+let free_space page = free_end page - header - (slot_bytes * nslots page)
+let has_room page len = free_space page >= len + slot_bytes
+let slot_pos slot = header + (slot_bytes * slot)
+
+let insert page record =
+  let len = String.length record in
+  if not (has_room page len) then
+    invalid_arg "Page.insert: record does not fit";
+  let slot = nslots page in
+  let off = free_end page - len in
+  Bytes.blit_string record 0 page off len;
+  Bytes.set_uint16_le page (slot_pos slot) off;
+  Bytes.set_uint16_le page (slot_pos slot + 2) len;
+  Bytes.set_uint16_le page 0 (slot + 1);
+  Bytes.set_uint16_le page 2 off;
+  slot
+
+let delete page slot =
+  if slot >= 0 && slot < nslots page then (
+    Bytes.set_uint16_le page (slot_pos slot) 0;
+    Bytes.set_uint16_le page (slot_pos slot + 2) 0)
+
+let read page slot =
+  if slot < 0 || slot >= nslots page then None
+  else
+    let off = Bytes.get_uint16_le page (slot_pos slot) in
+    if off = 0 then None
+    else
+      let len = Bytes.get_uint16_le page (slot_pos slot + 2) in
+      Some (Bytes.sub_string page off len)
+
+let iter page f =
+  for slot = 0 to nslots page - 1 do
+    match read page slot with Some r -> f slot r | None -> ()
+  done

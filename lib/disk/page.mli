@@ -1,0 +1,46 @@
+(** Slotted 4 KiB heap pages.
+
+    Layout: a 4-byte header (u16 slot count, u16 free-end offset), a slot
+    directory growing downward from the header (4 bytes per slot: u16
+    record offset, u16 record length), and records packed from the page
+    end toward the directory.  Slot 0 of a record is its stable in-page
+    address: deleting marks the slot dead (offset 0) without renumbering,
+    so OID → (page, slot) mappings survive unrelated deletions.  Freed
+    record bytes are not compacted; space is reclaimed when the store
+    rewrites the page (checkpoint-time compaction is future work). *)
+
+val size : int
+(** Page size in bytes: 4096. *)
+
+val capacity : int
+(** Largest record an empty page can hold ([size] minus header and one
+    slot). *)
+
+val format : bytes -> unit
+(** Initialize [size] bytes as an empty page. *)
+
+val is_blank : bytes -> bool
+(** An all-zero (never formatted) page image, as produced by reading past
+    a segment's end. *)
+
+val nslots : bytes -> int
+(** Slots allocated so far, live or dead. *)
+
+val free_space : bytes -> int
+(** Bytes available for one more record plus its slot. *)
+
+val has_room : bytes -> int -> bool
+
+val insert : bytes -> string -> int
+(** Append a record, returning its slot number.
+    @raise Invalid_argument when the record does not fit. *)
+
+val delete : bytes -> int -> unit
+(** Mark a slot dead.  Idempotent; out-of-range slots are ignored (a
+    redo pass may replay deletions already applied). *)
+
+val read : bytes -> int -> string option
+(** The record in a slot, or [None] for dead or out-of-range slots. *)
+
+val iter : bytes -> (int -> string -> unit) -> unit
+(** All live records with their slot numbers, ascending. *)

@@ -1,0 +1,99 @@
+type t = {
+  cls : string;
+  fd : Unix.file_descr;
+  mutable pages : int;  (* data pages (file pages minus the header) *)
+  m : Mutex.t;
+}
+
+exception Format_error of string
+
+let magic = "SOQM-SEG"
+let version = 1
+
+let really_read fd buf len =
+  let rec go off =
+    if off < len then
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then off else go (off + n)
+    else off
+  in
+  go 0
+
+let really_write fd buf len =
+  let rec go off = if off < len then go (off + Unix.write fd buf off (len - off)) in
+  go 0
+
+let header_page cls =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf magic;
+  Codec.write_uvarint buf version;
+  Codec.write_string buf cls;
+  let page = Bytes.make Page.size '\000' in
+  let s = Buffer.contents buf in
+  Bytes.blit_string s 0 page 0 (String.length s);
+  page
+
+let check_header path cls fd =
+  let buf = Bytes.create Page.size in
+  if really_read fd buf Page.size < Page.size then
+    raise (Format_error (path ^ ": truncated segment header"));
+  let s = Bytes.to_string buf in
+  if not (String.length s >= 8 && String.equal (String.sub s 0 8) magic) then
+    raise (Format_error (path ^ ": not a soqm heap segment (bad magic)"));
+  (try
+     let c = Codec.cursor ~pos:8 s in
+     let v = Codec.read_uvarint c in
+     if v <> version then
+       raise
+         (Format_error
+            (Printf.sprintf "%s: unsupported segment version %d (want %d)" path
+               v version));
+     let hdr_cls = Codec.read_string c in
+     if not (String.equal hdr_cls cls) then
+       raise
+         (Format_error
+            (Printf.sprintf "%s: segment holds class %s, expected %s" path
+               hdr_cls cls))
+   with Codec.Corrupt msg -> raise (Format_error (path ^ ": " ^ msg)))
+
+let open_seg ~dir ~cls =
+  let path = Filename.concat dir (cls ^ ".heap") in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let bytes = Unix.lseek fd 0 Unix.SEEK_END in
+  if bytes = 0 then (
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    really_write fd (header_page cls) Page.size;
+    { cls; fd; pages = 0; m = Mutex.create () })
+  else (
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    (try check_header path cls fd
+     with e ->
+       Unix.close fd;
+       raise e);
+    (* a torn final page (crash mid-extension) counts as absent: reads of
+       it zero-fill past the write boundary and redo recreates it *)
+    { cls; fd; pages = max 0 ((bytes - 1) / Page.size); m = Mutex.create () })
+
+let cls t = t.cls
+let data_pages t = t.pages
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let read_page t n buf =
+  if n < 1 then invalid_arg "Segment.read_page: data pages start at 1";
+  locked t (fun () ->
+      ignore (Unix.lseek t.fd (n * Page.size) Unix.SEEK_SET);
+      let got = really_read t.fd buf Page.size in
+      if got < Page.size then Bytes.fill buf got (Page.size - got) '\000')
+
+let write_page t n buf =
+  if n < 1 then invalid_arg "Segment.write_page: data pages start at 1";
+  locked t (fun () ->
+      ignore (Unix.lseek t.fd (n * Page.size) Unix.SEEK_SET);
+      really_write t.fd buf Page.size;
+      if n > t.pages then t.pages <- n)
+
+let sync t = locked t (fun () -> Unix.fsync t.fd)
+let close t = locked t (fun () -> Unix.close t.fd)

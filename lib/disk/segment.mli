@@ -1,0 +1,38 @@
+(** One heap file per class extent — type-clustered placement.
+
+    A segment is [<class>.heap] inside the database directory: page 0 is
+    a header (magic, format version, class name), data pages 1..n hold
+    that class's records and nothing else, so a class scan touches a
+    contiguous, minimal run of pages (the clustering argument of Darmont
+    & Gruenwald).  Reads past the current end yield blank images (the
+    buffer pool formats them as empty pages); writes extend the file.
+
+    Page reads and writes are serialized per segment (seek + I/O under a
+    mutex), so a prefetcher domain can read while the pool evicts. *)
+
+type t
+
+exception Format_error of string
+(** The heap file exists but is foreign, truncated, or the wrong class. *)
+
+val open_seg : dir:string -> cls:string -> t
+(** Open [dir/<cls>.heap], creating it (with its header page) if absent.
+    @raise Format_error on a bad header. *)
+
+val cls : t -> string
+
+val data_pages : t -> int
+(** Data pages on disk (excluding the header page).  Monotone under
+    {!write_page}. *)
+
+val read_page : t -> int -> bytes -> unit
+(** [read_page t n buf] fills [buf] with data page [n >= 1]; pages past
+    the end read as zeroes. *)
+
+val write_page : t -> int -> bytes -> unit
+(** Write data page [n >= 1], extending the file as needed. *)
+
+val sync : t -> unit
+(** [fsync] the heap file. *)
+
+val close : t -> unit

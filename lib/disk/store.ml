@@ -1,0 +1,427 @@
+open Soqm_vml
+module Pool = Soqm_physical.Pool
+
+exception Format_error of string
+
+let format_error fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+type loc = { mutable lpage : int; mutable lslot : int }
+
+type t = {
+  dir : string;
+  schema : Schema.t;
+  counters : Counters.t;
+  pool : Buffer_pool.t;
+  wal : Wal.t;
+  segments : (string, Segment.t) Hashtbl.t;
+  locs : (Oid.t, loc) Hashtbl.t;
+  alloc : (string, int) Hashtbl.t;  (* cls -> allocated data pages *)
+  fill : (string, int) Hashtbl.t;  (* cls -> current append page *)
+  mutable next_id : int;
+  mutable recovered : int;
+  m : Mutex.t;
+}
+
+let meta_magic = "SOQM-DISK"
+let meta_version = 1
+let meta_file dir = Filename.concat dir "meta"
+let wal_file dir = Filename.concat dir "wal"
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let allocated t cls = Option.value ~default:0 (Hashtbl.find_opt t.alloc cls)
+
+(* ------------------------------------------------------------------ *)
+(* meta file                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_meta ~dir ~schema ~next_id =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf meta_magic;
+  Codec.write_uvarint buf meta_version;
+  Codec.write_uvarint buf next_id;
+  Codec.write_schema buf schema;
+  let tmp = meta_file dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp (meta_file dir)
+
+let read_meta dir =
+  let path = meta_file dir in
+  if not (Sys.file_exists path) then
+    format_error "%s: not a soqm database directory (no meta file)" dir;
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if
+    not
+      (String.length s >= String.length meta_magic
+      && String.equal (String.sub s 0 (String.length meta_magic)) meta_magic)
+  then format_error "%s: not a soqm database (bad meta magic)" dir;
+  try
+    let c = Codec.cursor ~pos:(String.length meta_magic) s in
+    let v = Codec.read_uvarint c in
+    if v <> meta_version then
+      format_error "%s: unsupported database version %d (want %d)" dir v
+        meta_version;
+    let next_id = Codec.read_uvarint c in
+    let schema = Codec.read_schema c in
+    (schema, next_id)
+  with Codec.Corrupt msg -> format_error "%s: corrupt meta file (%s)" dir msg
+
+(* ------------------------------------------------------------------ *)
+(* record codec: serial + properties; the class is the segment's        *)
+(* ------------------------------------------------------------------ *)
+
+let encode_record oid props =
+  let buf = Buffer.create 128 in
+  Codec.write_uvarint buf (Oid.id oid);
+  Codec.write_props buf props;
+  Buffer.contents buf
+
+let decode_record ~cls s =
+  let c = Codec.cursor s in
+  let id = Codec.read_uvarint c in
+  let props = Codec.read_props c in
+  (Oid.make ~cls ~id, props)
+
+let decode_id s = Codec.read_uvarint (Codec.cursor s)
+
+(* ------------------------------------------------------------------ *)
+(* construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make ~dir ~schema ~pool_pages ~counters ~wal =
+  let segments = Hashtbl.create 8 in
+  List.iter
+    (fun cls -> Hashtbl.replace segments cls (Segment.open_seg ~dir ~cls))
+    (Schema.class_names schema);
+  let read_page ~cls ~page buf =
+    match Hashtbl.find_opt segments cls with
+    | Some s -> Segment.read_page s page buf
+    | None -> format_error "%s: no segment for class %s" dir cls
+  in
+  let write_page ~cls ~page buf =
+    match Hashtbl.find_opt segments cls with
+    | Some s -> Segment.write_page s page buf
+    | None -> format_error "%s: no segment for class %s" dir cls
+  in
+  let pool = Buffer_pool.create ~pages:pool_pages ~counters ~read_page ~write_page in
+  let t =
+    {
+      dir;
+      schema;
+      counters;
+      pool;
+      wal;
+      segments;
+      locs = Hashtbl.create 1024;
+      alloc = Hashtbl.create 8;
+      fill = Hashtbl.create 8;
+      next_id = 0;
+      recovered = 0;
+      m = Mutex.create ();
+    }
+  in
+  Hashtbl.iter
+    (fun cls seg -> Hashtbl.replace t.alloc cls (Segment.data_pages seg))
+    segments;
+  t
+
+let create ?(pool_pages = 256) ?counters ~schema dir =
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    format_error "%s: exists and is not a directory" dir;
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* overwrite semantics: drop any previous database in this directory *)
+  Array.iter
+    (fun f ->
+      if
+        String.equal f "meta" || String.equal f "wal"
+        || Filename.check_suffix f ".heap"
+      then Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  let counters = Option.value ~default:(Counters.create ()) counters in
+  let wal, _ = Wal.open_log ~counters (wal_file dir) in
+  let t = make ~dir ~schema ~pool_pages ~counters ~wal in
+  write_meta ~dir ~schema ~next_id:t.next_id;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* page placement                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let insert_record t oid props =
+  let cls = Oid.cls oid in
+  let record = encode_record oid props in
+  if String.length record > Page.capacity then
+    format_error "record %s exceeds the page capacity (%d > %d bytes)"
+      (Oid.to_string oid) (String.length record) Page.capacity;
+  let place page =
+    let data = Buffer_pool.pin t.pool ~cls ~page in
+    if Page.has_room data (String.length record) then (
+      let slot = Page.insert data record in
+      Buffer_pool.unpin t.pool ~cls ~page ~dirty:true;
+      Some slot)
+    else (
+      Buffer_pool.unpin t.pool ~cls ~page ~dirty:false;
+      None)
+  in
+  let page, slot =
+    let fillp = Option.value ~default:0 (Hashtbl.find_opt t.fill cls) in
+    match if fillp >= 1 then place fillp else None with
+    | Some slot -> (fillp, slot)
+    | None ->
+      let fresh = allocated t cls + 1 in
+      Hashtbl.replace t.alloc cls fresh;
+      Hashtbl.replace t.fill cls fresh;
+      (match place fresh with
+      | Some slot -> (fresh, slot)
+      | None -> assert false (* an empty page holds any record <= capacity *))
+  in
+  Hashtbl.replace t.locs oid { lpage = page; lslot = slot };
+  t.next_id <- max t.next_id (Oid.id oid + 1)
+
+let delete_record t oid =
+  match Hashtbl.find_opt t.locs oid with
+  | None -> ()
+  | Some loc ->
+    let cls = Oid.cls oid in
+    let data = Buffer_pool.pin t.pool ~cls ~page:loc.lpage in
+    Page.delete data loc.lslot;
+    Buffer_pool.unpin t.pool ~cls ~page:loc.lpage ~dirty:true;
+    Hashtbl.remove t.locs oid
+
+let read_record t oid =
+  match Hashtbl.find_opt t.locs oid with
+  | None -> None
+  | Some loc ->
+    let cls = Oid.cls oid in
+    let data = Buffer_pool.pin t.pool ~cls ~page:loc.lpage in
+    let r = Page.read data loc.lslot in
+    Buffer_pool.unpin t.pool ~cls ~page:loc.lpage ~dirty:false;
+    (match r with
+    | None -> None
+    | Some s -> Some (snd (decode_record ~cls s)))
+
+(* idempotent redo application: an insert of a live OID replaces its
+   record, an update of a dead OID creates it, deletes of absent OIDs
+   are no-ops — any committed suffix may already be on the pages *)
+let apply_op t (op : Wal.op) =
+  match op with
+  | Wal.Insert { oid; props } ->
+    delete_record t oid;
+    insert_record t oid props
+  | Wal.Update { oid; prop; value } ->
+    let props = Option.value ~default:[] (read_record t oid) in
+    let props = (prop, value) :: List.remove_assoc prop props in
+    delete_record t oid;
+    insert_record t oid props
+  | Wal.Delete { oid } -> delete_record t oid
+
+let apply t ops =
+  locked t (fun () ->
+      Wal.commit t.wal ops;
+      List.iter (apply_op t) ops)
+
+(* ------------------------------------------------------------------ *)
+(* open + recovery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Directory rebuild reads raw pages with a scratch buffer (physical
+   reconstruction, not query traffic: the pool and its counters stay
+   cold for the workload that follows). *)
+let rebuild_directory t =
+  let scratch = Bytes.create Page.size in
+  Hashtbl.iter
+    (fun cls seg ->
+      for page = 1 to Segment.data_pages seg do
+        Segment.read_page seg page scratch;
+        if not (Page.is_blank scratch) then
+          Page.iter scratch (fun slot record ->
+              match decode_id record with
+              | id ->
+                let oid = Oid.make ~cls ~id in
+                (* a relocated record can appear twice only if a crash hit
+                   between page writes; the higher page wins deterministically *)
+                (match Hashtbl.find_opt t.locs oid with
+                | Some loc when loc.lpage > page -> ()
+                | _ ->
+                  Hashtbl.replace t.locs oid { lpage = page; lslot = slot });
+                t.next_id <- max t.next_id (id + 1)
+              | exception Codec.Corrupt msg ->
+                format_error "%s/%s.heap page %d slot %d: %s" t.dir cls page
+                  slot msg)
+      done)
+    t.segments
+
+let open_dir ?(pool_pages = 256) ?counters dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    format_error "%s: not a soqm database directory" dir;
+  let schema, meta_next_id = read_meta dir in
+  let counters = Option.value ~default:(Counters.create ()) counters in
+  let wal, batches = Wal.open_log ~counters (wal_file dir) in
+  let t = make ~dir ~schema ~pool_pages ~counters ~wal in
+  rebuild_directory t;
+  t.next_id <- max t.next_id meta_next_id;
+  (* fill pointers resume at each segment's last page *)
+  Hashtbl.iter (fun cls pages -> if pages > 0 then Hashtbl.replace t.fill cls pages) t.alloc;
+  List.iter
+    (fun ops ->
+      List.iter (apply_op t) ops;
+      t.recovered <- t.recovered + 1)
+    batches;
+  t
+
+let checkpoint t =
+  locked t (fun () ->
+      Buffer_pool.flush t.pool;
+      Hashtbl.iter (fun _ seg -> Segment.sync seg) t.segments;
+      write_meta ~dir:t.dir ~schema:t.schema ~next_id:t.next_id;
+      Wal.truncate t.wal)
+
+let close ?(checkpoint = true) t =
+  if checkpoint then
+    locked t (fun () ->
+        Buffer_pool.flush t.pool;
+        Hashtbl.iter (fun _ seg -> Segment.sync seg) t.segments;
+        write_meta ~dir:t.dir ~schema:t.schema ~next_id:t.next_id;
+        Wal.truncate t.wal);
+  Hashtbl.iter (fun _ seg -> Segment.close seg) t.segments;
+  Wal.close t.wal
+
+(* ------------------------------------------------------------------ *)
+(* reads and scans                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fetch t oid =
+  locked t (fun () ->
+      match read_record t oid with Some props -> props | None -> raise Not_found)
+
+let mem t oid = locked t (fun () -> Hashtbl.mem t.locs oid)
+
+let extent t cls =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun oid _ acc -> if String.equal (Oid.cls oid) cls then oid :: acc else acc)
+        t.locs []
+      |> List.sort (fun a b -> Int.compare (Oid.id a) (Oid.id b)))
+
+(* One in-order pass over a class's pages through the pool.  [f] runs on
+   the caller; with [prefetch] a helper domain pins pages ahead of the
+   consumer inside a fixed window, so segment reads overlap decoding. *)
+let prefetch_window = 8
+
+let page_pass ?(prefetch = false) t cls ~f =
+  let n = allocated t cls in
+  if n = 0 then 0
+  else begin
+    let consume () =
+      for page = 1 to n do
+        let data = Buffer_pool.pin t.pool ~cls ~page in
+        f page data;
+        Buffer_pool.unpin t.pool ~cls ~page ~dirty:false
+      done
+    in
+    if (not prefetch) || n <= 2 then consume ()
+    else begin
+      let next = Atomic.make 1 in
+      let stop = Atomic.make false in
+      Pool.run (Pool.global ()) ~jobs:2 (fun w ->
+          if w = 0 then
+            Fun.protect
+              ~finally:(fun () -> Atomic.set stop true)
+              (fun () ->
+                for page = 1 to n do
+                  let data = Buffer_pool.pin t.pool ~cls ~page in
+                  f page data;
+                  Buffer_pool.unpin t.pool ~cls ~page ~dirty:false;
+                  Atomic.set next (page + 1)
+                done)
+          else
+            (* read ahead of the consumer, never past the window *)
+            let rec go page =
+              if page <= n && not (Atomic.get stop) then
+                if page < Atomic.get next + prefetch_window then begin
+                  (try
+                     ignore (Buffer_pool.pin t.pool ~cls ~page);
+                     Buffer_pool.unpin t.pool ~cls ~page ~dirty:false
+                   with Failure _ -> ());
+                  go (page + 1)
+                end
+                else begin
+                  Domain.cpu_relax ();
+                  go page
+                end
+            in
+            go 1)
+    end;
+    n
+  end
+
+let scan ?prefetch t cls =
+  let rows = ref [] in
+  let pages =
+    page_pass ?prefetch t cls ~f:(fun page data ->
+        Page.iter data (fun slot record ->
+            match decode_record ~cls record with
+            | oid, props -> (
+              (* a crash between page writes can leave a stale copy of a
+                 relocated record; only the slot the directory points at
+                 is the live one *)
+              match Hashtbl.find_opt t.locs oid with
+              | Some loc when loc.lpage = page && loc.lslot = slot ->
+                rows := (oid, props) :: !rows
+              | _ -> ())
+            | exception Codec.Corrupt msg ->
+              format_error "%s/%s.heap page %d slot %d: %s" t.dir cls page slot
+                msg))
+  in
+  (* page order is insertion order except for relocated (updated) rows;
+     sorting by serial restores allocation order exactly *)
+  let rows =
+    List.sort (fun (a, _) (b, _) -> Int.compare (Oid.id a) (Oid.id b)) !rows
+  in
+  (rows, pages)
+
+let scan_all ?prefetch t =
+  let rows, pages =
+    List.fold_left
+      (fun (rows, pages) cls ->
+        let r, p = scan ?prefetch t cls in
+        (r :: rows, pages + p))
+      ([], 0)
+      (Schema.class_names t.schema)
+  in
+  let rows =
+    List.concat rows
+    |> List.sort (fun (a, _) (b, _) -> Int.compare (Oid.id a) (Oid.id b))
+  in
+  (rows, pages)
+
+let touch_scan ?prefetch t cls = page_pass ?prefetch t cls ~f:(fun _ _ -> ())
+
+let bulk_load t ~next_id objects =
+  locked t (fun () ->
+      List.iter (fun (oid, props) -> insert_record t oid props) objects;
+      t.next_id <- max t.next_id next_id);
+  checkpoint t
+
+(* ------------------------------------------------------------------ *)
+(* introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let schema t = t.schema
+let counters t = t.counters
+let next_id t = t.next_id
+let data_pages t cls = allocated t cls
+let total_data_pages t = Hashtbl.fold (fun _ n acc -> acc + n) t.alloc 0
+let wal_bytes t = Wal.size t.wal
+let pool_pages t = Buffer_pool.capacity t.pool
+let recovered_batches t = t.recovered

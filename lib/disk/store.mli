@@ -1,0 +1,97 @@
+(** The paged disk store: heap segments + WAL + buffer pool + prefetch.
+
+    A database directory holds one {!Segment} per schema class
+    (type-clustered placement), a [meta] file (magic, format version,
+    binary-encoded schema, allocation counter) and a [wal].  Records are
+    codec-encoded (OID serial + property list; the class is implicit in
+    the segment) and addressed through an OID → (page, slot) directory
+    rebuilt from the page images on open.
+
+    Durability protocol: {!apply} appends one Begin/ops/Commit WAL batch
+    (fsynced) {e before} touching any page, then applies the operations
+    to pooled pages as idempotent upserts/deletes.  Dirty pages reach the
+    heap files on pool eviction and on {!checkpoint}, which flushes the
+    pool, fsyncs the segments, rewrites [meta] and truncates the WAL.
+    {!open_dir} redoes every committed WAL batch over the page images and
+    truncates torn tails, so any crash point replays to exactly the
+    committed prefix.
+
+    Scans read pages in order through the buffer pool; with
+    [~prefetch:true] a helper domain from the PR-4 {!Soqm_physical.Pool}
+    reads ahead of the consumer inside a small window, overlapping
+    segment I/O with record decoding. *)
+
+open Soqm_vml
+
+exception Format_error of string
+(** Missing/foreign/corrupt database directory, or a record too large
+    for a 4 KiB page (~4 KB; overflow chains are future work). *)
+
+type t
+
+val create :
+  ?pool_pages:int -> ?counters:Counters.t -> schema:Schema.t -> string -> t
+(** Initialize a database directory (created if needed; stale database
+    files of a previous store in the same directory are removed).
+    [pool_pages] sizes the buffer pool (default 256 frames). *)
+
+val open_dir : ?pool_pages:int -> ?counters:Counters.t -> string -> t
+(** Open an existing directory: read [meta], rebuild the OID directory
+    from the page images, then redo committed WAL batches and truncate
+    any torn tail.  @raise Format_error when the directory does not hold
+    a database of the supported version. *)
+
+val close : ?checkpoint:bool -> t -> unit
+(** Close all files, after a {!checkpoint} unless [~checkpoint:false]. *)
+
+val checkpoint : t -> unit
+(** Flush dirty pages, fsync segments, rewrite [meta], truncate the WAL. *)
+
+(** {1 Data} *)
+
+val apply : t -> Wal.op list -> unit
+(** Commit one DML batch: WAL append + fsync, then page application. *)
+
+val fetch : t -> Oid.t -> (string * Value.t) list
+(** Read one record through the buffer pool.  @raise Not_found. *)
+
+val mem : t -> Oid.t -> bool
+
+val extent : t -> string -> Oid.t list
+(** Live OIDs of a class in allocation order (ascending serial). *)
+
+val scan :
+  ?prefetch:bool -> t -> string -> (Oid.t * (string * Value.t) list) list * int
+(** Decode a whole class extent in page order, returning records sorted
+    by allocation order and the number of pages touched. *)
+
+val scan_all :
+  ?prefetch:bool -> t -> (Oid.t * (string * Value.t) list) list * int
+(** Every record of every class, in global allocation order — the
+    import feed for {!Soqm_vml.Object_store.make_dump}. *)
+
+val touch_scan : ?prefetch:bool -> t -> string -> int
+(** Drive a class's page sequence through the buffer pool without
+    decoding (the page-traffic model of a full scan over the
+    materialized store); returns pages touched.  Charged to the pool
+    counters like any other access. *)
+
+val bulk_load :
+  t -> next_id:int -> (Oid.t * (string * Value.t) list) list -> unit
+(** Write a base image (no WAL records) and {!checkpoint}.  Used by
+    [Db.save] to export an in-memory store. *)
+
+(** {1 Introspection} *)
+
+val schema : t -> Schema.t
+val counters : t -> Counters.t
+val next_id : t -> int
+val data_pages : t -> string -> int
+(** Allocated data pages of one class (including pool-resident pages not
+    yet flushed). *)
+
+val total_data_pages : t -> int
+val wal_bytes : t -> int
+val pool_pages : t -> int
+val recovered_batches : t -> int
+(** Committed WAL batches redone by {!open_dir}. *)

@@ -1,0 +1,43 @@
+(** Write-ahead log with checksummed frames and batch commit.
+
+    Every record is framed as [u32 length ∥ u32 crc32(payload) ∥ payload];
+    a DML batch is framed by a Begin record, one record per operation,
+    and a Commit record, written with a single [write] and made durable
+    with [fsync] before {!commit} returns.
+
+    Recovery ({!open_log}) is redo-only: it scans frames from the start,
+    yields every batch whose Commit record survives intact, and truncates
+    the file after the last committed batch — a torn frame (short header,
+    short payload, checksum mismatch, unknown tag) or a trailing
+    uncommitted batch is discarded, never replayed.  Replaying the same
+    log twice yields the same batches, so the store's redo application
+    only needs idempotent operations. *)
+
+open Soqm_vml
+
+type op =
+  | Insert of { oid : Oid.t; props : (string * Value.t) list }
+      (** (re)write the full record of [oid] *)
+  | Update of { oid : Oid.t; prop : string; value : Value.t }
+      (** upsert one property *)
+  | Delete of { oid : Oid.t }
+
+type t
+
+val open_log : counters:Counters.t -> string -> t * op list list
+(** Open (creating if absent) and recover: returns the handle and the
+    committed batches in commit order.  The on-disk file is truncated to
+    the end of the committed prefix. *)
+
+val commit : t -> op list -> unit
+(** Append one Begin/ops/Commit batch and [fsync].  Charges
+    [wal_records] (one per frame) and [wal_commits]. *)
+
+val size : t -> int
+(** Current log size in bytes. *)
+
+val truncate : t -> unit
+(** Discard all records (after a checkpoint has made their effects
+    durable in the heap segments). *)
+
+val close : t -> unit

@@ -14,6 +14,7 @@ type ctx = {
     lo:Soqm_storage.Sorted_index.bound ->
     hi:Soqm_storage.Sorted_index.bound ->
     Oid.t list option;
+  scan_pages : cls:string -> int option;
 }
 
 let basic_ctx store =
@@ -21,6 +22,7 @@ let basic_ctx store =
     store;
     probe_index = (fun ~cls:_ ~prop:_ _ -> None);
     probe_range = (fun ~cls:_ ~prop:_ ~lo:_ ~hi:_ -> None);
+    scan_pages = (fun ~cls:_ -> None);
   }
 
 type iter = { next : unit -> Relation.tuple option; close : unit -> unit }
@@ -419,6 +421,7 @@ type node_stats = {
   node_blocks : int array;
   node_morsels : int array;
   node_partitions : int array;
+  node_pages : int array;
 }
 
 let make_stats c =
@@ -428,6 +431,7 @@ let make_stats c =
     node_blocks = Array.make n 0;
     node_morsels = Array.make n 0;
     node_partitions = Array.make n 0;
+    node_pages = Array.make n 0;
   }
 
 (* -- row kernels ---------------------------------------------------- *)
@@ -738,6 +742,14 @@ let open_compiled ?stats ctx (root : Plan.compiled) : biter =
         try Object_store.extent ctx.store cls
         with Invalid_argument msg -> error "%s" msg
       in
+      (* an attached disk store drives the scan's page sequence through
+         its buffer pool (charging pool counters) and reports the pages *)
+      (match ctx.scan_pages ~cls with
+      | Some pages -> (
+        match stats with
+        | Some s -> s.node_pages.(cid) <- s.node_pages.(cid) + pages
+        | None -> ())
+      | None -> ());
       scan_blocks ~charge:true cid (fun o -> Value.Obj o) oids
     | Plan.CIndexScan (cls, prop, key) -> (
       match ctx.probe_index ~cls ~prop key with
@@ -1170,6 +1182,21 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       'tbl array =
    fun rows part_of build ->
     let n = Array.length rows in
+    if nparts = 1 || n <= morsel_size then begin
+      (* build side under one morsel: a single shared table built on the
+         caller — the two-phase bucket/build machinery would cost more
+         than it parallelizes (ROADMAP "partition skew").  [part_of]
+         still filters (Null join keys must not enter the table); probe
+         sites mask the partition index against the table count, which
+         collapses to 0 here. *)
+      let keep = Rowbuf.create () in
+      Array.iter
+        (fun row ->
+          match part_of row with Some _ -> Rowbuf.push keep row | None -> ())
+        rows;
+      [| build (Rowbuf.contents keep) |]
+    end
+    else begin
     let m = morsels_of n in
     let buckets = Array.make (max 1 m) [||] in
     parallel_for m (fun ~w:_ i ->
@@ -1188,6 +1215,7 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
         let parts = Array.init m (fun i -> buckets.(i).(p)) in
         tables.(p) <- Some (build (Array.concat (Array.to_list parts))));
     Array.map Option.get tables
+    end
   in
   let scan_rows cid oids =
     let oids = Array.of_list oids in
@@ -1208,6 +1236,12 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
         with Invalid_argument msg -> error "%s" msg
       in
       Counters.charge_object_fetches cnt (List.length oids);
+      (match ctx.scan_pages ~cls with
+      | Some pages -> (
+        match stats with
+        | Some s -> s.node_pages.(cid) <- s.node_pages.(cid) + pages
+        | None -> ())
+      | None -> ());
       scan_rows cid oids
     | Plan.CIndexScan (cls, prop, key) -> (
       match ctx.probe_index ~cls ~prop key with
@@ -1307,6 +1341,9 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       in
       let lrows = eval left in
       let n = Array.length lrows in
+      (* [tables] may have collapsed to a single shared table (tiny build
+         side); masking against its actual length covers both shapes *)
+      let pmask = Array.length tables - 1 in
       let out =
         chunked n (fun ~w:_ ~lo ~hi ->
             let acc = Rowbuf.create () in
@@ -1315,7 +1352,9 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
               match lrow.(ls) with
               | Value.Null -> ()
               | key -> (
-                match Hashtbl.find_opt tables.(part_of_key key) key with
+                match
+                  Hashtbl.find_opt tables.(part_of_key key land pmask) key
+                with
                 | None -> ()
                 | Some matches ->
                   List.iter
@@ -1327,7 +1366,7 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       Counters.charge_tuples cnt (Array.length out);
       record cid
         ~morsels:(morsels_of (Array.length rrows) + morsels_of n)
-        ~partitions:nparts out
+        ~partitions:(Array.length tables) out
     | Plan.CNaturalJoin ([| il |], [| ir |], merge, left, right) ->
       (* structural match on the one shared column: Nulls {e do} join *)
       let merged_of = make_merger merge in
@@ -1352,13 +1391,16 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       in
       let lrows = eval left in
       let n = Array.length lrows in
+      let pmask = Array.length tables - 1 in
       let out =
         chunked n (fun ~w:_ ~lo ~hi ->
             let acc = Rowbuf.create () in
             for i = lo to hi - 1 do
               let lrow = lrows.(i) in
               let key = lrow.(il) in
-              match Hashtbl.find_opt tables.(part_of_key key) key with
+              match
+                Hashtbl.find_opt tables.(part_of_key key land pmask) key
+              with
               | None -> ()
               | Some matches ->
                 List.iter
@@ -1370,7 +1412,7 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       Counters.charge_tuples cnt (Array.length out);
       record cid
         ~morsels:(morsels_of (Array.length rrows) + morsels_of n)
-        ~partitions:nparts out
+        ~partitions:(Array.length tables) out
     | Plan.CNaturalJoin (kl, kr, merge, left, right) ->
       let merged_of = make_merger merge in
       let key_l = make_copier kl in
@@ -1396,13 +1438,17 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       in
       let lrows = eval left in
       let n = Array.length lrows in
+      let pmask = Array.length tables - 1 in
       let out =
         chunked n (fun ~w:_ ~lo ~hi ->
             let acc = Rowbuf.create () in
             for i = lo to hi - 1 do
               let lrow = lrows.(i) in
               let key = key_l lrow in
-              match Relation.RowTbl.find_opt tables.(part_of_key key) key with
+              match
+                Relation.RowTbl.find_opt tables.(part_of_key key land pmask)
+                  key
+              with
               | None -> ()
               | Some matches ->
                 List.iter
@@ -1414,7 +1460,7 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       Counters.charge_tuples cnt (Array.length out);
       record cid
         ~morsels:(morsels_of (Array.length rrows) + morsels_of n)
-        ~partitions:nparts out
+        ~partitions:(Array.length tables) out
     | Plan.CUnion (left, right) ->
       let l = eval left in
       let r = eval right in
@@ -1437,13 +1483,15 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
               tbl)
         in
         let n = Array.length lrows in
+        let pmask = Array.length tables - 1 in
         let out =
           chunked n (fun ~w:_ ~lo ~hi ->
               let buf = Array.make (hi - lo) [||] in
               let k = ref 0 in
               for i = lo to hi - 1 do
                 let row = lrows.(i) in
-                if not (Relation.RowTbl.mem tables.(part_of row) row) then begin
+                if not (Relation.RowTbl.mem tables.(part_of row land pmask) row)
+                then begin
                   buf.(!k) <- row;
                   incr k
                 end
@@ -1452,7 +1500,7 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
         in
         record cid
           ~morsels:(morsels_of (Array.length rrows) + morsels_of n)
-          ~partitions:nparts out
+          ~partitions:(Array.length tables) out
       end
     | Plan.CMapProp (at, p, recv, input) ->
       let ins =

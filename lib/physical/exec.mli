@@ -38,6 +38,12 @@ type ctx = {
     hi:Soqm_storage.Sorted_index.bound ->
     Oid.t list option;
       (** probe an ordered index if one exists on [cls.prop] *)
+  scan_pages : cls:string -> int option;
+      (** touch the class extent's pages in an attached paged disk store
+          ([Soqm_disk]), returning how many pages the scan covered, or
+          [None] when the database is purely in-memory.  Full scans call
+          this so disk-backed databases drive real buffer-pool traffic
+          (and the [pages=] column of [explain --analyze]). *)
 }
 
 val basic_ctx : Object_store.t -> ctx
@@ -80,7 +86,11 @@ type node_stats = {
   node_partitions : int array;
       (** build-side partitions used by the parallel hash join / diff
           kernels (0 under serial execution and for non-partitioned
-          operators) *)
+          operators; 1 when a tiny build side collapsed to a single
+          shared table) *)
+  node_pages : int array;
+      (** disk pages touched by full scans of this node ([ctx.scan_pages]);
+          0 for in-memory databases *)
 }
 (** Per-operator actuals, indexed by [Plan.compiled] node id — the
     [explain --analyze] sink. *)

@@ -21,6 +21,15 @@ type t = {
   stats_deltas : int Atomic.t;
   plan_cache_hits : int Atomic.t;
   plan_cache_misses : int Atomic.t;
+  (* storage-side counters: page traffic through the disk subsystem's
+     buffer pool and write-ahead log.  Like the maintenance counters they
+     accumulate across a workload and are excluded from [reset]. *)
+  pages_read : int Atomic.t;
+  pages_written : int Atomic.t;
+  pool_hits : int Atomic.t;
+  pool_evictions : int Atomic.t;
+  wal_records : int Atomic.t;
+  wal_commits : int Atomic.t;
 }
 
 let create () =
@@ -39,6 +48,12 @@ let create () =
     stats_deltas = Atomic.make 0;
     plan_cache_hits = Atomic.make 0;
     plan_cache_misses = Atomic.make 0;
+    pages_read = Atomic.make 0;
+    pages_written = Atomic.make 0;
+    pool_hits = Atomic.make 0;
+    pool_evictions = Atomic.make 0;
+    wal_records = Atomic.make 0;
+    wal_commits = Atomic.make 0;
   }
 
 (* resets only the query-cost side: per-run reports reset around every
@@ -61,6 +76,14 @@ let reset_maintenance t =
   Atomic.set t.stats_deltas 0;
   Atomic.set t.plan_cache_hits 0;
   Atomic.set t.plan_cache_misses 0
+
+let reset_storage t =
+  Atomic.set t.pages_read 0;
+  Atomic.set t.pages_written 0;
+  Atomic.set t.pool_hits 0;
+  Atomic.set t.pool_evictions 0;
+  Atomic.set t.wal_records 0;
+  Atomic.set t.wal_commits 0
 
 let charge_object_fetch t = Atomic.incr t.objects_fetched
 
@@ -96,6 +119,18 @@ let implication_updates t = Atomic.get t.implication_updates
 let stats_deltas t = Atomic.get t.stats_deltas
 let plan_cache_hits t = Atomic.get t.plan_cache_hits
 let plan_cache_misses t = Atomic.get t.plan_cache_misses
+let charge_page_read t = Atomic.incr t.pages_read
+let charge_page_write t = Atomic.incr t.pages_written
+let charge_pool_hit t = Atomic.incr t.pool_hits
+let charge_pool_eviction t = Atomic.incr t.pool_evictions
+let charge_wal_records t n = ignore (Atomic.fetch_and_add t.wal_records n)
+let charge_wal_commit t = Atomic.incr t.wal_commits
+let pages_read t = Atomic.get t.pages_read
+let pages_written t = Atomic.get t.pages_written
+let pool_hits t = Atomic.get t.pool_hits
+let pool_evictions t = Atomic.get t.pool_evictions
+let wal_records t = Atomic.get t.wal_records
+let wal_commits t = Atomic.get t.wal_commits
 let objects_fetched t = Atomic.get t.objects_fetched
 let property_reads t = Atomic.get t.property_reads
 let index_probes t = Atomic.get t.index_probes
@@ -154,6 +189,12 @@ let snapshot t =
   Atomic.set copy.stats_deltas (Atomic.get t.stats_deltas);
   Atomic.set copy.plan_cache_hits (Atomic.get t.plan_cache_hits);
   Atomic.set copy.plan_cache_misses (Atomic.get t.plan_cache_misses);
+  Atomic.set copy.pages_read (Atomic.get t.pages_read);
+  Atomic.set copy.pages_written (Atomic.get t.pages_written);
+  Atomic.set copy.pool_hits (Atomic.get t.pool_hits);
+  Atomic.set copy.pool_evictions (Atomic.get t.pool_evictions);
+  Atomic.set copy.wal_records (Atomic.get t.wal_records);
+  Atomic.set copy.wal_commits (Atomic.get t.wal_commits);
   copy
 
 let pp ppf t =
@@ -166,6 +207,13 @@ let pp ppf t =
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (m, n) -> Format.fprintf ppf "%s=%d" m n))
     (method_calls t) (charged_cost t) (total_cost t)
+
+let pp_storage ppf t =
+  Format.fprintf ppf
+    "@[<v>pages read: %d@ pages written: %d@ pool hits: %d@ pool evictions: \
+     %d@ wal records: %d@ wal commits: %d@]"
+    (pages_read t) (pages_written t) (pool_hits t) (pool_evictions t)
+    (wal_records t) (wal_commits t)
 
 let pp_maintenance ppf t =
   Format.fprintf ppf

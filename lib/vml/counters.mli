@@ -24,6 +24,12 @@ val reset : t -> unit
 val reset_maintenance : t -> unit
 (** Zero the maintenance counters only. *)
 
+val reset_storage : t -> unit
+(** Zero the storage counters only (page traffic, pool and WAL tallies —
+    see {!charge_page_read} and friends).  Like the maintenance side,
+    storage counters accumulate across a workload and are excluded from
+    {!reset}. *)
+
 val charge_object_fetch : t -> unit
 (** One object dereferenced in the store. *)
 
@@ -86,6 +92,40 @@ val stats_deltas : t -> int
 val plan_cache_hits : t -> int
 val plan_cache_misses : t -> int
 
+(** {1 Storage counters}
+
+    Page traffic through the disk subsystem ([Soqm_disk]): buffer-pool
+    service rates and write-ahead-log activity.  Charged by the buffer
+    pool and WAL, not by query operators, and excluded from {!reset} so a
+    workload's cumulative I/O picture survives per-query resets. *)
+
+val charge_page_read : t -> unit
+(** One 4 KiB page fetched from a heap segment into the buffer pool
+    (a pool miss that reached the file). *)
+
+val charge_page_write : t -> unit
+(** One dirty page written back to its heap segment (eviction or
+    checkpoint flush). *)
+
+val charge_pool_hit : t -> unit
+(** One page request served from a resident buffer-pool frame. *)
+
+val charge_pool_eviction : t -> unit
+(** One resident frame reassigned by the clock hand to make room. *)
+
+val charge_wal_records : t -> int -> unit
+(** [n] framed records appended to the write-ahead log. *)
+
+val charge_wal_commit : t -> unit
+(** One committed (fsynced) WAL batch. *)
+
+val pages_read : t -> int
+val pages_written : t -> int
+val pool_hits : t -> int
+val pool_evictions : t -> int
+val wal_records : t -> int
+val wal_commits : t -> int
+
 val objects_fetched : t -> int
 val property_reads : t -> int
 val index_probes : t -> int
@@ -114,3 +154,6 @@ val pp : Format.formatter -> t -> unit
 
 val pp_maintenance : Format.formatter -> t -> unit
 (** Print only the maintenance counters (the [soqm stats] report). *)
+
+val pp_storage : Format.formatter -> t -> unit
+(** Print only the storage counters (pool and WAL activity). *)

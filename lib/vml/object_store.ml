@@ -131,13 +131,13 @@ let inverse_observer t = function
           maintain_inverse t oid p.prop_name ~old_value ~new_value:Value.Null)
       cd.Schema.properties
 
-let create schema =
+let create ?counters schema =
   let extents = Hashtbl.create 16 in
   List.iter (fun c -> Hashtbl.replace extents c (ref [])) (Schema.class_names schema);
   let t =
     {
       schema;
-      counters = Counters.create ();
+      counters = Option.value ~default:(Counters.create ()) counters;
       next_id = 0;
       objects = Hashtbl.create 1024;
       extents;
@@ -229,8 +229,8 @@ let export t =
 
 let dump_schema d = d.d_schema
 
-let import d =
-  let t = create d.d_schema in
+let import ?counters d =
+  let t = create ?counters d.d_schema in
   List.iter
     (fun (oid, props) ->
       let tbl = Hashtbl.create (List.length props) in
@@ -244,7 +244,22 @@ let import d =
   t.next_id <- d.d_next_id;
   t
 
-let magic = "SOQM-DUMP-1"
+let make_dump ~schema ~next_id objects =
+  { d_schema = schema; d_objects = objects; d_next_id = next_id }
+
+let dump_objects d = d.d_objects
+let dump_next_id d = d.d_next_id
+
+exception Dump_format_error of string
+
+(* Magic + a little-endian format-version word precede the Marshal body:
+   [Marshal.from_channel] on a foreign or truncated file is undefined
+   behavior, so everything that could go wrong before or during the
+   unmarshal is converted into [Dump_format_error]. *)
+let magic = "SOQM-DUMP"
+let dump_version = 2
+
+let dump_error path msg = raise (Dump_format_error (path ^ ": " ^ msg))
 
 let save_dump d path =
   let oc = open_out_bin path in
@@ -252,6 +267,9 @@ let save_dump d path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc magic;
+      let v = Bytes.create 4 in
+      Bytes.set_int32_le v 0 (Int32.of_int dump_version);
+      output_bytes oc v;
       Marshal.to_channel oc d [])
 
 let load_dump path =
@@ -259,10 +277,24 @@ let load_dump path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let tag = really_input_string ic (String.length magic) in
+      let tag =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> dump_error path "truncated dump (no header)"
+      in
       if not (String.equal tag magic) then
-        failwith (path ^ ": not a soqm dump");
-      (Marshal.from_channel ic : dump))
+        dump_error path "not a soqm dump (bad magic)";
+      let v =
+        try really_input_string ic 4
+        with End_of_file -> dump_error path "truncated dump (no version word)"
+      in
+      let version = Int32.to_int (String.get_int32_le v 0) in
+      if version <> dump_version then
+        dump_error path
+          (Printf.sprintf "unsupported dump version %d (want %d)" version
+             dump_version);
+      try (Marshal.from_channel ic : dump)
+      with End_of_file | Failure _ ->
+        dump_error path "truncated or corrupt dump body")
 
 let register_inst_method t ~cls ~meth impl =
   if Option.is_none (Schema.inst_method t.schema ~cls ~meth) then

@@ -58,7 +58,10 @@ type impl =
   | Body of Expr.t
   | Native of (t -> Value.t -> Value.t list -> Value.t)
 
-val create : Schema.t -> t
+(** [create ?counters schema] — a fresh store.  [counters] lets an
+    embedding storage backend (e.g. a disk store) share one counter set
+    with the in-memory store it materializes. *)
+val create : ?counters:Counters.t -> Schema.t -> t
 val schema : t -> Schema.t
 val counters : t -> Counters.t
 
@@ -115,17 +118,37 @@ type dump
 val export : t -> dump
 val dump_schema : dump -> Schema.t
 
-val import : dump -> t
+val dump_objects : dump -> (Oid.t * (string * Value.t) list) list
+(** The dumped objects in allocation order (ascending OID serial). *)
+
+val dump_next_id : dump -> int
+
+val make_dump :
+  schema:Schema.t ->
+  next_id:int ->
+  (Oid.t * (string * Value.t) list) list ->
+  dump
+(** Assemble a dump from parts; [objects] must be listed in allocation
+    order.  Used by external storage backends ([Soqm_disk]) to feed
+    {!import}. *)
+
+val import : ?counters:Counters.t -> dump -> t
 (** Rebuild a store from a dump: same schema, same OIDs, same property
     values (restored verbatim, without re-running inverse maintenance),
     empty method registry. *)
 
+exception Dump_format_error of string
+(** A dump file is foreign, truncated, or of an unsupported version. *)
+
 val save_dump : dump -> string -> unit
-(** Write a dump to a file ([Marshal]-based; read it back only with the
-    same binary). *)
+(** Write a dump to a file: magic header, format-version word, then the
+    [Marshal]-encoded body (read it back only with the same binary). *)
 
 val load_dump : string -> dump
-(** @raise Sys_error / [Failure] on unreadable or corrupt files. *)
+(** @raise Dump_format_error on foreign, truncated or version-mismatched
+    files (checked before any [Marshal] read — unmarshalling a foreign
+    byte stream is undefined behavior).
+    @raise Sys_error on unreadable files. *)
 
 (** {1 Method implementations} *)
 

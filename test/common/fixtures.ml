@@ -38,6 +38,23 @@ let restricted : Soqm_algebra.Restricted.t Alcotest.testable =
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* A scratch directory for paged-database tests, removed (recursively,
+   one level deep — database directories hold no subdirectories) when
+   [f] returns or raises. *)
+let with_temp_dir prefix f =
+  let dir = Filename.temp_file prefix ".db" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun entry -> Sys.remove (Filename.concat dir entry))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
 let first_paragraph db =
   List.hd (Object_store.extent db.Soqm_core.Db.store "Paragraph")
 

@@ -1,0 +1,536 @@
+(* The paged disk storage subsystem: codec, slotted pages, buffer pool,
+   WAL commit/recovery, and the store end to end.
+
+   The centerpiece is the crash-recovery torture property: a random DML
+   trace is committed batch by batch, the WAL is cut at a random byte
+   offset (simulating a crash with a torn tail), the directory is
+   reopened, and the recovered contents must equal an oracle replay of
+   exactly the batches whose Commit frame survived the cut — for any
+   offset. *)
+
+open Soqm_vml
+open Soqm_disk
+module F = Soqm_testlib.Fixtures
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_value v =
+  let buf = Buffer.create 64 in
+  Codec.write_value buf v;
+  Codec.read_value (Codec.cursor (Buffer.contents buf))
+
+let test_codec_values () =
+  let samples =
+    [
+      Value.Null;
+      Value.Bool true;
+      Value.Bool false;
+      Value.Int 0;
+      Value.Int (-1);
+      Value.Int max_int;
+      Value.Int min_int;
+      Value.Real 3.25;
+      Value.Real nan;
+      Value.Real infinity;
+      Value.Str "";
+      Value.Str "héllo\x00world";
+      Value.Obj (Oid.make ~cls:"Paragraph" ~id:42);
+      Value.Cls "Document";
+      Value.set [ Value.Int 3; Value.Int 1; Value.Int 2 ];
+      Value.tuple [ ("b", Value.Int 2); ("a", Value.Str "x") ];
+      Value.Arr [| Value.Int 1; Value.Null |];
+      Value.dict [ (Value.Str "k", Value.Int 9) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      check F.value "value roundtrips" v (roundtrip_value v);
+      (* NaN breaks Value.equal reflexivity; spot-check the tag *)
+      ())
+    (List.filter (fun v -> Value.equal v v) samples);
+  (match roundtrip_value (Value.Real nan) with
+  | Value.Real r -> check Alcotest.bool "nan survives" true (Float.is_nan r)
+  | _ -> Alcotest.fail "nan decoded to a different constructor")
+
+let test_codec_rejects_garbage () =
+  let rejects name s f =
+    Alcotest.match_raises name
+      (function Codec.Corrupt _ -> true | _ -> false)
+      (fun () -> ignore (f (Codec.cursor s)))
+  in
+  rejects "truncated varint" "\xff\xff" Codec.read_uvarint;
+  rejects "truncated string" "\x0aab" Codec.read_string;
+  rejects "unknown value tag" "\x7f" Codec.read_value;
+  rejects "empty input" "" Codec.read_value
+
+let test_codec_schema_roundtrip () =
+  let schema = Soqm_core.Doc_schema.schema in
+  let buf = Buffer.create 256 in
+  Codec.write_schema buf schema;
+  let schema' = Codec.read_schema (Codec.cursor (Buffer.contents buf)) in
+  check
+    Alcotest.(list string)
+    "class names survive" (Schema.class_names schema)
+    (Schema.class_names schema');
+  check Alcotest.bool "inverse links survive" true
+    (Schema.inverse_of schema' ~cls:"Section" ~prop:"document"
+    = Schema.inverse_of schema ~cls:"Section" ~prop:"document")
+
+(* ------------------------------------------------------------------ *)
+(* slotted pages                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_ops () =
+  let p = Bytes.create Page.size in
+  Page.format p;
+  check Alcotest.bool "formatted page is not blank" false (Page.is_blank p);
+  check Alcotest.int "no slots yet" 0 (Page.nslots p);
+  let s0 = Page.insert p "alpha" in
+  let s1 = Page.insert p "beta" in
+  let s2 = Page.insert p "gamma" in
+  check Alcotest.(list int) "slot numbers ascend" [ 0; 1; 2 ] [ s0; s1; s2 ];
+  check Alcotest.(option string) "read back" (Some "beta") (Page.read p s1);
+  (* deletion marks the slot dead without renumbering the others *)
+  Page.delete p s1;
+  Page.delete p s1 (* idempotent *);
+  Page.delete p 99 (* out of range: ignored *);
+  check Alcotest.(option string) "dead slot" None (Page.read p s1);
+  check Alcotest.(option string) "later slot stable" (Some "gamma")
+    (Page.read p s2);
+  let seen = ref [] in
+  Page.iter p (fun slot r -> seen := (slot, r) :: !seen);
+  check
+    Alcotest.(list (pair int string))
+    "iter skips dead slots"
+    [ (0, "alpha"); (2, "gamma") ]
+    (List.rev !seen)
+
+let test_page_capacity () =
+  let p = Bytes.create Page.size in
+  Page.format p;
+  let big = String.make Page.capacity 'x' in
+  check Alcotest.bool "full-capacity record fits" true (Page.has_room p (String.length big));
+  ignore (Page.insert p big);
+  check Alcotest.bool "page now full" false (Page.has_room p 1);
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "Page.insert: record does not fit")
+    (fun () -> ignore (Page.insert p "y"))
+
+(* ------------------------------------------------------------------ *)
+(* buffer pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* a pool over an in-memory "disk" of formatted pages *)
+let memory_pool ~pages =
+  let disk = Hashtbl.create 16 in
+  let counters = Counters.create () in
+  let read_page ~cls ~page buf =
+    match Hashtbl.find_opt disk (cls, page) with
+    | Some img -> Bytes.blit img 0 buf 0 Page.size
+    | None -> Bytes.fill buf 0 Page.size '\000'
+  in
+  let write_page ~cls ~page buf =
+    Hashtbl.replace disk (cls, page) (Bytes.copy buf)
+  in
+  (Buffer_pool.create ~pages ~counters ~read_page ~write_page, disk, counters)
+
+let test_pool_hits_and_evictions () =
+  let pool, _, c = memory_pool ~pages:4 in
+  check Alcotest.int "capacity respected" 4 (Buffer_pool.capacity pool);
+  (* touch 4 pages: all cold misses *)
+  for page = 1 to 4 do
+    ignore (Buffer_pool.pin pool ~cls:"A" ~page);
+    Buffer_pool.unpin pool ~cls:"A" ~page ~dirty:false
+  done;
+  check Alcotest.int "4 cold reads" 4 (Counters.pages_read c);
+  check Alcotest.int "no hits yet" 0 (Counters.pool_hits c);
+  (* touch them again: all hits, no traffic *)
+  for page = 1 to 4 do
+    ignore (Buffer_pool.pin pool ~cls:"A" ~page);
+    Buffer_pool.unpin pool ~cls:"A" ~page ~dirty:false
+  done;
+  check Alcotest.int "re-reads hit" 4 (Counters.pool_hits c);
+  check Alcotest.int "no extra reads" 4 (Counters.pages_read c);
+  (* a 5th page forces one eviction *)
+  ignore (Buffer_pool.pin pool ~cls:"A" ~page:5);
+  Buffer_pool.unpin pool ~cls:"A" ~page:5 ~dirty:false;
+  check Alcotest.int "one eviction" 1 (Counters.pool_evictions c);
+  check Alcotest.int "still 4 resident" 4
+    (List.length (Buffer_pool.resident pool))
+
+let test_pool_dirty_writeback () =
+  let pool, disk, c = memory_pool ~pages:4 in
+  let data = Buffer_pool.pin pool ~cls:"A" ~page:1 in
+  Page.format data;
+  ignore (Page.insert data "persisted");
+  Buffer_pool.unpin pool ~cls:"A" ~page:1 ~dirty:true;
+  check Alcotest.int "not written yet" 0 (Counters.pages_written c);
+  Buffer_pool.flush pool;
+  check Alcotest.int "flushed once" 1 (Counters.pages_written c);
+  (match Hashtbl.find_opt disk ("A", 1) with
+  | Some img -> check Alcotest.(option string) "image holds the record"
+      (Some "persisted")
+      (Page.read (Bytes.copy img) 0)
+  | None -> Alcotest.fail "dirty page never reached the disk");
+  (* flushing again writes nothing: the frame is clean *)
+  Buffer_pool.flush pool;
+  check Alcotest.int "clean frames not rewritten" 1 (Counters.pages_written c)
+
+let test_pool_pinned_never_evicted () =
+  let pool, _, _ = memory_pool ~pages:4 in
+  (* pin all frames and ask for one more *)
+  for page = 1 to 4 do
+    ignore (Buffer_pool.pin pool ~cls:"A" ~page)
+  done;
+  Alcotest.match_raises "all-pinned pool refuses"
+    (function Failure _ -> true | _ -> false)
+    (fun () -> ignore (Buffer_pool.pin pool ~cls:"A" ~page:5));
+  (* release one; the next pin succeeds by evicting it *)
+  Buffer_pool.unpin pool ~cls:"A" ~page:2 ~dirty:false;
+  ignore (Buffer_pool.pin pool ~cls:"A" ~page:5);
+  check Alcotest.bool "victim was the unpinned page" false
+    (List.mem ("A", 2) (Buffer_pool.resident pool))
+
+(* ------------------------------------------------------------------ *)
+(* store: basics, reopen, parity with the in-memory path               *)
+(* ------------------------------------------------------------------ *)
+
+let item_schema =
+  Schema.make
+    [
+      Schema.cls "Item"
+        ~properties:
+          [ Schema.prop "n" Vtype.TInt; Schema.prop "s" Vtype.TString ];
+    ]
+
+let item id = Oid.make ~cls:"Item" ~id
+
+let sorted_props ps =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) ps
+
+let store_image t =
+  (* oid -> sorted props, via the page scan *)
+  fst (Store.scan_all t)
+  |> List.map (fun (oid, props) -> (oid, sorted_props props))
+
+let test_store_roundtrip () =
+  F.with_temp_dir "soqm_disk" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      Store.apply t
+        [
+          Wal.Insert { oid = item 0; props = [ ("n", Value.Int 1); ("s", Value.Str "a") ] };
+          Wal.Insert { oid = item 1; props = [ ("n", Value.Int 2); ("s", Value.Str "b") ] };
+        ];
+      Store.apply t [ Wal.Update { oid = item 0; prop = "n"; value = Value.Int 7 } ];
+      Store.apply t [ Wal.Insert { oid = item 2; props = [ ("n", Value.Int 3) ] } ];
+      Store.apply t [ Wal.Delete { oid = item 1 } ];
+      check Alcotest.bool "mem sees live" true (Store.mem t (item 0));
+      check Alcotest.bool "mem sees deleted" false (Store.mem t (item 1));
+      check F.value "update applied" (Value.Int 7)
+        (List.assoc "n" (Store.fetch t (item 0)));
+      check Alcotest.int "next id past highest" 3 (Store.next_id t);
+      let before = store_image t in
+      Store.close t (* checkpoints: WAL empty, pages durable *);
+      let t' = Store.open_dir dir in
+      check Alcotest.int "clean reopen recovers nothing" 0
+        (Store.recovered_batches t');
+      check Alcotest.int "WAL empty after checkpoint" 0 (Store.wal_bytes t');
+      check Alcotest.bool "contents survive reopen" true
+        (before = store_image t');
+      check
+        Alcotest.(list int)
+        "extent in allocation order" [ 0; 2 ]
+        (List.map Oid.id (Store.extent t' "Item"));
+      Store.close t')
+
+let test_store_records_span_pages () =
+  (* enough records that every class needs several pages, with updates
+     relocating rows across them *)
+  F.with_temp_dir "soqm_disk" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      let blob i = String.make 300 (Char.chr (65 + (i mod 26))) in
+      for i = 0 to 99 do
+        Store.apply t
+          [
+            Wal.Insert
+              { oid = item i; props = [ ("n", Value.Int i); ("s", Value.Str (blob i)) ] };
+          ]
+      done;
+      for i = 0 to 99 do
+        if i mod 3 = 0 then
+          Store.apply t
+            [ Wal.Update { oid = item i; prop = "n"; value = Value.Int (-i) } ]
+      done;
+      check Alcotest.bool "multiple pages allocated" true
+        (Store.data_pages t "Item" > 5);
+      let rows, pages = Store.scan t "Item" in
+      check Alcotest.int "all rows survive relocation" 100 (List.length rows);
+      check Alcotest.int "scan touched every page" (Store.data_pages t "Item")
+        pages;
+      List.iteri
+        (fun i (oid, props) ->
+          check Alcotest.int "allocation order" i (Oid.id oid);
+          let expect = if i mod 3 = 0 then -i else i in
+          check F.value "updated in place" (Value.Int expect)
+            (List.assoc "n" props))
+        rows;
+      (* oversized record rejected with a typed error *)
+      Alcotest.match_raises "page-capacity overflow"
+        (function Store.Format_error _ -> true | _ -> false)
+        (fun () ->
+          Store.apply t
+            [
+              Wal.Insert
+                {
+                  oid = item 999;
+                  props = [ ("s", Value.Str (String.make 5000 'x')) ];
+                };
+            ]);
+      Store.close t)
+
+let test_store_prefetch_parity () =
+  F.with_temp_dir "soqm_disk" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      for i = 0 to 199 do
+        Store.apply t
+          [
+            Wal.Insert
+              {
+                oid = item i;
+                props =
+                  [ ("n", Value.Int i); ("s", Value.Str (String.make 100 'p')) ];
+              };
+          ]
+      done;
+      let plain = Store.scan ~prefetch:false t "Item" in
+      let pre = Store.scan ~prefetch:true t "Item" in
+      check Alcotest.bool "prefetched scan returns identical rows" true
+        (plain = pre);
+      Store.close t)
+
+let test_db_disk_attachment () =
+  (* Db.open_disk keeps the store attached: DML reaches the WAL, full
+     scans drive pool traffic, close checkpoints *)
+  F.with_temp_dir "soqm_db" (fun dir ->
+      let db0 = F.tiny_db () in
+      Soqm_core.Db.save db0 dir;
+      let db = Soqm_core.Db.open_disk dir in
+      (match db.Soqm_core.Db.disk with
+      | None -> Alcotest.fail "open_disk did not attach the store"
+      | Some d ->
+        check Alcotest.int "clean open" 0 (Store.recovered_batches d);
+        let wal0 = Store.wal_bytes d in
+        let store = db.Soqm_core.Db.store in
+        let oid =
+          Object_store.create_object store ~cls:"Document"
+            [ ("title", Value.Str "Crash Consistency") ]
+        in
+        check Alcotest.bool "DML reached the WAL" true
+          (Store.wal_bytes d > wal0);
+        check Alcotest.bool "and the pages" true (Store.mem d oid);
+        Object_store.set_prop store oid "title" (Value.Str "Recovery");
+        check F.value "update reached the pages" (Value.Str "Recovery")
+          (List.assoc "title" (Store.fetch d oid)));
+      Soqm_core.Db.close db;
+      check Alcotest.bool "close detaches" true
+        (db.Soqm_core.Db.disk = None);
+      (* reload: the change is durable, queries agree with memory *)
+      let db' = Soqm_core.Db.load dir in
+      let titles cls_db =
+        List.map
+          (fun o -> Object_store.peek_prop cls_db.Soqm_core.Db.store o "title")
+          (Object_store.extent cls_db.Soqm_core.Db.store "Document")
+      in
+      check Alcotest.bool "documents survive the round trip" true
+        (List.mem (Value.Str "Recovery") (titles db')))
+
+(* ------------------------------------------------------------------ *)
+(* WAL recovery: deterministic cases                                   *)
+(* ------------------------------------------------------------------ *)
+
+let wal_path dir = Filename.concat dir "wal"
+
+let test_recovery_replays_uncheckpointed () =
+  F.with_temp_dir "soqm_disk" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      Store.apply t [ Wal.Insert { oid = item 0; props = [ ("n", Value.Int 1) ] } ];
+      Store.apply t [ Wal.Insert { oid = item 1; props = [ ("n", Value.Int 2) ] } ];
+      (* crash: dirty pages in the pool are lost, the WAL survives *)
+      Store.close ~checkpoint:false t;
+      let t' = Store.open_dir dir in
+      check Alcotest.int "both batches redone" 2 (Store.recovered_batches t');
+      check Alcotest.int "records restored" 2
+        (List.length (Store.extent t' "Item"));
+      check F.value "payload intact" (Value.Int 2)
+        (List.assoc "n" (Store.fetch t' (item 1)));
+      (* recovery is idempotent: reopening again replays the same WAL
+         over the same (still unflushed) base image *)
+      Store.close ~checkpoint:false t';
+      let t'' = Store.open_dir dir in
+      check Alcotest.int "stable under re-recovery" 2
+        (List.length (Store.extent t'' "Item"));
+      Store.close t'')
+
+let test_recovery_discards_torn_tail () =
+  F.with_temp_dir "soqm_disk" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      Store.apply t [ Wal.Insert { oid = item 0; props = [ ("n", Value.Int 1) ] } ];
+      let committed = Store.wal_bytes t in
+      Store.apply t [ Wal.Insert { oid = item 1; props = [ ("n", Value.Int 2) ] } ];
+      let full = Store.wal_bytes t in
+      Store.close ~checkpoint:false t;
+      (* tear the second batch's tail *)
+      Unix.truncate (wal_path dir) (committed + ((full - committed) / 2));
+      let t' = Store.open_dir dir in
+      check Alcotest.int "only the intact batch replays" 1
+        (Store.recovered_batches t');
+      check Alcotest.(list int) "its record is live" [ 0 ]
+        (List.map Oid.id (Store.extent t' "Item"));
+      check Alcotest.int "torn tail truncated away" committed
+        (Store.wal_bytes t');
+      (* corrupt a byte inside the surviving batch: checksum kills it *)
+      Store.close ~checkpoint:false t';
+      let fd = Unix.openfile (wal_path dir) [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd (committed - 3) Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "\xff" 0 1);
+      Unix.close fd;
+      let t'' = Store.open_dir dir in
+      check Alcotest.int "checksum failure discards the batch" 0
+        (Store.recovered_batches t'');
+      Store.close t'')
+
+(* ------------------------------------------------------------------ *)
+(* crash-recovery torture: random trace, random cut                    *)
+(* ------------------------------------------------------------------ *)
+
+(* oracle replay mirroring the store's idempotent upsert semantics *)
+let oracle_apply tbl (op : Wal.op) =
+  match op with
+  | Wal.Insert { oid; props } -> Hashtbl.replace tbl oid props
+  | Wal.Update { oid; prop; value } ->
+    let props =
+      match Hashtbl.find_opt tbl oid with Some ps -> ps | None -> []
+    in
+    Hashtbl.replace tbl oid ((prop, value) :: List.remove_assoc prop props)
+  | Wal.Delete { oid } -> Hashtbl.remove tbl oid
+
+let op_gen =
+  let open QCheck2.Gen in
+  let oid = map item (int_range 0 19) in
+  let value =
+    oneof
+      [
+        map (fun n -> Value.Int n) small_signed_int;
+        map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 40));
+      ]
+  in
+  oneof
+    [
+      map2
+        (fun o (n, s) ->
+          Wal.Insert { oid = o; props = [ ("n", Value.Int n); ("s", s) ] })
+        oid
+        (pair small_signed_int value);
+      map2 (fun o v -> Wal.Update { oid = o; prop = "s"; value = v }) oid value;
+      map (fun o -> Wal.Delete { oid = o }) oid;
+    ]
+
+let trace_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 12) (list_size (int_range 1 5) op_gen))
+      (* cut position as a fraction of the final WAL size, biased to
+         land inside the log but covering both extremes *)
+      (int_range 0 100))
+
+let prop_torture (batches, cut_pct) =
+  F.with_temp_dir "soqm_torture" (fun dir ->
+      (* pool larger than the working set: no evictions before the
+         crash, so the heap image stays at the (empty) base and recovery
+         is driven by the WAL alone — the invariant that makes an
+         arbitrary cut offset meaningful *)
+      let t = Store.create ~pool_pages:512 ~schema:item_schema dir in
+      let ends =
+        List.map
+          (fun ops ->
+            Store.apply t ops;
+            Store.wal_bytes t)
+          batches
+      in
+      let total = Store.wal_bytes t in
+      (* crash without flushing anything *)
+      Store.close ~checkpoint:false t;
+      let cut = total * cut_pct / 100 in
+      Unix.truncate (wal_path dir) cut;
+      let t' = Store.open_dir dir in
+      let committed =
+        List.concat
+          (List.filteri (fun i _ -> List.nth ends i <= cut) batches)
+      in
+      let oracle = Hashtbl.create 32 in
+      List.iter (oracle_apply oracle) committed;
+      let expected =
+        Hashtbl.fold (fun oid props acc -> (oid, sorted_props props) :: acc)
+          oracle []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare (Oid.id a) (Oid.id b))
+      in
+      let actual = store_image t' in
+      let batches_committed =
+        List.length (List.filter (fun e -> e <= cut) ends)
+      in
+      let recovered_ok = Store.recovered_batches t' = batches_committed in
+      let truncated_ok = Store.wal_bytes t' <= cut in
+      Store.close ~checkpoint:false t';
+      if not (expected = actual && recovered_ok && truncated_ok) then
+        QCheck2.Test.fail_reportf
+          "cut %d/%d bytes: %d/%d batches committed, store has %d records, \
+           oracle %d, recovered=%d"
+          cut total batches_committed (List.length ends) (List.length actual)
+          (List.length expected) (Store.recovered_batches t');
+      true)
+
+let prop_crash_recovery_torture =
+  QCheck2.Test.make ~count:60
+    ~name:"WAL cut at any offset recovers the committed prefix exactly"
+    trace_gen prop_torture
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "disk"
+    [
+      ( "codec",
+        [
+          F.case "values roundtrip" test_codec_values;
+          F.case "garbage rejected" test_codec_rejects_garbage;
+          F.case "schema roundtrips" test_codec_schema_roundtrip;
+        ] );
+      ( "pages",
+        [
+          F.case "slot ops" test_page_ops;
+          F.case "capacity" test_page_capacity;
+        ] );
+      ( "pool",
+        [
+          F.case "hits and evictions" test_pool_hits_and_evictions;
+          F.case "dirty write-back" test_pool_dirty_writeback;
+          F.case "pins block eviction" test_pool_pinned_never_evicted;
+        ] );
+      ( "store",
+        [
+          F.case "roundtrip and reopen" test_store_roundtrip;
+          F.case "records span pages" test_store_records_span_pages;
+          F.case "prefetch parity" test_store_prefetch_parity;
+          F.case "db attachment" test_db_disk_attachment;
+        ] );
+      ( "recovery",
+        [
+          F.case "uncheckpointed batches replay" test_recovery_replays_uncheckpointed;
+          F.case "torn tails discarded" test_recovery_discards_torn_tail;
+          QCheck_alcotest.to_alcotest prop_crash_recovery_torture;
+        ] );
+    ]

@@ -456,11 +456,13 @@ let prop_dml_interleaving_matches_oracle =
       let db = Db.create ~params:F.tiny_params () in
       let engine = Engine.generate db in
       List.iter (apply_op db engine) ops;
-      (* rebuild-from-scratch oracle: dump, reload, re-derive everything *)
-      let dump = Filename.temp_file "soqm_maint" ".dump" in
-      Db.save db dump;
-      let oracle_db = Db.load dump in
-      Sys.remove dump;
+      (* rebuild-from-scratch oracle: save to a paged database directory,
+         reload, re-derive everything *)
+      let oracle_db =
+        F.with_temp_dir "soqm_maint" (fun dir ->
+            Db.save db dir;
+            Db.load dir)
+      in
       let oracle_engine = Engine.generate oracle_db in
       large_sets_ok db
       && List.for_all

@@ -583,7 +583,10 @@ let test_parallel_analyze_stats () =
     (Counters.tuples_produced serial_counters)
     (Counters.tuples_produced par_counters)
 
-let test_parallel_join_partition_stats () =
+(* A build side under one morsel skips the two-phase partitioning: one
+   shared table, reported as a single partition — and the output must
+   stay row-for-row identical to the serial executor. *)
+let test_parallel_tiny_build_bypass () =
   let join =
     Plan.HashJoin
       ( "d2", "d",
@@ -591,8 +594,49 @@ let test_parallel_join_partition_stats () =
         Plan.FullScan ("d", "Document") )
   in
   let compiled = Exec.compile (ctx ()) join in
+  check Alcotest.bool "build side is tiny" true
+    (Object_store.extent_size (store ()) "Document" <= Exec.morsel_size);
+  let serial =
+    Array.concat (Exec.drain_blocks (Exec.open_compiled (ctx ()) compiled))
+  in
+  List.iter
+    (fun jobs ->
+      let stats = Exec.make_stats compiled in
+      let par = Exec.eval_parallel ~stats (ctx ()) ~jobs compiled in
+      check Alcotest.int
+        (Printf.sprintf "tiny build collapses to one partition (jobs=%d)" jobs)
+        1
+        stats.Exec.node_partitions.(0);
+      check Alcotest.int "same row count" (Array.length serial)
+        (Array.length par);
+      Array.iteri
+        (fun i row ->
+          if not (Relation.Row.equal row par.(i)) then
+            Alcotest.failf "row %d differs under jobs=%d" i jobs)
+        serial)
+    [ 2; 4 ]
+
+(* With a build side over one morsel the jobs-partition machinery stays
+   on (one build table per worker). *)
+let test_parallel_join_partition_stats () =
+  let d =
+    Soqm_core.Db.create
+      ~params:{ Soqm_core.Datagen.default with n_docs = 48 }
+      ()
+  in
+  let xctx = Soqm_core.Engine.exec_ctx d in
+  let join =
+    Plan.HashJoin
+      ( "ps", "qs",
+        Plan.MapProp ("ps", "section", "p", Plan.FullScan ("p", "Paragraph")),
+        Plan.MapProp ("qs", "section", "q", Plan.FullScan ("q", "Paragraph")) )
+  in
+  let compiled = Exec.compile xctx join in
+  check Alcotest.bool "build side spans several morsels" true
+    (Object_store.extent_size d.Soqm_core.Db.store "Paragraph"
+    > Exec.morsel_size);
   let stats = Exec.make_stats compiled in
-  ignore (Exec.run_compiled ~stats ~jobs:4 (ctx ()) compiled);
+  ignore (Exec.run_compiled ~stats ~jobs:4 xctx compiled);
   (* root (cid 0) is the hash join: 4 jobs -> 4 build partitions *)
   check Alcotest.int "hash join used jobs partitions" 4
     stats.Exec.node_partitions.(0)
@@ -736,6 +780,7 @@ let () =
           F.case "Null-key join semantics" test_parallel_null_keys;
           F.case "row-for-row determinism" test_parallel_row_order;
           F.case "analyze stats (parallel)" test_parallel_analyze_stats;
+          F.case "tiny build bypass" test_parallel_tiny_build_bypass;
           F.case "join partition stats" test_parallel_join_partition_stats;
         ] );
       ( "cost",
