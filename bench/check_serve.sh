@@ -1,0 +1,11 @@
+#!/bin/sh
+# Serving gate: build, run the unit suites, then assert the concurrent
+# serving bounds (zero isolation anomalies across 8 client processes on
+# the EXP-A mix plus DML, no lost updates on the shared counter, group
+# commit coalescing under one fsync per committed batch; p99/throughput
+# bounds on multi-core hosts) and refresh BENCH_serve.json.
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+dune exec bench/serve.exe -- --assert --docs 200 --ops 150 --json BENCH_serve.json "$@"

@@ -87,6 +87,21 @@ let print_report label (r : Engine.report) =
     (Soqm_vml.Counters.total_cost r.Engine.counters)
     (r.Engine.elapsed_s *. 1000.)
 
+(* Every subcommand that opens a paged database directory funnels its
+   failure modes through this: a one-line diagnostic and a non-zero
+   exit, never a backtrace. *)
+let store_errors f =
+  try f () with
+  | Soqm_disk.Store.Format_error msg -> `Error (false, "bad database: " ^ msg)
+  | Soqm_disk.Store.Locked msg -> `Error (false, msg)
+  | Soqm_disk.Codec.Corrupt msg -> `Error (false, "corrupt database: " ^ msg)
+  | Sys_error msg -> `Error (false, msg)
+  | Unix.Unix_error (e, fn, arg) ->
+    `Error
+      ( false,
+        Printf.sprintf "%s: %s (%s)" (if arg = "" then fn else arg)
+          (Unix.error_message e) fn )
+
 let run_cmd =
   let run query docs hit seed jobs disabled trace naive dot =
     try
@@ -151,6 +166,7 @@ let explain_cmd =
     Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
   in
   let explain query docs hit seed jobs disabled analyze db_dir pool_pages =
+    store_errors @@ fun () ->
     try
       let db =
         match db_dir with
@@ -357,6 +373,7 @@ let prop_assign_conv =
    through the engine, checkpoint on close, and report what maintenance
    did. *)
 let with_dml_engine ?pool_pages file f =
+  store_errors @@ fun () ->
   try
     let db = Db.open_disk ?pool_pages file in
     let engine = Engine.generate db in
@@ -467,9 +484,12 @@ let dir_pos_arg =
   let doc = "The paged database directory." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
 
+(* Anything wrong with the directory — missing, foreign, corrupt, locked
+   by another process, unreadable — is reported as a one-line diagnostic
+   with a non-zero exit, never a backtrace. *)
 let open_cmd =
   let run dir pool_pages =
-    try
+    store_errors @@ fun () ->
       let d = Soqm_disk.Store.open_dir ?pool_pages dir in
       let schema = Soqm_disk.Store.schema d in
       Printf.printf
@@ -490,8 +510,6 @@ let open_cmd =
         (Soqm_disk.Store.total_data_pages d);
       Soqm_disk.Store.close ~checkpoint:false d;
       `Ok ()
-    with Soqm_disk.Store.Format_error msg ->
-      `Error (false, "bad database: " ^ msg)
   in
   let doc =
     "Open a paged database directory (running WAL crash recovery if \
@@ -504,7 +522,7 @@ let open_cmd =
 
 let checkpoint_cmd =
   let run dir pool_pages =
-    try
+    store_errors @@ fun () ->
       let d = Soqm_disk.Store.open_dir ?pool_pages dir in
       let pending = Soqm_disk.Store.wal_bytes d in
       let recovered = Soqm_disk.Store.recovered_batches d in
@@ -518,8 +536,6 @@ let checkpoint_cmd =
          truncated, %d page write(s)\n"
         dir recovered pending written;
       `Ok ()
-    with Soqm_disk.Store.Format_error msg ->
-      `Error (false, "bad database: " ^ msg)
   in
   let doc =
     "Replay any committed WAL batches into the heap segments, flush and \
@@ -546,7 +562,15 @@ let stats_cmd =
     in
     Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
   in
-  let run docs hit seed jobs rounds db_dir pool_pages =
+  let json_arg =
+    let doc =
+      "Emit the counters as a single JSON object on stdout instead of the \
+       human-readable report."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run docs hit seed jobs rounds db_dir pool_pages json =
+    store_errors @@ fun () ->
     let db =
       match db_dir with
       | Some dir -> Db.open_disk ~jobs ?pool_pages dir
@@ -588,22 +612,63 @@ let stats_cmd =
         paras
     done;
     let hits, misses = Engine.cache_stats engine in
-    Format.printf "%a@." Soqm_vml.Counters.pp_maintenance
-      (Soqm_vml.Counters.snapshot c);
-    Printf.printf "plan cache: %d hit(s), %d miss(es), %.1f%% hit rate, %d cached\n"
-      hits misses
-      (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)))
-      (Engine.cache_size engine);
-    (match Db.maintenance db with
-    | Some m ->
-      Printf.printf "maintenance: epoch %d, staleness %.3f, %d recollect(s)\n"
-        (Soqm_maintenance.Maintenance.epoch m)
-        (Soqm_maintenance.Maintenance.staleness m)
-        (Soqm_maintenance.Maintenance.recollects m)
-    | None -> ());
-    if db.Db.disk <> None then
-      Format.printf "%a@." Soqm_vml.Counters.pp_storage
-        (Soqm_vml.Counters.snapshot c);
+    let s = Soqm_vml.Counters.snapshot c in
+    if json then begin
+      let module C = Soqm_vml.Counters in
+      let buf = Buffer.create 512 in
+      let first = ref true in
+      let field k v =
+        if not !first then Buffer.add_string buf ", ";
+        first := false;
+        Buffer.add_string buf (Printf.sprintf "%S: %s" k v)
+      in
+      let int k v = field k (string_of_int v) in
+      int "postings_touched" (C.postings_touched s);
+      int "implication_updates" (C.implication_updates s);
+      int "stats_deltas" (C.stats_deltas s);
+      int "plan_cache_hits" hits;
+      int "plan_cache_misses" misses;
+      int "plans_cached" (Engine.cache_size engine);
+      (match Db.maintenance db with
+      | Some m ->
+        int "maintenance_epoch" (Soqm_maintenance.Maintenance.epoch m);
+        field "staleness"
+          (Printf.sprintf "%.6f" (Soqm_maintenance.Maintenance.staleness m));
+        int "recollects" (Soqm_maintenance.Maintenance.recollects m)
+      | None -> ());
+      if db.Db.disk <> None then begin
+        int "pages_read" (C.pages_read s);
+        int "pages_written" (C.pages_written s);
+        int "pool_hits" (C.pool_hits s);
+        int "pool_evictions" (C.pool_evictions s);
+        int "wal_records" (C.wal_records s);
+        int "wal_commits" (C.wal_commits s);
+        int "wal_fsyncs" (C.wal_fsyncs s)
+      end;
+      int "txn_begins" (C.txn_begins s);
+      int "txn_commits" (C.txn_commits s);
+      int "txn_conflicts" (C.txn_conflicts s);
+      int "txn_aborts" (C.txn_aborts s);
+      Printf.printf "{%s}\n" (Buffer.contents buf)
+    end
+    else begin
+      Format.printf "%a@." Soqm_vml.Counters.pp_maintenance s;
+      Printf.printf
+        "plan cache: %d hit(s), %d miss(es), %.1f%% hit rate, %d cached\n" hits
+        misses
+        (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)))
+        (Engine.cache_size engine);
+      (match Db.maintenance db with
+      | Some m ->
+        Printf.printf
+          "maintenance: epoch %d, staleness %.3f, %d recollect(s)\n"
+          (Soqm_maintenance.Maintenance.epoch m)
+          (Soqm_maintenance.Maintenance.staleness m)
+          (Soqm_maintenance.Maintenance.recollects m)
+      | None -> ());
+      if db.Db.disk <> None then
+        Format.printf "%a@." Soqm_vml.Counters.pp_storage s
+    end;
     Db.close db;
     `Ok ()
   in
@@ -617,7 +682,69 @@ let stats_cmd =
     Term.(
       ret
         (const run $ docs_arg $ hit_arg $ seed_arg $ jobs_arg $ rounds_arg
-       $ db_dir_arg $ pool_pages_arg))
+       $ db_dir_arg $ pool_pages_arg $ json_arg))
+
+(* ------------------------------------------------------------------ *)
+(* serve: the concurrent TCP serving subsystem                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let port_arg =
+    let doc = "TCP port to listen on (0 picks an ephemeral port)." in
+    Arg.(value & opt int 0 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let sessions_arg =
+    let doc = "Number of concurrent client sessions served." in
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let window_arg =
+    let doc =
+      "Group-commit coalescing window in milliseconds: how long a commit \
+       leader waits for followers before the shared fsync."
+    in
+    Arg.(value & opt float 2.0 & info [ "group-window" ] ~docv:"MS" ~doc)
+  in
+  let db_dir_arg =
+    let doc =
+      "Serve this paged database directory (durable commits through the \
+       WAL) instead of a fresh synthetic database."
+    in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
+  in
+  let run docs hit seed port sessions window db_dir pool_pages =
+    store_errors @@ fun () ->
+      let db =
+        match db_dir with
+        | Some dir -> Db.open_disk ~jobs:1 ?pool_pages dir
+        | None -> make_db ~jobs:1 docs hit seed
+      in
+      let server =
+        Soqm_server.Server.create ~port ~sessions
+          ~group_window:(window /. 1000.) db
+      in
+      Printf.printf "soqm: serving %s on 127.0.0.1:%d (%d session(s))\n%!"
+        (match db_dir with Some d -> d | None -> "a synthetic database")
+        (Soqm_server.Server.port server)
+        sessions;
+      let stop _ = Soqm_server.Server.stop server in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Soqm_server.Server.serve server;
+      Printf.printf "soqm: served %d connection(s), shutting down\n"
+        (Soqm_server.Server.connections_served server);
+      Db.close db;
+      `Ok ()
+  in
+  let doc =
+    "Serve the database over the length-prefixed binary TCP protocol: \
+     concurrent sessions on the morsel domain pool, snapshot-isolation \
+     transactions, group-committed durable writes.  Stop with SIGINT."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ docs_arg $ hit_arg $ seed_arg $ port_arg $ sessions_arg
+       $ window_arg $ db_dir_arg $ pool_pages_arg))
 
 let rules_cmd =
   let show docs hit seed =
@@ -636,6 +763,7 @@ let main =
     [
       run_cmd; explain_cmd; repl_cmd; schema_cmd; rules_cmd; save_cmd;
       open_cmd; checkpoint_cmd; insert_cmd; update_cmd; delete_cmd; stats_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

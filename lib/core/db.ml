@@ -10,6 +10,7 @@ type t = {
   mutable maint : Soqm_maintenance.Maintenance.t option;
   mutable default_jobs : int;
   mutable disk : Soqm_disk.Store.t option;
+  mutable disk_buf : Soqm_disk.Wal.op list ref option;
 }
 
 let register_external_methods t =
@@ -105,6 +106,7 @@ let create_empty ?(schema = Doc_schema.schema) ?(maintain = true) ?(jobs = 1) ()
       maint = None;
       default_jobs = max 1 jobs;
       disk = None;
+      disk_buf = None;
     }
   in
   register_external_methods t;
@@ -141,12 +143,26 @@ let save t path =
    maintenance observers run and bump the epoch. *)
 let attach_disk t d =
   t.disk <- Some d;
+  let emit op =
+    (* with a buffer installed (transactional commit application), the
+       op joins the transaction's WAL batch instead of committing as its
+       own fsynced singleton *)
+    match t.disk_buf with
+    | Some buf -> buf := op :: !buf
+    | None -> Disk.apply d [ op ]
+  in
   Object_store.subscribe t.store (function
-    | Object_store.Created oid -> Disk.apply d [ Soqm_disk.Wal.Insert { oid; props = [] } ]
+    | Object_store.Created oid -> emit (Soqm_disk.Wal.Insert { oid; props = [] })
     | Object_store.Prop_set { oid; prop; new_value; _ } ->
-      Disk.apply d [ Soqm_disk.Wal.Update { oid; prop; value = new_value } ]
+      emit (Soqm_disk.Wal.Update { oid; prop; value = new_value })
     | Object_store.Deleted { oid; _ } ->
-      Disk.apply d [ Soqm_disk.Wal.Delete { oid } ])
+      emit (Soqm_disk.Wal.Delete { oid }))
+
+let buffer_disk_ops t f =
+  let buf = ref [] in
+  t.disk_buf <- Some buf;
+  let r = Fun.protect ~finally:(fun () -> t.disk_buf <- None) f in
+  (r, List.rev !buf)
 
 let of_disk ~attach ~maintain ~jobs ~pool_pages path =
   let counters = Counters.create () in
@@ -170,6 +186,7 @@ let of_disk ~attach ~maintain ~jobs ~pool_pages path =
       maint = None;
       default_jobs = max 1 jobs;
       disk = None;
+      disk_buf = None;
     }
   in
   register_external_methods t;

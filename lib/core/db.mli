@@ -28,6 +28,9 @@ type t = {
   mutable disk : Soqm_disk.Store.t option;
       (** the attached paged disk store when the database was opened
           with {!open_disk}; [None] for purely in-memory databases *)
+  mutable disk_buf : Soqm_disk.Wal.op list ref option;
+      (** when set, the disk observer appends WAL operations here instead
+          of committing each one individually — see {!buffer_disk_ops} *)
 }
 
 val create :
@@ -90,6 +93,16 @@ val open_disk :
     from this database drive its page traffic (the [pages=] column of
     [explain --analyze]).  Close with {!close} to checkpoint and release
     the files. *)
+
+val buffer_disk_ops : t -> (unit -> 'a) -> 'a * Soqm_disk.Wal.op list
+(** Run [f] with disk write-back buffered: store change events that would
+    each commit their own WAL batch are instead collected (in event
+    order) and returned alongside [f]'s result, for the caller to commit
+    as {e one} batch — the transaction manager applies a whole write set
+    this way and commits it through the group-commit queue.  For a
+    database with no attached disk store the op list is empty.  Not
+    reentrant; callers must serialize (commit application already runs
+    under the transaction manager's commit mutex). *)
 
 val checkpoint : t -> unit
 (** Flush dirty pages, fsync the segments and truncate the WAL of the

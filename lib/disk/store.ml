@@ -2,6 +2,7 @@ open Soqm_vml
 module Pool = Soqm_physical.Pool
 
 exception Format_error of string
+exception Locked of string
 
 let format_error fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
 
@@ -13,12 +14,14 @@ type t = {
   counters : Counters.t;
   pool : Buffer_pool.t;
   wal : Wal.t;
+  lockfd : Unix.file_descr;
   segments : (string, Segment.t) Hashtbl.t;
   locs : (Oid.t, loc) Hashtbl.t;
   alloc : (string, int) Hashtbl.t;  (* cls -> allocated data pages *)
   fill : (string, int) Hashtbl.t;  (* cls -> current append page *)
   mutable next_id : int;
   mutable recovered : int;
+  mutable group : Group_commit.t option;
   m : Mutex.t;
 }
 
@@ -26,6 +29,40 @@ let meta_magic = "SOQM-DISK"
 let meta_version = 1
 let meta_file dir = Filename.concat dir "meta"
 let wal_file dir = Filename.concat dir "wal"
+let lock_file dir = Filename.concat dir "lock"
+
+(* POSIX record lock on [dir/lock]: held for the store's lifetime,
+   released by [close] and — crucially — by the kernel when the process
+   dies, so a crash never leaves a stale lock behind.  The lock is
+   per-process (fcntl semantics), so the same process may reopen the
+   directory after [close] (the crash-recovery tests do), while a second
+   process fails fast with {!Locked}. *)
+let acquire_lock dir =
+  let path = lock_file dir in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  try
+    Unix.lockf fd Unix.F_TLOCK 0;
+    (* record the holder for the error message a second process sees *)
+    Unix.ftruncate fd 0;
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    let pid = Printf.sprintf "%d\n" (Unix.getpid ()) in
+    ignore (Unix.write_substring fd pid 0 (String.length pid));
+    fd
+  with Unix.Unix_error ((EAGAIN | EACCES), _, _) ->
+    let holder =
+      try
+        let ic = open_in path in
+        let line =
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+        in
+        Printf.sprintf " (held by pid %s)" (String.trim line)
+      with _ -> ""
+    in
+    Unix.close fd;
+    raise
+      (Locked
+         (Printf.sprintf "%s: database is locked by another process%s" dir
+            holder))
 
 let locked t f =
   Mutex.lock t.m;
@@ -98,7 +135,7 @@ let decode_id s = Codec.read_uvarint (Codec.cursor s)
 (* construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make ~dir ~schema ~pool_pages ~counters ~wal =
+let make ~dir ~schema ~pool_pages ~counters ~wal ~lockfd =
   let segments = Hashtbl.create 8 in
   List.iter
     (fun cls -> Hashtbl.replace segments cls (Segment.open_seg ~dir ~cls))
@@ -121,12 +158,14 @@ let make ~dir ~schema ~pool_pages ~counters ~wal =
       counters;
       pool;
       wal;
+      lockfd;
       segments;
       locs = Hashtbl.create 1024;
       alloc = Hashtbl.create 8;
       fill = Hashtbl.create 8;
       next_id = 0;
       recovered = 0;
+      group = None;
       m = Mutex.create ();
     }
   in
@@ -139,6 +178,9 @@ let create ?(pool_pages = 256) ?counters ~schema dir =
   if Sys.file_exists dir && not (Sys.is_directory dir) then
     format_error "%s: exists and is not a directory" dir;
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* take the directory lock before dropping a previous database: a live
+     store in this directory must not lose its files under it *)
+  let lockfd = acquire_lock dir in
   (* overwrite semantics: drop any previous database in this directory *)
   Array.iter
     (fun f ->
@@ -149,7 +191,7 @@ let create ?(pool_pages = 256) ?counters ~schema dir =
     (Sys.readdir dir);
   let counters = Option.value ~default:(Counters.create ()) counters in
   let wal, _ = Wal.open_log ~counters (wal_file dir) in
-  let t = make ~dir ~schema ~pool_pages ~counters ~wal in
+  let t = make ~dir ~schema ~pool_pages ~counters ~wal ~lockfd in
   write_meta ~dir ~schema ~next_id:t.next_id;
   t
 
@@ -231,6 +273,34 @@ let apply t ops =
       List.iter (apply_op t) ops)
 
 (* ------------------------------------------------------------------ *)
+(* group commit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The queue is created on first use; its flush takes the store mutex
+   once per {e group}, writes every batch with a single WAL append +
+   fsync, then applies them to the pooled pages in commit order. *)
+let group t =
+  locked t (fun () ->
+      match t.group with
+      | Some g -> g
+      | None ->
+        let g =
+          Group_commit.create
+            ~flush:(fun batches ->
+              locked t (fun () ->
+                  Wal.commit_many t.wal batches;
+                  List.iter (fun ops -> List.iter (apply_op t) ops) batches))
+            ()
+        in
+        t.group <- Some g;
+        g)
+
+let enqueue_group t ops = Group_commit.enqueue (group t) ops
+let wait_group t ticket = Group_commit.wait (group t) ticket
+let apply_group t ops = Group_commit.submit (group t) ops
+let set_group_window t w = Group_commit.set_window (group t) w
+
+(* ------------------------------------------------------------------ *)
 (* open + recovery                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -265,9 +335,15 @@ let open_dir ?(pool_pages = 256) ?counters dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     format_error "%s: not a soqm database directory" dir;
   let schema, meta_next_id = read_meta dir in
+  let lockfd = acquire_lock dir in
   let counters = Option.value ~default:(Counters.create ()) counters in
-  let wal, batches = Wal.open_log ~counters (wal_file dir) in
-  let t = make ~dir ~schema ~pool_pages ~counters ~wal in
+  let wal, batches =
+    try Wal.open_log ~counters (wal_file dir)
+    with e ->
+      Unix.close lockfd;
+      raise e
+  in
+  let t = make ~dir ~schema ~pool_pages ~counters ~wal ~lockfd in
   rebuild_directory t;
   t.next_id <- max t.next_id meta_next_id;
   (* fill pointers resume at each segment's last page *)
@@ -294,7 +370,8 @@ let close ?(checkpoint = true) t =
         write_meta ~dir:t.dir ~schema:t.schema ~next_id:t.next_id;
         Wal.truncate t.wal);
   Hashtbl.iter (fun _ seg -> Segment.close seg) t.segments;
-  Wal.close t.wal
+  Wal.close t.wal;
+  Unix.close t.lockfd
 
 (* ------------------------------------------------------------------ *)
 (* reads and scans                                                     *)

@@ -27,6 +27,14 @@ exception Format_error of string
 (** Missing/foreign/corrupt database directory, or a record too large
     for a 4 KiB page (~4 KB; overflow chains are future work). *)
 
+exception Locked of string
+(** The directory's [lock] file is held by another process.  {!create}
+    and {!open_dir} take a POSIX record lock on [dir/lock] for the
+    store's lifetime; a second process fails fast with this exception
+    (the message names the holder's pid).  The kernel drops the lock
+    when the holder dies, so a crashed process never wedges the
+    database. *)
+
 type t
 
 val create :
@@ -51,6 +59,26 @@ val checkpoint : t -> unit
 
 val apply : t -> Wal.op list -> unit
 (** Commit one DML batch: WAL append + fsync, then page application. *)
+
+val apply_group : t -> Wal.op list -> unit
+(** Commit one DML batch through the group-commit queue
+    ({!Group_commit}): concurrent callers coalesce into a single WAL
+    write + fsync.  Returns once the batch is durable {e and} applied to
+    the pooled pages.  Equivalent to {!apply} for a lone caller. *)
+
+val enqueue_group : t -> Wal.op list -> Group_commit.ticket
+(** Reserve the batch's place in the durable order without waiting.
+    Call while holding whatever lock serializes commit decisions (the
+    transaction manager's commit mutex), so WAL order matches commit
+    timestamp order; then release that lock and {!wait_group}. *)
+
+val wait_group : t -> Group_commit.ticket -> unit
+(** Block until an enqueued batch is durable and applied, leading the
+    flush if no other committer is. *)
+
+val set_group_window : t -> float -> unit
+(** Group-commit coalescing window in seconds (default 0): the flush
+    leader waits this long for more committers before fsyncing. *)
 
 val fetch : t -> Oid.t -> (string * Value.t) list
 (** Read one record through the buffer pool.  @raise Not_found. *)

@@ -156,17 +156,23 @@ let write_all fd s =
   in
   go 0
 
-let commit t ops =
+let commit_many t batches =
   let buf = Buffer.create 256 in
-  add_frame buf "B";
-  List.iter (fun op -> add_frame buf (encode_op op)) ops;
-  add_frame buf "C";
+  List.iter
+    (fun ops ->
+      add_frame buf "B";
+      List.iter (fun op -> add_frame buf (encode_op op)) ops;
+      add_frame buf "C";
+      Counters.charge_wal_records t.counters (List.length ops + 2);
+      Counters.charge_wal_commit t.counters)
+    batches;
   let s = Buffer.contents buf in
   write_all t.fd s;
   Unix.fsync t.fd;
   t.bytes <- t.bytes + String.length s;
-  Counters.charge_wal_records t.counters (List.length ops + 2);
-  Counters.charge_wal_commit t.counters
+  Counters.charge_wal_fsync t.counters
+
+let commit t ops = commit_many t [ ops ]
 
 let size t = t.bytes
 

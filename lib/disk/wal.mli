@@ -31,7 +31,16 @@ val open_log : counters:Counters.t -> string -> t * op list list
 
 val commit : t -> op list -> unit
 (** Append one Begin/ops/Commit batch and [fsync].  Charges
-    [wal_records] (one per frame) and [wal_commits]. *)
+    [wal_records] (one per frame), [wal_commits] and one
+    [wal_fsyncs]. *)
+
+val commit_many : t -> op list list -> unit
+(** Group commit: append several Begin/ops/Commit batches, in list
+    order, with a {e single} [write] and a {e single} [fsync].  Each
+    batch is recovered independently by {!open_log} — a torn tail
+    inside the group truncates to the last intact Commit frame, so a
+    crash replays exactly a prefix of the batches.  Charges one
+    [wal_commits] per batch but only one [wal_fsyncs]. *)
 
 val size : t -> int
 (** Current log size in bytes. *)

@@ -1,0 +1,207 @@
+open Soqm_vml
+module Codec = Soqm_disk.Codec
+
+(* ------------------------------------------------------------------ *)
+(* frames: u32 LE length prefix + payload                              *)
+(* ------------------------------------------------------------------ *)
+
+let max_frame = 64 * 1024 * 1024
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  go 0
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  write_all fd b
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      let r = Unix.read fd b off (n - off) in
+      if r = 0 then raise End_of_file;
+      go (off + r)
+    end
+  in
+  go 0;
+  b
+
+let read_frame fd =
+  let hdr = read_exact fd 4 in
+  let n = Int32.to_int (Bytes.get_int32_le hdr 0) in
+  if n < 0 || n > max_frame then
+    raise (Codec.Corrupt (Printf.sprintf "frame length %d out of range" n));
+  Bytes.to_string (read_exact fd n)
+
+(* ------------------------------------------------------------------ *)
+(* messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Query of string
+  | Begin
+  | Commit
+  | Abort
+  | Insert of string * (string * Value.t) list
+  | Update of Oid.t * string * Value.t
+  | Delete of Oid.t
+  | Get of Oid.t * string
+  | Extent of string
+  | Ping
+
+type response =
+  | Rows of string list * Value.t list list
+  | Started of int
+  | Committed of int
+  | Done
+  | Value of Value.t
+  | Oid of Oid.t
+  | Oids of Oid.t list
+  | Conflict of string
+  | Error of string
+
+let write_oid buf oid =
+  Codec.write_string buf (Oid.cls oid);
+  Codec.write_uvarint buf (Oid.id oid)
+
+let read_oid c =
+  let cls = Codec.read_string c in
+  let id = Codec.read_uvarint c in
+  Oid.make ~cls ~id
+
+let encode_request r =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Query src ->
+    Buffer.add_char buf 'Q';
+    Codec.write_string buf src
+  | Begin -> Buffer.add_char buf 'B'
+  | Commit -> Buffer.add_char buf 'C'
+  | Abort -> Buffer.add_char buf 'A'
+  | Insert (cls, props) ->
+    Buffer.add_char buf 'I';
+    Codec.write_string buf cls;
+    Codec.write_props buf props
+  | Update (oid, prop, v) ->
+    Buffer.add_char buf 'U';
+    write_oid buf oid;
+    Codec.write_string buf prop;
+    Codec.write_value buf v
+  | Delete oid ->
+    Buffer.add_char buf 'D';
+    write_oid buf oid
+  | Get (oid, prop) ->
+    Buffer.add_char buf 'G';
+    write_oid buf oid;
+    Codec.write_string buf prop
+  | Extent cls ->
+    Buffer.add_char buf 'X';
+    Codec.write_string buf cls
+  | Ping -> Buffer.add_char buf 'P');
+  Buffer.contents buf
+
+let decode_request s =
+  if String.length s = 0 then raise (Codec.Corrupt "empty request");
+  let c = Codec.cursor ~pos:1 s in
+  match s.[0] with
+  | 'Q' -> Query (Codec.read_string c)
+  | 'B' -> Begin
+  | 'C' -> Commit
+  | 'A' -> Abort
+  | 'I' ->
+    let cls = Codec.read_string c in
+    let props = Codec.read_props c in
+    Insert (cls, props)
+  | 'U' ->
+    let oid = read_oid c in
+    let prop = Codec.read_string c in
+    let v = Codec.read_value c in
+    Update (oid, prop, v)
+  | 'D' -> Delete (read_oid c)
+  | 'G' ->
+    let oid = read_oid c in
+    Get (oid, Codec.read_string c)
+  | 'X' -> Extent (Codec.read_string c)
+  | 'P' -> Ping
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %c" t))
+
+let encode_response r =
+  let buf = Buffer.create 128 in
+  (match r with
+  | Rows (refs, rows) ->
+    Buffer.add_char buf 'R';
+    Codec.write_uvarint buf (List.length refs);
+    List.iter (Codec.write_string buf) refs;
+    Codec.write_uvarint buf (List.length rows);
+    List.iter (fun row -> List.iter (Codec.write_value buf) row) rows
+  | Started ts ->
+    Buffer.add_char buf 'S';
+    Codec.write_uvarint buf ts
+  | Committed ts ->
+    Buffer.add_char buf 'T';
+    Codec.write_uvarint buf ts
+  | Done -> Buffer.add_char buf 'K'
+  | Value v ->
+    Buffer.add_char buf 'V';
+    Codec.write_value buf v
+  | Oid oid ->
+    Buffer.add_char buf 'O';
+    write_oid buf oid
+  | Oids oids ->
+    Buffer.add_char buf 'L';
+    Codec.write_uvarint buf (List.length oids);
+    List.iter (write_oid buf) oids
+  | Conflict msg ->
+    Buffer.add_char buf 'F';
+    Codec.write_string buf msg
+  | Error msg ->
+    Buffer.add_char buf 'E';
+    Codec.write_string buf msg);
+  Buffer.contents buf
+
+let decode_response s =
+  if String.length s = 0 then raise (Codec.Corrupt "empty response");
+  let c = Codec.cursor ~pos:1 s in
+  match s.[0] with
+  | 'R' ->
+    let nrefs = Codec.read_uvarint c in
+    let refs = List.init nrefs (fun _ -> Codec.read_string c) in
+    let nrows = Codec.read_uvarint c in
+    let rows =
+      List.init nrows (fun _ -> List.init nrefs (fun _ -> Codec.read_value c))
+    in
+    Rows (refs, rows)
+  | 'S' -> Started (Codec.read_uvarint c)
+  | 'T' -> Committed (Codec.read_uvarint c)
+  | 'K' -> Done
+  | 'V' -> Value (Codec.read_value c)
+  | 'O' -> Oid (read_oid c)
+  | 'L' ->
+    let n = Codec.read_uvarint c in
+    Oids (List.init n (fun _ -> read_oid c))
+  | 'F' -> Conflict (Codec.read_string c)
+  | 'E' -> Error (Codec.read_string c)
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown response tag %c" t))
+
+(* ------------------------------------------------------------------ *)
+(* client convenience                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let connect ?(host = Unix.inet_addr_loopback) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  (* one small frame per request: latency matters more than packing *)
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  fd
+
+let roundtrip fd req =
+  write_frame fd (encode_request req);
+  decode_response (read_frame fd)

@@ -1,0 +1,62 @@
+(** The wire protocol: length-prefixed binary frames over TCP.
+
+    Every message is one frame — a little-endian [u32] payload length
+    followed by the payload: a one-byte tag and a body in the
+    {!Soqm_disk.Codec} binary format (LEB128 varints, length-prefixed
+    strings, tagged values).  One request yields exactly one response;
+    requests on one connection are processed in order (the session is
+    single-threaded), so a client may pipeline.
+
+    Malformed input raises {!Soqm_disk.Codec.Corrupt}; a peer closing
+    the connection surfaces as [End_of_file]. *)
+
+open Soqm_vml
+
+type request =
+  | Query of string  (** VQL source; executes at latest-committed state *)
+  | Begin  (** open a snapshot-isolation transaction on this session *)
+  | Commit
+  | Abort
+  | Insert of string * (string * Value.t) list  (** class, initial props *)
+  | Update of Oid.t * string * Value.t
+  | Delete of Oid.t
+  | Get of Oid.t * string  (** transactional property read *)
+  | Extent of string
+  | Ping
+
+type response =
+  | Rows of string list * Value.t list list
+      (** column references + rows, values in reference order *)
+  | Started of int  (** [Begin]: the snapshot timestamp *)
+  | Committed of int  (** the commit timestamp *)
+  | Done
+  | Value of Value.t
+  | Oid of Oid.t
+  | Oids of Oid.t list
+  | Conflict of string
+      (** first-committer-wins refused the transaction; retry it *)
+  | Error of string
+
+val max_frame : int
+
+(** {1 Frame transport} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+val read_frame : Unix.file_descr -> string
+(** @raise End_of_file on a closed peer,
+    [Soqm_disk.Codec.Corrupt] on an out-of-range length. *)
+
+(** {1 Message codec} *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+(** {1 Client side} *)
+
+val connect : ?host:Unix.inet_addr -> port:int -> unit -> Unix.file_descr
+(** TCP connect (loopback by default) with [TCP_NODELAY] set. *)
+
+val roundtrip : Unix.file_descr -> request -> response
+(** Send one request, read one response. *)

@@ -1,0 +1,120 @@
+module Db = Soqm_core.Db
+module Engine = Soqm_core.Engine
+module Pool = Soqm_physical.Pool
+module Txn = Soqm_txn.Txn
+
+type t = {
+  db : Db.t;
+  mgr : Txn.manager;
+  engine : Engine.t;
+  opt_m : Mutex.t;
+  sock : Unix.file_descr;
+  port : int;
+  sessions : int;
+  stop_flag : bool Atomic.t;
+  served : int Atomic.t;
+  conns_m : Mutex.t;
+  mutable conns : Unix.file_descr list;  (* live session connections *)
+}
+
+let sock_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> invalid_arg "Server: not an inet socket"
+
+let create ?listen ?(port = 0) ?(sessions = 4) ?(group_window = 0.002) db =
+  let mgr = Txn.manager db in
+  Txn.set_group_window mgr group_window;
+  let engine = Engine.generate db in
+  let sock =
+    match listen with
+    | Some fd -> fd
+    | None ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.listen fd 64
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+  in
+  {
+    db;
+    mgr;
+    engine;
+    opt_m = Mutex.create ();
+    sock;
+    port = sock_port sock;
+    sessions = max 1 sessions;
+    stop_flag = Atomic.make false;
+    served = Atomic.make 0;
+    conns_m = Mutex.create ();
+    conns = [];
+  }
+
+let port t = t.port
+let manager t = t.mgr
+let engine t = t.engine
+let db t = t.db
+let connections_served t = Atomic.get t.served
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      match Unix.accept t.sock with
+      | exception
+          Unix.Unix_error
+            ((EBADF | EINVAL | ECONNABORTED | EINTR | EAGAIN), _, _) ->
+        if not (Atomic.get t.stop_flag) then loop ()
+      | conn, _ ->
+        if Atomic.get t.stop_flag then Unix.close conn
+        else begin
+          Atomic.incr t.served;
+          Mutex.lock t.conns_m;
+          t.conns <- conn :: t.conns;
+          Mutex.unlock t.conns_m;
+          let session =
+            Session.create ~mgr:t.mgr ~engine:t.engine ~opt_m:t.opt_m ()
+          in
+          (try Session.serve session conn with _ -> ());
+          Mutex.lock t.conns_m;
+          t.conns <- List.filter (fun fd -> fd <> conn) t.conns;
+          Mutex.unlock t.conns_m;
+          (try Unix.close conn with _ -> ());
+          loop ()
+        end
+    end
+  in
+  loop ()
+
+let serve t =
+  (* the morsel pool carries the sessions: the caller is worker 0, the
+     rest are pool domains.  With the pool thus occupied, query
+     execution inside sessions runs jobs=1 (a nested Pool.run degrades
+     to inline), which is the intended one-domain-per-session model. *)
+  Pool.run (Pool.global ()) ~jobs:t.sessions (fun _ -> accept_loop t);
+  try Unix.close t.sock with Unix.Unix_error _ -> ()
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (* sever live sessions: shutdown makes their blocked read_frame
+       return EOF even if the client never closes its end *)
+    Mutex.lock t.conns_m;
+    let live = t.conns in
+    Mutex.unlock t.conns_m;
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      live;
+    (* wake every worker parked in accept with a throwaway connection *)
+    for _ = 1 to t.sessions do
+      match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error _ -> ()
+      | fd ->
+        (try
+           Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port))
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    done
+  end

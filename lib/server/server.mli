@@ -1,0 +1,47 @@
+(** The concurrent serving subsystem: a TCP server speaking
+    {!Protocol}, one {!Session} per connection, sessions carried by the
+    PR-4 morsel domain pool.
+
+    {!create} attaches a {!Soqm_txn.Txn.manager} (MVCC snapshots,
+    first-committer-wins transactions, group commit) and generates one
+    shared optimizer; {!serve} then blocks, running [sessions]
+    accept-serve workers on {!Soqm_physical.Pool.global}.  Stop from
+    another domain with {!stop} — it flips the stop flag and wakes each
+    worker parked in [accept] with a throwaway connection.
+
+    Concurrency model: queries run under the shared latch at
+    latest-committed state (one optimizer mutex serializes planning, the
+    plan cache is shared across sessions); transactions buffer writes
+    and commit through the group-commit queue, so concurrent commits
+    coalesce their WAL batches into fewer fsyncs. *)
+
+type t
+
+val create :
+  ?listen:Unix.file_descr ->
+  ?port:int ->
+  ?sessions:int ->
+  ?group_window:float ->
+  Soqm_core.Db.t ->
+  t
+(** Bind a loopback listener on [port] (default 0 = ephemeral; read the
+    actual port with {!port}) — or adopt [listen], an already
+    bound+listening socket (tests and the bench driver pass one across
+    [fork]).  [sessions] (default 4) is the number of concurrent
+    connections served; [group_window] (seconds, default 2 ms) is the
+    group-commit coalescing window. *)
+
+val serve : t -> unit
+(** Run the accept-serve loop; blocks until {!stop}.  Closes the
+    listening socket on return. *)
+
+val stop : t -> unit
+(** Signal shutdown and wake the workers.  Idempotent; callable from
+    any domain. *)
+
+val port : t -> int
+val manager : t -> Soqm_txn.Txn.manager
+val engine : t -> Soqm_core.Engine.t
+val db : t -> Soqm_core.Db.t
+
+val connections_served : t -> int

@@ -1,0 +1,59 @@
+type t = {
+  m : Mutex.t;
+  ok_read : Condition.t;
+  ok_write : Condition.t;
+  mutable readers : int;
+  mutable writer : bool;
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    ok_read = Condition.create ();
+    ok_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let lock_read t =
+  Mutex.lock t.m;
+  (* writer preference: queued writers bar new readers, so a steady
+     query stream cannot starve commit application *)
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.ok_read t.m
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.m
+
+let unlock_read t =
+  Mutex.lock t.m;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.signal t.ok_write;
+  Mutex.unlock t.m
+
+let lock_write t =
+  Mutex.lock t.m;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.ok_write t.m
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.m
+
+let unlock_write t =
+  Mutex.lock t.m;
+  t.writer <- false;
+  if t.waiting_writers > 0 then Condition.signal t.ok_write
+  else Condition.broadcast t.ok_read;
+  Mutex.unlock t.m
+
+let read t f =
+  lock_read t;
+  Fun.protect ~finally:(fun () -> unlock_read t) f
+
+let write t f =
+  lock_write t;
+  Fun.protect ~finally:(fun () -> unlock_write t) f

@@ -1,0 +1,21 @@
+(** Writer-preferring readers/writer latch.
+
+    Any number of readers share the latch; a writer is exclusive.  A
+    {e queued} writer bars new readers, so a steady stream of queries
+    cannot starve commit application.  The latch protects short critical
+    sections only — the MVCC layer keeps readers semantically
+    non-blocking (snapshots never wait for a transaction to finish, only
+    for the brief in-memory application of an already-validated commit).
+
+    Not reentrant: a holder acquiring the latch again (in either mode)
+    deadlocks. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the latch in shared mode. *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the latch exclusively. *)

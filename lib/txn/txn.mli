@@ -1,0 +1,123 @@
+(** Multi-statement transactions with snapshot isolation.
+
+    A {!manager} wraps a {!Soqm_core.Db.t} with a commit clock
+    ({!Versions}), a readers/writer latch ({!Rwlock}) and a commit
+    queue.  Transactions buffer their writes — the store is untouched
+    until commit, so {!abort} discards buffers and nothing ever rolls
+    back — and read at the snapshot taken by {!begin_}: their own
+    buffered effects first, then the versioned state as of their
+    begin timestamp.  Readers never block writers and writers never
+    block readers; the only physical waits are the short exclusive
+    latch during a validated commit's in-memory application, and the
+    group-commit fsync.
+
+    {!commit} is first-committer-wins: under the commit mutex the write
+    set is validated against the version bookkeeping (any key committed
+    past our snapshot, or a concurrent delete, refuses the commit with
+    [`Conflict]); then the commit timestamp is taken, the buffered
+    operations replay into the store under the exclusive latch (the
+    version recorder and all maintenance observers — inverse links,
+    indexes, implication sets, statistics — run inside, so derived
+    writes are versioned and WAL-logged uniformly), and the WAL batch is
+    enqueued on the group-commit queue.  The fsync wait happens
+    {e outside} the commit mutex — that is what lets concurrent commits
+    coalesce into one fsync. *)
+
+open Soqm_vml
+
+(** {1 Manager} *)
+
+type manager
+
+val manager : Soqm_core.Db.t -> manager
+(** Attach transaction management to a database.  Create at most one
+    manager per database (the version recorder subscribes to the store's
+    change events).  Once attached, writes should flow through
+    transactions; direct store writes remain coherent (each event gets
+    its own timestamp) but are not atomic or durable as a group. *)
+
+val db : manager -> Soqm_core.Db.t
+
+val with_read : manager -> (unit -> 'a) -> 'a
+(** Run [f] under the shared latch: a consistent latest-committed view
+    for query execution (no commit applies mid-query).  Do not call
+    transaction reads inside — the latch is not reentrant. *)
+
+val clock : manager -> int
+(** The newest commit timestamp. *)
+
+val versions : manager -> Versions.t
+val active_count : manager -> int
+
+val min_active_snapshot : manager -> int
+(** Oldest snapshot an active transaction holds, or {!clock} when idle
+    (the pruning horizon). *)
+
+val set_group_window : manager -> float -> unit
+(** Forwarded to {!Soqm_disk.Store.set_group_window}; no-op for
+    in-memory databases. *)
+
+val prune : manager -> unit
+(** Drop version-chain entries no active snapshot can reach (down to
+    the one entry at or below the pruning horizon each chain still
+    owes its oldest reader). *)
+
+val maybe_prune : manager -> unit
+(** {!prune}, rate-limited: fires every few commits.  Called
+    automatically by {!commit}. *)
+
+(** {1 Transactions} *)
+
+type t
+
+type state = Active | Committed of int | Aborted
+
+val begin_ : manager -> t
+(** Open a transaction at the current commit timestamp. *)
+
+val begin_ts : t -> int
+val state : t -> state
+val is_active : t -> bool
+
+val get_prop : t -> Oid.t -> string -> Value.t
+(** Own buffered write if any, else the snapshot value.
+    @raise Not_found on an object invisible at the snapshot (or deleted
+    by this transaction), [Invalid_argument] on unknown property. *)
+
+val exists : t -> Oid.t -> bool
+val extent : t -> string -> Oid.t list
+(** Snapshot extent merged with own inserts, minus own deletes,
+    ascending serial. *)
+
+val set_prop : t -> Oid.t -> string -> Value.t -> unit
+(** Buffer a property write (typechecked now, applied at commit).
+    @raise Not_found on an object invisible at the snapshot. *)
+
+val insert : t -> cls:string -> (string * Value.t) list -> Oid.t
+(** Buffer an object creation.  The OID is reserved immediately (so the
+    transaction can reference and read its own insert); an abort leaks
+    the serial, which is harmless. *)
+
+val delete : t -> Oid.t -> unit
+(** Buffer a deletion; deleting an own uncommitted insert just unbuffers
+    it. *)
+
+val commit : t -> (int, [ `Conflict of string ]) result
+(** Validate, apply, group-commit.  [Ok ts] is the commit timestamp
+    (read-only transactions commit trivially at their snapshot).
+    [Error (`Conflict _)] means first-committer-wins refused the write
+    set; the transaction is aborted — retry by running it afresh. *)
+
+val abort : t -> unit
+(** Discard the buffers.  Nothing was applied, so there is nothing to
+    roll back — maintenance observers never saw the writes. *)
+
+val run :
+  ?retries:int ->
+  manager ->
+  (t -> 'a) ->
+  ('a * int, [ `Conflict of string ]) result
+(** [run m f] executes [f] in a fresh transaction and commits,
+    re-running it (up to [retries] times, default 8) when the commit
+    conflicts — the auto-commit building block.  [f] must not commit or
+    abort itself.  An exception from [f] aborts and re-raises. *)

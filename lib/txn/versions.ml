@@ -1,0 +1,171 @@
+open Soqm_vml
+
+(* A superseded value: [v] was the key's value from [ts] until the write
+   that pushed this entry.  Chains are newest-first; entries with equal
+   [ts] (several writes replayed inside one commit) keep push order, so
+   the head-most match is always the latest. *)
+type entry = { ts : int; v : Value.t }
+
+type t = {
+  clock : int Atomic.t;  (* last assigned commit timestamp *)
+  mutable recording : int option;  (* commit ts during apply, else None *)
+  last : (Oid.t * string, int) Hashtbl.t;  (* key -> last committed write ts *)
+  chains : (Oid.t * string, entry list ref) Hashtbl.t;
+  created : (Oid.t, int) Hashtbl.t;  (* absent = pre-existing (ts 0) *)
+  tombs : (Oid.t, int * (string * Value.t) list) Hashtbl.t;
+      (* deletion ts + final property values *)
+  obj_last : (Oid.t, int) Hashtbl.t;  (* last ts any write touched the oid *)
+}
+
+let create () =
+  {
+    clock = Atomic.make 0;
+    recording = None;
+    last = Hashtbl.create 1024;
+    chains = Hashtbl.create 256;
+    created = Hashtbl.create 256;
+    tombs = Hashtbl.create 64;
+    obj_last = Hashtbl.create 256;
+  }
+
+let now t = Atomic.get t.clock
+let begin_recording t =
+  let ts = Atomic.fetch_and_add t.clock 1 + 1 in
+  t.recording <- Some ts;
+  ts
+
+let end_recording t = t.recording <- None
+
+let created_at t oid = Option.value ~default:0 (Hashtbl.find_opt t.created oid)
+let last_write t oid prop =
+  Option.value ~default:0 (Hashtbl.find_opt t.last (oid, prop))
+let obj_last t oid = Option.value ~default:0 (Hashtbl.find_opt t.obj_last oid)
+let deleted_at t oid = Option.map fst (Hashtbl.find_opt t.tombs oid)
+
+(* Outside a recorded commit (direct store writes on a database that also
+   has a transaction manager) each event gets a fresh timestamp of its
+   own, so snapshots stay consistent either way. *)
+let event_ts t =
+  match t.recording with
+  | Some ts -> ts
+  | None -> Atomic.fetch_and_add t.clock 1 + 1
+
+let push_chain t key e =
+  match Hashtbl.find_opt t.chains key with
+  | Some r -> r := e :: !r
+  | None -> Hashtbl.replace t.chains key (ref [ e ])
+
+let record t (ev : Object_store.change) =
+  match ev with
+  | Object_store.Created oid ->
+    let ts = event_ts t in
+    Hashtbl.replace t.created oid ts;
+    Hashtbl.remove t.tombs oid;
+    Hashtbl.replace t.obj_last oid ts
+  | Object_store.Prop_set { oid; prop; old_value; _ } ->
+    let ts = event_ts t in
+    let key = (oid, prop) in
+    (* the superseded value had been in force since the key's previous
+       write — or since the object's creation for a first write *)
+    let since =
+      match Hashtbl.find_opt t.last key with
+      | Some w -> w
+      | None -> created_at t oid
+    in
+    push_chain t key { ts = since; v = old_value };
+    Hashtbl.replace t.last key ts;
+    Hashtbl.replace t.obj_last oid ts
+  | Object_store.Deleted { oid; props } ->
+    let ts = event_ts t in
+    Hashtbl.replace t.tombs oid (ts, props);
+    Hashtbl.replace t.obj_last oid ts
+
+let observe t store = Object_store.subscribe store (record t)
+
+(* ------------------------------------------------------------------ *)
+(* snapshot reads                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let visible t store ~ts oid =
+  (Object_store.exists store oid || Hashtbl.mem t.tombs oid)
+  && created_at t oid <= ts
+  &&
+  match Hashtbl.find_opt t.tombs oid with
+  | Some (d, _) -> d > ts
+  | None -> true
+
+let chain_find t key ~ts =
+  match Hashtbl.find_opt t.chains key with
+  | None -> None
+  | Some r -> List.find_opt (fun e -> e.ts <= ts) !r
+
+let read t store ~ts oid prop =
+  if not (visible t store ~ts oid) then raise Not_found;
+  let key = (oid, prop) in
+  if last_write t oid prop > ts then
+    (* superseded after the snapshot: the newest chain entry at or below
+       [ts] is the value that was in force *)
+    match chain_find t key ~ts with
+    | Some e -> e.v
+    | None -> Value.Null
+  else
+    (* unchanged since the snapshot: the live value — which for an
+       object deleted after the snapshot survives in its tombstone *)
+    match Hashtbl.find_opt t.tombs oid with
+    | Some (_, props) ->
+      Option.value ~default:Value.Null (List.assoc_opt prop props)
+    | None -> Object_store.peek_prop store oid prop
+
+let extent t store ~ts cls =
+  let live =
+    List.filter
+      (fun oid -> created_at t oid <= ts)
+      (Object_store.extent store cls)
+  in
+  (* objects deleted after the snapshot are still part of its extent *)
+  let dead =
+    Hashtbl.fold
+      (fun oid (d, _) acc ->
+        if String.equal (Oid.cls oid) cls && d > ts && created_at t oid <= ts
+        then oid :: acc
+        else acc)
+      t.tombs []
+  in
+  List.sort
+    (fun a b -> Int.compare (Oid.id a) (Oid.id b))
+    (List.rev_append dead live)
+
+(* ------------------------------------------------------------------ *)
+(* pruning                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let live_entries t =
+  Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.chains 0
+
+let tombstones t = Hashtbl.length t.tombs
+
+let prune t ~min_snapshot =
+  (* keep every entry newer than the oldest active snapshot, plus the one
+     entry that snapshot itself reads; a chain whose key was last written
+     before every snapshot serves no reader at all *)
+  let rec keep = function
+    | [] -> []
+    | e :: rest -> if e.ts <= min_snapshot then [ e ] else e :: keep rest
+  in
+  let dead =
+    Hashtbl.fold
+      (fun key r acc ->
+        if last_write t (fst key) (snd key) <= min_snapshot then key :: acc
+        else begin
+          r := keep !r;
+          acc
+        end)
+      t.chains []
+  in
+  List.iter (Hashtbl.remove t.chains) dead;
+  let dead_tombs =
+    Hashtbl.fold
+      (fun oid (d, _) acc -> if d <= min_snapshot then oid :: acc else acc)
+      t.tombs []
+  in
+  List.iter (Hashtbl.remove t.tombs) dead_tombs

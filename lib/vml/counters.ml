@@ -30,6 +30,14 @@ type t = {
   pool_evictions : int Atomic.t;
   wal_records : int Atomic.t;
   wal_commits : int Atomic.t;
+  wal_fsyncs : int Atomic.t;
+  (* transaction-side counters: sessions driving the MVCC layer.  Like
+     the storage counters they accumulate across a workload; the group
+     commit gate reads [wal_fsyncs]/[wal_commits] off this family. *)
+  txn_begins : int Atomic.t;
+  txn_commits : int Atomic.t;
+  txn_conflicts : int Atomic.t;
+  txn_aborts : int Atomic.t;
 }
 
 let create () =
@@ -54,6 +62,11 @@ let create () =
     pool_evictions = Atomic.make 0;
     wal_records = Atomic.make 0;
     wal_commits = Atomic.make 0;
+    wal_fsyncs = Atomic.make 0;
+    txn_begins = Atomic.make 0;
+    txn_commits = Atomic.make 0;
+    txn_conflicts = Atomic.make 0;
+    txn_aborts = Atomic.make 0;
   }
 
 (* resets only the query-cost side: per-run reports reset around every
@@ -83,7 +96,14 @@ let reset_storage t =
   Atomic.set t.pool_hits 0;
   Atomic.set t.pool_evictions 0;
   Atomic.set t.wal_records 0;
-  Atomic.set t.wal_commits 0
+  Atomic.set t.wal_commits 0;
+  Atomic.set t.wal_fsyncs 0
+
+let reset_txn t =
+  Atomic.set t.txn_begins 0;
+  Atomic.set t.txn_commits 0;
+  Atomic.set t.txn_conflicts 0;
+  Atomic.set t.txn_aborts 0
 
 let charge_object_fetch t = Atomic.incr t.objects_fetched
 
@@ -125,12 +145,22 @@ let charge_pool_hit t = Atomic.incr t.pool_hits
 let charge_pool_eviction t = Atomic.incr t.pool_evictions
 let charge_wal_records t n = ignore (Atomic.fetch_and_add t.wal_records n)
 let charge_wal_commit t = Atomic.incr t.wal_commits
+let charge_wal_fsync t = Atomic.incr t.wal_fsyncs
+let charge_txn_begin t = Atomic.incr t.txn_begins
+let charge_txn_commit t = Atomic.incr t.txn_commits
+let charge_txn_conflict t = Atomic.incr t.txn_conflicts
+let charge_txn_abort t = Atomic.incr t.txn_aborts
 let pages_read t = Atomic.get t.pages_read
 let pages_written t = Atomic.get t.pages_written
 let pool_hits t = Atomic.get t.pool_hits
 let pool_evictions t = Atomic.get t.pool_evictions
 let wal_records t = Atomic.get t.wal_records
 let wal_commits t = Atomic.get t.wal_commits
+let wal_fsyncs t = Atomic.get t.wal_fsyncs
+let txn_begins t = Atomic.get t.txn_begins
+let txn_commits t = Atomic.get t.txn_commits
+let txn_conflicts t = Atomic.get t.txn_conflicts
+let txn_aborts t = Atomic.get t.txn_aborts
 let objects_fetched t = Atomic.get t.objects_fetched
 let property_reads t = Atomic.get t.property_reads
 let index_probes t = Atomic.get t.index_probes
@@ -195,6 +225,11 @@ let snapshot t =
   Atomic.set copy.pool_evictions (Atomic.get t.pool_evictions);
   Atomic.set copy.wal_records (Atomic.get t.wal_records);
   Atomic.set copy.wal_commits (Atomic.get t.wal_commits);
+  Atomic.set copy.wal_fsyncs (Atomic.get t.wal_fsyncs);
+  Atomic.set copy.txn_begins (Atomic.get t.txn_begins);
+  Atomic.set copy.txn_commits (Atomic.get t.txn_commits);
+  Atomic.set copy.txn_conflicts (Atomic.get t.txn_conflicts);
+  Atomic.set copy.txn_aborts (Atomic.get t.txn_aborts);
   copy
 
 let pp ppf t =
@@ -211,9 +246,15 @@ let pp ppf t =
 let pp_storage ppf t =
   Format.fprintf ppf
     "@[<v>pages read: %d@ pages written: %d@ pool hits: %d@ pool evictions: \
-     %d@ wal records: %d@ wal commits: %d@]"
+     %d@ wal records: %d@ wal commits: %d@ wal fsyncs: %d@]"
     (pages_read t) (pages_written t) (pool_hits t) (pool_evictions t)
-    (wal_records t) (wal_commits t)
+    (wal_records t) (wal_commits t) (wal_fsyncs t)
+
+let pp_txn ppf t =
+  Format.fprintf ppf
+    "@[<v>transactions begun: %d@ committed: %d@ conflict aborts: %d@ \
+     explicit aborts: %d@]"
+    (txn_begins t) (txn_commits t) (txn_conflicts t) (txn_aborts t)
 
 let pp_maintenance ppf t =
   Format.fprintf ppf

@@ -30,6 +30,10 @@ val reset_storage : t -> unit
     storage counters accumulate across a workload and are excluded from
     {!reset}. *)
 
+val reset_txn : t -> unit
+(** Zero the transaction counters only (begins, commits, conflict and
+    explicit aborts — see {!charge_txn_begin} and friends). *)
+
 val charge_object_fetch : t -> unit
 (** One object dereferenced in the store. *)
 
@@ -117,7 +121,13 @@ val charge_wal_records : t -> int -> unit
 (** [n] framed records appended to the write-ahead log. *)
 
 val charge_wal_commit : t -> unit
-(** One committed (fsynced) WAL batch. *)
+(** One committed WAL batch (group commit may cover several batches with
+    a single fsync — see {!charge_wal_fsync}). *)
+
+val charge_wal_fsync : t -> unit
+(** One [fsync] of the write-ahead log.  The group-commit coalescing
+    ratio is [wal_fsyncs / wal_commits]; under concurrent committers it
+    drops below 1. *)
 
 val pages_read : t -> int
 val pages_written : t -> int
@@ -125,6 +135,28 @@ val pool_hits : t -> int
 val pool_evictions : t -> int
 val wal_records : t -> int
 val wal_commits : t -> int
+val wal_fsyncs : t -> int
+
+(** {1 Transaction counters}
+
+    Sessions driving the MVCC layer ([Soqm_txn]): transaction lifecycle
+    tallies, charged by the transaction manager.  Accumulate across a
+    workload like the maintenance and storage families; zero them with
+    {!reset_txn}. *)
+
+val charge_txn_begin : t -> unit
+val charge_txn_commit : t -> unit
+
+val charge_txn_conflict : t -> unit
+(** One commit refused by first-committer-wins validation. *)
+
+val charge_txn_abort : t -> unit
+(** One explicit [abort] (conflict aborts are counted separately). *)
+
+val txn_begins : t -> int
+val txn_commits : t -> int
+val txn_conflicts : t -> int
+val txn_aborts : t -> int
 
 val objects_fetched : t -> int
 val property_reads : t -> int
@@ -157,3 +189,6 @@ val pp_maintenance : Format.formatter -> t -> unit
 
 val pp_storage : Format.formatter -> t -> unit
 (** Print only the storage counters (pool and WAL activity). *)
+
+val pp_txn : Format.formatter -> t -> unit
+(** Print only the transaction counters. *)

@@ -172,14 +172,26 @@ let peek_prop t oid prop =
   let _def = prop_def t oid prop in
   raw_get t oid prop
 
-let create_object t ~cls props =
-  let cd = Schema.class_exn t.schema cls in
+let reserve_oid t ~cls =
+  ignore (Schema.class_exn t.schema cls);
   let oid = Oid.make ~cls ~id:t.next_id in
   t.next_id <- t.next_id + 1;
+  oid
+
+let insert_reserved t oid props =
+  let cls = Oid.cls oid in
+  let cd = Schema.class_exn t.schema cls in
+  if exists t oid then
+    fail "Object_store: OID %s is already live" (Oid.to_string oid);
   let tbl = Hashtbl.create (List.length cd.Schema.properties) in
   Hashtbl.replace t.objects oid tbl;
+  (* extents keep insertion order; reserved OIDs inserted out of
+     reservation order (transactions committing in a different order than
+     they began) land in commit order, which is fine — disk scans and
+     dumps sort by serial anyway *)
   let ext = extent_ref t cls in
   ext := oid :: !ext;
+  t.next_id <- max t.next_id (Oid.id oid + 1);
   (* set-valued properties start as the empty set, not NULL, so that
      inverse maintenance and set-lifted access work without special
      cases *)
@@ -191,7 +203,11 @@ let create_object t ~cls props =
       | _ -> ())
     cd.Schema.properties;
   notify t (Created oid);
-  List.iter (fun (p, v) -> set_prop t oid p v) props;
+  List.iter (fun (p, v) -> set_prop t oid p v) props
+
+let create_object t ~cls props =
+  let oid = reserve_oid t ~cls in
+  insert_reserved t oid props;
   oid
 
 let delete_object t oid =

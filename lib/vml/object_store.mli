@@ -73,6 +73,21 @@ val create_object : t -> cls:string -> (string * Value.t) list -> Oid.t
     class extent, and maintain inverse links for the supplied values.
     @raise Invalid_argument on unknown class/property or ill-typed value. *)
 
+val reserve_oid : t -> cls:string -> Oid.t
+(** Allocate a fresh OID of [cls] {e without} creating the object: the
+    allocation counter advances but no extent entry, record or event is
+    produced.  Buffered transactional inserts reserve their OIDs at
+    execution time (so the transaction can read its own inserts by OID)
+    and materialize them at commit with {!insert_reserved}; an aborted
+    transaction simply leaks the serial, which is harmless.
+    @raise Invalid_argument on unknown class. *)
+
+val insert_reserved : t -> Oid.t -> (string * Value.t) list -> unit
+(** Materialize an object under a previously {!reserve_oid}-allocated
+    OID: extent insertion, [Created] event, then the initial property
+    writes exactly as {!create_object}.
+    @raise Invalid_argument if the OID is already live. *)
+
 val delete_object : t -> Oid.t -> unit
 (** Remove the object from its extent and clear inverse links pointing to
     it.  Dereferencing a deleted OID afterwards raises [Not_found]. *)

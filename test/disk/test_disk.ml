@@ -404,6 +404,108 @@ let test_recovery_discards_torn_tail () =
       Store.close t'')
 
 (* ------------------------------------------------------------------ *)
+(* lock file: one process per database directory                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_blocks_second_process () =
+  (* lockf locks are per-process, so the contender must be a real child
+     process: fork, try to open the held directory, report via exit
+     status.  (Forked before any domain is spawned.) *)
+  F.with_temp_dir "soqm_lock" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      Store.apply t [ Wal.Insert { oid = item 0; props = [ ("n", Value.Int 1) ] } ];
+      (match Unix.fork () with
+      | 0 ->
+        (* child: both open_dir and create must refuse *)
+        let refused f =
+          match f () with
+          | (_ : Store.t) -> false
+          | exception Store.Locked _ -> true
+          | exception _ -> false
+        in
+        let ok =
+          refused (fun () -> Store.open_dir dir)
+          && refused (fun () -> Store.create ~schema:item_schema dir)
+        in
+        Unix._exit (if ok then 0 else 1)
+      | pid ->
+        let _, status = Unix.waitpid [] pid in
+        check Alcotest.bool "second process fails fast with Locked" true
+          (status = Unix.WEXITED 0));
+      (* create-over-locked must not have destroyed the live store *)
+      check Alcotest.bool "holder's data intact" true (Store.mem t (item 0));
+      Store.close t;
+      (* after close the lock is free again *)
+      let t' = Store.open_dir dir in
+      check Alcotest.bool "reopen after close" true (Store.mem t' (item 0));
+      Store.close t')
+
+(* ------------------------------------------------------------------ *)
+(* group commit: commit_many batching and the leader/follower queue    *)
+(* ------------------------------------------------------------------ *)
+
+let test_commit_many_single_fsync () =
+  F.with_temp_dir "soqm_group" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      let c = Store.counters t in
+      let f0 = Counters.wal_fsyncs c in
+      (* three batches through the group queue from one thread: each
+         submit is its own flush here, but commit_many inside a flush
+         of k batches costs one fsync *)
+      let batches =
+        List.init 3 (fun i ->
+            [ Wal.Insert { oid = item i; props = [ ("n", Value.Int i) ] } ])
+      in
+      let tickets = List.map (Store.enqueue_group t) batches in
+      Store.wait_group t (List.nth tickets 2);
+      check Alcotest.int "three enqueued batches flush with one fsync"
+        (f0 + 1) (Counters.wal_fsyncs c);
+      check Alcotest.int "wal_commits counts every batch" 3
+        (Counters.wal_commits c);
+      check Alcotest.int "all records applied" 3
+        (List.length (Store.extent t "Item"));
+      (* waiting again on a flushed ticket is a no-op *)
+      Store.wait_group t (List.hd tickets);
+      (* crash without checkpoint: recovery replays all three batches *)
+      Store.close ~checkpoint:false t;
+      let t' = Store.open_dir dir in
+      check Alcotest.int "grouped batches recover individually" 3
+        (Store.recovered_batches t');
+      check Alcotest.int "records restored" 3
+        (List.length (Store.extent t' "Item"));
+      Store.close t')
+
+let test_group_commit_concurrent_coalescing () =
+  F.with_temp_dir "soqm_group" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      Store.set_group_window t 0.005;
+      let c = Store.counters t in
+      let f0 = Counters.wal_fsyncs c in
+      let n = 16 in
+      let domains =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to (n / 4) - 1 do
+                  let id = (d * n / 4) + i in
+                  Store.apply_group t
+                    [ Wal.Insert { oid = item id; props = [ ("n", Value.Int id) ] } ]
+                done))
+      in
+      List.iter Domain.join domains;
+      let fsyncs = Counters.wal_fsyncs c - f0 in
+      check Alcotest.int "every batch committed" n (Counters.wal_commits c);
+      check Alcotest.int "every record applied" n
+        (List.length (Store.extent t "Item"));
+      check Alcotest.bool
+        (Printf.sprintf "fsyncs coalesced (%d < %d)" fsyncs n)
+        true (fsyncs < n && fsyncs >= 1);
+      Store.close t;
+      let t' = Store.open_dir dir in
+      check Alcotest.int "durable after checkpointed close" n
+        (List.length (Store.extent t' "Item"));
+      Store.close t')
+
+(* ------------------------------------------------------------------ *)
 (* crash-recovery torture: random trace, random cut                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -498,11 +600,85 @@ let prop_crash_recovery_torture =
     ~name:"WAL cut at any offset recovers the committed prefix exactly"
     trace_gen prop_torture
 
+(* Grouped variant: batches reach the WAL through the group-commit
+   queue, several per physical write, so a cut can now land in the
+   middle of a coalesced write.  Recovery must still restore exactly
+   the prefix of batches whose Commit frame survived — never a torn
+   suffix of a group, never out of order. *)
+let group_trace_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 8)
+         (list_size (int_range 1 4) (list_size (int_range 1 4) op_gen)))
+      (int_range 0 100))
+
+let prop_group_torture (groups, cut_pct) =
+  F.with_temp_dir "soqm_gtorture" (fun dir ->
+      let t = Store.create ~pool_pages:512 ~schema:item_schema dir in
+      let group_ends =
+        List.map
+          (fun batches ->
+            let tickets = List.map (Store.enqueue_group t) batches in
+            Store.wait_group t (List.nth tickets (List.length tickets - 1));
+            Store.wal_bytes t)
+          groups
+      in
+      let total = Store.wal_bytes t in
+      Store.close ~checkpoint:false t;
+      let cut = total * cut_pct / 100 in
+      Unix.truncate (wal_path dir) cut;
+      let t' = Store.open_dir dir in
+      let r = Store.recovered_batches t' in
+      let all_batches = List.concat groups in
+      (* a group whose write ended at or before the cut is fully
+         committed; a group that started after the cut contributes
+         nothing; a group torn by the cut contributes some prefix *)
+      let sizes = List.map List.length groups in
+      let low =
+        List.fold_left2
+          (fun acc size e -> if e <= cut then acc + size else acc)
+          0 sizes group_ends
+      in
+      let starts = 0 :: List.filteri (fun i _ -> i < List.length group_ends - 1) group_ends in
+      let high =
+        List.fold_left2
+          (fun acc size s -> if s < cut then acc + size else acc)
+          0 sizes starts
+      in
+      let oracle = Hashtbl.create 32 in
+      List.iteri
+        (fun i ops -> if i < r then List.iter (oracle_apply oracle) ops)
+        all_batches;
+      let expected =
+        Hashtbl.fold (fun oid props acc -> (oid, sorted_props props) :: acc)
+          oracle []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare (Oid.id a) (Oid.id b))
+      in
+      let actual = store_image t' in
+      let bounds_ok = low <= r && r <= high in
+      let truncated_ok = Store.wal_bytes t' <= cut in
+      Store.close ~checkpoint:false t';
+      if not (expected = actual && bounds_ok && truncated_ok) then
+        QCheck2.Test.fail_reportf
+          "cut %d/%d bytes: recovered %d batches (bounds %d..%d), store has \
+           %d records, prefix oracle %d"
+          cut total r low high (List.length actual) (List.length expected);
+      true)
+
+let prop_group_crash_recovery_torture =
+  QCheck2.Test.make ~count:60
+    ~name:"cut inside a coalesced group-commit write recovers a clean prefix"
+    group_trace_gen prop_group_torture
+
 (* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "disk"
     [
+      (* first: Unix.fork is only legal before any domain is spawned,
+         and the pool/store tests below start domains *)
+      ( "lock",
+        [ F.case "second process refused" test_lock_blocks_second_process ] );
       ( "codec",
         [
           F.case "values roundtrip" test_codec_values;
@@ -527,10 +703,17 @@ let () =
           F.case "prefetch parity" test_store_prefetch_parity;
           F.case "db attachment" test_db_disk_attachment;
         ] );
+      ( "group-commit",
+        [
+          F.case "commit_many costs one fsync" test_commit_many_single_fsync;
+          F.case "concurrent commits coalesce"
+            test_group_commit_concurrent_coalescing;
+        ] );
       ( "recovery",
         [
           F.case "uncheckpointed batches replay" test_recovery_replays_uncheckpointed;
           F.case "torn tails discarded" test_recovery_discards_torn_tail;
           QCheck_alcotest.to_alcotest prop_crash_recovery_torture;
+          QCheck_alcotest.to_alcotest prop_group_crash_recovery_torture;
         ] );
     ]

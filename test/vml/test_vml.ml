@@ -308,6 +308,74 @@ let test_counters_domain_safe () =
   Counters.reset_maintenance c;
   check tint "reset_maintenance zeroes them" 0 (Counters.postings_touched c)
 
+(* Server-style concurrency: N session domains, each issuing a mix of
+   query-side charges (tuples, fetches, probes) and DML-side charges
+   (postings, stats deltas, transaction lifecycle).  Every domain runs a
+   different number of rounds so a lost increment cannot hide behind a
+   symmetric miscount; the totals must equal the serial sum. *)
+let test_counters_n_sessions () =
+  let c = Counters.create () in
+  let sessions = 6 in
+  let rounds s = 5_000 + (1_000 * s) in
+  let session s () =
+    for i = 1 to rounds s do
+      if i mod 3 = 0 then begin
+        (* a DML round: txn lifecycle + maintenance charges *)
+        Counters.charge_txn_begin c;
+        if i mod 9 = 0 then begin
+          Counters.charge_txn_conflict c;
+          Counters.charge_txn_abort c
+        end
+        else Counters.charge_txn_commit c;
+        Counters.charge_postings_touched c 2;
+        Counters.charge_stats_delta c
+      end
+      else begin
+        (* a query round: executor-side charges *)
+        Counters.charge_block c;
+        Counters.charge_tuples c 4;
+        Counters.charge_object_fetch c;
+        Counters.charge_index_probe c;
+        if i mod 50 = 0 then Counters.charge_method_call c ~meth:"q" ~cost:0.5
+      end
+    done
+  in
+  let doms =
+    List.init (sessions - 1) (fun s -> Domain.spawn (session (s + 1)))
+  in
+  session 0 ();
+  List.iter Domain.join doms;
+  (* the serial sums, computed the boring way *)
+  let total = ref 0
+  and dml = ref 0
+  and conflicts = ref 0
+  and queries = ref 0
+  and methods_ = ref 0 in
+  for s = 0 to sessions - 1 do
+    for i = 1 to rounds s do
+      incr total;
+      if i mod 3 = 0 then begin
+        incr dml;
+        if i mod 9 = 0 then incr conflicts
+      end
+      else begin
+        incr queries;
+        if i mod 50 = 0 then incr methods_
+      end
+    done
+  done;
+  check tint "txn begins" !dml (Counters.txn_begins c);
+  check tint "txn conflicts" !conflicts (Counters.txn_conflicts c);
+  check tint "txn aborts" !conflicts (Counters.txn_aborts c);
+  check tint "txn commits" (!dml - !conflicts) (Counters.txn_commits c);
+  check tint "postings" (2 * !dml) (Counters.postings_touched c);
+  check tint "stats deltas" !dml (Counters.stats_deltas c);
+  check tint "blocks" !queries (Counters.blocks_produced c);
+  check tint "tuples" (4 * !queries) (Counters.tuples_produced c);
+  check tint "fetches" !queries (Counters.objects_fetched c);
+  check tint "probes" !queries (Counters.index_probes c);
+  check tint "method calls" !methods_ (Counters.method_call_count c "q")
+
 (* ------------------------------------------------------------------ *)
 (* Runtime                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -559,6 +627,8 @@ let () =
           Alcotest.test_case "counters charged" `Quick test_counters_charged;
           Alcotest.test_case "counters domain-safe" `Quick
             test_counters_domain_safe;
+          Alcotest.test_case "counters across N sessions" `Quick
+            test_counters_n_sessions;
         ] );
       ( "runtime",
         [
