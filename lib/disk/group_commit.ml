@@ -25,6 +25,9 @@ type t = {
   mutable enqueued : int;  (* batches ever enqueued *)
   mutable flushed : int;  (* batches flushed so far *)
   mutable flushing : bool;  (* a leader is inside [flush] *)
+  mutable failed : (int * int * exn) list;
+      (* ticket ranges whose group flush raised: every waiter in the
+         range must see the exception, not a silent success *)
 }
 
 let create ?(window = 0.) ~flush () =
@@ -37,6 +40,7 @@ let create ?(window = 0.) ~flush () =
     enqueued = 0;
     flushed = 0;
     flushing = false;
+    failed = [];
   }
 
 let set_window t w = t.window <- max 0. w
@@ -53,7 +57,9 @@ let enqueue t ops =
       t.enqueued)
 
 (* Wait until the ticket's batch is durable, leading a flush whenever no
-   other leader is active and our batch is still queued. *)
+   other leader is active and our batch is still queued.  If the flush
+   of the group containing [ticket] raised, re-raise that exception here
+   — for the leader and every follower alike. *)
 let wait t ticket =
   Mutex.lock t.m;
   while t.flushed < ticket do
@@ -69,17 +75,29 @@ let wait t ticket =
       let batch = List.rev t.queue in
       t.queue <- [];
       let n = List.length batch in
+      (* only the (sole) leader advances [flushed], so this range is
+         stable across the unlocked flush *)
+      let lo = t.flushed + 1 in
       Mutex.unlock t.m;
-      Fun.protect
-        ~finally:(fun () ->
-          Mutex.lock t.m;
-          t.flushed <- t.flushed + n;
-          t.flushing <- false;
-          Condition.broadcast t.c)
-        (fun () -> if n > 0 then t.flush batch)
+      let outcome =
+        match if n > 0 then t.flush batch with
+        | () -> None
+        | exception e -> Some e
+      in
+      Mutex.lock t.m;
+      (match outcome with
+      | None -> ()
+      | Some e -> t.failed <- (lo, lo + n - 1, e) :: t.failed);
+      t.flushed <- t.flushed + n;
+      t.flushing <- false;
+      Condition.broadcast t.c
     end
   done;
-  Mutex.unlock t.m
+  let err =
+    List.find_opt (fun (lo, hi, _) -> lo <= ticket && ticket <= hi) t.failed
+  in
+  Mutex.unlock t.m;
+  match err with Some (_, _, e) -> raise e | None -> ()
 
 let submit t ops = wait t (enqueue t ops)
 

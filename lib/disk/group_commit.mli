@@ -30,7 +30,9 @@ val enqueue : t -> Wal.op list -> ticket
 
 val wait : t -> ticket -> unit
 (** Block until the batch is durable, becoming the flush leader if no
-    one else is. *)
+    one else is.  If the flush of the group containing this ticket
+    raised (WAL write or fsync failure), re-raises that exception —
+    every waiter in the failed group sees it, not just the leader. *)
 
 val submit : t -> Wal.op list -> unit
 (** [enqueue] then [wait] — for callers with no external commit-order

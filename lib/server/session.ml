@@ -34,9 +34,12 @@ let run_query s src =
     in
     Txn.with_read s.mgr (fun () -> Exec.run_compiled ~jobs:1 s.exec compiled)
   | Error _ ->
-    (* potentially side-effecting method calls: run the plan as written *)
+    (* potentially side-effecting method calls: run the plan as written,
+       under the exclusive latch — its writes mutate the store and the
+       version tables directly, which no concurrent reader may see
+       mid-flight *)
     let plan = Plan.default_implementation logical in
-    Txn.with_read s.mgr (fun () -> Exec.run ~jobs:1 s.exec plan)
+    Txn.with_write s.mgr (fun () -> Exec.run ~jobs:1 s.exec plan)
 
 let rows_of_relation r =
   let refs = Relation.refs r in

@@ -13,7 +13,6 @@ type manager = {
   versions : Versions.t;
   latch : Rwlock.t;
   commit_m : Mutex.t;  (* serializes validate -> ts -> apply -> enqueue *)
-  reserve_m : Mutex.t;  (* serializes OID reservation *)
   active : (int, int) Hashtbl.t;  (* txn id -> begin_ts *)
   active_m : Mutex.t;
   mutable next_txn : int;
@@ -27,7 +26,6 @@ let manager db =
       versions = Versions.create ();
       latch = Rwlock.create ();
       commit_m = Mutex.create ();
-      reserve_m = Mutex.create ();
       active = Hashtbl.create 64;
       active_m = Mutex.create ();
       next_txn = 0;
@@ -39,6 +37,16 @@ let manager db =
 
 let db m = m.db
 let with_read m f = Rwlock.read m.latch f
+
+(* Direct (non-transactional) store mutation: commit mutex first, then
+   the exclusive latch — the same order every committer and pruner
+   takes, so validation (which runs under commit_m alone) never races
+   the version tables these writes update. *)
+let with_write m f =
+  Mutex.lock m.commit_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m.commit_m)
+    (fun () -> Rwlock.write m.latch f)
 let clock m = Versions.now m.versions
 let versions m = m.versions
 
@@ -225,12 +233,10 @@ let insert t ~cls props =
             p
             (Vtype.to_string def.Schema.prop_type))
     props;
-  (* the OID is reserved now — never rolled back; an abort just leaks
-     the serial — so the transaction can hand out and read its own
-     inserts before commit *)
-  Mutex.lock t.mgr.reserve_m;
+  (* the OID is reserved now (atomically — no latch needed) and never
+     rolled back; an abort just leaks the serial — so the transaction
+     can hand out and read its own inserts before commit *)
   let oid = Object_store.reserve_oid (store t) ~cls in
-  Mutex.unlock t.mgr.reserve_m;
   Hashtbl.replace t.inserted oid props;
   t.log <- WInsert (oid, props) :: t.log;
   oid
@@ -316,46 +322,67 @@ let commit t =
     Ok t.begin_ts
   end
   else begin
-    let outcome =
-      Mutex.lock m.commit_m;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock m.commit_m)
-        (fun () ->
-          match validate t with
-          | Some reason -> Error reason
-          | None ->
-            let ts = Versions.begin_recording m.versions in
-            let (), disk_ops =
-              Fun.protect
-                ~finally:(fun () -> Versions.end_recording m.versions)
-                (fun () ->
-                  (* exclusive latch: queries and snapshot reads see the
-                     whole commit or none of it; the version recorder and
-                     every maintenance observer run inside *)
-                  Rwlock.write m.latch (fun () ->
-                      Db.buffer_disk_ops m.db (replay t)))
-            in
-            (* enqueue under commit_m so WAL order = timestamp order;
-               the fsync wait happens outside, where the next committer
-               can already validate — that is what coalesces batches *)
-            let ticket =
-              match m.db.Db.disk with
-              | Some d when disk_ops <> [] ->
-                Some (d, Disk.enqueue_group d disk_ops)
-              | _ -> None
-            in
-            Ok (ts, ticket))
-    in
-    match outcome with
+    match
+      let outcome =
+        Mutex.lock m.commit_m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock m.commit_m)
+          (fun () ->
+            match validate t with
+            | Some reason -> Error reason
+            | None ->
+              let ts = Versions.begin_recording m.versions in
+              let (), disk_ops =
+                Fun.protect
+                  ~finally:(fun () -> Versions.end_recording m.versions)
+                  (fun () ->
+                    (* exclusive latch: queries and snapshot reads see the
+                       whole commit or none of it; the version recorder and
+                       every maintenance observer run inside *)
+                    Rwlock.write m.latch (fun () ->
+                        let r = Db.buffer_disk_ops m.db (replay t) in
+                        (* publish [ts] as a legal snapshot only now,
+                           with the whole write set applied: a
+                           transaction beginning at [ts] can never see
+                           this commit torn or half-missing *)
+                        Versions.publish m.versions ts;
+                        r))
+              in
+              (* enqueue under commit_m so WAL order = timestamp order;
+                 the fsync wait happens outside, where the next committer
+                 can already validate — that is what coalesces batches *)
+              let ticket =
+                match m.db.Db.disk with
+                | Some d when disk_ops <> [] ->
+                  Some (d, Disk.enqueue_group d disk_ops)
+                | _ -> None
+              in
+              Ok (ts, ticket))
+      in
+      match outcome with
+      | Error reason -> Error reason
+      | Ok (ts, ticket) ->
+        (match ticket with
+        | Some (d, tk) -> Disk.wait_group d tk
+        | None -> ());
+        Ok ts
+    with
+    | exception e ->
+      (* replay or WAL-flush failure: the transaction is over either
+         way — never leave it Active and registered, pinning the pruning
+         horizon forever.  (A flush failure leaves the replayed writes
+         in memory; the exception reaches the caller, who must treat
+         durability as unconfirmed.) *)
+      t.state <- Aborted;
+      unregister t;
+      Counters.charge_txn_abort c;
+      raise e
     | Error reason ->
       t.state <- Aborted;
       unregister t;
       Counters.charge_txn_conflict c;
       Error (`Conflict reason)
-    | Ok (ts, ticket) ->
-      (match ticket with
-      | Some (d, tk) -> Disk.wait_group d tk
-      | None -> ());
+    | Ok ts ->
       t.state <- Committed ts;
       unregister t;
       Counters.charge_txn_commit c;

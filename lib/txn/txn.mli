@@ -43,8 +43,15 @@ val with_read : manager -> (unit -> 'a) -> 'a
     for query execution (no commit applies mid-query).  Do not call
     transaction reads inside — the latch is not reentrant. *)
 
+val with_write : manager -> (unit -> 'a) -> 'a
+(** Run [f] under the commit mutex {e and} the exclusive latch — for
+    plans that may mutate the store directly (side-effecting method
+    calls the optimizer refuses).  Takes the locks in commit order, so
+    concurrent validation and snapshot reads never race the mutation.
+    Not reentrant; do not commit inside. *)
+
 val clock : manager -> int
-(** The newest commit timestamp. *)
+(** The newest fully applied commit timestamp. *)
 
 val versions : manager -> Versions.t
 val active_count : manager -> int
@@ -106,7 +113,9 @@ val commit : t -> (int, [ `Conflict of string ]) result
 (** Validate, apply, group-commit.  [Ok ts] is the commit timestamp
     (read-only transactions commit trivially at their snapshot).
     [Error (`Conflict _)] means first-committer-wins refused the write
-    set; the transaction is aborted — retry by running it afresh. *)
+    set; the transaction is aborted — retry by running it afresh.
+    Any other failure (replay, WAL flush) re-raises after aborting and
+    unregistering the transaction: it never stays [Active]. *)
 
 val abort : t -> unit
 (** Discard the buffers.  Nothing was applied, so there is nothing to

@@ -8,6 +8,7 @@ type entry = { ts : int; v : Value.t }
 
 type t = {
   clock : int Atomic.t;  (* last assigned commit timestamp *)
+  stable : int Atomic.t;  (* last timestamp whose effects are fully applied *)
   mutable recording : int option;  (* commit ts during apply, else None *)
   last : (Oid.t * string, int) Hashtbl.t;  (* key -> last committed write ts *)
   chains : (Oid.t * string, entry list ref) Hashtbl.t;
@@ -20,6 +21,7 @@ type t = {
 let create () =
   {
     clock = Atomic.make 0;
+    stable = Atomic.make 0;
     recording = None;
     last = Hashtbl.create 1024;
     chains = Hashtbl.create 256;
@@ -28,13 +30,24 @@ let create () =
     obj_last = Hashtbl.create 256;
   }
 
-let now t = Atomic.get t.clock
+(* The snapshot clock lags the allocation clock: a commit's timestamp is
+   assigned before its replay, but it only becomes a legal begin
+   snapshot once the whole write set is applied — otherwise a
+   transaction beginning mid-commit would read a torn mix of pre- and
+   post-commit values, and first-committer-wins ([last_write > begin_ts]
+   being strict) would let a lost update through. *)
+let now t = Atomic.get t.stable
+
 let begin_recording t =
   let ts = Atomic.fetch_and_add t.clock 1 + 1 in
   t.recording <- Some ts;
   ts
 
 let end_recording t = t.recording <- None
+
+let rec publish t ts =
+  let cur = Atomic.get t.stable in
+  if cur < ts && not (Atomic.compare_and_set t.stable cur ts) then publish t ts
 
 let created_at t oid = Option.value ~default:0 (Hashtbl.find_opt t.created oid)
 let last_write t oid prop =
@@ -56,14 +69,13 @@ let push_chain t key e =
   | None -> Hashtbl.replace t.chains key (ref [ e ])
 
 let record t (ev : Object_store.change) =
-  match ev with
+  let ts = event_ts t in
+  (match ev with
   | Object_store.Created oid ->
-    let ts = event_ts t in
     Hashtbl.replace t.created oid ts;
     Hashtbl.remove t.tombs oid;
     Hashtbl.replace t.obj_last oid ts
   | Object_store.Prop_set { oid; prop; old_value; _ } ->
-    let ts = event_ts t in
     let key = (oid, prop) in
     (* the superseded value had been in force since the key's previous
        write — or since the object's creation for a first write *)
@@ -76,9 +88,11 @@ let record t (ev : Object_store.change) =
     Hashtbl.replace t.last key ts;
     Hashtbl.replace t.obj_last oid ts
   | Object_store.Deleted { oid; props } ->
-    let ts = event_ts t in
     Hashtbl.replace t.tombs oid (ts, props);
-    Hashtbl.replace t.obj_last oid ts
+    Hashtbl.replace t.obj_last oid ts);
+  (* a direct (non-recorded) write is live the moment its tables are
+     updated; a recorded commit publishes once, after the whole replay *)
+  if t.recording = None then publish t ts
 
 let observe t store = Object_store.subscribe store (record t)
 

@@ -29,16 +29,27 @@ val observe : t -> Object_store.t -> unit
 (** {1 Commit clock} *)
 
 val now : t -> int
-(** The last assigned timestamp — a beginning transaction's snapshot. *)
+(** The last {e fully applied} timestamp — a beginning transaction's
+    snapshot.  This lags the allocation clock while a commit is mid-
+    replay: its timestamp only becomes a legal snapshot once {!publish}
+    runs, so no transaction can begin at a timestamp whose effects it
+    would observe torn. *)
 
 val begin_recording : t -> int
 (** Take the next commit timestamp and stamp all change events recorded
     until {!end_recording} with it (one commit's application is one
-    timestamp, however many events it emits). *)
+    timestamp, however many events it emits).  The timestamp is not
+    visible to {!now} until it is {!publish}ed. *)
 
 val end_recording : t -> unit
 (** Events observed while no recording is active get a fresh timestamp
-    each — direct (non-transactional) store writes remain coherent. *)
+    each — direct (non-transactional) store writes remain coherent (they
+    self-publish as soon as they are recorded). *)
+
+val publish : t -> int -> unit
+(** Advance the snapshot clock to [ts] (monotonic: lower values are
+    no-ops).  A committing transaction calls this after its whole write
+    set has been replayed, while still holding the exclusive latch. *)
 
 (** {1 Conflict bookkeeping} *)
 

@@ -14,7 +14,9 @@ type change =
 type t = {
   schema : Schema.t;
   counters : Counters.t;
-  mutable next_id : int;
+  next_id : int Atomic.t;
+      (* atomic: reservation (any transaction, no latch) races commit
+         replay's floor-raising in [insert_reserved] *)
   objects : (Oid.t, (string, Value.t) Hashtbl.t) Hashtbl.t;
   extents : (string, Oid.t list ref) Hashtbl.t;
   inst_impls : (string * string, impl) Hashtbl.t;
@@ -138,7 +140,7 @@ let create ?counters schema =
     {
       schema;
       counters = Option.value ~default:(Counters.create ()) counters;
-      next_id = 0;
+      next_id = Atomic.make 0;
       objects = Hashtbl.create 1024;
       extents;
       inst_impls = Hashtbl.create 32;
@@ -174,9 +176,13 @@ let peek_prop t oid prop =
 
 let reserve_oid t ~cls =
   ignore (Schema.class_exn t.schema cls);
-  let oid = Oid.make ~cls ~id:t.next_id in
-  t.next_id <- t.next_id + 1;
-  oid
+  Oid.make ~cls ~id:(Atomic.fetch_and_add t.next_id 1)
+
+(* CAS-max: never regress the counter, whoever raced us. *)
+let rec raise_next_id t floor =
+  let cur = Atomic.get t.next_id in
+  if cur < floor && not (Atomic.compare_and_set t.next_id cur floor) then
+    raise_next_id t floor
 
 let insert_reserved t oid props =
   let cls = Oid.cls oid in
@@ -191,7 +197,7 @@ let insert_reserved t oid props =
      dumps sort by serial anyway *)
   let ext = extent_ref t cls in
   ext := oid :: !ext;
-  t.next_id <- max t.next_id (Oid.id oid + 1);
+  raise_next_id t (Oid.id oid + 1);
   (* set-valued properties start as the empty set, not NULL, so that
      inverse maintenance and set-lifted access work without special
      cases *)
@@ -240,7 +246,7 @@ let export t =
                 Hashtbl.fold (fun p v acc -> (p, v) :: acc) (record t oid) [] ))
             (extent t cls))
         (Schema.class_names t.schema);
-    d_next_id = t.next_id;
+    d_next_id = Atomic.get t.next_id;
   }
 
 let dump_schema d = d.d_schema
@@ -257,7 +263,7 @@ let import ?counters d =
          the internal most-recent-first representation *)
       ext := oid :: !ext)
     d.d_objects;
-  t.next_id <- d.d_next_id;
+  Atomic.set t.next_id d.d_next_id;
   t
 
 let make_dump ~schema ~next_id objects =

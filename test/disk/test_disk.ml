@@ -505,6 +505,28 @@ let test_group_commit_concurrent_coalescing () =
         (List.length (Store.extent t' "Item"));
       Store.close t')
 
+(* A failing flush (WAL write or fsync error) must surface to every
+   waiter in the drained group, not just the leader — a follower
+   returning normally would report Committed on a batch that was never
+   made durable. *)
+let test_group_flush_failure_propagates () =
+  let boom = Failure "fsync failed" in
+  let g = Group_commit.create ~flush:(fun _ -> raise boom) () in
+  let batch i = [ Wal.Insert { oid = item i; props = [] } ] in
+  let t1 = Group_commit.enqueue g (batch 0) in
+  let t2 = Group_commit.enqueue g (batch 1) in
+  (* the first wait leads and drains both batches into the failing flush *)
+  (match Group_commit.wait g t1 with
+  | () -> Alcotest.fail "leader must see the flush failure"
+  | exception Failure _ -> ());
+  (* the second batch was in the same failed group: its (non-leading)
+     wait must raise the same error instead of reporting durability *)
+  (match Group_commit.wait g t2 with
+  | () -> Alcotest.fail "follower must see the flush failure"
+  | exception Failure _ -> ());
+  check Alcotest.int "failed group leaves nothing pending" 0
+    (Group_commit.pending g)
+
 (* ------------------------------------------------------------------ *)
 (* crash-recovery torture: random trace, random cut                    *)
 (* ------------------------------------------------------------------ *)
@@ -708,6 +730,8 @@ let () =
           F.case "commit_many costs one fsync" test_commit_many_single_fsync;
           F.case "concurrent commits coalesce"
             test_group_commit_concurrent_coalescing;
+          F.case "flush failure reaches every waiter"
+            test_group_flush_failure_propagates;
         ] );
       ( "recovery",
         [

@@ -381,6 +381,71 @@ let prop_snapshot_isolation_oracle =
 (* durability: transactions over a paged directory                     *)
 (* ------------------------------------------------------------------ *)
 
+(* The snapshot clock must lag the allocation clock while a commit is
+   mid-replay: a transaction must never obtain a begin timestamp whose
+   write set is not fully applied yet (it would read that commit torn,
+   and strict first-committer-wins would let lost updates through). *)
+let test_snapshot_clock_lags_commit () =
+  let db = Db.create_empty ~maintain:false () in
+  let v = Versions.create () in
+  Versions.observe v db.Db.store;
+  check Alcotest.int "fresh recorder at 0" 0 (Versions.now v);
+  (* direct (non-recorded) writes self-publish immediately *)
+  let oid =
+    Object_store.create_object db.Db.store ~cls:"Paragraph"
+      [ ("word_count", Value.Int 1) ]
+  in
+  let live = Versions.now v in
+  check Alcotest.bool "direct writes are live immediately" true (live > 0);
+  let ts = Versions.begin_recording v in
+  check Alcotest.bool "allocated ts is ahead of the snapshot clock" true
+    (ts > Versions.now v);
+  Object_store.set_prop db.Db.store oid "word_count" (Value.Int 2);
+  check Alcotest.int "mid-replay events do not advance the snapshot clock"
+    live (Versions.now v);
+  Versions.publish v ts;
+  Versions.end_recording v;
+  check Alcotest.int "publish makes the commit a legal snapshot" ts
+    (Versions.now v)
+
+(* Hammer: every commit writes the same value to two cells, a concurrent
+   reader transaction must never see them disagree — a begin timestamp
+   equal to an in-flight commit would do exactly that. *)
+let test_no_torn_snapshots_across_commit () =
+  let db, oids = counter_db ~cells:2 in
+  let m = Txn.manager db in
+  let a = oids.(0) and b = oids.(1) in
+  (match
+     Txn.run m (fun t ->
+         Txn.set_prop t a "word_count" (Value.Int 0);
+         Txn.set_prop t b "word_count" (Value.Int 0))
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "setup commit conflicted");
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let t = Txn.begin_ m in
+          let va = Txn.get_prop t a "word_count" in
+          let vb = Txn.get_prop t b "word_count" in
+          ignore (Txn.commit t);
+          if not (Value.equal va vb) then Atomic.incr torn
+        done)
+  in
+  for i = 1 to 500 do
+    match
+      Txn.run m (fun t ->
+          Txn.set_prop t a "word_count" (Value.Int i);
+          Txn.set_prop t b "word_count" (Value.Int i))
+    with
+    | Ok _ | Error _ -> ()
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  check Alcotest.int "no torn snapshots observed" 0 (Atomic.get torn)
+
 let test_txn_durability () =
   F.with_temp_dir "soqm_txn" (fun dir ->
       let db0 = F.tiny_db () in
@@ -420,6 +485,10 @@ let () =
           F.case "read your writes" test_read_your_writes;
           F.case "delete visibility" test_delete_semantics;
           F.case "abort discards buffers" test_abort_discards;
+          F.case "snapshot clock lags mid-replay commits"
+            test_snapshot_clock_lags_commit;
+          F.case "no torn snapshots across commits"
+            test_no_torn_snapshots_across_commit;
         ] );
       ( "conflicts",
         [
