@@ -8,11 +8,43 @@
 # plan compilation.  Writes BENCH_exec.json next to this script's parent
 # directory.  Exit code is non-zero on any failure.
 #
+# On top of the relative speedup gate, the script pins the *absolute*
+# compiled cost: the new median_compiled_ns_per_row must not regress more
+# than 10% over the value in the committed BENCH_exec.json.  A relative
+# gate alone would let a change slow both executors down in lockstep and
+# still pass; anchoring to the committed absolute number catches that.
+# The check is skipped (with a notice) when the committed file predates
+# the field or does not exist — the run then seeds the baseline.
+#
 # Pass --seed N (default 42) to regenerate the database from another
 # Datagen seed; the flag is shared by all bench executables.
 set -eu
 cd "$(dirname "$0")/.."
 
+baseline=""
+if [ -f BENCH_exec.json ]; then
+  baseline=$(sed -n 's/.*"median_compiled_ns_per_row": *\([0-9.]*\).*/\1/p' \
+    BENCH_exec.json | head -n 1)
+fi
+
 dune build
 dune runtest
 dune exec bench/exec.exe -- --assert --docs 800 --json BENCH_exec.json "$@"
+
+current=$(sed -n 's/.*"median_compiled_ns_per_row": *\([0-9.]*\).*/\1/p' \
+  BENCH_exec.json | head -n 1)
+if [ -z "$baseline" ]; then
+  echo "check_exec: no committed median_compiled_ns_per_row; seeded baseline ${current} ns/row"
+elif [ -z "$current" ]; then
+  echo "check_exec: FAIL - rerun produced no median_compiled_ns_per_row" >&2
+  exit 1
+else
+  # regression bound: current <= 1.1 * baseline
+  ok=$(awk -v c="$current" -v b="$baseline" 'BEGIN { print (c <= 1.1 * b) ? 1 : 0 }')
+  if [ "$ok" -eq 1 ]; then
+    echo "check_exec: absolute ns/row ok (${current} vs baseline ${baseline}, bound +10%)"
+  else
+    echo "check_exec: FAIL - median compiled ns/row regressed: ${current} vs baseline ${baseline} (bound +10%)" >&2
+    exit 1
+  fi
+fi

@@ -1,0 +1,388 @@
+(* Columnar storage + fused kernels: the storage-to-kernel hot path on
+   the scan/filter/map subset of the EXP-A mix.
+
+   Each entry times the whole pre-PR pipeline against the new one, at
+   the same n_docs:
+
+     baseline  = row-slotted [Store.scan] (decode every record slot by
+                 slot) + the unfused compiled plan — the pre-PR path
+                 bench/exec.ml records in BENCH_exec.json
+     columnar  = [Store.scan_columns] over a vacuumed columnar segment
+                 (decode only the columns the query touches) + the
+                 fused select/map/project kernel
+
+   ns/row is normalized by the scanned extent (paragraphs), so the two
+   sides divide by the same denominator.  Result sets are compared
+   untimed across the interpreted, unfused, fused-serial and
+   fused-parallel executors: any divergence fails the gate.
+
+   The byte gate reads the storage counters: a selective scan of one
+   dictionary-encoded string column (Document.author, 7 distinct
+   values) must decode >= 3x fewer bytes than the row-format full-record
+   scan of the same class.  Both sides are also reported for the
+   EXPERIMENTS.md EXP-L vacuum before/after comparison.
+
+   Run with:     dune exec bench/columnar.exe
+   Assert mode:  dune exec bench/columnar.exe -- --assert [--docs N]
+                                                 [--seed N] [--json PATH]
+   (exit code 1 when the median storage-to-kernel speedup < 2x, the
+   dictionary-column byte ratio < 3x, or any result diverges)
+
+   All gates are single-core-safe: timing compares two serial pipelines
+   on the same core, and the parallel fused speedup is recorded in the
+   JSON but only informational (conditional on cores, like PR 4/5). *)
+
+open Soqm_vml
+open Soqm_core
+module A = Soqm_algebra
+module P = Soqm_physical
+module D = Soqm_disk
+
+let reps = 5
+let min_median_speedup = 2.0
+let min_bytes_ratio = 3.0
+
+(* ------------------------------------------------------------------ *)
+(* The scan/filter/map subset                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ident a src base =
+  P.Plan.MapOp (a, A.Restricted.OpIdent, [ A.Restricted.ORef src ], base)
+
+let chain names src base =
+  snd
+    (List.fold_left
+       (fun (src, plan) name -> (name, ident name src plan))
+       (src, base) names)
+
+let scan_p = P.Plan.FullScan ("p", "Paragraph")
+
+(* Each entry names the Paragraph columns its chain touches: the
+   columnar side decodes exactly those, the row side always decodes
+   whole records — that asymmetry is the storage half of the win. *)
+let entries =
+  [
+    (* whole-record materialization: the columnar side still decodes
+       every column, so this entry isolates the chunk-vs-slot codec
+       difference *)
+    ( "full_scan",
+      scan_p,
+      [ "number"; "section"; "content"; "word_count" ] );
+    (* pure executor chains over a narrow carrier column *)
+    ("map_chain", chain [ "k1"; "k2"; "k3" ] "p" scan_p, [ "number" ]);
+    ( "map_wide",
+      chain [ "m1"; "m2"; "m3"; "m4"; "m5"; "m6" ] "p" scan_p,
+      [ "number" ] );
+    (* select on a derived column: map + filter fuse into one kernel *)
+    ( "filter_wc",
+      P.Plan.Filter
+        ( A.Restricted.CGt,
+          A.Restricted.ORef "wc",
+          A.Restricted.OConst (Value.Int 500),
+          P.Plan.MapProp ("wc", "word_count", "p", scan_p) ),
+      [ "word_count" ] );
+    (* select -> map -> project: the full fused-chain shape *)
+    ( "sel_map_proj",
+      P.Plan.Project
+        ( [ "c" ],
+          P.Plan.Filter
+            ( A.Restricted.CGt,
+              A.Restricted.ORef "wc",
+              A.Restricted.OConst (Value.Int 250),
+              P.Plan.MapProp
+                ( "c",
+                  "content",
+                  "p",
+                  P.Plan.MapProp ("wc", "word_count", "p", scan_p) ) ) ),
+      [ "content"; "word_count" ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* Minimum over reps, not median: external load (dune runs the other
+   test suites concurrently with this gate on the CI box) only ever
+   *adds* time, so the min is the robust estimator of a pipeline's own
+   cost.  Both sides use the same estimator, so the ratio stays fair. *)
+let measure_side f =
+  Gc.compact ();
+  ignore (f ()) (* warm-up *);
+  List.fold_left min infinity (List.init reps (fun _ -> time f))
+
+let drain_compiled ctx compiled () =
+  let b = P.Exec.open_compiled ctx compiled in
+  let n = ref 0 in
+  let rec go () =
+    match b.P.Exec.next_block () with
+    | Some rows ->
+      n := !n + Array.length rows;
+      go ()
+    | None -> b.P.Exec.close_blocks ()
+  in
+  go ();
+  !n
+
+type entry_result = {
+  name : string;
+  out_rows : int;
+  baseline_ns : float;  (* row decode + unfused kernel, per extent row *)
+  columnar_ns : float;  (* column decode + fused kernel, per extent row *)
+  speedup : float;
+  diverged : bool;
+}
+
+(* The row-format decode is the same [Store.scan] whatever the query,
+   and several entries share a column set — measure each distinct
+   decode once (lower variance than re-timing a 40ms scan per entry)
+   and combine with the per-entry kernel times. *)
+let decode_times ~row_store ~col_store entries =
+  let t_row = measure_side (fun () -> D.Store.scan row_store "Paragraph") in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (_, _, cols) ->
+      if not (Hashtbl.mem tbl cols) then
+        Hashtbl.add tbl cols
+          (measure_side (fun () ->
+               D.Store.scan_columns col_store "Paragraph" cols)))
+    entries;
+  (t_row, Hashtbl.find tbl)
+
+let measure_entry ctx ~t_row_decode ~t_col_decode ~extent_rows ~jobs
+    (name, plan, cols) =
+  let fused = P.Exec.compile ctx plan in
+  let unfused = P.Exec.compile ~fuse:false ctx plan in
+  (* correctness first, untimed: interpreted (Naive) = unfused = fused
+     serial = fused parallel *)
+  let r_interp = P.Exec.Interpreted.run ctx plan in
+  let r_unfused = P.Exec.run_compiled ctx unfused in
+  let r_fused = P.Exec.run_compiled ctx fused in
+  let r_parallel = P.Exec.run_compiled ~jobs ctx fused in
+  let diverged =
+    not
+      (A.Relation.equal r_interp r_unfused
+      && A.Relation.equal r_interp r_fused
+      && A.Relation.equal r_interp r_parallel)
+  in
+  let t_unfused = measure_side (drain_compiled ctx unfused) in
+  let t_fused = measure_side (drain_compiled ctx fused) in
+  let per_row t = t /. float_of_int (max 1 extent_rows) *. 1e9 in
+  let baseline = t_row_decode +. t_unfused in
+  let columnar = t_col_decode cols +. t_fused in
+  {
+    name;
+    out_rows = A.Relation.cardinality r_fused;
+    baseline_ns = per_row baseline;
+    columnar_ns = per_row columnar;
+    speedup = baseline /. columnar;
+    diverged;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Byte gate: dictionary-encoded string column                         *)
+(* ------------------------------------------------------------------ *)
+
+type bytes_result = {
+  row_full_bytes : int;  (* row format, whole-record scan *)
+  row_sel_bytes : int;  (* row format, selective scan (still row-priced) *)
+  col_sel_bytes : int;  (* columnar, one dictionary string column *)
+  row_values : int;
+  col_values : int;
+  ratio : float;
+}
+
+(* [bytes_read] / [values_decoded] live in the storage counter family
+   (cumulative across a workload), so each leg resets that family
+   explicitly rather than relying on the per-run [Counters.reset]. *)
+let measure_bytes ~row_store ~col_store =
+  let row_cnt = D.Store.counters row_store in
+  let col_cnt = D.Store.counters col_store in
+  Counters.reset_storage row_cnt;
+  ignore (D.Store.scan row_store "Document");
+  let row_full_bytes = Counters.bytes_read row_cnt in
+  let row_values = Counters.values_decoded row_cnt in
+  Counters.reset_storage row_cnt;
+  ignore (D.Store.scan_columns row_store "Document" [ "author" ]);
+  let row_sel_bytes = Counters.bytes_read row_cnt in
+  Counters.reset_storage col_cnt;
+  ignore (D.Store.scan_columns col_store "Document" [ "author" ]);
+  let col_sel_bytes = Counters.bytes_read col_cnt in
+  let col_values = Counters.values_decoded col_cnt in
+  {
+    row_full_bytes;
+    row_sel_bytes;
+    col_sel_bytes;
+    row_values;
+    col_values;
+    ratio = float_of_int row_full_bytes /. float_of_int (max 1 col_sel_bytes);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (BENCH_columnar.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let write_json path ~n_docs ~paras ~seed ~cores ~jobs results bytes
+    ~median_speedup ~parallel_speedup =
+  let oc = open_out path in
+  let entry r =
+    Printf.sprintf
+      "    {\"name\": %S, \"out_rows\": %d, \"baseline_ns_per_row\": %.1f, \
+       \"columnar_ns_per_row\": %.1f, \"speedup\": %.2f, \"diverged\": %b}"
+      r.name r.out_rows r.baseline_ns r.columnar_ns r.speedup r.diverged
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"columnar\",\n\
+    \  \"n_docs\": %d,\n\
+    \  \"paragraphs\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"entries\": [\n%s\n  ],\n\
+    \  \"median_speedup\": %.2f,\n\
+    \  \"parallel_fused_speedup\": %.2f,\n\
+    \  \"dict_column\": {\"class\": \"Document\", \"column\": \"author\", \
+     \"row_full_bytes\": %d, \"row_selective_bytes\": %d, \
+     \"columnar_selective_bytes\": %d, \"row_values_decoded\": %d, \
+     \"columnar_values_decoded\": %d, \"bytes_ratio\": %.2f},\n\
+    \  \"divergences\": %d\n\
+     }\n"
+    n_docs paras seed cores jobs reps
+    (String.concat ",\n" (List.map entry results))
+    median_speedup parallel_speedup bytes.row_full_bytes bytes.row_sel_bytes
+    bytes.col_sel_bytes bytes.row_values bytes.col_values bytes.ratio
+    (List.length (List.filter (fun r -> r.diverged) results));
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let arg_value flag default parse =
+  let rec go = function
+    | f :: v :: _ when String.equal f flag -> parse v
+    | _ :: rest -> go rest
+    | [] -> default
+  in
+  go (Array.to_list Sys.argv)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let () =
+  let assert_mode = Array.exists (String.equal "--assert") Sys.argv in
+  let n_docs = arg_value "--docs" 800 int_of_string in
+  let seed = arg_value "--seed" Datagen.default.Datagen.seed int_of_string in
+  let json_path = arg_value "--json" "BENCH_columnar.json" Fun.id in
+  let db = Db.create ~params:{ Datagen.default with n_docs; seed } () in
+  let ctx = Engine.exec_ctx db in
+  let paras = Object_store.extent_size db.Db.store "Paragraph" in
+  let cores = Domain.recommended_domain_count () in
+  let jobs = min 4 (max 2 cores) in
+  (* two on-disk images of the same database: one left row-slotted, one
+     vacuumed to columnar segments *)
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "soqm_bench_columnar_%d" (Unix.getpid ()))
+  in
+  let dir_row = base ^ "_row" and dir_col = base ^ "_col" in
+  rm_rf dir_row;
+  rm_rf dir_col;
+  Db.save db dir_row;
+  Db.save db dir_col;
+  let row_store = D.Store.open_dir ~counters:(Counters.create ()) dir_row in
+  let col_store = D.Store.open_dir ~counters:(Counters.create ()) dir_col in
+  List.iter
+    (fun cls -> ignore (D.Store.vacuum col_store cls))
+    [ "Document"; "Section"; "Paragraph" ];
+  Printf.printf
+    "columnar storage + fused kernels vs row pages + unfused (n_docs=%d, %d \
+     paragraphs)\n"
+    n_docs paras;
+  Printf.printf "%-14s %9s %17s %17s %9s\n" "entry" "out rows"
+    "baseline ns/row" "columnar ns/row" "speedup";
+  let t_row_decode, t_col_decode = decode_times ~row_store ~col_store entries in
+  let results =
+    List.map
+      (measure_entry ctx ~t_row_decode ~t_col_decode ~extent_rows:paras ~jobs)
+      entries
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %9d %17.1f %17.1f %8.2fx%s\n" r.name r.out_rows
+        r.baseline_ns r.columnar_ns r.speedup
+        (if r.diverged then "  DIVERGED" else ""))
+    results;
+  let median_speedup = median (List.map (fun r -> r.speedup) results) in
+  let divergences = List.filter (fun r -> r.diverged) results in
+  (* parallel fused throughput on the heaviest chain — informational on
+     a single core, a real speedup only when cores allow *)
+  let parallel_speedup =
+    let _, plan, _ = List.nth entries (List.length entries - 1) in
+    let fused = P.Exec.compile ctx plan in
+    let serial =
+      measure_side (fun () -> P.Exec.run_compiled ctx fused)
+    in
+    let parallel =
+      measure_side (fun () -> P.Exec.run_compiled ~jobs ctx fused)
+    in
+    serial /. parallel
+  in
+  let bytes = measure_bytes ~row_store ~col_store in
+  Printf.printf
+    "\ndict column Document.author: row full scan %d B, row selective %d B, \
+     columnar selective %d B (%.1fx fewer; %d -> %d values)\n"
+    bytes.row_full_bytes bytes.row_sel_bytes bytes.col_sel_bytes bytes.ratio
+    bytes.row_values bytes.col_values;
+  Printf.printf "median storage-to-kernel speedup: %.2fx (bound %.0fx)\n"
+    median_speedup min_median_speedup;
+  Printf.printf "parallel fused speedup (jobs=%d, %d cores): %.2fx\n" jobs
+    cores parallel_speedup;
+  write_json json_path ~n_docs ~paras ~seed ~cores ~jobs results bytes
+    ~median_speedup ~parallel_speedup;
+  Printf.printf "wrote %s\n" json_path;
+  D.Store.close row_store;
+  D.Store.close col_store;
+  rm_rf dir_row;
+  rm_rf dir_col;
+  let failed = ref false in
+  if divergences <> [] then begin
+    Printf.printf "FAIL: %d entries diverged across executors: %s\n"
+      (List.length divergences)
+      (String.concat ", " (List.map (fun r -> r.name) divergences));
+    failed := true
+  end;
+  if median_speedup < min_median_speedup then begin
+    Printf.printf "FAIL: median speedup %.2fx below the %.0fx bound\n"
+      median_speedup min_median_speedup;
+    failed := true
+  end;
+  if bytes.ratio < min_bytes_ratio then begin
+    Printf.printf "FAIL: dictionary-column byte ratio %.2fx below %.0fx\n"
+      bytes.ratio min_bytes_ratio;
+    failed := true
+  end;
+  if not !failed then
+    Printf.printf
+      "OK: columnar+fused %.2fx faster (median), %.1fx fewer bytes on the \
+       dictionary column, %d/%d results identical\n"
+      median_speedup bytes.ratio
+      (List.length results - List.length divergences)
+      (List.length results);
+  if !failed && assert_mode then exit 1

@@ -185,7 +185,12 @@ type entry_result = {
 }
 
 let measure_entry ctx (name, plan) =
-  let compiled = P.Exec.compile ctx plan in
+  (* [~fuse:false]: this bench gates the *unfused* block executor against
+     the interpreted one, and its absolute ns/row is the regression bound
+     [check_exec.sh] holds the unfused path to.  The fused kernels have
+     their own bench and gates (bench/columnar.ml), measured against the
+     numbers recorded here. *)
+  let compiled = P.Exec.compile ~fuse:false ctx plan in
   let r_interp = P.Exec.Interpreted.run ctx plan in
   let r_compiled = P.Exec.run_compiled ctx compiled in
   let diverged = not (A.Relation.equal r_interp r_compiled) in
@@ -207,7 +212,7 @@ let measure_entry ctx (name, plan) =
 (* ------------------------------------------------------------------ *)
 
 let write_json path ~n_docs ~paras ~seed ~cores results ~median_speedup
-    ~hit_rate =
+    ~median_compiled_ns ~hit_rate =
   let oc = open_out path in
   let entry r =
     Printf.sprintf
@@ -226,12 +231,13 @@ let write_json path ~n_docs ~paras ~seed ~cores results ~median_speedup
     \  \"reps\": %d,\n\
     \  \"entries\": [\n%s\n  ],\n\
     \  \"median_speedup\": %.2f,\n\
+    \  \"median_compiled_ns_per_row\": %.1f,\n\
     \  \"divergences\": %d,\n\
     \  \"plan_cache_hit_rate\": %.3f\n\
      }\n"
     n_docs paras seed cores P.Exec.block_size reps
     (String.concat ",\n" (List.map entry results))
-    median_speedup
+    median_speedup median_compiled_ns
     (List.length (List.filter (fun r -> r.diverged) results))
     hit_rate;
   close_out oc
@@ -270,6 +276,10 @@ let () =
         (if r.diverged then "  DIVERGED" else ""))
     results;
   let median_speedup = median (List.map (fun r -> r.speedup) results) in
+  (* absolute regression anchor: the median unfused-compiled ns/row over
+     the mix, recorded in the JSON so check_exec.sh can bound drift
+     against the committed value *)
+  let median_compiled_ns = median (List.map (fun r -> r.compiled_ns) results) in
   let divergences = List.filter (fun r -> r.diverged) results in
   (* plan-cache hit rate with compiled plans cached (PR 2 invariant) *)
   let engine = Engine.generate db in
@@ -284,7 +294,7 @@ let () =
     (hits + misses) (100. *. hit_rate) (100. *. min_hit_rate);
   write_json json_path ~n_docs ~paras ~seed
     ~cores:(Domain.recommended_domain_count ())
-    results ~median_speedup ~hit_rate;
+    results ~median_speedup ~median_compiled_ns ~hit_rate;
   Printf.printf "wrote %s\n" json_path;
   let failed = ref false in
   if divergences <> [] then begin

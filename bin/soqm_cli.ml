@@ -194,10 +194,15 @@ let explain_cmd =
         in
         let annot (c : Soqm_physical.Plan.compiled) =
           let e = Soqm_physical.Cost.estimate db.Db.stats c.Soqm_physical.Plan.source in
+          let fused =
+            match Soqm_physical.Plan.fused_count c with
+            | 0 -> ""
+            | n -> Printf.sprintf " fused=%d" n
+          in
           let est =
-            Printf.sprintf "width=%d est_rows=%.0f"
+            Printf.sprintf "width=%d est_rows=%.0f%s"
               (Soqm_algebra.Relation.Layout.width c.Soqm_physical.Plan.layout)
-              e.Soqm_physical.Cost.card
+              e.Soqm_physical.Cost.card fused
           in
           match actuals with
           | Some ns ->
@@ -211,8 +216,9 @@ let explain_cmd =
             in
             let pages =
               if db.Db.disk <> None then
-                Printf.sprintf " pages=%d"
+                Printf.sprintf " pages=%d bytes=%d"
                   ns.Soqm_physical.Exec.node_pages.(cid)
+                  ns.Soqm_physical.Exec.node_bytes.(cid)
               else ""
             in
             Printf.sprintf "(%s actual_rows=%d blocks=%d%s%s)" est
@@ -242,11 +248,12 @@ let explain_cmd =
   in
   let doc =
     "Print the optimized query's slot-compiled operator tree: per operator \
-     its output layout, layout width and estimated rows (from the collected \
-     statistics); with $(b,--analyze), also the actual rows and blocks \
+     its output layout, layout width, estimated rows (from the collected \
+     statistics) and the number of steps fused into one-pass kernels \
+     ($(b,fused=)); with $(b,--analyze), also the actual rows and blocks \
      observed by executing the plan (plus per-node morsel and partition \
-     counts when $(b,--jobs) is at least 2, and disk pages touched when \
-     run against a paged database, $(b,--db))."
+     counts when $(b,--jobs) is at least 2, and disk pages touched / bytes \
+     decoded when run against a paged database, $(b,--db))."
   in
   Cmd.v
     (Cmd.info "explain" ~doc)
@@ -545,6 +552,48 @@ let checkpoint_cmd =
   Cmd.v (Cmd.info "checkpoint" ~doc)
     Term.(ret (const run $ dir_pos_arg $ pool_pages_arg))
 
+let vacuum_cmd =
+  let cls_arg =
+    let doc =
+      "Class to vacuum (repeatable); without it, every schema class is \
+       vacuumed."
+    in
+    Arg.(value & opt_all string [] & info [ "class" ] ~docv:"CLASS" ~doc)
+  in
+  let run dir pool_pages classes =
+    store_errors @@ fun () ->
+      let d = Soqm_disk.Store.open_dir ?pool_pages dir in
+      let schema = Soqm_disk.Store.schema d in
+      let classes =
+        match classes with
+        | [] -> Soqm_vml.Schema.class_names schema
+        | cs -> cs
+      in
+      List.iter
+        (fun cls ->
+          let heap_bytes =
+            Soqm_disk.Store.data_pages d cls * Soqm_disk.Page.size
+          in
+          let rows = Soqm_disk.Store.vacuum d cls in
+          Printf.printf
+            "vacuumed %-12s %6d row(s): %7d heap byte(s) -> %7d columnar \
+             byte(s)\n"
+            cls rows heap_bytes
+            (Soqm_disk.Store.columnar_bytes d cls))
+        classes;
+      Soqm_disk.Store.close ~checkpoint:false d;
+      `Ok ()
+  in
+  let doc =
+    "Rewrite classes of a paged database as columnar segments: \
+     dictionary-encoded column chunks replace the slotted heap pages, \
+     the heap is emptied (subsequent DML lands there and shadows the \
+     columnar rows until the next vacuum), and scans decode only the \
+     columns they need.  Ends with a full checkpoint."
+  in
+  Cmd.v (Cmd.info "vacuum" ~doc)
+    Term.(ret (const run $ dir_pos_arg $ pool_pages_arg $ cls_arg))
+
 (* ------------------------------------------------------------------ *)
 (* stats: mixed read/write workload + maintenance report               *)
 (* ------------------------------------------------------------------ *)
@@ -636,15 +685,31 @@ let stats_cmd =
           (Printf.sprintf "%.6f" (Soqm_maintenance.Maintenance.staleness m));
         int "recollects" (Soqm_maintenance.Maintenance.recollects m)
       | None -> ());
-      if db.Db.disk <> None then begin
+      (match db.Db.disk with
+      | Some d ->
         int "pages_read" (C.pages_read s);
         int "pages_written" (C.pages_written s);
         int "pool_hits" (C.pool_hits s);
         int "pool_evictions" (C.pool_evictions s);
         int "wal_records" (C.wal_records s);
         int "wal_commits" (C.wal_commits s);
-        int "wal_fsyncs" (C.wal_fsyncs s)
-      end;
+        int "wal_fsyncs" (C.wal_fsyncs s);
+        int "bytes_read" (C.bytes_read s);
+        int "values_decoded" (C.values_decoded s);
+        let columnar = Soqm_disk.Store.columnar_classes d in
+        field "columnar_classes"
+          (Printf.sprintf "[%s]"
+             (String.concat ", "
+                (List.map (Printf.sprintf "%S") columnar)));
+        int "columnar_rows"
+          (List.fold_left
+             (fun acc cls -> acc + Soqm_disk.Store.columnar_rows d cls)
+             0 columnar);
+        int "columnar_tombstones"
+          (List.fold_left
+             (fun acc cls -> acc + Soqm_disk.Store.columnar_tombstones d cls)
+             0 columnar)
+      | None -> ());
       int "txn_begins" (C.txn_begins s);
       int "txn_commits" (C.txn_commits s);
       int "txn_conflicts" (C.txn_conflicts s);
@@ -762,8 +827,8 @@ let main =
   Cmd.group (Cmd.info "soqm" ~version:"1.0.0" ~doc)
     [
       run_cmd; explain_cmd; repl_cmd; schema_cmd; rules_cmd; save_cmd;
-      open_cmd; checkpoint_cmd; insert_cmd; update_cmd; delete_cmd; stats_cmd;
-      serve_cmd;
+      open_cmd; checkpoint_cmd; vacuum_cmd; insert_cmd; update_cmd; delete_cmd;
+      stats_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

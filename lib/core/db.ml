@@ -206,6 +206,13 @@ let load ?(maintain = true) ?(jobs = 1) path =
 let checkpoint t =
   match t.disk with Some d -> Disk.checkpoint d | None -> ()
 
+(* In-memory contents are unaffected (the store already materialized the
+   rows); only the disk representation changes. *)
+let vacuum t cls =
+  match t.disk with
+  | None -> invalid_arg "Db.vacuum: no attached disk store"
+  | Some d -> Disk.vacuum d cls
+
 let close t =
   match t.disk with
   | Some d ->

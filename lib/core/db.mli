@@ -104,6 +104,15 @@ val buffer_disk_ops : t -> (unit -> 'a) -> 'a * Soqm_disk.Wal.op list
     reentrant; callers must serialize (commit application already runs
     under the transaction manager's commit mutex). *)
 
+val vacuum : t -> string -> int
+(** Rewrite one class of the attached disk store as a columnar segment
+    ({!Soqm_disk.Store.vacuum}: dictionary-encoded column chunks,
+    emptied heap, class flagged in [meta]); returns the rows rewritten.
+    The in-memory image is unaffected — only the disk representation
+    (and the scan traffic model) changes.
+    @raise Invalid_argument when the database has no attached disk store.
+    @raise Soqm_disk.Store.Format_error for a class not in the schema. *)
+
 val checkpoint : t -> unit
 (** Flush dirty pages, fsync the segments and truncate the WAL of the
     attached disk store; no-op for in-memory databases. *)

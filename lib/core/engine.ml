@@ -50,10 +50,10 @@ let exec_ctx (database : Db.t) : Soqm_physical.Exec.ctx =
                (Object_store.counters database.Db.store)
                ~lo ~hi)
         else None);
-    scan_pages =
+    scan_cost =
       (fun ~cls ->
         match database.Db.disk with
-        | Some d -> Some (Soqm_disk.Store.touch_scan d cls)
+        | Some d -> Some (Soqm_disk.Store.scan_cost d cls)
         | None -> None);
   }
 

@@ -111,6 +111,24 @@ let unpin t ~cls ~page ~dirty =
         f.pins <- f.pins - 1;
         if dirty then f.dirty <- true)
 
+(* Invalidate every frame of one class WITHOUT write-back: after a vacuum
+   truncates the heap, cached images (dirty or not) describe pages that no
+   longer exist and must never reach the file. *)
+let drop_class t ~cls =
+  locked t (fun () ->
+      Array.iter
+        (fun f ->
+          if f.valid && String.equal f.cls cls then (
+            if f.pins > 0 then
+              invalid_arg "Buffer_pool.drop_class: page still pinned";
+            Hashtbl.remove t.table (f.cls, f.page);
+            f.valid <- false;
+            f.dirty <- false;
+            f.refbit <- false;
+            f.page <- -1;
+            f.cls <- ""))
+        t.frames)
+
 let flush t =
   locked t (fun () -> Array.iter (fun f -> if f.valid then write_back t f) t.frames)
 

@@ -37,5 +37,11 @@ val unpin : t -> cls:string -> page:int -> dirty:bool -> unit
 val flush : t -> unit
 (** Write back every dirty frame (they stay resident and clean). *)
 
+val drop_class : t -> cls:string -> unit
+(** Invalidate every resident frame of [cls] {e without} write-back —
+    used after vacuum truncates a heap segment, when cached images (even
+    dirty ones) describe pages that no longer exist.
+    @raise Invalid_argument if any of the class's pages is pinned. *)
+
 val resident : t -> (string * int) list
 (** Pages currently cached (for tests and stats). *)

@@ -123,6 +123,16 @@ let rec write_value buf (v : Value.t) =
         write_value buf v)
       entries
 
+(* element counts: each element costs at least [per] encoded byte(s), so
+   any count beyond the remaining input is corruption — checked before
+   allocating, so a damaged prefix can neither over-allocate nor escape
+   with [Invalid_argument] from [List.init] on a negative pattern *)
+let read_count ?(per = 1) c =
+  let n = read_uvarint c in
+  if n < 0 || n > (String.length c.data - c.p) / per then
+    corrupt "oversized element count";
+  n
+
 let rec read_value c : Value.t =
   match read_byte c with
   | 0 -> Value.Null
@@ -137,7 +147,7 @@ let rec read_value c : Value.t =
     Value.Obj (Oid.make ~cls ~id)
   | 7 -> Value.Cls (read_string c)
   | 8 ->
-    let n = read_uvarint c in
+    let n = read_count ~per:2 c in
     let comps =
       List.init n (fun _ ->
           let label = read_string c in
@@ -147,14 +157,13 @@ let rec read_value c : Value.t =
     (try Value.tuple comps
      with Invalid_argument _ -> corrupt "duplicate tuple label")
   | 9 ->
-    let n = read_uvarint c in
+    let n = read_count c in
     Value.set (List.init n (fun _ -> read_value c))
   | 10 ->
-    let n = read_uvarint c in
-    if n > String.length c.data - c.p then corrupt "oversized array";
+    let n = read_count c in
     Value.Arr (Array.init n (fun _ -> read_value c))
   | 11 ->
-    let n = read_uvarint c in
+    let n = read_count ~per:2 c in
     let entries =
       List.init n (fun _ ->
           let k = read_value c in
@@ -174,7 +183,7 @@ let write_props buf props =
     props
 
 let read_props c =
-  let n = read_uvarint c in
+  let n = read_count ~per:2 c in
   List.init n (fun _ ->
       let name = read_string c in
       let v = read_value c in

@@ -39,6 +39,9 @@ val cursor : ?pos:int -> string -> cursor
 val pos : cursor -> int
 (** Current read offset. *)
 
+val read_byte : cursor -> int
+(** One raw byte (encoding tags, bitmap bytes). *)
+
 val read_uvarint : cursor -> int
 val read_varint : cursor -> int
 val read_string : cursor -> string

@@ -1,0 +1,275 @@
+(* Column chunks: a batch of records decomposed into per-property
+   columns, the unit of the columnar segment format.
+
+   Payload layout (all integers LEB128 via [Codec]):
+
+     uvarint nrows
+     uvarint oid_bytes ∥ oid column      -- first id absolute, then deltas
+     uvarint ncols
+     ncols × (string name ∥ uvarint col_len)   -- the column directory
+     concatenated column bytes                  -- offsets implied by lens
+
+   Each column starts with one encoding byte and a presence bitmap of
+   ceil(nrows/8) bytes (bit i set = row i carries the property; an absent
+   property is distinct from an explicit Null).  Present values follow:
+
+     enc 0 (generic)  tagged [Codec.write_value]s — the fallback for
+                      mixed-type columns and any column holding explicit
+                      Nulls;
+     enc 1 (int)      zigzag varints, one per present row;
+     enc 2 (dict)     uvarint table size, the distinct strings in first-
+                      occurrence order, then one uvarint code per present
+                      row.
+
+   The directory-before-bytes layout lets a reader decode the chunk
+   header (ids + directory) and then touch only the columns a scan needs
+   — the byte and value counts it charges come from [col.clen] and the
+   bitmap, never from whole-chunk decoding.  Framing (length prefix +
+   CRC-32 trailer) belongs to [Colseg]; this module is the pure payload
+   codec and fails closed with [Codec.Corrupt] on any malformed input. *)
+
+open Soqm_vml
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Codec.Corrupt s)) fmt
+
+type column = { cname : string; coff : int; clen : int }
+
+type chunk = {
+  nrows : int;
+  ids : int array;  (** ascending OID ids, one per row *)
+  columns : column array;  (** directory, sorted by [cname] *)
+  payload : string;
+  meta_bytes : int;
+      (** bytes of header ∥ oid column ∥ directory — what any scan of the
+          chunk must decode before touching column bytes *)
+}
+
+let enc_generic = 0
+let enc_int = 1
+let enc_dict = 2
+let bitmap_bytes nrows = (nrows + 7) / 8
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick the tightest encoding the present values allow.  Explicit Nulls
+   force the generic encoding so typed columns never smuggle a Null
+   through an int/string decoder. *)
+let encoding_of values =
+  let all p = List.for_all (fun (_, v) -> p v) values in
+  if values = [] then enc_generic
+  else if all (function Value.Int _ -> true | _ -> false) then enc_int
+  else if all (function Value.Str _ -> true | _ -> false) then enc_dict
+  else enc_generic
+
+let encode_column ~nrows entries =
+  (* [entries]: (row index, value) pairs, ascending by row *)
+  let buf = Buffer.create 256 in
+  let enc = encoding_of entries in
+  Buffer.add_char buf (Char.chr enc);
+  let bitmap = Bytes.make (bitmap_bytes nrows) '\000' in
+  List.iter
+    (fun (i, _) ->
+      let b = Char.code (Bytes.get bitmap (i lsr 3)) in
+      Bytes.set bitmap (i lsr 3) (Char.chr (b lor (1 lsl (i land 7)))))
+    entries;
+  Buffer.add_bytes buf bitmap;
+  (if enc = enc_int then
+     List.iter
+       (fun (_, v) ->
+         match v with
+         | Value.Int n -> Codec.write_varint buf n
+         | _ -> assert false)
+       entries
+   else if enc = enc_dict then (
+     let table = Hashtbl.create 16 and order = ref [] and next = ref 0 in
+     let code s =
+       match Hashtbl.find_opt table s with
+       | Some c -> c
+       | None ->
+         let c = !next in
+         Hashtbl.add table s c;
+         order := s :: !order;
+         incr next;
+         c
+     in
+     let codes =
+       List.map
+         (fun (_, v) ->
+           match v with Value.Str s -> code s | _ -> assert false)
+         entries
+     in
+     Codec.write_uvarint buf !next;
+     List.iter (Codec.write_string buf) (List.rev !order);
+     List.iter (Codec.write_uvarint buf) codes)
+   else List.iter (fun (_, v) -> Codec.write_value buf v) entries);
+  Buffer.contents buf
+
+let encode rows =
+  let nrows = Array.length rows in
+  let buf = Buffer.create 4096 in
+  Codec.write_uvarint buf nrows;
+  (* oid column: first id absolute, then strictly positive deltas *)
+  let ob = Buffer.create 64 in
+  let prev = ref (-1) in
+  Array.iteri
+    (fun i (id, _) ->
+      if id < 0 then invalid_arg "Column.encode: negative oid";
+      if i = 0 then Codec.write_uvarint ob id
+      else if id <= !prev then invalid_arg "Column.encode: oids not ascending"
+      else Codec.write_uvarint ob (id - !prev);
+      prev := id)
+    rows;
+  Codec.write_uvarint buf (Buffer.length ob);
+  Buffer.add_buffer buf ob;
+  (* decompose rows into columns, sorted by property name *)
+  let by_name = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (_, props) ->
+      List.iter
+        (fun (name, v) ->
+          let prior =
+            Option.value ~default:[] (Hashtbl.find_opt by_name name)
+          in
+          Hashtbl.replace by_name name ((i, v) :: prior))
+        props)
+    rows;
+  let names =
+    List.sort String.compare
+      (Hashtbl.fold (fun name _ acc -> name :: acc) by_name [])
+  in
+  let cols =
+    List.map
+      (fun name ->
+        let entries = List.rev (Hashtbl.find by_name name) in
+        (name, encode_column ~nrows entries))
+      names
+  in
+  Codec.write_uvarint buf (List.length cols);
+  List.iter
+    (fun (name, bytes) ->
+      Codec.write_string buf name;
+      Codec.write_uvarint buf (String.length bytes))
+    cols;
+  List.iter (fun (_, bytes) -> Buffer.add_string buf bytes) cols;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let decode payload =
+  let limit = String.length payload in
+  let c = Codec.cursor payload in
+  let nrows = Codec.read_uvarint c in
+  if nrows < 0 || nrows > limit + 1 then corrupt "chunk row count %d" nrows;
+  let oid_bytes = Codec.read_uvarint c in
+  if oid_bytes < 0 || Codec.pos c + oid_bytes > limit then
+    corrupt "truncated oid column";
+  let oid_end = Codec.pos c + oid_bytes in
+  let ids = Array.make nrows 0 in
+  let prev = ref 0 in
+  for i = 0 to nrows - 1 do
+    if Codec.pos c >= oid_end then corrupt "short oid column";
+    let d = Codec.read_uvarint c in
+    let id = if i = 0 then d else !prev + d in
+    if i > 0 && id <= !prev then corrupt "oid column not ascending";
+    ids.(i) <- id;
+    prev := id
+  done;
+  if Codec.pos c <> oid_end then corrupt "oid column trailing bytes";
+  let ncols = Codec.read_uvarint c in
+  if ncols < 0 || ncols > limit then corrupt "chunk column count %d" ncols;
+  let dir =
+    Array.init ncols (fun _ ->
+        let name = Codec.read_string c in
+        let len = Codec.read_uvarint c in
+        if len < 0 then corrupt "negative column length";
+        (name, len))
+  in
+  let meta_bytes = Codec.pos c in
+  let off = ref meta_bytes in
+  let columns =
+    Array.map
+      (fun (cname, clen) ->
+        let coff = !off in
+        if coff + clen > limit then corrupt "truncated column %s" cname;
+        off := coff + clen;
+        { cname; coff; clen })
+      dir
+  in
+  if !off <> limit then corrupt "chunk trailing bytes";
+  Array.iteri
+    (fun i col ->
+      if i > 0 && String.compare columns.(i - 1).cname col.cname >= 0 then
+        corrupt "column directory not sorted")
+    columns;
+  { nrows; ids; columns; payload; meta_bytes }
+
+let find chunk name =
+  (* directory is sorted: binary search *)
+  let cols = chunk.columns in
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let cmp = String.compare name cols.(mid).cname in
+      if cmp = 0 then Some cols.(mid)
+      else if cmp < 0 then go lo mid
+      else go (mid + 1) hi
+  in
+  go 0 (Array.length cols)
+
+(* Present-row indexes from a column's bitmap, ascending. *)
+let presence chunk col =
+  let base = col.coff + 1 in
+  if col.clen < 1 + bitmap_bytes chunk.nrows then
+    corrupt "column %s shorter than its bitmap" col.cname;
+  let out = ref [] in
+  for i = chunk.nrows - 1 downto 0 do
+    let b = Char.code chunk.payload.[base + (i lsr 3)] in
+    if b land (1 lsl (i land 7)) <> 0 then out := i :: !out
+  done;
+  !out
+
+let read_column chunk col =
+  let present = presence chunk col in
+  let enc = Char.code chunk.payload.[col.coff] in
+  let stop = col.coff + col.clen in
+  let c =
+    Codec.cursor ~pos:(col.coff + 1 + bitmap_bytes chunk.nrows) chunk.payload
+  in
+  let out = Array.make chunk.nrows None in
+  let fill read = List.iter (fun i -> out.(i) <- Some (read ())) present in
+  (if enc = enc_int then fill (fun () -> Value.Int (Codec.read_varint c))
+   else if enc = enc_dict then (
+     let n = Codec.read_uvarint c in
+     if n < 0 || n > col.clen then corrupt "dictionary size %d" n;
+     let table = Array.init n (fun _ -> Codec.read_string c) in
+     fill (fun () ->
+         let code = Codec.read_uvarint c in
+         if code < 0 || code >= n then corrupt "dictionary code %d" code;
+         Value.Str table.(code)))
+   else if enc = enc_generic then fill (fun () -> Codec.read_value c)
+   else corrupt "unknown column encoding %d" enc);
+  if Codec.pos c > stop then corrupt "column %s overruns its extent" col.cname;
+  out
+
+(* Reassemble full records; properties come back sorted by name (the
+   on-disk column order), which the store treats as canonical. *)
+let rows chunk =
+  let cols =
+    Array.map (fun col -> (col.cname, read_column chunk col)) chunk.columns
+  in
+  Array.mapi
+    (fun i id ->
+      let props = ref [] in
+      for k = Array.length cols - 1 downto 0 do
+        let name, values = cols.(k) in
+        match values.(i) with
+        | Some v -> props := (name, v) :: !props
+        | None -> ()
+      done;
+      (id, !props))
+    chunk.ids

@@ -1,0 +1,58 @@
+(** Column chunk codec: batches of records decomposed into per-property
+    columns with dictionary-encoded strings, presence bitmaps and
+    LEB128-packed ints.
+
+    A chunk carries an ascending OID column, a directory of named
+    columns, then the column bytes.  Each column opens with an encoding
+    byte and a presence bitmap (absent property ≠ explicit Null; columns
+    holding explicit Nulls fall back to the generic tagged encoding, so
+    the int and string-dictionary encodings only ever hold typed
+    values).  The directory precedes the column bytes, so a reader can
+    decode the header and then touch only the columns a scan needs.
+
+    This is the pure payload codec: framing (length prefix + CRC-32
+    trailer) and file placement live in [Colseg].  Every decoder fails
+    closed with {!Codec.Corrupt} on malformed input. *)
+
+open Soqm_vml
+
+type column = private { cname : string; coff : int; clen : int }
+(** Directory entry: a named column spanning [clen] payload bytes at
+    [coff]. *)
+
+type chunk = private {
+  nrows : int;
+  ids : int array;  (** ascending OID ids, one per row *)
+  columns : column array;  (** directory, sorted by name *)
+  payload : string;
+  meta_bytes : int;
+      (** header ∥ oid column ∥ directory bytes — the fixed decode cost of
+          any scan of this chunk, before per-column bytes *)
+}
+
+val encode : (int * (string * Value.t) list) array -> string
+(** Encode records (OID id, properties) as a chunk payload.  Ids must be
+    strictly ascending ([Invalid_argument] otherwise — the vacuum path
+    feeds OID-sorted rows). *)
+
+val decode : string -> chunk
+(** Parse a payload: validates the row count, oid column, directory and
+    column extents (no trailing bytes, sorted directory).  Column bytes
+    are *not* decoded — use {!read_column}.
+    @raise Codec.Corrupt on any malformed payload. *)
+
+val find : chunk -> string -> column option
+(** Directory lookup by property name (binary search). *)
+
+val presence : chunk -> column -> int list
+(** Row indexes where the property is present, ascending (decoded from
+    the bitmap alone). *)
+
+val read_column : chunk -> column -> Value.t option array
+(** Decode one column into per-row values ([None] = property absent on
+    that row).
+    @raise Codec.Corrupt when the column bytes are malformed. *)
+
+val rows : chunk -> (int * (string * Value.t) list) array
+(** Reassemble all records; each property list comes back sorted by
+    name (the canonical on-disk order). *)

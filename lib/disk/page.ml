@@ -11,19 +11,71 @@ let is_blank page = Bytes.get_uint16_le page 0 = 0 && Bytes.get_uint16_le page 2
 let nslots page = Bytes.get_uint16_le page 0
 let free_end page = Bytes.get_uint16_le page 2
 let free_space page = free_end page - header - (slot_bytes * nslots page)
-let has_room page len = free_space page >= len + slot_bytes
 let slot_pos slot = header + (slot_bytes * slot)
+
+(* Live payload bytes: the record region spans [free_end, size); whatever
+   live slots don't account for is dead space left by deletions. *)
+let live_bytes page =
+  let live = ref 0 in
+  for slot = 0 to nslots page - 1 do
+    if Bytes.get_uint16_le page (slot_pos slot) <> 0 then
+      live := !live + Bytes.get_uint16_le page (slot_pos slot + 2)
+  done;
+  !live
+
+let dead_bytes page = size - free_end page - live_bytes page
+
+(* First reusable (deleted) slot directory entry, if any. *)
+let dead_slot page =
+  let n = nslots page in
+  let rec go slot =
+    if slot >= n then None
+    else if Bytes.get_uint16_le page (slot_pos slot) = 0 then Some slot
+    else go (slot + 1)
+  in
+  go 0
+
+(* Space one more record of [len] bytes needs: the payload plus a fresh
+   directory entry unless a dead slot can be recycled. *)
+let needed page len =
+  len + (match dead_slot page with Some _ -> 0 | None -> slot_bytes)
+
+let has_room page len = free_space page + dead_bytes page >= needed page len
+
+(* Repack live records against the page end, squeezing out dead space.
+   Slot numbers are stable: dead directory entries stay in place (zeroed)
+   so OID -> (page, slot) mappings survive. *)
+let compact page =
+  let scratch = Bytes.sub page 0 size in
+  let free_end = ref size in
+  for slot = 0 to nslots page - 1 do
+    let off = Bytes.get_uint16_le scratch (slot_pos slot) in
+    if off <> 0 then begin
+      let len = Bytes.get_uint16_le scratch (slot_pos slot + 2) in
+      free_end := !free_end - len;
+      Bytes.blit scratch off page !free_end len;
+      Bytes.set_uint16_le page (slot_pos slot) !free_end
+    end
+  done;
+  Bytes.set_uint16_le page 2 !free_end
 
 let insert page record =
   let len = String.length record in
   if not (has_room page len) then
     invalid_arg "Page.insert: record does not fit";
-  let slot = nslots page in
+  if free_space page < needed page len then compact page;
+  let slot, count =
+    match dead_slot page with
+    | Some slot -> (slot, nslots page)
+    | None ->
+        let slot = nslots page in
+        (slot, slot + 1)
+  in
   let off = free_end page - len in
   Bytes.blit_string record 0 page off len;
   Bytes.set_uint16_le page (slot_pos slot) off;
   Bytes.set_uint16_le page (slot_pos slot + 2) len;
-  Bytes.set_uint16_le page 0 (slot + 1);
+  Bytes.set_uint16_le page 0 count;
   Bytes.set_uint16_le page 2 off;
   slot
 

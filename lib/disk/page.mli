@@ -5,9 +5,11 @@
     record offset, u16 record length), and records packed from the page
     end toward the directory.  Slot 0 of a record is its stable in-page
     address: deleting marks the slot dead (offset 0) without renumbering,
-    so OID → (page, slot) mappings survive unrelated deletions.  Freed
-    record bytes are not compacted; space is reclaimed when the store
-    rewrites the page (checkpoint-time compaction is future work). *)
+    so OID → (page, slot) mappings survive unrelated deletions.  Dead
+    space is reclaimed on insert: when the contiguous watermark gap is
+    exhausted but dead record bytes (plus a recyclable dead slot entry)
+    would fit the record, the page compacts in place — live records are
+    repacked against the page end, keeping their slot numbers. *)
 
 val size : int
 (** Page size in bytes: 4096. *)
@@ -27,13 +29,23 @@ val nslots : bytes -> int
 (** Slots allocated so far, live or dead. *)
 
 val free_space : bytes -> int
-(** Bytes available for one more record plus its slot. *)
+(** Contiguous bytes between the slot directory and the record region
+    (the watermark gap, before any compaction). *)
+
+val dead_bytes : bytes -> int
+(** Record-region bytes occupied by deleted records, reclaimable by
+    in-page compaction. *)
 
 val has_room : bytes -> int -> bool
+(** Whether a record of this length fits, counting both the watermark gap
+    and compactable dead space, and the reuse of dead slot entries. *)
 
 val insert : bytes -> string -> int
-(** Append a record, returning its slot number.
-    @raise Invalid_argument when the record does not fit. *)
+(** Place a record, returning its slot number.  Recycles the first dead
+    slot entry if one exists, else appends a slot; compacts the page
+    first when the watermark gap alone is too small.
+    @raise Invalid_argument when the record does not fit even after
+    compaction. *)
 
 val delete : bytes -> int -> unit
 (** Mark a slot dead.  Idempotent; out-of-range slots are ignored (a

@@ -95,5 +95,11 @@ let write_page t n buf =
       really_write t.fd buf Page.size;
       if n > t.pages then t.pages <- n)
 
+let reset t =
+  locked t (fun () ->
+      Unix.ftruncate t.fd Page.size;
+      Unix.fsync t.fd;
+      t.pages <- 0)
+
 let sync t = locked t (fun () -> Unix.fsync t.fd)
 let close t = locked t (fun () -> Unix.close t.fd)

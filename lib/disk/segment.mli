@@ -32,6 +32,12 @@ val read_page : t -> int -> bytes -> unit
 val write_page : t -> int -> bytes -> unit
 (** Write data page [n >= 1], extending the file as needed. *)
 
+val reset : t -> unit
+(** Truncate back to the bare header page (zero data pages) and [fsync] —
+    the vacuum path empties the heap once its records have moved to the
+    columnar segment.  Any cached images of the old pages must be
+    invalidated by the caller ({!Buffer_pool.drop_class}). *)
+
 val sync : t -> unit
 (** [fsync] the heap file. *)
 

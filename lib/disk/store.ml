@@ -19,6 +19,12 @@ type t = {
   locs : (Oid.t, loc) Hashtbl.t;
   alloc : (string, int) Hashtbl.t;  (* cls -> allocated data pages *)
   fill : (string, int) Hashtbl.t;  (* cls -> current append page *)
+  (* columnar side: flagged classes keep their vacuumed base image in a
+     [Colseg]; the heap segment holds only post-vacuum DML (heap shadows
+     columnar), and [dead] tombstones hide deleted columnar rows *)
+  columnar : (string, unit) Hashtbl.t;
+  cols : (string, Colseg.t) Hashtbl.t;
+  dead : (string, (int, unit) Hashtbl.t) Hashtbl.t;
   mutable next_id : int;
   mutable recovered : int;
   mutable group : Group_commit.t option;
@@ -70,16 +76,34 @@ let locked t f =
 
 let allocated t cls = Option.value ~default:0 (Hashtbl.find_opt t.alloc cls)
 
+let dead_tbl t cls =
+  match Hashtbl.find_opt t.dead cls with
+  | Some d -> d
+  | None ->
+    let d = Hashtbl.create 16 in
+    Hashtbl.replace t.dead cls d;
+    d
+
+(* A columnar row is live unless tombstoned or shadowed by a heap copy
+   (post-vacuum updates re-insert into the heap; the heap always wins). *)
+let col_live t cls id =
+  (not (Hashtbl.mem (dead_tbl t cls) id))
+  && not (Hashtbl.mem t.locs (Oid.make ~cls ~id))
+
 (* ------------------------------------------------------------------ *)
 (* meta file                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let write_meta ~dir ~schema ~next_id =
+let write_meta ~dir ~schema ~next_id ~columnar =
   let buf = Buffer.create 512 in
   Buffer.add_string buf meta_magic;
   Codec.write_uvarint buf meta_version;
   Codec.write_uvarint buf next_id;
   Codec.write_schema buf schema;
+  (* the columnar-class list rides after the schema; metas written before
+     columnar segments existed simply end here, which reads as "none" *)
+  Codec.write_uvarint buf (List.length columnar);
+  List.iter (Codec.write_string buf) (List.sort String.compare columnar);
   let tmp = meta_file dir ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -110,7 +134,13 @@ let read_meta dir =
         meta_version;
     let next_id = Codec.read_uvarint c in
     let schema = Codec.read_schema c in
-    (schema, next_id)
+    let columnar =
+      if Codec.pos c >= String.length s then [] (* pre-columnar meta *)
+      else
+        let n = Codec.read_uvarint c in
+        List.init n (fun _ -> Codec.read_string c)
+    in
+    (schema, next_id, columnar)
   with Codec.Corrupt msg -> format_error "%s: corrupt meta file (%s)" dir msg
 
 (* ------------------------------------------------------------------ *)
@@ -163,6 +193,9 @@ let make ~dir ~schema ~pool_pages ~counters ~wal ~lockfd =
       locs = Hashtbl.create 1024;
       alloc = Hashtbl.create 8;
       fill = Hashtbl.create 8;
+      columnar = Hashtbl.create 4;
+      cols = Hashtbl.create 4;
+      dead = Hashtbl.create 4;
       next_id = 0;
       recovered = 0;
       group = None;
@@ -187,12 +220,15 @@ let create ?(pool_pages = 256) ?counters ~schema dir =
       if
         String.equal f "meta" || String.equal f "wal"
         || Filename.check_suffix f ".heap"
+        || Filename.check_suffix f ".col"
+        || Filename.check_suffix f ".dead"
+        || Filename.check_suffix f ".tmp"
       then Sys.remove (Filename.concat dir f))
     (Sys.readdir dir);
   let counters = Option.value ~default:(Counters.create ()) counters in
   let wal, _ = Wal.open_log ~counters (wal_file dir) in
   let t = make ~dir ~schema ~pool_pages ~counters ~wal ~lockfd in
-  write_meta ~dir ~schema ~next_id:t.next_id;
+  write_meta ~dir ~schema ~next_id:t.next_id ~columnar:[];
   t
 
 (* ------------------------------------------------------------------ *)
@@ -231,10 +267,16 @@ let insert_record t oid props =
   t.next_id <- max t.next_id (Oid.id oid + 1)
 
 let delete_record t oid =
+  let cls = Oid.cls oid in
+  (* tombstone any columnar copy first: once an OID is deleted (or about
+     to be replaced), the vacuumed row must never resurrect *)
+  (match Hashtbl.find_opt t.cols cls with
+  | Some cs when Colseg.mem cs (Oid.id oid) ->
+    Hashtbl.replace (dead_tbl t cls) (Oid.id oid) ()
+  | _ -> ());
   match Hashtbl.find_opt t.locs oid with
   | None -> ()
   | Some loc ->
-    let cls = Oid.cls oid in
     let data = Buffer_pool.pin t.pool ~cls ~page:loc.lpage in
     Page.delete data loc.lslot;
     Buffer_pool.unpin t.pool ~cls ~page:loc.lpage ~dirty:true;
@@ -242,7 +284,13 @@ let delete_record t oid =
 
 let read_record t oid =
   match Hashtbl.find_opt t.locs oid with
-  | None -> None
+  | None -> (
+    (* not in the heap: serve the columnar copy unless tombstoned *)
+    let cls = Oid.cls oid in
+    match Hashtbl.find_opt t.cols cls with
+    | Some cs when not (Hashtbl.mem (dead_tbl t cls) (Oid.id oid)) ->
+      Colseg.fetch cs (Oid.id oid)
+    | _ -> None)
   | Some loc ->
     let cls = Oid.cls oid in
     let data = Buffer_pool.pin t.pool ~cls ~page:loc.lpage in
@@ -334,7 +382,7 @@ let rebuild_directory t =
 let open_dir ?(pool_pages = 256) ?counters dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     format_error "%s: not a soqm database directory" dir;
-  let schema, meta_next_id = read_meta dir in
+  let schema, meta_next_id, columnar = read_meta dir in
   let lockfd = acquire_lock dir in
   let counters = Option.value ~default:(Counters.create ()) counters in
   let wal, batches =
@@ -344,7 +392,23 @@ let open_dir ?(pool_pages = 256) ?counters dir =
       raise e
   in
   let t = make ~dir ~schema ~pool_pages ~counters ~wal ~lockfd in
+  (* columnar segments load (and verify) before recovery: WAL redo may
+     tombstone or shadow their rows *)
+  List.iter
+    (fun cls ->
+      if not (List.mem cls (Schema.class_names schema)) then
+        format_error "%s: columnar flag for unknown class %s" dir cls;
+      Hashtbl.replace t.columnar cls ();
+      (try Hashtbl.replace t.cols cls (Colseg.load ~counters ~dir ~cls)
+       with Colseg.Format_error msg -> format_error "%s" msg);
+      try Hashtbl.replace t.dead cls (Colseg.load_dead ~dir ~cls)
+      with Colseg.Format_error msg -> format_error "%s" msg)
+    columnar;
   rebuild_directory t;
+  Hashtbl.iter
+    (fun _ cs ->
+      Colseg.iter_ids cs (fun id -> t.next_id <- max t.next_id (id + 1)))
+    t.cols;
   t.next_id <- max t.next_id meta_next_id;
   (* fill pointers resume at each segment's last page *)
   Hashtbl.iter (fun cls pages -> if pages > 0 then Hashtbl.replace t.fill cls pages) t.alloc;
@@ -355,20 +419,26 @@ let open_dir ?(pool_pages = 256) ?counters dir =
     batches;
   t
 
-let checkpoint t =
-  locked t (fun () ->
-      Buffer_pool.flush t.pool;
-      Hashtbl.iter (fun _ seg -> Segment.sync seg) t.segments;
-      write_meta ~dir:t.dir ~schema:t.schema ~next_id:t.next_id;
-      Wal.truncate t.wal)
+let columnar_list t =
+  Hashtbl.fold (fun cls () acc -> cls :: acc) t.columnar []
+
+(* WAL truncation makes replay unavailable, so everything the WAL was
+   covering must be durable first: dirty heap pages, and the columnar
+   tombstones accumulated since the last checkpoint. *)
+let checkpoint_locked t =
+  Buffer_pool.flush t.pool;
+  Hashtbl.iter (fun _ seg -> Segment.sync seg) t.segments;
+  Hashtbl.iter
+    (fun cls () -> Colseg.write_dead ~dir:t.dir ~cls (dead_tbl t cls))
+    t.columnar;
+  write_meta ~dir:t.dir ~schema:t.schema ~next_id:t.next_id
+    ~columnar:(columnar_list t);
+  Wal.truncate t.wal
+
+let checkpoint t = locked t (fun () -> checkpoint_locked t)
 
 let close ?(checkpoint = true) t =
-  if checkpoint then
-    locked t (fun () ->
-        Buffer_pool.flush t.pool;
-        Hashtbl.iter (fun _ seg -> Segment.sync seg) t.segments;
-        write_meta ~dir:t.dir ~schema:t.schema ~next_id:t.next_id;
-        Wal.truncate t.wal);
+  if checkpoint then locked t (fun () -> checkpoint_locked t);
   Hashtbl.iter (fun _ seg -> Segment.close seg) t.segments;
   Wal.close t.wal;
   Unix.close t.lockfd
@@ -381,14 +451,33 @@ let fetch t oid =
   locked t (fun () ->
       match read_record t oid with Some props -> props | None -> raise Not_found)
 
-let mem t oid = locked t (fun () -> Hashtbl.mem t.locs oid)
+let mem t oid =
+  locked t (fun () ->
+      Hashtbl.mem t.locs oid
+      ||
+      let cls = Oid.cls oid in
+      match Hashtbl.find_opt t.cols cls with
+      | Some cs -> Colseg.mem cs (Oid.id oid) && col_live t cls (Oid.id oid)
+      | None -> false)
 
 let extent t cls =
   locked t (fun () ->
-      Hashtbl.fold
-        (fun oid _ acc -> if String.equal (Oid.cls oid) cls then oid :: acc else acc)
-        t.locs []
-      |> List.sort (fun a b -> Int.compare (Oid.id a) (Oid.id b)))
+      let heap =
+        Hashtbl.fold
+          (fun oid _ acc ->
+            if String.equal (Oid.cls oid) cls then oid :: acc else acc)
+          t.locs []
+      in
+      let rows =
+        match Hashtbl.find_opt t.cols cls with
+        | None -> heap
+        | Some cs ->
+          let acc = ref heap in
+          Colseg.iter_ids cs (fun id ->
+              if col_live t cls id then acc := Oid.make ~cls ~id :: !acc);
+          !acc
+      in
+      List.sort (fun a b -> Int.compare (Oid.id a) (Oid.id b)) rows)
 
 (* One in-order pass over a class's pages through the pool.  [f] runs on
    the caller; with [prefetch] a helper domain pins pages ahead of the
@@ -454,11 +543,24 @@ let scan ?prefetch t cls =
                  is the live one *)
               match Hashtbl.find_opt t.locs oid with
               | Some loc when loc.lpage = page && loc.lslot = slot ->
+                Counters.charge_bytes_read t.counters (String.length record);
+                Counters.charge_values_decoded t.counters
+                  (1 + List.length props);
                 rows := (oid, props) :: !rows
               | _ -> ())
             | exception Codec.Corrupt msg ->
               format_error "%s/%s.heap page %d slot %d: %s" t.dir cls page slot
                 msg))
+  in
+  (* merge in the columnar base image (heap shadows and tombstones win) *)
+  let pages =
+    match Hashtbl.find_opt t.cols cls with
+    | None -> pages
+    | Some cs ->
+      Colseg.iter_rows cs (fun id props ->
+          if col_live t cls id then
+            rows := (Oid.make ~cls ~id, props) :: !rows);
+      pages + ((Colseg.total_bytes cs + Page.size - 1) / Page.size)
   in
   (* page order is insertion order except for relocated (updated) rows;
      sorting by serial restores allocation order exactly *)
@@ -484,6 +586,114 @@ let scan_all ?prefetch t =
 
 let touch_scan ?prefetch t cls = page_pass ?prefetch t cls ~f:(fun _ _ -> ())
 
+(* Per-query scan traffic model: pages driven through the pool plus the
+   bytes a scan of this class must decode — whole pages for the
+   row-slotted heap, chunk meta (header + oid column + directory) for the
+   columnar base image.  Charged to [bytes_read] so mixed workloads
+   accumulate a per-format byte picture; [values_decoded] is left to the
+   paths that actually decode. *)
+let scan_cost ?prefetch t cls =
+  let pages = page_pass ?prefetch t cls ~f:(fun _ _ -> ()) in
+  let bytes = pages * Page.size in
+  let bytes =
+    match Hashtbl.find_opt t.cols cls with
+    | None -> bytes
+    | Some cs -> bytes + Colseg.meta_bytes cs
+  in
+  if bytes > 0 then Counters.charge_bytes_read t.counters bytes;
+  (pages, bytes)
+
+(* Selective scan: per live row, the values of exactly [props] (argument
+   order, [None] = absent).  Columnar classes decode only those columns;
+   heap rows must decode whole records — the asymmetry the columnar
+   bench gate measures. *)
+let scan_columns t cls props =
+  let by_id (a, _) (b, _) = Int.compare (Oid.id a) (Oid.id b) in
+  let heap = ref [] in
+  ignore
+    (page_pass t cls ~f:(fun page data ->
+         Page.iter data (fun slot record ->
+             match decode_record ~cls record with
+             | oid, rprops -> (
+               match Hashtbl.find_opt t.locs oid with
+               | Some loc when loc.lpage = page && loc.lslot = slot ->
+                 Counters.charge_bytes_read t.counters (String.length record);
+                 Counters.charge_values_decoded t.counters
+                   (1 + List.length rprops);
+                 heap :=
+                   (oid, List.map (fun p -> List.assoc_opt p rprops) props)
+                   :: !heap
+               | _ -> ())
+             | exception Codec.Corrupt msg ->
+               format_error "%s/%s.heap page %d slot %d: %s" t.dir cls page
+                 slot msg)));
+  let heap = List.sort by_id !heap in
+  match Hashtbl.find_opt t.cols cls with
+  | None -> heap
+  | Some cs ->
+    (* chunks and the ids within them are ascending, so collecting in
+       reverse and reversing once restores allocation order without the
+       O(n log n) sort of the heap path; the liveness probes hoist their
+       common case — no tombstones, an empty (freshly vacuumed) heap
+       that cannot shadow anything — out of the per-row loop, skipping
+       the per-row [Oid] allocation and directory hash *)
+    let dead = dead_tbl t cls in
+    let no_dead = Hashtbl.length dead = 0 in
+    let no_heap = allocated t cls = 0 in
+    let acc = ref [] in
+    Colseg.iter_columns cs props (fun id vals ->
+        if
+          (no_dead || not (Hashtbl.mem dead id))
+          && (no_heap || not (Hashtbl.mem t.locs (Oid.make ~cls ~id)))
+        then acc := (Oid.make ~cls ~id, vals) :: !acc);
+    let cols_rows = List.rev !acc in
+    if heap == [] then cols_rows else List.merge by_id heap cols_rows
+
+(* ------------------------------------------------------------------ *)
+(* vacuum: row segments -> columnar                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite one class columnar: snapshot its live rows, write them as a
+   fresh [<cls>.col] (atomic rename), flag the class in [meta], then
+   empty the heap segment.  Crash-safe at every boundary: before the
+   meta write the flag is absent and the stale [.col] is ignored; after
+   it the heap still holds shadow copies with identical content until
+   the truncate, and the final checkpoint makes the whole move durable.
+   Post-vacuum DML lands in the (now empty) heap and shadows the
+   columnar image until the next vacuum folds it in. *)
+let vacuum t cls =
+  if not (List.mem cls (Schema.class_names t.schema)) then
+    format_error "%s: cannot vacuum unknown class %s" t.dir cls;
+  let rows, _ = scan t cls in
+  let rows =
+    Array.of_list (List.map (fun (oid, props) -> (Oid.id oid, props)) rows)
+  in
+  locked t (fun () ->
+      Colseg.write ~dir:t.dir ~cls rows;
+      Hashtbl.replace t.columnar cls ();
+      (try Hashtbl.replace t.cols cls (Colseg.load ~counters:t.counters ~dir:t.dir ~cls)
+       with Colseg.Format_error msg -> format_error "%s" msg);
+      Hashtbl.replace t.dead cls (Hashtbl.create 16);
+      Colseg.write_dead ~dir:t.dir ~cls (dead_tbl t cls);
+      write_meta ~dir:t.dir ~schema:t.schema ~next_id:t.next_id
+        ~columnar:(columnar_list t);
+      (* the columnar image is durable and flagged: empty the heap *)
+      Buffer_pool.drop_class t.pool ~cls;
+      (match Hashtbl.find_opt t.segments cls with
+      | Some seg -> Segment.reset seg
+      | None -> ());
+      Hashtbl.replace t.alloc cls 0;
+      Hashtbl.remove t.fill cls;
+      let stale =
+        Hashtbl.fold
+          (fun oid _ acc ->
+            if String.equal (Oid.cls oid) cls then oid :: acc else acc)
+          t.locs []
+      in
+      List.iter (Hashtbl.remove t.locs) stale;
+      checkpoint_locked t);
+  Array.length rows
+
 let bulk_load t ~next_id objects =
   locked t (fun () ->
       List.iter (fun (oid, props) -> insert_record t oid props) objects;
@@ -499,6 +709,23 @@ let counters t = t.counters
 let next_id t = t.next_id
 let data_pages t cls = allocated t cls
 let total_data_pages t = Hashtbl.fold (fun _ n acc -> acc + n) t.alloc 0
+let is_columnar t cls = Hashtbl.mem t.columnar cls
+let columnar_classes t = List.sort String.compare (columnar_list t)
+
+let columnar_bytes t cls =
+  match Hashtbl.find_opt t.cols cls with
+  | Some cs -> Colseg.total_bytes cs
+  | None -> 0
+
+let columnar_rows t cls =
+  match Hashtbl.find_opt t.cols cls with
+  | Some cs -> Colseg.row_count cs
+  | None -> 0
+
+let columnar_tombstones t cls =
+  match Hashtbl.find_opt t.dead cls with
+  | Some d -> Hashtbl.length d
+  | None -> 0
 let wal_bytes t = Wal.size t.wal
 let pool_pages t = Buffer_pool.capacity t.pool
 let recovered_batches t = t.recovered

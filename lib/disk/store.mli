@@ -104,6 +104,31 @@ val touch_scan : ?prefetch:bool -> t -> string -> int
     materialized store); returns pages touched.  Charged to the pool
     counters like any other access. *)
 
+val scan_cost : ?prefetch:bool -> t -> string -> int * int
+(** {!touch_scan} plus the byte side of the traffic model: [(pages,
+    bytes)] where bytes is whole pages for a row-slotted class and chunk
+    meta (header + oid column + directory) for a columnar one.  Charges
+    the bytes to [Counters.bytes_read] — the [bytes=] column of
+    [explain --analyze]. *)
+
+val scan_columns :
+  t -> string -> string list -> (Oid.t * Value.t option list) list
+(** Selective scan: per live row, the values of exactly these properties
+    (argument order, [None] = absent), sorted by OID serial.  Columnar
+    classes decode only the named columns (charging their byte extents);
+    row-slotted classes must decode whole records. *)
+
+val vacuum : t -> string -> int
+(** Rewrite one class as a columnar segment (dictionary-encoded column
+    chunks) and empty its heap; the class is flagged in [meta] so
+    reopens load the columnar image.  Subsequent DML lands in the heap
+    and shadows the columnar rows until the next vacuum folds it in.
+    Ends with a full {!checkpoint}; returns the rows rewritten.
+    Crash-safe: the segment is replaced atomically and the flag is
+    written before the heap truncate, so every intermediate state opens
+    to the same live rows.
+    @raise Format_error for a class not in the schema. *)
+
 val bulk_load :
   t -> next_id:int -> (Oid.t * (string * Value.t) list) list -> unit
 (** Write a base image (no WAL records) and {!checkpoint}.  Used by
@@ -119,6 +144,23 @@ val data_pages : t -> string -> int
     yet flushed). *)
 
 val total_data_pages : t -> int
+
+val is_columnar : t -> string -> bool
+(** Whether the class's base image lives in a columnar segment. *)
+
+val columnar_classes : t -> string list
+
+val columnar_bytes : t -> string -> int
+(** Chunk payload bytes of the class's columnar segment (0 when not
+    columnar). *)
+
+val columnar_rows : t -> string -> int
+(** Rows in the columnar base image (including shadowed/tombstoned
+    ones). *)
+
+val columnar_tombstones : t -> string -> int
+(** Columnar rows deleted since the last vacuum. *)
+
 val wal_bytes : t -> int
 val pool_pages : t -> int
 val recovered_batches : t -> int

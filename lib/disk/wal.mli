@@ -24,6 +24,11 @@ type op =
 
 type t
 
+val crc32 : string -> int
+(** IEEE CRC-32 of a payload, as used in WAL frame headers.  Exposed so
+    other on-disk structures (column-chunk trailers) share one checksum
+    implementation. *)
+
 val open_log : counters:Counters.t -> string -> t * op list list
 (** Open (creating if absent) and recover: returns the handle and the
     committed batches in commit order.  The on-disk file is truncated to

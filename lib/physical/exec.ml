@@ -14,7 +14,7 @@ type ctx = {
     lo:Soqm_storage.Sorted_index.bound ->
     hi:Soqm_storage.Sorted_index.bound ->
     Oid.t list option;
-  scan_pages : cls:string -> int option;
+  scan_cost : cls:string -> (int * int) option;
 }
 
 let basic_ctx store =
@@ -22,7 +22,7 @@ let basic_ctx store =
     store;
     probe_index = (fun ~cls:_ ~prop:_ _ -> None);
     probe_range = (fun ~cls:_ ~prop:_ ~lo:_ ~hi:_ -> None);
-    scan_pages = (fun ~cls:_ -> None);
+    scan_cost = (fun ~cls:_ -> None);
   }
 
 type iter = { next : unit -> Relation.tuple option; close : unit -> unit }
@@ -422,6 +422,7 @@ type node_stats = {
   node_morsels : int array;
   node_partitions : int array;
   node_pages : int array;
+  node_bytes : int array;
 }
 
 let make_stats c =
@@ -432,6 +433,7 @@ let make_stats c =
     node_morsels = Array.make n 0;
     node_partitions = Array.make n 0;
     node_pages = Array.make n 0;
+    node_bytes = Array.make n 0;
   }
 
 (* -- row kernels ---------------------------------------------------- *)
@@ -533,6 +535,13 @@ let make_copier (srcs : int array) : Relation.Row.t -> Relation.Row.t =
   | [| a; b |] -> fun r -> [| r.(a); r.(b) |]
   | [| a; b; c |] -> fun r -> [| r.(a); r.(b); r.(c) |]
   | [| a; b; c; d |] -> fun r -> [| r.(a); r.(b); r.(c); r.(d) |]
+  | [| a; b; c; d; e |] -> fun r -> [| r.(a); r.(b); r.(c); r.(d); r.(e) |]
+  | [| a; b; c; d; e; f |] ->
+    fun r -> [| r.(a); r.(b); r.(c); r.(d); r.(e); r.(f) |]
+  | [| a; b; c; d; e; f; g |] ->
+    fun r -> [| r.(a); r.(b); r.(c); r.(d); r.(e); r.(f); r.(g) |]
+  | [| a; b; c; d; e; f; g; h |] ->
+    fun r -> [| r.(a); r.(b); r.(c); r.(d); r.(e); r.(f); r.(g); r.(h) |]
   | _ -> fun r -> copy_row srcs r
 
 (* Growable row buffer for kernels whose output cardinality is not
@@ -598,6 +607,189 @@ let op_applier op (args : Plan.slot_operand array) : Relation.Row.t -> Value.t =
       try Runtime.eval_binop b (gx row) (gy row)
       with Runtime.Error msg -> error "%s" msg)
   | _ -> fun row -> eval_op op (args_of getters row)
+
+(* -- fused kernels --------------------------------------------------- *)
+
+(* The serial path memoizes with one shared table per step; the parallel
+   path must not share tables across domains, so each worker gets its
+   own ([per_worker_memo]).  This record abstracts the difference for
+   the shared step compiler below. *)
+type memoizer = { memo : 'a 'b. ('a -> 'b) -> w:int -> 'a -> 'b }
+
+let shared_memo =
+  { memo = (fun f -> let m = memoized1 f in fun ~w:_ key -> m key) }
+
+(* Compile a fused chain's steps into per-row register kernels: each
+   step reads/writes the register buffer in place and reports whether
+   the row survives (filters short-circuit the rest of the chain).
+   Registers are plain [Value.t array]s, so the slot/receiver getters
+   apply unchanged. *)
+let fused_steps_of ctx (mk : memoizer) (f : Plan.fused) :
+    (w:int -> Value.t array -> bool) array =
+  Array.map
+    (fun (step : Plan.fstep) ->
+      match step with
+      | Plan.FFilter (cmp, x, y) ->
+        (* operands resolved at compile time: the hot slot/const shapes
+           index the registers directly instead of paying an unknown
+           getter call per operand per row *)
+        (match x, y with
+        | Plan.SSlot i, Plan.SSlot j ->
+          fun ~w:_ regs -> Value.truthy (eval_cmp cmp regs.(i) regs.(j))
+        | Plan.SSlot i, Plan.SConst v ->
+          fun ~w:_ regs -> Value.truthy (eval_cmp cmp regs.(i) v)
+        | Plan.SConst v, Plan.SSlot j ->
+          fun ~w:_ regs -> Value.truthy (eval_cmp cmp v regs.(j))
+        | Plan.SConst u, Plan.SConst v ->
+          fun ~w:_ _ -> Value.truthy (eval_cmp cmp u v))
+      | Plan.FProp (r, p, recv) ->
+        let access =
+          mk.memo (fun rv ->
+              try Runtime.access ctx.store rv p
+              with Runtime.Error msg -> error "%s" msg)
+        in
+        fun ~w regs ->
+          regs.(r) <- access ~w regs.(recv);
+          true
+      | Plan.FMeth (r, m, recv, args) ->
+        let grecv = receiver_getter recv in
+        let getters = Array.map slot_getter args in
+        let call =
+          mk.memo (fun (rv, avs) ->
+              try Runtime.invoke ctx.store rv m avs
+              with Runtime.Error msg -> error "%s" msg)
+        in
+        fun ~w regs ->
+          regs.(r) <- call ~w (grecv regs, args_of getters regs);
+          true
+      | Plan.FOp (r, op, xs) ->
+        (* same direct-indexing specialization for the common arities *)
+        (match op, xs with
+        | Restricted.OpIdent, [| Plan.SSlot i |] ->
+          fun ~w:_ regs ->
+            regs.(r) <- regs.(i);
+            true
+        | Restricted.OpIdent, [| Plan.SConst v |] ->
+          fun ~w:_ regs ->
+            regs.(r) <- v;
+            true
+        | Restricted.OpBin b, [| Plan.SSlot i; Plan.SSlot j |] ->
+          fun ~w:_ regs ->
+            regs.(r) <-
+              (try Runtime.eval_binop b regs.(i) regs.(j)
+               with Runtime.Error msg -> error "%s" msg);
+            true
+        | Restricted.OpBin b, [| Plan.SSlot i; Plan.SConst v |] ->
+          fun ~w:_ regs ->
+            regs.(r) <-
+              (try Runtime.eval_binop b regs.(i) v
+               with Runtime.Error msg -> error "%s" msg);
+            true
+        | Restricted.OpBin b, [| Plan.SConst v; Plan.SSlot j |] ->
+          fun ~w:_ regs ->
+            regs.(r) <-
+              (try Runtime.eval_binop b v regs.(j)
+               with Runtime.Error msg -> error "%s" msg);
+            true
+        | _ ->
+          let apply = op_applier op xs in
+          fun ~w:_ regs ->
+            regs.(r) <- apply regs;
+            true))
+    f.Plan.fsteps
+
+(* Whether the fused output row is the whole register file in order.
+   True for every chain not topped by a projection (the output layout
+   is a permutation of the registers; identity iff each map's sorted
+   layout position happened to match its step order) — then the per-row
+   register buffer doubles as the output row and there is no copy-out.
+   For a pure selection chain ([fregs = fin_width]) it means surviving
+   input rows pass through untouched. *)
+let fused_out_is_regs (f : Plan.fused) =
+  Array.length f.Plan.fout = f.Plan.fregs
+  &&
+  let ok = ref true in
+  Array.iteri (fun i s -> if s <> i then ok := false) f.Plan.fout;
+  !ok
+
+(* Seed a fused chain's register file from the input row: registers
+   0..fin_width-1 hold the row's slots, map targets start Null.  A
+   fresh buffer per row, for the same reason [make_inserter] builds
+   literals: a young block whose initializing stores skip the write
+   barrier, so the steps' register stores all take the barrier's
+   minor-heap quick path.  (The obvious alternative — one long-lived
+   scratch buffer reused across rows — makes every register store an
+   old-heap [caml_modify] that grows the remembered set, and measures
+   ~40% slower than the unfused operators fusion replaces.)  Hot
+   shapes are literals; wide register files fall back to
+   [Array.make]/[Array.blit]. *)
+let make_seeder ~fin_width ~fregs : Relation.Row.t -> Relation.Row.t =
+  let o = Value.Null in
+  match fin_width, fregs - fin_width with
+  | _, 0 ->
+    (* pure selection chain: no step writes, the row is the register
+       file *)
+    Fun.id
+  | 1, 1 -> fun r -> [| r.(0); o |]
+  | 1, 2 -> fun r -> [| r.(0); o; o |]
+  | 1, 3 -> fun r -> [| r.(0); o; o; o |]
+  | 1, 4 -> fun r -> [| r.(0); o; o; o; o |]
+  | 1, 5 -> fun r -> [| r.(0); o; o; o; o; o |]
+  | 1, 6 -> fun r -> [| r.(0); o; o; o; o; o; o |]
+  | 2, 1 -> fun r -> [| r.(0); r.(1); o |]
+  | 2, 2 -> fun r -> [| r.(0); r.(1); o; o |]
+  | 2, 3 -> fun r -> [| r.(0); r.(1); o; o; o |]
+  | 2, 4 -> fun r -> [| r.(0); r.(1); o; o; o; o |]
+  | 3, 1 -> fun r -> [| r.(0); r.(1); r.(2); o |]
+  | 3, 2 -> fun r -> [| r.(0); r.(1); r.(2); o; o |]
+  | 3, 3 -> fun r -> [| r.(0); r.(1); r.(2); o; o; o |]
+  | 4, 1 -> fun r -> [| r.(0); r.(1); r.(2); r.(3); o |]
+  | 4, 2 -> fun r -> [| r.(0); r.(1); r.(2); r.(3); o; o |]
+  | _ ->
+    fun r ->
+      let s = Array.make fregs o in
+      Array.blit r 0 s 0 fin_width;
+      s
+
+(* Rejection marker for the fused row kernel: the empty-array atom,
+   physically distinct from every register buffer (those are at least
+   the input row's width, and relations never carry zero-width rows).
+   Returning it instead of [None] keeps the surviving-row path free of
+   option boxing. *)
+let fused_rejected : Relation.Row.t = [||]
+
+(* Top-level, not nested below: a nested [let rec] would capture its
+   environment and heap-allocate one closure per row. *)
+let rec run_steps (steps : (w:int -> Value.t array -> bool) array) ~w regs i n
+    =
+  i >= n || (steps.(i) ~w regs && run_steps steps ~w regs (i + 1) n)
+
+(* Collapse the step array into one conjunction at open time: short
+   chains — the common case — dispatch each step from a register of the
+   caller, with no per-row array indexing or loop bookkeeping. *)
+let step_runner (steps : (w:int -> Value.t array -> bool) array) :
+    w:int -> Value.t array -> bool =
+  match steps with
+  | [| a |] -> a
+  | [| a; b |] -> fun ~w regs -> a ~w regs && b ~w regs
+  | [| a; b; c |] -> fun ~w regs -> a ~w regs && b ~w regs && c ~w regs
+  | [| a; b; c; d |] ->
+    fun ~w regs -> a ~w regs && b ~w regs && c ~w regs && d ~w regs
+  | [| a; b; c; d; e |] ->
+    fun ~w regs ->
+      a ~w regs && b ~w regs && c ~w regs && d ~w regs && e ~w regs
+  | [| a; b; c; d; e; f |] ->
+    fun ~w regs ->
+      a ~w regs && b ~w regs && c ~w regs && d ~w regs && e ~w regs
+      && f ~w regs
+  | _ -> fun ~w regs -> run_steps steps ~w regs 0 (Array.length steps)
+
+(* One row through the chain: seed registers, run the steps (filters
+   short-circuit), return the register file — the caller reads (or
+   keeps) it before the next row builds a fresh one. *)
+let fused_row run ~seed ~w row =
+  let regs = seed row in
+  if run ~w regs then regs else fused_rejected
 
 let open_compiled ?stats ctx (root : Plan.compiled) : biter =
   let cnt = counters ctx in
@@ -742,12 +934,16 @@ let open_compiled ?stats ctx (root : Plan.compiled) : biter =
         try Object_store.extent ctx.store cls
         with Invalid_argument msg -> error "%s" msg
       in
-      (* an attached disk store drives the scan's page sequence through
-         its buffer pool (charging pool counters) and reports the pages *)
-      (match ctx.scan_pages ~cls with
-      | Some pages -> (
+      (* an attached disk store drives the scan's traffic model through
+         its buffer pool (charging pool counters) and reports the pages
+         touched and bytes decoded — whole pages for a row-slotted
+         class, chunk metadata for a columnar one *)
+      (match ctx.scan_cost ~cls with
+      | Some (pages, bytes) -> (
         match stats with
-        | Some s -> s.node_pages.(cid) <- s.node_pages.(cid) + pages
+        | Some s ->
+          s.node_pages.(cid) <- s.node_pages.(cid) + pages;
+          s.node_bytes.(cid) <- s.node_bytes.(cid) + bytes
         | None -> ())
       | None -> ());
       scan_blocks ~charge:true cid (fun o -> Value.Obj o) oids
@@ -1050,6 +1246,59 @@ let open_compiled ?stats ctx (root : Plan.compiled) : biter =
             Relation.RowTbl.add seen projected ();
             Some projected
           end)
+    | Plan.CFused (f, input) ->
+      let run = step_runner (fused_steps_of ctx shared_memo f) in
+      let seed = make_seeder ~fin_width:f.Plan.fin_width ~fregs:f.Plan.fregs in
+      let eval_regs row = fused_row run ~seed ~w:0 row in
+      if f.Plan.fdedup then
+        (* dedup mirrors the standalone projection kernels: values keyed
+           directly when one column survives, RowTbl otherwise *)
+        (match f.Plan.fout with
+        | [| src |] ->
+          let seen = Hashtbl.create 256 in
+          filtering ~charge:true cid (go input) (fun row ->
+              let regs = eval_regs row in
+              if regs == fused_rejected then None
+              else
+                let v = regs.(src) in
+                if Hashtbl.mem seen v then None
+                else begin
+                  Hashtbl.add seen v ();
+                  Some [| v |]
+                end)
+        | srcs ->
+          let proj = make_copier srcs in
+          let seen = Relation.RowTbl.create 256 in
+          filtering ~charge:true cid (go input) (fun row ->
+              let regs = eval_regs row in
+              if regs == fused_rejected then None
+              else
+                let projected = proj regs in
+                if Relation.RowTbl.mem seen projected then None
+                else begin
+                  Relation.RowTbl.add seen projected ();
+                  Some projected
+                end))
+      else begin
+        (* non-dedup: the register file is fresh per row, so when the
+           output is the whole file it is emitted as-is — one allocation
+           per surviving row, no option boxing anywhere *)
+        let out_of =
+          if fused_out_is_regs f then Fun.id else make_copier f.Plan.fout
+        in
+        expanding ~charge:true cid (go input) (fun rows ->
+            let n = Array.length rows in
+            let buf = Array.make n [||] in
+            let k = ref 0 in
+            for i = 0 to n - 1 do
+              let regs = eval_regs rows.(i) in
+              if regs != fused_rejected then begin
+                buf.(!k) <- out_of regs;
+                incr k
+              end
+            done;
+            if !k = n then buf else Array.sub buf 0 !k)
+      end
   in
   go root
 
@@ -1236,10 +1485,12 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
         with Invalid_argument msg -> error "%s" msg
       in
       Counters.charge_object_fetches cnt (List.length oids);
-      (match ctx.scan_pages ~cls with
-      | Some pages -> (
+      (match ctx.scan_cost ~cls with
+      | Some (pages, bytes) -> (
         match stats with
-        | Some s -> s.node_pages.(cid) <- s.node_pages.(cid) + pages
+        | Some s ->
+          s.node_pages.(cid) <- s.node_pages.(cid) + pages;
+          s.node_bytes.(cid) <- s.node_bytes.(cid) + bytes
         | None -> ())
       | None -> ());
       scan_rows cid oids
@@ -1658,11 +1909,108 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       let out = Rowbuf.contents acc in
       Counters.charge_tuples cnt (Array.length out);
       record cid ~morsels:m ~partitions:0 out
+    | Plan.CFused (f, input) ->
+      let run = step_runner (fused_steps_of ctx { memo = per_worker_memo } f) in
+      let seed = make_seeder ~fin_width:f.Plan.fin_width ~fregs:f.Plan.fregs in
+      (* register buffers are fresh per row (see [make_seeder]), so
+         workers share nothing but the steps *)
+      let eval_regs ~w row = fused_row run ~seed ~w row in
+      let rows = eval input in
+      let n = Array.length rows in
+      let m = morsels_of n in
+      if not f.Plan.fdedup then begin
+        let out_of =
+          if fused_out_is_regs f then Fun.id else make_copier f.Plan.fout
+        in
+        let out =
+          chunked n (fun ~w ~lo ~hi ->
+              let buf = Array.make (hi - lo) [||] in
+              let k = ref 0 in
+              for i = lo to hi - 1 do
+                let regs = eval_regs ~w rows.(i) in
+                if regs != fused_rejected then begin
+                  buf.(!k) <- out_of regs;
+                  incr k
+                end
+              done;
+              if !k = hi - lo then buf else Array.sub buf 0 !k)
+        in
+        Counters.charge_tuples cnt (Array.length out);
+        record cid ~morsels:m ~partitions:0 out
+      end
+      else begin
+        (* per-morsel local dedup + serial merge in morsel order: the
+           survivors are exactly the first occurrences a serial pass
+           would keep, in the same order (same argument as the
+           standalone projection kernels above) *)
+        let locals = Array.make (max 1 m) [||] in
+        let out =
+          match f.Plan.fout with
+          | [| src |] ->
+            parallel_for m (fun ~w mi ->
+                let lo = mi * morsel_size in
+                let hi = min n (lo + morsel_size) in
+                let seen = Hashtbl.create 64 in
+                let acc = Rowbuf.create () in
+                for j = lo to hi - 1 do
+                  let regs = eval_regs ~w rows.(j) in
+                  if regs != fused_rejected then begin
+                    let v = regs.(src) in
+                    if not (Hashtbl.mem seen v) then begin
+                      Hashtbl.add seen v ();
+                      Rowbuf.push acc [| v |]
+                    end
+                  end
+                done;
+                locals.(mi) <- Rowbuf.contents acc);
+            let seen = Hashtbl.create 256 in
+            let acc = Rowbuf.create () in
+            Array.iter
+              (Array.iter (fun row ->
+                   let v = row.(0) in
+                   if not (Hashtbl.mem seen v) then begin
+                     Hashtbl.add seen v ();
+                     Rowbuf.push acc row
+                   end))
+              locals;
+            Rowbuf.contents acc
+          | srcs ->
+            let proj = make_copier srcs in
+            parallel_for m (fun ~w mi ->
+                let lo = mi * morsel_size in
+                let hi = min n (lo + morsel_size) in
+                let seen = Relation.RowTbl.create 64 in
+                let acc = Rowbuf.create () in
+                for j = lo to hi - 1 do
+                  let regs = eval_regs ~w rows.(j) in
+                  if regs != fused_rejected then begin
+                    let projected = proj regs in
+                    if not (Relation.RowTbl.mem seen projected) then begin
+                      Relation.RowTbl.add seen projected ();
+                      Rowbuf.push acc projected
+                    end
+                  end
+                done;
+                locals.(mi) <- Rowbuf.contents acc);
+            let seen = Relation.RowTbl.create 256 in
+            let acc = Rowbuf.create () in
+            Array.iter
+              (Array.iter (fun projected ->
+                   if not (Relation.RowTbl.mem seen projected) then begin
+                     Relation.RowTbl.add seen projected ();
+                     Rowbuf.push acc projected
+                   end))
+              locals;
+            Rowbuf.contents acc
+        in
+        Counters.charge_tuples cnt (Array.length out);
+        record cid ~morsels:m ~partitions:0 out
+      end
   in
   eval root
 
-let compile ctx plan =
-  try Plan.compile plan
+let compile ?fuse ctx plan =
+  try Plan.compile ?fuse plan
   with Plan.Compile_error msg ->
     Counters.charge_slot_miss (counters ctx);
     error "%s" msg

@@ -38,12 +38,14 @@ type ctx = {
     hi:Soqm_storage.Sorted_index.bound ->
     Oid.t list option;
       (** probe an ordered index if one exists on [cls.prop] *)
-  scan_pages : cls:string -> int option;
-      (** touch the class extent's pages in an attached paged disk store
-          ([Soqm_disk]), returning how many pages the scan covered, or
-          [None] when the database is purely in-memory.  Full scans call
-          this so disk-backed databases drive real buffer-pool traffic
-          (and the [pages=] column of [explain --analyze]). *)
+  scan_cost : cls:string -> (int * int) option;
+      (** drive the class extent's traffic through an attached paged disk
+          store ([Soqm_disk]), returning [(pages touched, bytes decoded)]
+          — whole pages for a row-slotted class, chunk metadata for a
+          columnar one — or [None] when the database is purely
+          in-memory.  Full scans call this so disk-backed databases
+          charge real buffer-pool traffic (and the [pages=] / [bytes=]
+          columns of [explain --analyze]). *)
 }
 
 val basic_ctx : Object_store.t -> ctx
@@ -89,18 +91,23 @@ type node_stats = {
           operators; 1 when a tiny build side collapsed to a single
           shared table) *)
   node_pages : int array;
-      (** disk pages touched by full scans of this node ([ctx.scan_pages]);
+      (** disk pages touched by full scans of this node ([ctx.scan_cost]);
           0 for in-memory databases *)
+  node_bytes : int array;
+      (** bytes the storage layer decoded for full scans of this node —
+          whole pages for row-slotted classes, chunk metadata for
+          columnar ones; 0 for in-memory databases *)
 }
 (** Per-operator actuals, indexed by [Plan.compiled] node id — the
     [explain --analyze] sink. *)
 
 val make_stats : Plan.compiled -> node_stats
 
-val compile : ctx -> Plan.t -> Plan.compiled
-(** {!Plan.compile}, with compile failures charged to the slot-miss
-    counter and re-raised as {!Error} (same messages the interpreted
-    executor raises at run time). *)
+val compile : ?fuse:bool -> ctx -> Plan.t -> Plan.compiled
+(** {!Plan.compile} (chain fusion on by default; [~fuse:false] keeps
+    the one-operator-per-node tree), with compile failures charged to
+    the slot-miss counter and re-raised as {!Error} (same messages the
+    interpreted executor raises at run time). *)
 
 val open_compiled : ?stats:node_stats -> ctx -> Plan.compiled -> biter
 (** Open the root block iterator.  Every emitted block charges the

@@ -115,6 +115,27 @@ let fail fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
 type slot_operand = SSlot of int | SConst of Value.t
 type slot_receiver = RSlot of int | RClassObj of string
 
+(* Fused select/map/project chains: a maximal run of filters and 1:1
+   maps (optionally topped by a projection) collapses into one kernel
+   that evaluates all steps over a register buffer in a single pass per
+   input row — no intermediate blocks, no intermediate row allocation.
+   Registers 0..fin_width-1 are the input row's slots in order; each map
+   step appends one register.  Operands inside steps index registers,
+   not layout slots. *)
+type fstep =
+  | FFilter of Restricted.cmp * slot_operand * slot_operand
+  | FProp of int * string * int  (* target register, property, receiver *)
+  | FMeth of int * string * slot_receiver * slot_operand array
+  | FOp of int * Restricted.opname * slot_operand array
+
+type fused = {
+  fsteps : fstep array;  (* bottom-to-top: execution order *)
+  fin_width : int;  (* input row width = initial register count *)
+  fregs : int;  (* total registers = fin_width + number of map steps *)
+  fout : int array;  (* registers copied to the output row, in order *)
+  fdedup : bool;  (* a projection tops the chain: set semantics *)
+}
+
 type compiled = {
   cid : int;
   layout : Relation.Layout.t;
@@ -141,8 +162,9 @@ and cop =
   | CMapOp of int * Restricted.opname * slot_operand array * compiled
   | CFlatOp of int * Restricted.opname * slot_operand array * compiled
   | CProject of int array * compiled
+  | CFused of fused * compiled
 
-let compile (plan : t) : compiled =
+let compile_tree (plan : t) : compiled =
   let next = ref 0 in
   let fresh () =
     let i = !next in
@@ -282,6 +304,168 @@ let compile (plan : t) : compiled =
   in
   go plan
 
+(* ------------------------------------------------------------------ *)
+(* Kernel fusion                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Filters and the 1:1 maps fuse; flat (set-valued) operators change
+   cardinality mid-chain and stay standalone. *)
+let fusable_link c =
+  match c.cop with
+  | CFilter (_, _, _, i)
+  | CMapProp (_, _, _, i)
+  | CMapMeth (_, _, _, _, i)
+  | CMapOp (_, _, _, i) ->
+    Some i
+  | _ -> None
+
+(* The maximal fusable chain hanging off [c]: its operators top-to-bottom
+   and the first non-fusable node feeding them. *)
+let split_chain c =
+  let rec go acc c =
+    match fusable_link c with Some i -> go (c :: acc) i | None -> (List.rev acc, c)
+  in
+  go [] c
+
+(* Translate a chain into register steps.  [reg_of] maps the current
+   layout's slots to registers: it starts as the identity over the input
+   row and tracks every map step's sorted-position insert, so operand
+   slots resolved against intermediate layouts land on the right
+   register no matter where later inserts shifted them. *)
+let build_fused ?project ops input =
+  let fin_width = Relation.Layout.width input.layout in
+  let reg_of = ref (Array.init fin_width Fun.id) in
+  let nregs = ref fin_width in
+  let xop = function
+    | SSlot i -> SSlot !reg_of.(i)
+    | SConst _ as c -> c
+  in
+  let extend at =
+    let r = !nregs in
+    incr nregs;
+    let prev = !reg_of in
+    let w = Array.length prev in
+    let next = Array.make (w + 1) r in
+    Array.blit prev 0 next 0 at;
+    Array.blit prev at next (at + 1) (w - at);
+    reg_of := next;
+    r
+  in
+  let steps =
+    List.map
+      (fun op ->
+        match op.cop with
+        | CFilter (cmp, x, y, _) -> FFilter (cmp, xop x, xop y)
+        | CMapProp (at, p, recv, _) ->
+          let recv = !reg_of.(recv) in
+          FProp (extend at, p, recv)
+        | CMapMeth (at, m, recv, args, _) ->
+          let recv =
+            match recv with
+            | RSlot i -> RSlot !reg_of.(i)
+            | RClassObj _ as r -> r
+          in
+          let args = Array.map xop args in
+          FMeth (extend at, m, recv, args)
+        | CMapOp (at, op, xs, _) ->
+          let xs = Array.map xop xs in
+          FOp (extend at, op, xs)
+        | _ -> assert false)
+      (List.rev ops)
+  in
+  let fout =
+    match project with
+    | Some srcs -> Array.map (fun s -> !reg_of.(s)) srcs
+    | None -> Array.copy !reg_of
+  in
+  {
+    fsteps = Array.of_list steps;
+    fin_width;
+    fregs = !nregs;
+    fout;
+    fdedup = Option.is_some project;
+  }
+
+(* A node starts a fused kernel when it tops a chain worth collapsing:
+   a projection over at least one fusable operator (the copy-out and
+   dedup ride along for free), or a chain of at least two fusable
+   operators on its own. *)
+let fuse_candidate c =
+  match c.cop with
+  | CProject (srcs, i) ->
+    let ops, input = split_chain i in
+    if ops = [] then None else Some (Some srcs, ops, input)
+  | _ -> (
+    match fusable_link c with
+    | None -> None
+    | Some _ -> (
+      match split_chain c with
+      | ([] | [ _ ]), _ -> None
+      | ops, input -> Some (None, ops, input)))
+
+(* Rewrite chains bottom-up and renumber the surviving nodes in preorder
+   (cids must stay dense for the per-node statistics arrays).  A plan
+   with no chain is returned untouched, original numbering included. *)
+let fuse_chains root =
+  let changed = ref false in
+  let next = ref 0 in
+  let fresh () =
+    let i = !next in
+    incr next;
+    i
+  in
+  let rec go c =
+    match fuse_candidate c with
+    | Some (project, ops, input) ->
+      changed := true;
+      let cid = fresh () in
+      let fi = go input in
+      { c with cid; cop = CFused (build_fused ?project ops input, fi) }
+    | None ->
+      let cid = fresh () in
+      let cop =
+        match c.cop with
+        | CUnit | CFullScan _ | CIndexScan _ | CRangeScan _ | CMethodScan _ ->
+          c.cop
+        | CFilter (cmp, x, y, i) -> CFilter (cmp, x, y, go i)
+        | CNestedLoop (p, m, l, r) ->
+          let l = go l in
+          let r = go r in
+          CNestedLoop (p, m, l, r)
+        | CHashJoin (a, b, m, l, r) ->
+          let l = go l in
+          let r = go r in
+          CHashJoin (a, b, m, l, r)
+        | CNaturalJoin (kl, kr, m, l, r) ->
+          let l = go l in
+          let r = go r in
+          CNaturalJoin (kl, kr, m, l, r)
+        | CUnion (l, r) ->
+          let l = go l in
+          let r = go r in
+          CUnion (l, r)
+        | CDiff (l, r) ->
+          let l = go l in
+          let r = go r in
+          CDiff (l, r)
+        | CMapProp (at, p, recv, i) -> CMapProp (at, p, recv, go i)
+        | CMapMeth (at, m, recv, args, i) -> CMapMeth (at, m, recv, args, go i)
+        | CFlatProp (at, p, recv, i) -> CFlatProp (at, p, recv, go i)
+        | CFlatMeth (at, m, recv, args, i) -> CFlatMeth (at, m, recv, args, go i)
+        | CMapOp (at, op, xs, i) -> CMapOp (at, op, xs, go i)
+        | CFlatOp (at, op, xs, i) -> CFlatOp (at, op, xs, go i)
+        | CProject (srcs, i) -> CProject (srcs, go i)
+        | CFused (f, i) -> CFused (f, go i)
+      in
+      { c with cid; cop }
+  in
+  let rewritten = go root in
+  if !changed then rewritten else root
+
+let compile ?(fuse = true) plan =
+  let c = compile_tree plan in
+  if fuse then fuse_chains c else c
+
 let compiled_inputs c =
   match c.cop with
   | CUnit | CFullScan _ | CIndexScan _ | CRangeScan _ | CMethodScan _ -> []
@@ -292,7 +476,8 @@ let compiled_inputs c =
   | CFlatMeth (_, _, _, _, i)
   | CMapOp (_, _, _, i)
   | CFlatOp (_, _, _, i)
-  | CProject (_, i) ->
+  | CProject (_, i)
+  | CFused (_, i) ->
     [ i ]
   | CNestedLoop (_, _, l, r)
   | CHashJoin (_, _, _, l, r)
@@ -411,6 +596,25 @@ let slots_label a =
   String.concat ", "
     (Array.to_list (Array.map (Printf.sprintf "@%d") a))
 
+(* [@n] inside a fused label names a register, not a layout slot;
+   registers 0..fin_width-1 coincide with the input row's slots. *)
+let fstep_label = function
+  | FFilter (cmp, x, y) ->
+    Printf.sprintf "%s %s %s" (slot_operand_label x) (cmp_name cmp)
+      (slot_operand_label y)
+  | FProp (r, p, recv) -> Printf.sprintf "@%d := @%d.%s" r recv p
+  | FMeth (r, m, recv, args) ->
+    Printf.sprintf "@%d := %s->%s(%s)" r (slot_receiver_label recv) m
+      (String.concat ", " (Array.to_list (Array.map slot_operand_label args)))
+  | FOp (r, op, xs) ->
+    Printf.sprintf "@%d := %s(%s)" r (opname_label op)
+      (String.concat ", " (Array.to_list (Array.map slot_operand_label xs)))
+
+let fused_count c =
+  match c.cop with
+  | CFused (f, _) -> Array.length f.fsteps + if f.fdedup then 1 else 0
+  | _ -> 0
+
 let compiled_label c =
   let bound_label what = function
     | Sorted_index.Unbounded -> what ^ " unbounded"
@@ -463,6 +667,12 @@ let compiled_label c =
     Printf.sprintf "flat_operator<@%d := %s(%s)>" at (opname_label op)
       (String.concat ", " (Array.to_list (Array.map slot_operand_label xs)))
   | CProject (srcs, _) -> Printf.sprintf "project<%s>" (slots_label srcs)
+  | CFused (f, _) ->
+    Printf.sprintf "fused<%s%s>"
+      (String.concat "; "
+         (List.map fstep_label (Array.to_list f.fsteps)))
+      (if f.fdedup then Printf.sprintf "; project %s" (slots_label f.fout)
+       else "")
 
 let pp_compiled ?(annot = fun (_ : compiled) -> "") ppf root =
   let rec go indent c =

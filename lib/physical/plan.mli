@@ -81,6 +81,34 @@ type slot_receiver =
   | RSlot of int
   | RClassObj of string  (** class object receiver, resolved at open *)
 
+(** {2 Fused kernels}
+
+    A maximal chain of filters and 1:1 maps (optionally topped by a
+    projection) collapses into one {!constructor:CFused} kernel that runs
+    all steps over a {e register} buffer in a single pass per input row —
+    the intermediate operators' blocks and row allocations disappear.
+    Registers [0..fin_width-1] are the input row's slots in order; every
+    map step appends one register, and step operands index registers
+    (the compiler rewrote each operator's layout slots through the
+    intermediate inserts). *)
+
+type fstep =
+  | FFilter of Restricted.cmp * slot_operand * slot_operand
+      (** short-circuits the remaining steps when the row fails *)
+  | FProp of int * string * int
+      (** [target register := (register).property] *)
+  | FMeth of int * string * slot_receiver * slot_operand array
+  | FOp of int * Restricted.opname * slot_operand array
+
+type fused = {
+  fsteps : fstep array;  (** execution (bottom-to-top chain) order *)
+  fin_width : int;  (** input row width = initial register count *)
+  fregs : int;  (** total registers: [fin_width] + number of map steps *)
+  fout : int array;  (** registers copied to the output row, in order *)
+  fdedup : bool;
+      (** a projection topped the chain: keep first occurrences only *)
+}
+
 type compiled = {
   cid : int;
       (** preorder node id, dense in [0, node_count); the key used by
@@ -118,14 +146,26 @@ and cop =
   | CFlatOp of int * Restricted.opname * slot_operand array * compiled
   | CProject of int array * compiled
       (** per output slot, the input slot to copy *)
+  | CFused of fused * compiled
+      (** one-pass select/map/project kernel over the input's rows *)
 
-val compile : t -> compiled
-(** Resolve every name to a slot and precompute all copy plans.
+val compile : ?fuse:bool -> t -> compiled
+(** Resolve every name to a slot and precompute all copy plans; then
+    (unless [~fuse:false]) collapse every maximal filter/map chain of
+    length two or more — counting a topping projection — into a
+    {!constructor:CFused} kernel and renumber the nodes in preorder.
+    Flat (set-valued) operators break chains: they change cardinality.
+    A plan without such chains is returned untouched.
     @raise Compile_error on unbound references, parameter operands,
     duplicate map targets, or union/diff layout mismatch. *)
 
 val compiled_inputs : compiled -> compiled list
 val node_count : compiled -> int
+
+val fused_count : compiled -> int
+(** Steps fused into this node (counting a topping projection);
+    0 for anything but {!constructor:CFused} — the [fused=] column of
+    [explain --analyze]. *)
 
 val pp_compiled :
   ?annot:(compiled -> string) -> Format.formatter -> compiled -> unit

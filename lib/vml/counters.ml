@@ -31,6 +31,8 @@ type t = {
   wal_records : int Atomic.t;
   wal_commits : int Atomic.t;
   wal_fsyncs : int Atomic.t;
+  bytes_read : int Atomic.t;
+  values_decoded : int Atomic.t;
   (* transaction-side counters: sessions driving the MVCC layer.  Like
      the storage counters they accumulate across a workload; the group
      commit gate reads [wal_fsyncs]/[wal_commits] off this family. *)
@@ -63,6 +65,8 @@ let create () =
     wal_records = Atomic.make 0;
     wal_commits = Atomic.make 0;
     wal_fsyncs = Atomic.make 0;
+    bytes_read = Atomic.make 0;
+    values_decoded = Atomic.make 0;
     txn_begins = Atomic.make 0;
     txn_commits = Atomic.make 0;
     txn_conflicts = Atomic.make 0;
@@ -97,7 +101,9 @@ let reset_storage t =
   Atomic.set t.pool_evictions 0;
   Atomic.set t.wal_records 0;
   Atomic.set t.wal_commits 0;
-  Atomic.set t.wal_fsyncs 0
+  Atomic.set t.wal_fsyncs 0;
+  Atomic.set t.bytes_read 0;
+  Atomic.set t.values_decoded 0
 
 let reset_txn t =
   Atomic.set t.txn_begins 0;
@@ -146,6 +152,10 @@ let charge_pool_eviction t = Atomic.incr t.pool_evictions
 let charge_wal_records t n = ignore (Atomic.fetch_and_add t.wal_records n)
 let charge_wal_commit t = Atomic.incr t.wal_commits
 let charge_wal_fsync t = Atomic.incr t.wal_fsyncs
+let charge_bytes_read t n = ignore (Atomic.fetch_and_add t.bytes_read n)
+
+let charge_values_decoded t n =
+  ignore (Atomic.fetch_and_add t.values_decoded n)
 let charge_txn_begin t = Atomic.incr t.txn_begins
 let charge_txn_commit t = Atomic.incr t.txn_commits
 let charge_txn_conflict t = Atomic.incr t.txn_conflicts
@@ -157,6 +167,8 @@ let pool_evictions t = Atomic.get t.pool_evictions
 let wal_records t = Atomic.get t.wal_records
 let wal_commits t = Atomic.get t.wal_commits
 let wal_fsyncs t = Atomic.get t.wal_fsyncs
+let bytes_read t = Atomic.get t.bytes_read
+let values_decoded t = Atomic.get t.values_decoded
 let txn_begins t = Atomic.get t.txn_begins
 let txn_commits t = Atomic.get t.txn_commits
 let txn_conflicts t = Atomic.get t.txn_conflicts
@@ -226,6 +238,8 @@ let snapshot t =
   Atomic.set copy.wal_records (Atomic.get t.wal_records);
   Atomic.set copy.wal_commits (Atomic.get t.wal_commits);
   Atomic.set copy.wal_fsyncs (Atomic.get t.wal_fsyncs);
+  Atomic.set copy.bytes_read (Atomic.get t.bytes_read);
+  Atomic.set copy.values_decoded (Atomic.get t.values_decoded);
   Atomic.set copy.txn_begins (Atomic.get t.txn_begins);
   Atomic.set copy.txn_commits (Atomic.get t.txn_commits);
   Atomic.set copy.txn_conflicts (Atomic.get t.txn_conflicts);
@@ -246,9 +260,11 @@ let pp ppf t =
 let pp_storage ppf t =
   Format.fprintf ppf
     "@[<v>pages read: %d@ pages written: %d@ pool hits: %d@ pool evictions: \
-     %d@ wal records: %d@ wal commits: %d@ wal fsyncs: %d@]"
+     %d@ wal records: %d@ wal commits: %d@ wal fsyncs: %d@ bytes read: %d@ \
+     values decoded: %d@]"
     (pages_read t) (pages_written t) (pool_hits t) (pool_evictions t)
-    (wal_records t) (wal_commits t) (wal_fsyncs t)
+    (wal_records t) (wal_commits t) (wal_fsyncs t) (bytes_read t)
+    (values_decoded t)
 
 let pp_txn ppf t =
   Format.fprintf ppf

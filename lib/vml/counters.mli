@@ -129,6 +129,17 @@ val charge_wal_fsync : t -> unit
     ratio is [wal_fsyncs / wal_commits]; under concurrent committers it
     drops below 1. *)
 
+val charge_bytes_read : t -> int -> unit
+(** [n] payload bytes decoded from storage by a scan — row records pulled
+    out of slotted pages, or column-chunk bytes actually read by a
+    columnar scan.  Unlike {!charge_page_read} this counts what the codec
+    touched, not what the pool staged, so it exposes the columnar win of
+    skipping untouched columns. *)
+
+val charge_values_decoded : t -> int -> unit
+(** [n] individual [Value.t]s (or record fields) materialized from their
+    storage encoding by a scan. *)
+
 val pages_read : t -> int
 val pages_written : t -> int
 val pool_hits : t -> int
@@ -136,6 +147,8 @@ val pool_evictions : t -> int
 val wal_records : t -> int
 val wal_commits : t -> int
 val wal_fsyncs : t -> int
+val bytes_read : t -> int
+val values_decoded : t -> int
 
 (** {1 Transaction counters}
 

@@ -120,6 +120,233 @@ let test_page_capacity () =
     (Invalid_argument "Page.insert: record does not fit")
     (fun () -> ignore (Page.insert p "y"))
 
+let test_page_compaction_reclaims_dead_space () =
+  (* fill a page, delete every other record, then insert a record larger
+     than the watermark gap: only in-page compaction can make room, and
+     it must preserve surviving slot numbers and contents *)
+  let p = Bytes.create Page.size in
+  Page.format p;
+  let payload i = Printf.sprintf "%02d-%s" i (String.make 120 (Char.chr (97 + (i mod 26)))) in
+  let slots = ref [] in
+  (try
+     let i = ref 0 in
+     while Page.has_room p (String.length (payload !i)) do
+       slots := Page.insert p (payload !i) :: !slots;
+       incr i
+     done
+   with Invalid_argument _ -> ());
+  let slots = Array.of_list (List.rev !slots) in
+  check Alcotest.bool "page filled" true (Array.length slots > 10);
+  let gap_full = Page.free_space p in
+  Array.iteri (fun i s -> if i mod 2 = 0 then Page.delete p s) slots;
+  check Alcotest.bool "dead bytes accumulated" true (Page.dead_bytes p > 0);
+  (* the watermark gap did not grow: deletion alone reclaims nothing *)
+  check Alcotest.int "gap unchanged by deletes" gap_full (Page.free_space p);
+  let big = String.make (gap_full + 100) 'Z' in
+  check Alcotest.bool "room counts compactable space" true
+    (Page.has_room p (String.length big));
+  let bslot = Page.insert p big in
+  check Alcotest.(option string) "compacted insert readable" (Some big)
+    (Page.read p bslot);
+  Array.iteri
+    (fun i s ->
+      if i mod 2 = 1 then
+        check Alcotest.(option string)
+          (Printf.sprintf "survivor slot %d intact" s)
+          (Some (payload i)) (Page.read p s))
+    slots;
+  check Alcotest.bool "dead slot entry recycled" true
+    (Array.exists (fun s -> s = bslot) slots)
+
+(* ------------------------------------------------------------------ *)
+(* column chunks: codec roundtrip, torture values, corruption          *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_row props =
+  (* canonical on-disk order; duplicate property names keep the last
+     binding, mirroring the store's upsert semantics *)
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) props;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let column_roundtrip recs =
+  let chunk = Column.decode (Column.encode recs) in
+  Array.to_list (Column.rows chunk)
+  |> List.map (fun (id, props) -> (id, sorted_row props))
+
+let test_column_torture_values () =
+  (* one record per corner: min_int/max_int ints, huge and empty and
+     NUL-bearing strings, explicit Nulls (generic-encoding fallback),
+     absent properties, structured values *)
+  let huge = String.make 100_000 'h' in
+  let recs =
+    [|
+      (0, [ ("i", Value.Int min_int); ("s", Value.Str "") ]);
+      (1, [ ("i", Value.Int max_int); ("s", Value.Str huge) ]);
+      (2, [ ("i", Value.Null); ("s", Value.Str "a\x00b") ]);
+      (5, [ ("s", Value.Str huge); ("extra", Value.Bool false) ]);
+      (9, [ ("i", Value.Int 0) ]);
+      ( 12,
+        [
+          ("set", Value.set [ Value.Int 2; Value.Int 1 ]);
+          ("obj", Value.Obj (Oid.make ~cls:"Item" ~id:3));
+        ] );
+      (100, []);
+    |]
+  in
+  let expect =
+    Array.to_list recs |> List.map (fun (id, ps) -> (id, sorted_row ps))
+  in
+  check Alcotest.bool "torture rows roundtrip" true
+    (expect = column_roundtrip recs);
+  (* selective decode agrees with full reassembly *)
+  let chunk = Column.decode (Column.encode recs) in
+  (match Column.find chunk "i" with
+  | None -> Alcotest.fail "column i missing from directory"
+  | Some col ->
+    check
+      Alcotest.(list int)
+      "presence bitmap" [ 0; 1; 2; 4 ]
+      (Column.presence chunk col);
+    let vals = Column.read_column chunk col in
+    check Alcotest.bool "read_column values" true
+      (vals
+      = [|
+          Some (Value.Int min_int);
+          Some (Value.Int max_int);
+          Some Value.Null;
+          None;
+          Some (Value.Int 0);
+          None;
+          None;
+        |]));
+  check Alcotest.bool "unknown property absent" true
+    (Column.find chunk "nope" = None)
+
+let test_column_empty_and_all_null () =
+  (* the degenerate chunks: zero rows, and a column that is Null on
+     every present row (generic encoding, full presence) *)
+  check Alcotest.bool "empty chunk roundtrips" true ([] = column_roundtrip [||]);
+  let all_null = Array.init 6 (fun i -> (i, [ ("n", Value.Null) ])) in
+  check Alcotest.bool "all-null column roundtrips" true
+    (Array.to_list all_null |> List.map (fun (id, ps) -> (id, sorted_row ps))
+    = column_roundtrip all_null);
+  Alcotest.check_raises "non-ascending ids rejected"
+    (Invalid_argument "Column.encode: oids not ascending")
+    (fun () -> ignore (Column.encode [| (3, []); (3, []) |]))
+
+let value_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Value.Null;
+      map (fun b -> Value.Bool b) bool;
+      map (fun n -> Value.Int n) (oneof [ small_signed_int; int ]);
+      map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 30));
+      (* skewed strings exercise the dictionary encoding *)
+      map
+        (fun i -> Value.Str (Printf.sprintf "tag-%d" (i mod 3)))
+        (int_range 0 9);
+      map (fun id -> Value.Obj (Oid.make ~cls:"Item" ~id)) (int_range 0 99);
+      map (fun xs -> Value.set (List.map (fun n -> Value.Int n) xs))
+        (list_size (int_range 0 4) small_signed_int);
+    ]
+
+let chunk_gen =
+  let open QCheck2.Gen in
+  let props =
+    (* distinct names per row: property lists are maps (the store upserts
+       by name before any record reaches the codec) *)
+    map
+      (fun ps ->
+        List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) ps)
+      (list_size (int_range 0 5)
+         (pair (oneofl [ "a"; "b"; "c"; "d"; "e" ]) value_gen))
+  in
+  (* strictly ascending ids via positive gaps *)
+  map
+    (fun rows ->
+      let id = ref (-1) in
+      Array.of_list
+        (List.map
+           (fun (gap, ps) ->
+             id := !id + 1 + gap;
+             (!id, ps))
+           rows))
+    (list_size (int_range 0 40) (pair (int_range 0 5) props))
+
+let prop_column_roundtrip recs =
+  let expect =
+    Array.to_list recs |> List.map (fun (id, ps) -> (id, sorted_row ps))
+  in
+  let got = column_roundtrip recs in
+  if expect <> got then
+    QCheck2.Test.fail_reportf "chunk of %d rows did not roundtrip"
+      (Array.length recs);
+  true
+
+let prop_column_chunk_roundtrip =
+  QCheck2.Test.make ~count:200
+    ~name:"column chunks roundtrip arbitrary records" chunk_gen
+    prop_column_roundtrip
+
+let prop_column_selective_parity recs =
+  (* every column read selectively must agree with full reassembly *)
+  let chunk = Column.decode (Column.encode recs) in
+  let full = Column.rows chunk in
+  Array.iter
+    (fun (col : Column.column) ->
+      let vals = Column.read_column chunk col in
+      Array.iteri
+        (fun row v ->
+          let _, props = full.(row) in
+          let expect = List.assoc_opt col.Column.cname props in
+          if v <> expect then
+            QCheck2.Test.fail_reportf "column %s row %d diverges"
+              col.Column.cname row)
+        vals)
+    chunk.Column.columns;
+  true
+
+let prop_column_selective =
+  QCheck2.Test.make ~count:200
+    ~name:"selective column reads agree with full reassembly" chunk_gen
+    prop_column_selective_parity
+
+let prop_column_corruption (recs, pos, byte) =
+  (* flip one byte anywhere in the payload: decode must either fail
+     closed with Codec.Corrupt or still produce well-formed rows — it
+     must never raise anything else *)
+  let payload = Bytes.of_string (Column.encode recs) in
+  if Bytes.length payload = 0 then true
+  else begin
+    let pos = pos mod Bytes.length payload in
+    let flipped = Char.chr (Char.code (Bytes.get payload pos) lxor byte) in
+    Bytes.set payload pos flipped;
+    match Column.decode (Bytes.to_string payload) with
+    | chunk ->
+      (* survived the header checks; forcing the columns may still fail,
+         but only with the typed error *)
+      (try
+         Array.iter
+           (fun col -> ignore (Column.read_column chunk col))
+           chunk.Column.columns
+       with Codec.Corrupt _ -> ());
+      true
+    | exception Codec.Corrupt _ -> true
+    | exception Invalid_argument _ -> true (* huge bogus length prefix *)
+    | exception e ->
+      QCheck2.Test.fail_reportf "byte %d flipped: escaped with %s" pos
+        (Printexc.to_string e)
+  end
+
+let prop_column_fail_closed =
+  QCheck2.Test.make ~count:300
+    ~name:"corrupt chunk payloads fail closed with Codec.Corrupt"
+    QCheck2.Gen.(triple chunk_gen (int_bound 10_000) (int_range 1 255))
+    prop_column_corruption
+
 (* ------------------------------------------------------------------ *)
 (* buffer pool                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -347,6 +574,221 @@ let test_db_disk_attachment () =
       in
       check Alcotest.bool "documents survive the round trip" true
         (List.mem (Value.Str "Recovery") (titles db')))
+
+(* ------------------------------------------------------------------ *)
+(* columnar segments: vacuum, shadowing, tombstones, corruption        *)
+(* ------------------------------------------------------------------ *)
+
+let populate_items t n =
+  for i = 0 to n - 1 do
+    Store.apply t
+      [
+        Wal.Insert
+          {
+            oid = item i;
+            props =
+              [
+                ("n", Value.Int i);
+                (* three distinct strings: dictionary-friendly *)
+                ("s", Value.Str (Printf.sprintf "tag-%d" (i mod 3)));
+              ];
+          };
+      ]
+  done
+
+let test_vacuum_roundtrip_and_reopen () =
+  F.with_temp_dir "soqm_vac" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      populate_items t 150;
+      let before = store_image t in
+      let heap_pages = Store.data_pages t "Item" in
+      check Alcotest.bool "row format before vacuum" false
+        (Store.is_columnar t "Item");
+      let n = Store.vacuum t "Item" in
+      check Alcotest.int "every row rewritten" 150 n;
+      check Alcotest.bool "flagged columnar" true (Store.is_columnar t "Item");
+      check Alcotest.(list string) "columnar class listed" [ "Item" ]
+        (Store.columnar_classes t);
+      check Alcotest.int "heap emptied" 0 (Store.data_pages t "Item");
+      check Alcotest.int "columnar rows" 150 (Store.columnar_rows t "Item");
+      check Alcotest.bool "columnar smaller than the heap it replaced" true
+        (Store.columnar_bytes t "Item" < heap_pages * Page.size);
+      check Alcotest.bool "contents identical after vacuum" true
+        (before = store_image t);
+      check F.value "point fetch served from columns" (Value.Int 42)
+        (List.assoc "n" (Store.fetch t (item 42)));
+      Store.close t;
+      (* reopen: the columnar flag and image come back from meta *)
+      let t' = Store.open_dir dir in
+      check Alcotest.bool "columnar after reopen" true
+        (Store.is_columnar t' "Item");
+      check Alcotest.bool "contents identical after reopen" true
+        (before = store_image t');
+      Store.close t';
+      (* vacuum is idempotent over an unchanged class *)
+      let t'' = Store.open_dir dir in
+      check Alcotest.int "re-vacuum rewrites the same rows" 150
+        (Store.vacuum t'' "Item");
+      check Alcotest.bool "contents stable" true (before = store_image t'');
+      Store.close t'')
+
+let test_vacuum_dml_shadowing () =
+  F.with_temp_dir "soqm_vac" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      populate_items t 60;
+      ignore (Store.vacuum t "Item");
+      (* post-vacuum DML: update shadows, delete tombstones, insert lands
+         in the heap *)
+      Store.apply t
+        [ Wal.Update { oid = item 7; prop = "n"; value = Value.Int (-7) } ];
+      Store.apply t [ Wal.Delete { oid = item 8 } ];
+      Store.apply t
+        [ Wal.Insert { oid = item 60; props = [ ("n", Value.Int 60) ] } ];
+      let live () =
+        List.map Oid.id (Store.extent t "Item") |> List.sort Int.compare
+      in
+      check Alcotest.bool "delete hides the columnar row" true
+        (not (List.mem 8 (live ())));
+      check Alcotest.bool "insert visible" true (List.mem 60 (live ()));
+      check F.value "update shadows the columnar value" (Value.Int (-7))
+        (List.assoc "n" (Store.fetch t (item 7)));
+      (* two tombstones: the delete, and the update — relocating a
+         columnar row into the heap tombstones its columnar copy so it
+         can never resurrect *)
+      check Alcotest.int "tombstones recorded" 2
+        (Store.columnar_tombstones t "Item");
+      (* the WAL alone carries the tombstone until a checkpoint persists
+         the sidecar: both a crash-reopen (WAL replay) and a clean
+         checkpointed close must restore it *)
+      Store.close ~checkpoint:false t;
+      let t' = Store.open_dir dir in
+      check Alcotest.int "tombstones recovered from the WAL" 2
+        (Store.columnar_tombstones t' "Item");
+      check F.value "shadow recovered" (Value.Int (-7))
+        (List.assoc "n" (Store.fetch t' (item 7)));
+      Store.close t' (* checkpoint: sidecar + meta durable, WAL empty *);
+      let t'' = Store.open_dir dir in
+      check Alcotest.int "tombstones persisted via checkpoint" 2
+        (Store.columnar_tombstones t'' "Item");
+      check Alcotest.bool "deleted row stays hidden" false
+        (Store.mem t'' (item 8));
+      (* re-vacuum folds the shadow and drops the tombstone *)
+      ignore (Store.vacuum t'' "Item");
+      check Alcotest.int "tombstones folded away" 0
+        (Store.columnar_tombstones t'' "Item");
+      check F.value "folded value" (Value.Int (-7))
+        (List.assoc "n" (Store.fetch t'' (item 7)));
+      check Alcotest.int "row count excludes the deleted" 60
+        (Store.columnar_rows t'' "Item");
+      Store.close t'')
+
+let test_vacuum_scan_costs_and_counters () =
+  F.with_temp_dir "soqm_vac" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      populate_items t 200;
+      let c = Store.counters t in
+      (* row path: record bytes charged to bytes_read, every property
+         decoded.  These live in the storage counter family, which
+         accumulates across a workload — reset_storage, not the per-run
+         reset, clears them *)
+      Counters.reset_storage c;
+      let rows, pages = Store.scan t "Item" in
+      let row_bytes = Counters.bytes_read c in
+      check Alcotest.bool "row scan: record bytes charged" true (row_bytes > 0);
+      check Alcotest.bool "row scan: values decoded" true
+        (Counters.values_decoded c >= 400);
+      let row_pair = Store.scan_cost t "Item" in
+      check Alcotest.bool "row scan_cost = pages * page size" true
+        (row_pair = (pages, pages * Page.size));
+      ignore (Store.vacuum t "Item");
+      (* columnar full scan: chunk payloads, not pages *)
+      Counters.reset_storage c;
+      let crows, _ = Store.scan t "Item" in
+      let full_bytes = Counters.bytes_read c in
+      check Alcotest.bool "columnar scan rows identical" true
+        (List.map snd rows |> List.map sorted_props
+        = (List.map snd crows |> List.map sorted_props));
+      check Alcotest.bool "columnar scan charges payload bytes" true
+        (full_bytes > 0 && full_bytes < pages * Page.size);
+      (* selective scan of the dictionary string column decodes fewer
+         bytes than the full scan *)
+      Counters.reset_storage c;
+      let svals = Store.scan_columns t "Item" [ "s" ] in
+      let sel_bytes = Counters.bytes_read c in
+      check Alcotest.int "selective scan sees every row" 200
+        (List.length svals);
+      check Alcotest.bool
+        (Printf.sprintf "selective < full decode (%d < %d)" sel_bytes
+           full_bytes)
+        true
+        (sel_bytes < full_bytes);
+      check Alcotest.bool "selective values correct" true
+        (List.for_all
+           (fun (oid, vs) ->
+             vs = [ Some (Value.Str (Printf.sprintf "tag-%d" (Oid.id oid mod 3))) ])
+           svals);
+      (* the scan traffic model mirrors what explain --analyze charges *)
+      Counters.reset_storage c;
+      let _, meta_bytes = Store.scan_cost t "Item" in
+      check Alcotest.int "scan_cost charges its own bytes" meta_bytes
+        (Counters.bytes_read c);
+      check Alcotest.bool "columnar meta cost below full decode" true
+        (meta_bytes < full_bytes);
+      Store.close t)
+
+let test_colseg_corruption_fails_closed () =
+  F.with_temp_dir "soqm_vac" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      populate_items t 80;
+      ignore (Store.vacuum t "Item");
+      Store.close t;
+      let seg = Colseg.path ~dir ~cls:"Item" in
+      let size = (Unix.stat seg).Unix.st_size in
+      (* flip one byte in the last frame's CRC trailer *)
+      let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd (size - 2) Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "\xaa" 0 1);
+      Unix.close fd;
+      Alcotest.match_raises "trailer damage detected on open"
+        (function
+          | Store.Format_error _ | Colseg.Format_error _ -> true | _ -> false)
+        (fun () -> ignore (Store.open_dir dir));
+      (* truncation mid-frame is equally fatal *)
+      Unix.truncate seg (size - (size / 3));
+      Alcotest.match_raises "truncated segment detected"
+        (function
+          | Store.Format_error _ | Colseg.Format_error _ -> true | _ -> false)
+        (fun () -> ignore (Store.open_dir dir)))
+
+let test_db_vacuum_plumbing () =
+  (* Db.vacuum reaches the attached store; in-memory queries see no
+     change; a reload serves the columnar image *)
+  F.with_temp_dir "soqm_vacdb" (fun dir ->
+      let db0 = F.tiny_db () in
+      Soqm_core.Db.save db0 dir;
+      let db = Soqm_core.Db.open_disk dir in
+      let titles d =
+        List.map
+          (fun o -> Object_store.peek_prop d.Soqm_core.Db.store o "title")
+          (Object_store.extent d.Soqm_core.Db.store "Document")
+        |> List.sort compare
+      in
+      let before = titles db in
+      let n = Soqm_core.Db.vacuum db "Document" in
+      check Alcotest.bool "documents rewritten" true (n > 0);
+      check Alcotest.bool "memory image unchanged" true (before = titles db);
+      (match db.Soqm_core.Db.disk with
+      | Some d ->
+        check Alcotest.bool "store flagged" true (Store.is_columnar d "Document")
+      | None -> Alcotest.fail "disk detached");
+      Soqm_core.Db.close db;
+      let db' = Soqm_core.Db.load dir in
+      check Alcotest.bool "reload serves the columnar class" true
+        (before = titles db');
+      let mem = Soqm_core.Db.create_empty ~maintain:false () in
+      Alcotest.check_raises "vacuum without a disk store refuses"
+        (Invalid_argument "Db.vacuum: no attached disk store")
+        (fun () -> ignore (Soqm_core.Db.vacuum mem "Document")))
 
 (* ------------------------------------------------------------------ *)
 (* WAL recovery: deterministic cases                                   *)
@@ -711,6 +1153,16 @@ let () =
         [
           F.case "slot ops" test_page_ops;
           F.case "capacity" test_page_capacity;
+          F.case "compaction reclaims dead space"
+            test_page_compaction_reclaims_dead_space;
+        ] );
+      ( "columns",
+        [
+          F.case "torture values" test_column_torture_values;
+          F.case "empty and all-null chunks" test_column_empty_and_all_null;
+          QCheck_alcotest.to_alcotest prop_column_chunk_roundtrip;
+          QCheck_alcotest.to_alcotest prop_column_selective;
+          QCheck_alcotest.to_alcotest prop_column_fail_closed;
         ] );
       ( "pool",
         [
@@ -724,6 +1176,15 @@ let () =
           F.case "records span pages" test_store_records_span_pages;
           F.case "prefetch parity" test_store_prefetch_parity;
           F.case "db attachment" test_db_disk_attachment;
+        ] );
+      ( "columnar",
+        [
+          F.case "vacuum roundtrip and reopen" test_vacuum_roundtrip_and_reopen;
+          F.case "DML shadows, tombstones persist" test_vacuum_dml_shadowing;
+          F.case "scan costs and counters" test_vacuum_scan_costs_and_counters;
+          F.case "corrupt segments fail closed"
+            test_colseg_corruption_fails_closed;
+          F.case "Db.vacuum plumbing" test_db_vacuum_plumbing;
         ] );
       ( "group-commit",
         [

@@ -313,6 +313,28 @@ let prop_compiled_parity =
         Relation.equal reference (run_interp plan)
         && Relation.equal reference (run_phys plan))
 
+(* Fusion parity: fused select/map/project kernels must be row-for-row
+   identical to the unfused compiled pipeline and the tuple interpreter,
+   serially and across worker counts. *)
+let prop_fusion_parity =
+  QCheck2.Test.make ~count:40
+    ~name:"fused kernels = unfused compiled = interpreted (jobs in {1,2,3,4})"
+    Soqm_testlib.Gen.term_gen
+    (fun g ->
+      match General.well_formed g with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let plan = Plan.default_implementation (Translate.of_general g) in
+        let fused = Exec.compile (ctx ()) plan in
+        let unfused = Exec.compile ~fuse:false (ctx ()) plan in
+        let reference = Exec.run_compiled (ctx ()) unfused in
+        Relation.equal reference (run_interp plan)
+        && List.for_all
+             (fun jobs ->
+               Relation.equal reference
+                 (Exec.run_compiled ~jobs (ctx ()) fused))
+             [ 1; 2; 3; 4 ])
+
 (* ------------------------------------------------------------------ *)
 (* Batch executor: compilation, Null-key joins, block accounting       *)
 (* ------------------------------------------------------------------ *)
@@ -366,6 +388,43 @@ let test_null_keys_pin () =
   check F.relation "both executors agree on Null natural join"
     (run_interp nj) (run_phys nj)
 
+(* DESIGN.md §7 Null semantics inside a fused kernel: comparisons with
+   Null registers are FALSE, and the fused projection dedup treats Null
+   columns structurally — both exactly as the unfused operators do. *)
+let test_fused_null_semantics () =
+  let with_null a base =
+    Plan.MapOp (a, Restricted.OpIdent, [ Restricted.OConst Value.Null ], base)
+  in
+  let filt =
+    Plan.Filter
+      ( Restricted.CEq,
+        Restricted.ORef "k",
+        Restricted.OConst Value.Null,
+        with_null "k" (Plan.FullScan ("d", "Document")) )
+  in
+  let fused = Exec.compile (ctx ()) filt in
+  check Alcotest.bool "filter chain fused" true (Plan.fused_count fused > 0);
+  check Alcotest.int "NULL == NULL is FALSE inside the kernel" 0
+    (Relation.cardinality (Exec.run_compiled (ctx ()) fused));
+  let proj =
+    Plan.Project ([ "k" ], with_null "k" (Plan.FullScan ("d", "Document")))
+  in
+  let pf = Exec.compile (ctx ()) proj in
+  let pu = Exec.compile ~fuse:false (ctx ()) proj in
+  check Alcotest.bool "projection fused" true (Plan.fused_count pf > 0);
+  check F.relation "fused dedup = unfused dedup"
+    (Exec.run_compiled (ctx ()) pu)
+    (Exec.run_compiled (ctx ()) pf);
+  check Alcotest.int "Null rows dedup to one" 1
+    (Relation.cardinality (Exec.run_compiled (ctx ()) pf));
+  List.iter
+    (fun jobs ->
+      check F.relation
+        (Printf.sprintf "parallel fused dedup agrees (jobs=%d)" jobs)
+        (Exec.run_compiled (ctx ()) pf)
+        (Exec.run_compiled ~jobs (ctx ()) pf))
+    [ 2; 3; 4 ]
+
 let test_block_accounting () =
   let d = Lazy.force db in
   let plan = Plan.FullScan ("p", "Paragraph") in
@@ -403,8 +462,11 @@ let test_analyze_stats () =
     Plan.Project
       ([ "a" ], Plan.MapProp ("a", "author", "d", Plan.FullScan ("d", "Document")))
   in
+  (* project + map fuse into one kernel over the scan *)
   let compiled = Exec.compile (ctx ()) plan in
-  check Alcotest.int "three operators" 3 (Plan.node_count compiled);
+  check Alcotest.int "fused: two operators" 2 (Plan.node_count compiled);
+  check Alcotest.int "fused: root fuses map + project" 2
+    (Plan.fused_count compiled);
   let stats = Exec.make_stats compiled in
   let r = Exec.run_compiled ~stats (ctx ()) compiled in
   (* node 0 is the root (preorder ids): its actual rows are the result *)
@@ -412,7 +474,15 @@ let test_analyze_stats () =
     (Relation.cardinality r) stats.Exec.node_rows.(0);
   let n_docs = Object_store.extent_size (store ()) "Document" in
   check Alcotest.int "scan actual rows = extent" n_docs
-    stats.Exec.node_rows.(2)
+    stats.Exec.node_rows.(1);
+  (* the unfused tree keeps one node per operator and the same result *)
+  let unfused = Exec.compile ~fuse:false (ctx ()) plan in
+  check Alcotest.int "unfused: three operators" 3 (Plan.node_count unfused);
+  let ustats = Exec.make_stats unfused in
+  let ur = Exec.run_compiled ~stats:ustats (ctx ()) unfused in
+  check Alcotest.bool "fused == unfused result" true (Relation.equal r ur);
+  check Alcotest.int "unfused scan actual rows = extent" n_docs
+    ustats.Exec.node_rows.(2)
 
 let test_compile_layouts () =
   let plan =
@@ -572,11 +642,12 @@ let test_parallel_analyze_stats () =
   in
   check Alcotest.int "root actual rows = result cardinality"
     (Relation.cardinality r) stats.Exec.node_rows.(0);
+  (* map + project fused: the scan is the root's direct input (cid 1) *)
   let n_docs = Object_store.extent_size (store ()) "Document" in
   check Alcotest.int "scan actual rows = extent" n_docs
-    stats.Exec.node_rows.(2);
+    stats.Exec.node_rows.(1);
   check Alcotest.bool "scan processed at least one morsel" true
-    (stats.Exec.node_morsels.(2) >= 1);
+    (stats.Exec.node_morsels.(1) >= 1);
   (* bulk charges from worker domains must not lose increments and must
      match the serial per-row accounting *)
   check Alcotest.int "tuples charged = serial"
@@ -766,6 +837,8 @@ let () =
         [
           F.case "joins match naive oracle" test_joins_match_naive_oracle;
           F.case "Null-key join semantics" test_null_keys_pin;
+          QCheck_alcotest.to_alcotest prop_fusion_parity;
+          F.case "Null semantics in fused kernels" test_fused_null_semantics;
           F.case "block accounting" test_block_accounting;
           F.case "slot miss on bad plan" test_slot_miss_charged;
           F.case "analyze stats" test_analyze_stats;
