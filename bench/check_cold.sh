@@ -1,0 +1,15 @@
+#!/bin/sh
+# Cold-start gate: build, run the unit suites, then assert the PR-9
+# placement + persistent-index bounds at n_docs=10000 and refresh
+# BENCH_cold.json: clustered path-query page reads >= 2x fewer than
+# insertion order, image-backed derived restore >= 5x faster than the
+# rebuild-from-extent baseline (both over the same materialization
+# floor), zero divergence between the fast-opened database and the
+# in-memory oracle on the EXP-A mix.  Single-core safe.  The 10k run
+# takes several minutes; `dune runtest` carries the same binary at
+# n_docs=2000 (locality + parity gates, speedup reported).
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+dune exec bench/cold.exe -- --assert --docs 10000 --json BENCH_cold.json "$@"

@@ -153,7 +153,9 @@ let divergent_on ctx db ~naive (name, plan) =
   (not (A.Relation.equal serial (P.Exec.Interpreted.run ctx plan)))
   || List.exists
        (fun jobs ->
-         not (A.Relation.equal serial (P.Exec.run_compiled ~jobs ctx compiled)))
+         not
+           (A.Relation.equal serial
+              (P.Exec.run_compiled ~jobs ~clamp:false ctx compiled)))
        [ 2; jobs_hi ]
   || (naive
      &&

@@ -508,13 +508,33 @@ let open_cmd =
         (Soqm_disk.Store.pool_pages d);
       List.iter
         (fun name ->
-          Printf.printf "  %-12s %6d object(s) in %4d page(s)\n" name
+          let chains = Soqm_disk.Store.overflow_chains d name in
+          Printf.printf "  %-12s %6d object(s) in %4d page(s)%s%s%s\n" name
             (List.length (Soqm_disk.Store.extent d name))
-            (Soqm_disk.Store.data_pages d name))
+            (Soqm_disk.Store.data_pages d name)
+            (match Soqm_disk.Store.clustering_parent d name with
+            | Some p -> Printf.sprintf ", clusters by %s" p
+            | None -> "")
+            (if chains > 0 then Printf.sprintf ", %d overflow chain(s)" chains
+             else "")
+            (if Soqm_disk.Store.is_columnar d name then ", columnar" else ""))
         (Soqm_vml.Schema.class_names schema);
       Printf.printf "  next OID serial %d, %d data page(s) total\n"
         (Soqm_disk.Store.next_id d)
         (Soqm_disk.Store.total_data_pages d);
+      (* cold-start profile: a derived image whose stamp matches the
+         checkpoint sequence makes the next [Db.load] O(dirty) — it
+         skips the index rebuild and replays only the WAL tail *)
+      Printf.printf "  checkpoint seq %d, derived image %s\n"
+        (Soqm_disk.Store.checkpoint_seq d)
+        (match Soqm_maintenance.Persist.read ~dir with
+        | Some img when img.Soqm_maintenance.Persist.seq
+                        = Soqm_disk.Store.checkpoint_seq d ->
+          "fresh (next open skips the index rebuild)"
+        | Some img ->
+          Printf.sprintf "stale (stamp %d; next open rebuilds indexes)"
+            img.Soqm_maintenance.Persist.seq
+        | None -> "absent (next open rebuilds indexes)");
       Soqm_disk.Store.close ~checkpoint:false d;
       `Ok ()
   in
@@ -530,14 +550,19 @@ let open_cmd =
 let checkpoint_cmd =
   let run dir pool_pages =
     store_errors @@ fun () ->
-      let d = Soqm_disk.Store.open_dir ?pool_pages dir in
+      (* checkpoint through the Db layer: Db.checkpoint rewrites the
+         derived image against the new meta sequence, so the next open
+         keeps the fast path — a Store-level checkpoint would leave the
+         image stale and force a full index rebuild *)
+      let db = Db.open_disk ?pool_pages dir in
+      let d = Option.get db.Db.disk in
       let pending = Soqm_disk.Store.wal_bytes d in
       let recovered = Soqm_disk.Store.recovered_batches d in
-      Soqm_disk.Store.checkpoint d;
+      Db.checkpoint db;
       let written =
         Soqm_vml.Counters.pages_written (Soqm_disk.Store.counters d)
       in
-      Soqm_disk.Store.close ~checkpoint:false d;
+      Db.close db;
       Printf.printf
         "checkpointed %s: %d WAL batch(es) replayed, %d WAL byte(s) \
          truncated, %d page write(s)\n"
@@ -560,9 +585,23 @@ let vacuum_cmd =
     in
     Arg.(value & opt_all string [] & info [ "class" ] ~docv:"CLASS" ~doc)
   in
-  let run dir pool_pages classes =
+  let cluster_arg =
+    let doc =
+      "Re-cluster instead of going columnar: repack the class's rows in \
+       parent-child traversal order (heap pages, or chunk boundaries for \
+       an already-columnar class), so path queries touch the fewest \
+       pages.  The heap representation is kept."
+    in
+    Arg.(value & flag & info [ "cluster" ] ~doc)
+  in
+  let run dir pool_pages classes cluster =
     store_errors @@ fun () ->
-      let d = Soqm_disk.Store.open_dir ?pool_pages dir in
+      (* vacuum through the Db layer: each class's vacuum ends in a
+         checkpoint, and Db.vacuum rewrites the derived image to match
+         the new stamp — a Store-level vacuum would leave the image
+         stale and the next open would rebuild its indexes for nothing *)
+      let db = Db.open_disk ?pool_pages dir in
+      let d = Option.get db.Db.disk in
       let schema = Soqm_disk.Store.schema d in
       let classes =
         match classes with
@@ -574,25 +613,40 @@ let vacuum_cmd =
           let heap_bytes =
             Soqm_disk.Store.data_pages d cls * Soqm_disk.Page.size
           in
-          let rows = Soqm_disk.Store.vacuum d cls in
-          Printf.printf
-            "vacuumed %-12s %6d row(s): %7d heap byte(s) -> %7d columnar \
-             byte(s)\n"
-            cls rows heap_bytes
-            (Soqm_disk.Store.columnar_bytes d cls))
+          if cluster then begin
+            let rows = Db.vacuum ~mode:`Cluster db cls in
+            Printf.printf
+              "clustered %-12s %6d row(s): %7d heap byte(s) -> %4d page(s) \
+               in %s-major order\n"
+              cls rows heap_bytes
+              (Soqm_disk.Store.data_pages d cls)
+              (Option.value ~default:"allocation"
+                 (Soqm_disk.Store.clustering_parent d cls))
+          end
+          else begin
+            let rows = Db.vacuum db cls in
+            Printf.printf
+              "vacuumed %-12s %6d row(s): %7d heap byte(s) -> %7d columnar \
+               byte(s)\n"
+              cls rows heap_bytes
+              (Soqm_disk.Store.columnar_bytes d cls)
+          end)
         classes;
-      Soqm_disk.Store.close ~checkpoint:false d;
+      Db.close db;
       `Ok ()
   in
   let doc =
-    "Rewrite classes of a paged database as columnar segments: \
+    "Rewrite classes of a paged database.  Default: columnar segments — \
      dictionary-encoded column chunks replace the slotted heap pages, \
      the heap is emptied (subsequent DML lands there and shadows the \
      columnar rows until the next vacuum), and scans decode only the \
-     columns they need.  Ends with a full checkpoint."
+     columns they need.  With $(b,--cluster): repack in parent-child \
+     traversal order instead, keeping the heap representation.  Ends \
+     with a full checkpoint."
   in
   Cmd.v (Cmd.info "vacuum" ~doc)
-    Term.(ret (const run $ dir_pos_arg $ pool_pages_arg $ cls_arg))
+    Term.(
+      ret (const run $ dir_pos_arg $ pool_pages_arg $ cls_arg $ cluster_arg))
 
 (* ------------------------------------------------------------------ *)
 (* stats: mixed read/write workload + maintenance report               *)

@@ -67,9 +67,12 @@ val maintenance : t -> Soqm_maintenance.Maintenance.t option
 val save : t -> string -> unit
 (** Export the database's data to a paged disk database directory
     ([Soqm_disk]): one slotted-page heap segment per class, a meta file
-    with the binary-encoded schema, and an empty WAL.  Indexes and
-    statistics are derived state and rebuilt on load.  Overwrites any
-    previous database in the directory. *)
+    with the binary-encoded schema, and an empty WAL.  With maintenance
+    attached, the derived state (index contents, implication-set
+    memberships, statistics) is also persisted as [derived.idx]
+    ([Soqm_maintenance.Persist]), stamped with the new store's
+    checkpoint sequence, so the next open skips the derived rebuild.
+    Overwrites any previous database in the directory. *)
 
 val load : ?maintain:bool -> ?jobs:int -> string -> t
 (** Import shim over the disk format: open the directory (running WAL
@@ -77,8 +80,12 @@ val load : ?maintain:bool -> ?jobs:int -> string -> t
     through the prefetching scan, then detach from the disk files —
     subsequent DML is {e not} written back (use {!open_disk} for that).
     Re-registers every method implementation of the document schema,
-    rebuilds indexes and statistics, and (unless [maintain:false])
-    attaches incremental maintenance.  Only meaningful for databases of
+    then restores derived state the O(dirty) way when possible: a
+    [derived.idx] image whose stamp matches the store's checkpoint
+    sequence is loaded wholesale and only the recovered WAL tail is
+    replayed through the maintenance observers.  A missing, stale or
+    corrupt image (or [maintain:false]) falls back to the O(extent)
+    rebuild of indexes and statistics.  Only meaningful for databases of
     the document schema (possibly with cost-variant method declarations).
     @raise Soqm_disk.Store.Format_error on foreign or corrupt
     directories. *)
@@ -104,22 +111,27 @@ val buffer_disk_ops : t -> (unit -> 'a) -> 'a * Soqm_disk.Wal.op list
     reentrant; callers must serialize (commit application already runs
     under the transaction manager's commit mutex). *)
 
-val vacuum : t -> string -> int
-(** Rewrite one class of the attached disk store as a columnar segment
-    ({!Soqm_disk.Store.vacuum}: dictionary-encoded column chunks,
-    emptied heap, class flagged in [meta]); returns the rows rewritten.
-    The in-memory image is unaffected — only the disk representation
-    (and the scan traffic model) changes.
+val vacuum : ?mode:[ `Columnar | `Cluster ] -> t -> string -> int
+(** Rewrite one class of the attached disk store
+    ({!Soqm_disk.Store.vacuum}); returns the rows rewritten.
+    [`Columnar] (default) moves the class to a columnar segment;
+    [`Cluster] repacks it in parent-child traversal order (heap pages,
+    or chunk boundaries for an already-columnar class).  The in-memory
+    image is unaffected — only the disk representation (and the scan
+    traffic model) changes.  The derived image is rewritten afterwards
+    so the vacuum's checkpoint does not invalidate it.
     @raise Invalid_argument when the database has no attached disk store.
     @raise Soqm_disk.Store.Format_error for a class not in the schema. *)
 
 val checkpoint : t -> unit
 (** Flush dirty pages, fsync the segments and truncate the WAL of the
-    attached disk store; no-op for in-memory databases. *)
+    attached disk store, then rewrite [derived.idx] to match the new
+    checkpoint sequence; no-op for in-memory databases. *)
 
 val close : t -> unit
-(** Checkpoint and detach the disk store, if any.  The database remains
-    usable in memory; further DML is no longer made durable. *)
+(** Checkpoint (including the derived image) and detach the disk store,
+    if any.  The database remains usable in memory; further DML is no
+    longer made durable. *)
 
 val set_jobs : t -> int -> unit
 (** Set {!field-t.default_jobs} (clamped to at least 1). *)

@@ -76,7 +76,12 @@ let read_file path =
 (* the columnar segment                                                *)
 (* ------------------------------------------------------------------ *)
 
-let encode_file ~cls rows =
+(* Minimum rows a chunk must reach before a requested boundary may cut
+   it: traversal groups smaller than this share a chunk, so boundary
+   alignment cannot degenerate into per-group chunks. *)
+let min_aligned_rows = 256
+
+let encode_file ?break_before ~cls rows =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf magic;
   Codec.write_uvarint buf version;
@@ -84,13 +89,26 @@ let encode_file ~cls rows =
   let n = Array.length rows in
   let off = ref 0 in
   while !off < n do
-    let len = min chunk_rows (n - !off) in
+    let len =
+      let hard = min chunk_rows (n - !off) in
+      match break_before with
+      | None -> hard
+      | Some cut ->
+        (* prefer the last requested boundary inside the window, once the
+           chunk is big enough that alignment beats fixed slicing *)
+        let best = ref hard in
+        for i = min_aligned_rows to hard - 1 do
+          if cut (!off + i) then best := i
+        done;
+        !best
+    in
     add_frame buf (Column.encode (Array.sub rows !off len));
     off := !off + len
   done;
   Buffer.contents buf
 
-let write ~dir ~cls rows = write_file (path ~dir ~cls) (encode_file ~cls rows)
+let write ?break_before ~dir ~cls rows =
+  write_file (path ~dir ~cls) (encode_file ?break_before ~cls rows)
 
 let check_header ~path ~cls s =
   let m = String.length magic in
@@ -204,6 +222,9 @@ let find_chunk t id =
       else Some (mid, ch)
   in
   go 0 n
+
+let chunk_of t id =
+  match find_chunk t id with Some (i, _) -> Some i | None -> None
 
 let mem t id =
   match find_chunk t id with

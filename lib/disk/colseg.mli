@@ -25,9 +25,19 @@ exception Format_error of string
 val path : dir:string -> cls:string -> string
 val dead_path : dir:string -> cls:string -> string
 
-val write : dir:string -> cls:string -> (int * (string * Value.t) list) array -> unit
+val write :
+  ?break_before:(int -> bool) ->
+  dir:string ->
+  cls:string ->
+  (int * (string * Value.t) list) array ->
+  unit
 (** Encode records (ascending OID ids) into chunks and atomically replace
-    [<cls>.col]. *)
+    [<cls>.col].  [break_before i] requests a chunk boundary before row
+    index [i] — the clustering vacuum aligns chunks to parent-group
+    starts so a path query decodes whole groups, not group fragments;
+    boundaries inside the first 256 rows of a chunk are ignored so tiny
+    groups still share chunks.  Chunks never exceed the fixed row
+    budget regardless. *)
 
 val load : counters:Counters.t -> dir:string -> cls:string -> t
 (** Read and verify [<cls>.col]: every frame bound and CRC trailer is
@@ -58,6 +68,11 @@ val iter_ids : t -> (int -> unit) -> unit
 (** All OID ids in ascending order (no column decoding, no charges). *)
 
 val mem : t -> int -> bool
+
+val chunk_of : t -> int -> int option
+(** Index of the chunk whose OID range covers this id, if any — the
+    physical unit a point lookup decodes ({!Store.locate_pages} counts
+    these as "pages" for columnar rows). *)
 
 val fetch : t -> int -> (string * Value.t) list option
 (** Point lookup; decodes (and charges) the containing chunk once and

@@ -1,0 +1,39 @@
+open Soqm_vml
+
+(* The policy is derived once per store from the schema's inverse link
+   declarations: a scalar object-valued property with a declared inverse
+   is a path-expression edge (Paragraph.section <-> Section.paragraphs),
+   and the worked queries traverse exactly those edges.  The first such
+   property of a class is its clustering parent. *)
+
+type t = (string, string) Hashtbl.t
+
+let parent_prop_of (cd : Schema.class_def) =
+  List.find_map
+    (fun (p : Schema.property) ->
+      match p.Schema.prop_type with
+      | Vtype.TObj _ when p.Schema.inverse <> None -> Some p.Schema.prop_name
+      | _ -> None)
+    cd.Schema.properties
+
+let derive schema =
+  let t = Hashtbl.create 8 in
+  List.iter
+    (fun (cd : Schema.class_def) ->
+      match parent_prop_of cd with
+      | Some prop -> Hashtbl.replace t cd.Schema.cls_name prop
+      | None -> ())
+    (Schema.classes schema);
+  t
+
+let parent_prop t cls = Hashtbl.find_opt t cls
+
+(* The clustering parent of a record, if its class has one and the
+   edge is set. *)
+let parent_of t ~cls props =
+  match Hashtbl.find_opt t cls with
+  | None -> None
+  | Some prop -> (
+    match List.assoc_opt prop props with
+    | Some (Value.Obj o) -> Some o
+    | _ -> None)

@@ -1,0 +1,31 @@
+(** Per-class clustered placement policy.
+
+    Path expressions (document → section → paragraph) dominate the
+    workload, so the store tries to place an object on — or near — the
+    heap page that already holds its siblings under the same
+    path-expression parent.  Which property is "the parent" is derived
+    from the schema: the first scalar object-valued property with a
+    declared inverse link is the reference edge path queries traverse
+    (placement-by-reference-path, after Darmont & Gruenwald's comparison
+    of OODB clustering policies).
+
+    The policy drives two mechanisms in {!Store}: insert-time page
+    hints (new records try their parent's last page before the fill
+    page) and the clustering vacuum (a heap rewrite in parent-major
+    traversal order). *)
+
+open Soqm_vml
+
+type t
+
+val derive : Schema.t -> t
+(** Compute the policy: one clustering parent property per class that
+    declares an inverse-linked object property; classes without one
+    (roots like [Document]) keep plain fill-page placement. *)
+
+val parent_prop : t -> string -> string option
+(** The clustering parent property of a class, if any. *)
+
+val parent_of : t -> cls:string -> (string * Value.t) list -> Oid.t option
+(** The parent object a record of [cls] should cluster with, when the
+    policy has an edge for the class and the record has it set. *)

@@ -1,6 +1,7 @@
 type t = {
   cls : string;
-  fd : Unix.file_descr;
+  path : string;
+  mutable fd : Unix.file_descr;  (* replaced by [rewrite] *)
   mutable pages : int;  (* data pages (file pages minus the header) *)
   m : Mutex.t;
 }
@@ -63,7 +64,7 @@ let open_seg ~dir ~cls =
   if bytes = 0 then (
     ignore (Unix.lseek fd 0 Unix.SEEK_SET);
     really_write fd (header_page cls) Page.size;
-    { cls; fd; pages = 0; m = Mutex.create () })
+    { cls; path; fd; pages = 0; m = Mutex.create () })
   else (
     ignore (Unix.lseek fd 0 Unix.SEEK_SET);
     (try check_header path cls fd
@@ -72,7 +73,13 @@ let open_seg ~dir ~cls =
        raise e);
     (* a torn final page (crash mid-extension) counts as absent: reads of
        it zero-fill past the write boundary and redo recreates it *)
-    { cls; fd; pages = max 0 ((bytes - 1) / Page.size); m = Mutex.create () })
+    {
+      cls;
+      path;
+      fd;
+      pages = max 0 ((bytes - 1) / Page.size);
+      m = Mutex.create ();
+    })
 
 let cls t = t.cls
 let data_pages t = t.pages
@@ -94,6 +101,31 @@ let write_page t n buf =
       ignore (Unix.lseek t.fd (n * Page.size) Unix.SEEK_SET);
       really_write t.fd buf Page.size;
       if n > t.pages then t.pages <- n)
+
+(* Atomic whole-heap replacement for the clustering vacuum: the new
+   image (header + data pages) is written to a temp file, fsynced, and
+   renamed over the segment, so a crash leaves either the old heap or
+   the complete new one — never a mix.  The handle switches to the new
+   file's descriptor; the caller must have dropped any pooled pages of
+   the old image first. *)
+let rewrite t pages_arr =
+  locked t (fun () ->
+      let tmp = t.path ^ ".tmp" in
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      (try
+         really_write fd (header_page t.cls) Page.size;
+         Array.iter (fun p -> really_write fd p Page.size) pages_arr;
+         Unix.fsync fd;
+         Unix.close fd
+       with e ->
+         Unix.close fd;
+         raise e);
+      Unix.rename tmp t.path;
+      Unix.close t.fd;
+      t.fd <- Unix.openfile t.path [ Unix.O_RDWR ] 0o644;
+      t.pages <- Array.length pages_arr)
 
 let reset t =
   locked t (fun () ->

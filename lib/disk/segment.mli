@@ -32,6 +32,16 @@ val read_page : t -> int -> bytes -> unit
 val write_page : t -> int -> bytes -> unit
 (** Write data page [n >= 1], extending the file as needed. *)
 
+val rewrite : t -> bytes array -> unit
+(** [rewrite t pages] atomically replaces the whole heap with the given
+    data-page images (page [i] of the array becomes data page [i+1]):
+    header + pages go to a temp file, [fsync], then rename over the
+    segment — a crash leaves the old heap or the complete new one.
+    The clustering vacuum uses this to rewrite a class in traversal
+    order.  Cached images of the old pages must be dropped by the
+    caller ({!Buffer_pool.drop_class}) {e before} the rewrite, or stale
+    dirty pages could later flush into the new file. *)
+
 val reset : t -> unit
 (** Truncate back to the bare header page (zero data pages) and [fsync] —
     the vacuum path empties the heap once its records have moved to the

@@ -2,8 +2,13 @@ open Soqm_vml
 
 type op =
   | Insert of { oid : Oid.t; props : (string * Value.t) list }
-  | Update of { oid : Oid.t; prop : string; value : Value.t }
-  | Delete of { oid : Oid.t }
+  | Update of {
+      oid : Oid.t;
+      prop : string;
+      value : Value.t;
+      old_value : Value.t;
+    }
+  | Delete of { oid : Oid.t; props : (string * Value.t) list }
 
 type t = {
   fd : Unix.file_descr;
@@ -52,14 +57,16 @@ let encode_op op =
     Buffer.add_char buf 'I';
     write_oid buf oid;
     Codec.write_props buf props
-  | Update { oid; prop; value } ->
-    Buffer.add_char buf 'U';
+  | Update { oid; prop; value; old_value } ->
+    Buffer.add_char buf 'V';
     write_oid buf oid;
     Codec.write_string buf prop;
-    Codec.write_value buf value
-  | Delete { oid } ->
-    Buffer.add_char buf 'D';
-    write_oid buf oid);
+    Codec.write_value buf value;
+    Codec.write_value buf old_value
+  | Delete { oid; props } ->
+    Buffer.add_char buf 'E';
+    write_oid buf oid;
+    Codec.write_props buf props);
   Buffer.contents buf
 
 (* a payload is either a framing marker or an encoded op *)
@@ -75,12 +82,24 @@ let decode_payload s =
     let oid = read_oid c in
     let props = Codec.read_props c in
     Op (Insert { oid; props })
+  | 'V' ->
+    let oid = read_oid c in
+    let prop = Codec.read_string c in
+    let value = Codec.read_value c in
+    let old_value = Codec.read_value c in
+    Op (Update { oid; prop; value; old_value })
+  | 'E' ->
+    let oid = read_oid c in
+    let props = Codec.read_props c in
+    Op (Delete { oid; props })
+  (* tags of logs written before pre-images existed: redo needs only the
+     new values, so absent pre-images decode as Null / empty *)
   | 'U' ->
     let oid = read_oid c in
     let prop = Codec.read_string c in
     let value = Codec.read_value c in
-    Op (Update { oid; prop; value })
-  | 'D' -> Op (Delete { oid = read_oid c })
+    Op (Update { oid; prop; value; old_value = Value.Null })
+  | 'D' -> Op (Delete { oid = read_oid c; props = [] })
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown WAL tag %c" t))
 
 let add_frame buf payload =

@@ -18,9 +18,20 @@ open Soqm_vml
 type op =
   | Insert of { oid : Oid.t; props : (string * Value.t) list }
       (** (re)write the full record of [oid] *)
-  | Update of { oid : Oid.t; prop : string; value : Value.t }
-      (** upsert one property *)
-  | Delete of { oid : Oid.t }
+  | Update of {
+      oid : Oid.t;
+      prop : string;
+      value : Value.t;
+      old_value : Value.t;
+    }
+      (** upsert one property.  [old_value] is a logical pre-image: redo
+          ignores it, but replaying the tail through the maintenance
+          observers needs it to un-index the displaced value.  Logs
+          written before pre-images existed decode with [old_value =
+          Null]. *)
+  | Delete of { oid : Oid.t; props : (string * Value.t) list }
+      (** [props] snapshots the record at deletion (pre-image for
+          observer replay; empty in legacy logs). *)
 
 type t
 

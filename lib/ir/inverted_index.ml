@@ -55,6 +55,18 @@ let lookup_all t query =
           ws)
       first
 
+let add_posting t ~word ~key = Hashtbl.replace (postings t word) key ()
+
+let load_postings t ~word ~keys =
+  let s = Hashtbl.create (List.length keys) in
+  List.iter (fun k -> Hashtbl.replace s k ()) keys;
+  Hashtbl.replace t word s
+
+let iter_postings t f =
+  Hashtbl.iter
+    (fun w s -> f w (Hashtbl.fold (fun k () acc -> k :: acc) s []))
+    t
+
 let word_count t = Hashtbl.length t
 
 let posting_count t word =

@@ -36,6 +36,13 @@ let recollects t = t.recollects
 let stats t = t.stats
 let maintained_sets t = List.map (fun m -> m.spec_name) t.sets
 
+let set_members t =
+  List.map
+    (fun m ->
+      ( m.spec_name,
+        Hashtbl.fold (fun mem tgt acc -> (mem, tgt) :: acc) m.members [] ))
+    t.sets
+
 (* ------------------------------------------------------------------ *)
 (* Implication sets                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -338,8 +345,8 @@ let resync t =
   bump_epoch t
 
 let attach ?(policy = default_policy) ?(hash_indexes = [])
-    ?(sorted_indexes = []) ?(text_indexes = []) ?(implications = []) ~stats
-    store =
+    ?(sorted_indexes = []) ?(text_indexes = []) ?(implications = [])
+    ?set_members ~stats store =
   let sets = List.filter_map compile_implication implications in
   let t =
     {
@@ -356,7 +363,21 @@ let attach ?(policy = default_policy) ?(hash_indexes = [])
   in
   (* bring the maintained sets in line with base data before observing —
      attach is the rebuild-from-scratch moment; indexes and statistics
-     are the caller's to have built (Db does both in [refresh]) *)
-  List.iter (fun m -> reconcile_set store m) sets;
+     are the caller's to have built (Db does both in [refresh]).  With
+     [set_members] (the persisted-image fast path) a named set's members
+     table is seeded wholesale instead: the base data's derived set
+     props already hold these memberships, so the O(extent) reconcile
+     (an antecedent evaluation per member-class instance) is skipped. *)
+  List.iter
+    (fun m ->
+      match
+        Option.bind set_members (fun seeds -> List.assoc_opt m.spec_name seeds)
+      with
+      | Some members ->
+        List.iter
+          (fun (mem, tgt) -> Hashtbl.replace m.members mem tgt)
+          members
+      | None -> reconcile_set store m)
+    sets;
   Object_store.subscribe store (observe t);
   t

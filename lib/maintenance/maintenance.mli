@@ -42,6 +42,7 @@ val attach :
   ?sorted_indexes:Sorted_index.t list ->
   ?text_indexes:(string * string * Oid.t Soqm_ir.Inverted_index.t) list ->
   ?implications:Soqm_semantics.Equivalence.t list ->
+  ?set_members:(string * (Oid.t * Oid.t) list) list ->
   stats:Statistics.t ->
   Object_store.t ->
   t
@@ -51,8 +52,11 @@ val attach :
     membership-shaped consequent are compiled into maintained sets; the
     rest are ignored.  Indexes and [stats] must already reflect the
     store's current contents (the caller builds them); maintained sets
-    are reconciled against base data at attach time.  Inverse links need
-    no registration — the store itself maintains them. *)
+    are reconciled against base data at attach time — unless
+    [set_members] supplies a spec's [(member, target)] pairs (from
+    {!set_members} persisted at checkpoint), in which case that set is
+    seeded wholesale and the O(extent) reconcile skipped.  Inverse links
+    need no registration — the store itself maintains them. *)
 
 val observe : t -> Object_store.change -> unit
 (** The observer attached to the store; exposed for replaying events. *)
@@ -81,3 +85,8 @@ val stats : t -> Statistics.t
 
 val maintained_sets : t -> string list
 (** Names of the implication specs compiled into maintained sets. *)
+
+val set_members : t -> (string * (Oid.t * Oid.t) list) list
+(** Every maintained set's current [(member, target)] pairs — the dump
+    feed for index persistence; feed back through [attach
+    ~set_members]. *)

@@ -1223,6 +1223,11 @@ let open_compiled ?stats ctx (root : Plan.compiled) : biter =
       let apply = op_applier op args in
       expanding ~charge:true cid (go input) (fun rows ->
           expand_rows ins rows apply)
+    | Plan.CProject (srcs, input) when Plan.keyed_projection srcs input ->
+      (* the kept slots cover a key of the input, so rows are already
+         distinct: copy-out only, no dedup table (DESIGN.md §9) *)
+      let proj = make_copier srcs in
+      expanding ~charge:true cid (go input) (fun rows -> Array.map proj rows)
     | Plan.CProject ([| i |], input) ->
       (* single-column projection: dedup keyed by the value itself, no
          per-row key array *)
@@ -1250,7 +1255,7 @@ let open_compiled ?stats ctx (root : Plan.compiled) : biter =
       let run = step_runner (fused_steps_of ctx shared_memo f) in
       let seed = make_seeder ~fin_width:f.Plan.fin_width ~fregs:f.Plan.fregs in
       let eval_regs row = fused_row run ~seed ~w:0 row in
-      if f.Plan.fdedup then
+      if f.Plan.fdedup && not f.Plan.fkeyed then
         (* dedup mirrors the standalone projection kernels: values keyed
            directly when one column survives, RowTbl otherwise *)
         (match f.Plan.fout with
@@ -1844,6 +1849,14 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       in
       Counters.charge_tuples cnt (Array.length out);
       record cid ~morsels:(morsels_of n) ~partitions:0 out
+    | Plan.CProject (srcs, input) when Plan.keyed_projection srcs input ->
+      (* provably-distinct projection (see the serial kernel): a pure
+         1:1 copy-out, fully parallel, no dedup merge *)
+      let proj = make_copier srcs in
+      let rows = eval input in
+      let out = mapped rows (fun ~w:_ row -> proj row) in
+      Counters.charge_tuples cnt (Array.length out);
+      record cid ~morsels:(morsels_of (Array.length out)) ~partitions:0 out
     | Plan.CProject ([| i |], input) ->
       (* per-morsel local dedup in parallel, then a serial merge in
          morsel order: the survivors are exactly the first occurrences
@@ -1918,7 +1931,7 @@ let eval_parallel ?stats ctx ~jobs (root : Plan.compiled) :
       let rows = eval input in
       let n = Array.length rows in
       let m = morsels_of n in
-      if not f.Plan.fdedup then begin
+      if not (f.Plan.fdedup && not f.Plan.fkeyed) then begin
         let out_of =
           if fused_out_is_regs f then Fun.id else make_copier f.Plan.fout
         in
@@ -2015,7 +2028,49 @@ let compile ?fuse ctx plan =
     Counters.charge_slot_miss (counters ctx);
     error "%s" msg
 
-let run_compiled ?stats ?(jobs = 1) ctx (c : Plan.compiled) =
+(* Workers beyond the cores the host can actually run concurrently only
+   add domain-handoff latency, and a plan whose every leaf extent fits in
+   a single morsel degenerates to one work unit per operator — all
+   spawn/join cost, zero overlap.  [effective_jobs] caps the request at
+   [Domain.recommended_domain_count] and falls back to the serial block
+   executor for such sub-morsel plans; [~clamp:false] bypasses both (the
+   determinism tests exercise the parallel internals on small inputs). *)
+let effective_jobs ctx jobs (c : Plan.compiled) =
+  let jobs = min jobs (Domain.recommended_domain_count ()) in
+  if jobs <= 1 then 1
+  else
+    let rec widest (c : Plan.compiled) =
+      let ext cls =
+        try Object_store.extent_size ctx.store cls with Not_found -> 0
+      in
+      match c.Plan.cop with
+      | Plan.CUnit -> 0
+      | Plan.CFullScan cls
+      | Plan.CIndexScan (cls, _, _)
+      | Plan.CRangeScan (cls, _, _, _)
+      | Plan.CMethodScan (cls, _, _) ->
+        ext cls
+      | Plan.CFilter (_, _, _, i)
+      | Plan.CMapProp (_, _, _, i)
+      | Plan.CMapMeth (_, _, _, _, i)
+      | Plan.CFlatProp (_, _, _, i)
+      | Plan.CFlatMeth (_, _, _, _, i)
+      | Plan.CMapOp (_, _, _, i)
+      | Plan.CFlatOp (_, _, _, i)
+      | Plan.CProject (_, i)
+      | Plan.CFused (_, i) ->
+        widest i
+      | Plan.CNestedLoop (_, _, l, r)
+      | Plan.CHashJoin (_, _, _, l, r)
+      | Plan.CNaturalJoin (_, _, _, l, r)
+      | Plan.CUnion (l, r)
+      | Plan.CDiff (l, r) ->
+        max (widest l) (widest r)
+    in
+    if widest c <= morsel_size then 1 else jobs
+
+let run_compiled ?stats ?(jobs = 1) ?(clamp = true) ctx (c : Plan.compiled) =
+  let jobs = if clamp then effective_jobs ctx jobs c else jobs in
   let layout = c.Plan.layout in
   let tuples =
     if jobs > 1 then
@@ -2031,4 +2086,4 @@ let run_compiled ?stats ?(jobs = 1) ctx (c : Plan.compiled) =
   in
   Relation.make ~refs:(Relation.Layout.names layout) tuples
 
-let run ?jobs ctx plan = run_compiled ?jobs ctx (compile ctx plan)
+let run ?jobs ?clamp ctx plan = run_compiled ?jobs ?clamp ctx (compile ctx plan)

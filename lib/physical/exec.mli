@@ -138,12 +138,28 @@ val eval_parallel :
     determinism tests and benchmarks).  @raise Error on dynamic
     failures, re-raised on the caller after all workers join. *)
 
+val effective_jobs : ctx -> int -> Plan.compiled -> int
+(** The worker count the default executor would actually use: [jobs]
+    capped at [Domain.recommended_domain_count ()], collapsing to 1
+    when every leaf extent of the plan fits inside a single
+    {!morsel_size} morsel (one work unit per operator — domain
+    handoff with no overlap). *)
+
 val run_compiled :
-  ?stats:node_stats -> ?jobs:int -> ctx -> Plan.compiled -> Relation.t
+  ?stats:node_stats ->
+  ?jobs:int ->
+  ?clamp:bool ->
+  ctx ->
+  Plan.compiled ->
+  Relation.t
 (** Exhaust the compiled plan and canonicalize the result.  [jobs]
     (default 1) selects the executor: 1 streams blocks exactly as
     before — no pool, no domain spawns — while [>= 2] runs the
-    morsel-parallel path. *)
+    morsel-parallel path.  Unless [clamp:false], [jobs] first passes
+    through {!effective_jobs}, so over-subscribed hosts and sub-morsel
+    inputs silently take the serial path; pass [~clamp:false] to force
+    the parallel internals regardless (determinism tests, benchmarks on
+    small fixtures). *)
 
-val run : ?jobs:int -> ctx -> Plan.t -> Relation.t
+val run : ?jobs:int -> ?clamp:bool -> ctx -> Plan.t -> Relation.t
 (** [compile] + [run_compiled] — the default executor. *)

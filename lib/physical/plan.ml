@@ -134,6 +134,10 @@ type fused = {
   fregs : int;  (* total registers = fin_width + number of map steps *)
   fout : int array;  (* registers copied to the output row, in order *)
   fdedup : bool;  (* a projection tops the chain: set semantics *)
+  fkeyed : bool;
+      (* the projection provably emits distinct rows (it keeps a key of
+         the chain's input — see {!row_key}), so the dedup table is
+         skippable *)
 }
 
 type compiled = {
@@ -305,6 +309,89 @@ let compile_tree (plan : t) : compiled =
   go plan
 
 (* ------------------------------------------------------------------ *)
+(* Distinctness: keys of compiled nodes                                *)
+(* ------------------------------------------------------------------ *)
+
+module Slot_set = Set.Make (Int)
+
+(* A key of a node: a set of output slots whose combined values differ
+   between any two rows the node emits.  [None] means no key is known —
+   the analysis is sound, not complete.  The payoff is the projection
+   fast path: a projection that keeps a whole key of its input provably
+   emits distinct rows, so its dedup hash table (one lookup + one row
+   materialization per input row) is dead weight.
+
+   Per node: scans of extents and index access paths enumerate each
+   object once, so the binding slot alone is a key; method scans may
+   return anything.  Filters and 1:1 maps keep input rows apart.  A
+   join emits each matching (left, right) pair once, so the union of
+   both sides' keys identifies the pair — provided every key slot
+   survives the merge.  Flattens and unions duplicate freely.  A
+   projection's own output is distinct by set semantics (enforced by
+   dedup or proved by this analysis), hence a key of itself. *)
+let rec row_key (c : compiled) : Slot_set.t option =
+  let shift_for_insert at k =
+    Slot_set.map (fun s -> if s >= at then s + 1 else s) k
+  in
+  let all_slots n = Slot_set.of_list (List.init n Fun.id) in
+  (* remap key slots of one join side through the signed merge plan
+     ([j >= 0] copies left slot [j], [j < 0] copies right slot
+     [-j - 1]); [None] when a key slot was projected away *)
+  let remap merge src_of k acc =
+    Slot_set.fold
+      (fun s acc ->
+        Option.bind acc (fun acc ->
+            let pos = ref None in
+            Array.iteri
+              (fun j m -> if !pos = None && m = src_of s then pos := Some j)
+              merge;
+            Option.map (fun j -> Slot_set.add j acc) !pos))
+      k (Some acc)
+  in
+  match c.cop with
+  | CUnit -> Some Slot_set.empty
+  | CFullScan _ | CIndexScan _ | CRangeScan _ -> Some (Slot_set.singleton 0)
+  | CMethodScan _ -> None
+  | CFilter (_, _, _, i) -> row_key i
+  | CMapProp (at, _, _, i) | CMapMeth (at, _, _, _, i) | CMapOp (at, _, _, i)
+    ->
+    Option.map (shift_for_insert at) (row_key i)
+  | CFlatProp _ | CFlatMeth _ | CFlatOp _ -> None
+  | CNestedLoop (_, merge, l, r)
+  | CHashJoin (_, _, merge, l, r)
+  | CNaturalJoin (_, _, merge, l, r) -> (
+    match (row_key l, row_key r) with
+    | Some kl, Some kr ->
+      Option.bind
+        (remap merge Fun.id kl Slot_set.empty)
+        (remap merge (fun s -> -s - 1) kr)
+    | _ -> None)
+  | CUnion _ -> None
+  | CDiff (l, _) -> row_key l
+  | CProject (srcs, _) -> Some (all_slots (Array.length srcs))
+  | CFused (f, i) ->
+    if f.fdedup && not f.fkeyed then Some (all_slots (Array.length f.fout))
+    else
+      (* 1:1 steps only; input slot [s] is register [s], output slot [j]
+         copies register [fout.(j)] *)
+      Option.bind (row_key i) (fun k ->
+          Slot_set.fold
+            (fun s acc ->
+              Option.bind acc (fun acc ->
+                  let pos = ref None in
+                  Array.iteri
+                    (fun j m -> if !pos = None && m = s then pos := Some j)
+                    f.fout;
+                  Option.map (fun j -> Slot_set.add j acc) !pos))
+            k (Some Slot_set.empty))
+
+(* Does projecting [srcs] out of [input] provably keep rows distinct? *)
+let keyed_projection srcs (input : compiled) =
+  match row_key input with
+  | None -> false
+  | Some k -> Slot_set.for_all (fun s -> Array.exists (Int.equal s) srcs) k
+
+(* ------------------------------------------------------------------ *)
 (* Kernel fusion                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -378,12 +465,23 @@ let build_fused ?project ops input =
     | Some srcs -> Array.map (fun s -> !reg_of.(s)) srcs
     | None -> Array.copy !reg_of
   in
+  (* input slot [s] seeds register [s], so a key of the input node reads
+     directly as a register set: the projection is keyed when every key
+     register survives into the copy-out *)
+  let keyed =
+    Option.is_some project
+    &&
+    match row_key input with
+    | None -> false
+    | Some k -> Slot_set.for_all (fun s -> Array.exists (Int.equal s) fout) k
+  in
   {
     fsteps = Array.of_list steps;
     fin_width;
     fregs = !nregs;
     fout;
     fdedup = Option.is_some project;
+    fkeyed = keyed;
   }
 
 (* A node starts a fused kernel when it tops a chain worth collapsing:
@@ -671,7 +769,10 @@ let compiled_label c =
     Printf.sprintf "fused<%s%s>"
       (String.concat "; "
          (List.map fstep_label (Array.to_list f.fsteps)))
-      (if f.fdedup then Printf.sprintf "; project %s" (slots_label f.fout)
+      (if f.fdedup then
+         Printf.sprintf "; project%s %s"
+           (if f.fkeyed then " keyed" else "")
+           (slots_label f.fout)
        else "")
 
 let pp_compiled ?(annot = fun (_ : compiled) -> "") ppf root =

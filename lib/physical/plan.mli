@@ -107,6 +107,10 @@ type fused = {
   fout : int array;  (** registers copied to the output row, in order *)
   fdedup : bool;
       (** a projection topped the chain: keep first occurrences only *)
+  fkeyed : bool;
+      (** the projection keeps a whole key of the chain's input
+          ({!row_key}), so its rows are provably distinct and the
+          executors skip the dedup table *)
 }
 
 type compiled = {
@@ -161,6 +165,23 @@ val compile : ?fuse:bool -> t -> compiled
 
 val compiled_inputs : compiled -> compiled list
 val node_count : compiled -> int
+
+module Slot_set : Set.S with type elt = int
+
+val row_key : compiled -> Slot_set.t option
+(** A {e key} of the node: output slots whose combined values differ
+    between any two emitted rows, or [None] when no key is provable.
+    Scans of extents and index access paths key on their binding slot;
+    filters and 1:1 maps preserve keys; joins combine both sides' keys
+    (each matching pair is emitted once); a projection's output is a key
+    of itself by set semantics.  Flattens, unions and method scans drop
+    to [None].  Sound, not complete. *)
+
+val keyed_projection : int array -> compiled -> bool
+(** [keyed_projection srcs input]: does projecting slots [srcs] out of
+    [input] provably keep rows distinct — i.e. do the kept slots cover a
+    {!row_key} of [input]?  When true the projection executors skip
+    their dedup hash table (the projection fast path; DESIGN.md §9). *)
 
 val fused_count : compiled -> int
 (** Steps fused into this node (counting a topping projection);

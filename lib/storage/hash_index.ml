@@ -20,6 +20,11 @@ let bucket t v =
 
 let insert t v oid = Hashtbl.replace (bucket t v) oid ()
 
+let load_bucket t v oids =
+  let b = Hashtbl.create (List.length oids) in
+  List.iter (fun oid -> Hashtbl.replace b oid ()) oids;
+  Hashtbl.replace t.table v b
+
 let delete t v oid =
   match Hashtbl.find_opt t.table v with
   | None -> ()
@@ -38,6 +43,11 @@ let distinct_keys t = Hashtbl.length t.table
 
 let entries t =
   Hashtbl.fold (fun _ b acc -> acc + Hashtbl.length b) t.table 0
+
+let iter t f =
+  Hashtbl.iter
+    (fun v b -> f v (Hashtbl.fold (fun oid () acc -> oid :: acc) b []))
+    t.table
 
 let build t store =
   Hashtbl.reset t.table;

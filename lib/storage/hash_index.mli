@@ -19,6 +19,11 @@ val prop : t -> string
 val insert : t -> Value.t -> Oid.t -> unit
 val delete : t -> Value.t -> Oid.t -> unit
 
+val load_bucket : t -> Value.t -> Oid.t list -> unit
+(** Install a whole bucket in one right-sized allocation, replacing any
+    existing bucket for the value — the bulk path image restore takes
+    instead of per-OID {!insert}. *)
+
 val probe : t -> Counters.t -> Value.t -> Oid.t list
 (** OIDs currently indexed under the value; charges one index probe.
     Duplicate-free, order unspecified. *)
@@ -28,6 +33,10 @@ val keys : t -> Value.t list
 
 val distinct_keys : t -> int
 val entries : t -> int
+
+val iter : t -> (Value.t -> Oid.t list -> unit) -> unit
+(** Every bucket: indexed value and the OIDs under it (order
+    unspecified).  The dump feed for index persistence. *)
 
 val build : t -> Object_store.t -> unit
 (** (Re)build the index from the store: clears it, then inserts every

@@ -85,6 +85,15 @@ let probe_eq t counters v =
   probe_range t counters ~lo:(Inclusive v) ~hi:(Inclusive v)
 
 let entries t = Array.length t.entries
+let iter_entries t f = Array.iter (fun (v, oid) -> f v oid) t.entries
+
+let load_sorted t arr =
+  Array.iteri
+    (fun i e ->
+      if i > 0 && compare_entry arr.(i - 1) e >= 0 then
+        invalid_arg "Sorted_index.load_sorted: entries not strictly ascending")
+    arr;
+  t.entries <- arr
 
 let build t store =
   let items =

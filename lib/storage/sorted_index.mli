@@ -28,5 +28,15 @@ val probe_eq : t -> Counters.t -> Value.t -> Oid.t list
 
 val entries : t -> int
 
+val iter_entries : t -> (Value.t -> Oid.t -> unit) -> unit
+(** Every entry in ascending (value, oid) order — the dump feed for
+    index persistence. *)
+
+val load_sorted : t -> (Value.t * Oid.t) array -> unit
+(** Install a pre-sorted entry array wholesale (the persisted-image load
+    path, O(n) instead of n point inserts).
+    @raise Invalid_argument unless strictly ascending under the index
+    order. *)
+
 val build : t -> Object_store.t -> unit
 (** (Re)build from the store's current extent. *)

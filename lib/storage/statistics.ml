@@ -130,6 +130,45 @@ let note_scalar_write t ~cls:_ ~prop:_ = tick t
 let staleness t =
   float_of_int t.writes_since_collect /. Float.max 1. t.base_population
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots (the persisted-image form of the statistics)              *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_cards : (string * float) list;
+  snap_set_totals : ((string * string) * float) list;
+  snap_distincts : ((string * string) * float) list;
+  snap_writes : int;
+  snap_population : float;
+}
+
+let snapshot t =
+  {
+    snap_cards = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cards [];
+    snap_set_totals =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.set_totals [];
+    snap_distincts =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.distincts [];
+    snap_writes = t.writes_since_collect;
+    snap_population = t.base_population;
+  }
+
+let of_snapshot schema snap =
+  let t =
+    {
+      schema;
+      cards = Hashtbl.create 16;
+      set_totals = Hashtbl.create 32;
+      distincts = Hashtbl.create 32;
+      writes_since_collect = snap.snap_writes;
+      base_population = snap.snap_population;
+    }
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace t.cards k v) snap.snap_cards;
+  List.iter (fun (k, v) -> Hashtbl.replace t.set_totals k v) snap.snap_set_totals;
+  List.iter (fun (k, v) -> Hashtbl.replace t.distincts k v) snap.snap_distincts;
+  t
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   Hashtbl.iter (fun c n -> Format.fprintf ppf "|%s| = %.0f@ " c n) t.cards;

@@ -83,4 +83,22 @@ val staleness : t -> float
 (** Accumulated deltas since the last full collect, relative to the total
     object population at that collect.  0 right after a (re)collect. *)
 
+(** {1 Snapshots}
+
+    The persisted-image form: a snapshot taken at checkpoint restores to
+    exactly the same estimates, and the [note_*] deltas replayed from the
+    WAL tail bring cardinalities and fanout totals to the exact live
+    values — no collect scan on the fast open path. *)
+
+type snapshot = {
+  snap_cards : (string * float) list;
+  snap_set_totals : ((string * string) * float) list;
+  snap_distincts : ((string * string) * float) list;
+  snap_writes : int;
+  snap_population : float;
+}
+
+val snapshot : t -> snapshot
+val of_snapshot : Schema.t -> snapshot -> t
+
 val pp : Format.formatter -> t -> unit

@@ -452,9 +452,13 @@ let test_store_roundtrip () =
           Wal.Insert { oid = item 0; props = [ ("n", Value.Int 1); ("s", Value.Str "a") ] };
           Wal.Insert { oid = item 1; props = [ ("n", Value.Int 2); ("s", Value.Str "b") ] };
         ];
-      Store.apply t [ Wal.Update { oid = item 0; prop = "n"; value = Value.Int 7 } ];
+      Store.apply t
+        [
+          Wal.Update
+            { oid = item 0; prop = "n"; value = Value.Int 7; old_value = Value.Int 1 };
+        ];
       Store.apply t [ Wal.Insert { oid = item 2; props = [ ("n", Value.Int 3) ] } ];
-      Store.apply t [ Wal.Delete { oid = item 1 } ];
+      Store.apply t [ Wal.Delete { oid = item 1; props = [] } ];
       check Alcotest.bool "mem sees live" true (Store.mem t (item 0));
       check Alcotest.bool "mem sees deleted" false (Store.mem t (item 1));
       check F.value "update applied" (Value.Int 7)
@@ -490,7 +494,15 @@ let test_store_records_span_pages () =
       for i = 0 to 99 do
         if i mod 3 = 0 then
           Store.apply t
-            [ Wal.Update { oid = item i; prop = "n"; value = Value.Int (-i) } ]
+            [
+              Wal.Update
+                {
+                  oid = item i;
+                  prop = "n";
+                  value = Value.Int (-i);
+                  old_value = Value.Int i;
+                };
+            ]
       done;
       check Alcotest.bool "multiple pages allocated" true
         (Store.data_pages t "Item" > 5);
@@ -505,18 +517,20 @@ let test_store_records_span_pages () =
           check F.value "updated in place" (Value.Int expect)
             (List.assoc "n" props))
         rows;
-      (* oversized record rejected with a typed error *)
-      Alcotest.match_raises "page-capacity overflow"
-        (function Store.Format_error _ -> true | _ -> false)
-        (fun () ->
-          Store.apply t
-            [
-              Wal.Insert
-                {
-                  oid = item 999;
-                  props = [ ("s", Value.Str (String.make 5000 'x')) ];
-                };
-            ]);
+      (* a record past the page capacity spills into an overflow chain
+         and reads back whole *)
+      Store.apply t
+        [
+          Wal.Insert
+            {
+              oid = item 999;
+              props = [ ("s", Value.Str (String.make 5000 'x')) ];
+            };
+        ];
+      check F.value "overflow record round-trips" (Value.Str (String.make 5000 'x'))
+        (List.assoc "s" (Store.fetch t (item 999)));
+      check Alcotest.bool "stored as a chain" true
+        (Store.overflow_chains t "Item" >= 1);
       Store.close t)
 
 let test_store_prefetch_parity () =
@@ -640,8 +654,11 @@ let test_vacuum_dml_shadowing () =
       (* post-vacuum DML: update shadows, delete tombstones, insert lands
          in the heap *)
       Store.apply t
-        [ Wal.Update { oid = item 7; prop = "n"; value = Value.Int (-7) } ];
-      Store.apply t [ Wal.Delete { oid = item 8 } ];
+        [
+          Wal.Update
+            { oid = item 7; prop = "n"; value = Value.Int (-7); old_value = Value.Int 7 };
+        ];
+      Store.apply t [ Wal.Delete { oid = item 8; props = [] } ];
       Store.apply t
         [ Wal.Insert { oid = item 60; props = [ ("n", Value.Int 60) ] } ];
       let live () =
@@ -791,6 +808,522 @@ let test_db_vacuum_plumbing () =
         (fun () -> ignore (Soqm_core.Db.vacuum mem "Document")))
 
 (* ------------------------------------------------------------------ *)
+(* clustered placement and the `Cluster vacuum                         *)
+(* ------------------------------------------------------------------ *)
+
+(* a minimal parent-child schema with a declared inverse: the placement
+   policy derives [Kid -> par] as the clustering edge *)
+let pc_schema =
+  Schema.make
+    [
+      Schema.cls "Par"
+        ~properties:
+          [
+            Schema.prop "name" Vtype.TString;
+            Schema.prop "kids"
+              (Vtype.TSet (Vtype.TObj "Kid"))
+              ~inverse:("Kid", "par");
+          ];
+      Schema.cls "Kid"
+        ~properties:
+          [
+            Schema.prop "n" Vtype.TInt;
+            Schema.prop "pad" Vtype.TString;
+            Schema.prop "par" (Vtype.TObj "Par") ~inverse:("Par", "kids");
+          ];
+    ]
+
+let par id = Oid.make ~cls:"Par" ~id
+let kid id = Oid.make ~cls:"Kid" ~id
+let n_pars = 8
+let n_kids = 400
+
+(* kids assigned round-robin: consecutive OIDs belong to different
+   parents, the worst case for path-expression locality *)
+let populate_parents_round_robin t =
+  for p = 0 to n_pars - 1 do
+    Store.apply t
+      [
+        Wal.Insert
+          {
+            oid = par p;
+            props = [ ("name", Value.Str (Printf.sprintf "par-%d" p)) ];
+          };
+      ]
+  done;
+  for k = 0 to n_kids - 1 do
+    Store.apply t
+      [
+        Wal.Insert
+          {
+            oid = kid k;
+            props =
+              [
+                ("n", Value.Int k);
+                ("pad", Value.Str (String.make 150 'x'));
+                ("par", Value.Obj (par (k mod n_pars)));
+              ];
+          };
+      ]
+  done
+
+let kids_of p =
+  List.init n_kids Fun.id
+  |> List.filter (fun k -> k mod n_pars = p)
+  |> List.map kid
+
+let kid_image t =
+  List.map (fun o -> (Oid.id o, sorted_props (Store.fetch t o)))
+    (Store.extent t "Kid")
+  |> List.sort compare
+
+let test_insert_placement_clusters () =
+  F.with_temp_dir "soqm_place" (fun dir ->
+      let t = Store.create ~schema:pc_schema dir in
+      check Alcotest.(option string) "policy derived from the inverse link"
+        (Some "par")
+        (Store.clustering_parent t "Kid");
+      check Alcotest.bool "placement on by default" true
+        (Store.placement_enabled t);
+      populate_parents_round_robin t;
+      let clustered = Store.locate_pages t (kids_of 0) in
+      Store.close t;
+      (* same trace with placement off: round-robin spreads each parent's
+         kids over nearly every page *)
+      F.with_temp_dir "soqm_noplace" (fun dir' ->
+          let u = Store.create ~schema:pc_schema dir' in
+          Store.set_placement u false;
+          populate_parents_round_robin u;
+          let scattered = Store.locate_pages u (kids_of 0) in
+          check Alcotest.bool
+            (Printf.sprintf "placement reads fewer pages (%d < %d)" clustered
+               scattered)
+            true
+            (2 * clustered <= scattered);
+          Store.close u))
+
+let test_cluster_vacuum_improves_locality () =
+  F.with_temp_dir "soqm_cluster" (fun dir ->
+      let t = Store.create ~schema:pc_schema dir in
+      Store.set_placement t false;
+      populate_parents_round_robin t;
+      let before_img = kid_image t in
+      let scattered = Store.locate_pages t (kids_of 0) in
+      let n = Store.vacuum ~mode:`Cluster t "Kid" in
+      check Alcotest.int "every kid rewritten" n_kids n;
+      check Alcotest.bool "heap stays row-format" false
+        (Store.is_columnar t "Kid");
+      let clustered = Store.locate_pages t (kids_of 0) in
+      check Alcotest.bool
+        (Printf.sprintf "clustering halves page reads (%d vs %d)" clustered
+           scattered)
+        true
+        (2 * clustered <= scattered);
+      check Alcotest.bool "contents identical after the rewrite" true
+        (before_img = kid_image t);
+      (* post-vacuum DML, then a crash: recovery replays over the
+         re-clustered image *)
+      Store.apply t
+        [
+          Wal.Insert
+            {
+              oid = kid n_kids;
+              props =
+                [
+                  ("n", Value.Int n_kids);
+                  ("pad", Value.Str "fresh");
+                  ("par", Value.Obj (par 0));
+                ];
+            };
+        ];
+      Store.apply t
+        [
+          Wal.Update
+            {
+              oid = kid 0;
+              prop = "n";
+              value = Value.Int (-1);
+              old_value = Value.Int 0;
+            };
+        ];
+      Store.apply t [ Wal.Delete { oid = kid 1; props = [] } ];
+      let after_dml = kid_image t in
+      Store.close ~checkpoint:false t;
+      let t' = Store.open_dir dir in
+      check Alcotest.bool "crash recovery lands on the clustered image" true
+        (after_dml = kid_image t');
+      check F.value "update applied" (Value.Int (-1))
+        (List.assoc "n" (Store.fetch t' (kid 0)));
+      check Alcotest.bool "delete applied" false (Store.mem t' (kid 1));
+      let still = Store.locate_pages t' (kids_of 0) in
+      check Alcotest.bool "locality survives the reopen" true
+        (2 * still <= scattered + 2);
+      Store.close t';
+      (* clean reopen after checkpoint: locality and contents stable *)
+      let t'' = Store.open_dir dir in
+      check Alcotest.bool "contents stable after checkpointed reopen" true
+        (after_dml = kid_image t'');
+      (* a columnar class accepts the `Cluster mode too: the rows are
+         re-vacuumed with chunk boundaries aligned to parent groups *)
+      ignore (Store.vacuum t'' "Kid");
+      check Alcotest.bool "columnar now" true (Store.is_columnar t'' "Kid");
+      let col_img = kid_image t'' in
+      ignore (Store.vacuum ~mode:`Cluster t'' "Kid");
+      check Alcotest.bool "still columnar after `Cluster" true
+        (Store.is_columnar t'' "Kid");
+      check Alcotest.bool "columnar contents unchanged" true
+        (col_img = kid_image t'');
+      Store.close t'')
+
+(* ------------------------------------------------------------------ *)
+(* overflow chains: records past one page, on heap and columnar paths  *)
+(* ------------------------------------------------------------------ *)
+
+let test_overflow_chains_roundtrip () =
+  F.with_temp_dir "soqm_overflow" (fun dir ->
+      let t = Store.create ~schema:item_schema dir in
+      let big i = String.make (4000 + (i * 1700)) (Char.chr (97 + i)) in
+      for i = 0 to 4 do
+        Store.apply t
+          [
+            Wal.Insert
+              {
+                oid = item i;
+                props = [ ("n", Value.Int i); ("s", Value.Str (big i)) ];
+              };
+          ]
+      done;
+      Store.apply t
+        [ Wal.Insert { oid = item 5; props = [ ("n", Value.Int 5) ] } ];
+      check Alcotest.bool "chains allocated" true
+        (Store.overflow_chains t "Item" >= 4);
+      let fetch_ok t' =
+        List.for_all
+          (fun i -> List.assoc "s" (Store.fetch t' (item i)) = Value.Str (big i))
+          [ 0; 1; 2; 3; 4 ]
+      in
+      check Alcotest.bool "oversize records round-trip" true (fetch_ok t);
+      (* the scan path must reassemble chains identically *)
+      check Alcotest.int "scan sees every record" 6
+        (List.length (fst (Store.scan_all t)));
+      (* crash: chains are rebuilt from the WAL replay *)
+      Store.close ~checkpoint:false t;
+      let t' = Store.open_dir dir in
+      check Alcotest.bool "chains recovered from the WAL" true (fetch_ok t');
+      Store.close t' (* checkpoint *);
+      let t'' = Store.open_dir dir in
+      check Alcotest.bool "chains survive a checkpointed reopen" true
+        (fetch_ok t'');
+      (* an overwrite drops the old chain's continuation parts *)
+      Store.apply t''
+        [
+          Wal.Update
+            {
+              oid = item 0;
+              prop = "s";
+              value = Value.Str "short now";
+              old_value = Value.Str (big 0);
+            };
+        ];
+      check F.value "shrunk record readable" (Value.Str "short now")
+        (List.assoc "s" (Store.fetch t'' (item 0)));
+      (* the columnar path carries the same oversize values *)
+      ignore (Store.vacuum t'' "Item");
+      check Alcotest.bool "columnar" true (Store.is_columnar t'' "Item");
+      check Alcotest.bool "oversize values intact in columns" true
+        (List.for_all
+           (fun i -> List.assoc "s" (Store.fetch t'' (item i)) = Value.Str (big i))
+           [ 1; 2; 3; 4 ]);
+      Store.close t'';
+      let t3 = Store.open_dir dir in
+      check Alcotest.bool "columnar oversize survives reopen" true
+        (List.for_all
+           (fun i -> List.assoc "s" (Store.fetch t3 (item i)) = Value.Str (big i))
+           [ 1; 2; 3; 4 ]);
+      Store.close t3)
+
+(* ------------------------------------------------------------------ *)
+(* persistent derived state: derived.idx and the O(dirty) open         *)
+(* ------------------------------------------------------------------ *)
+
+module Db = Soqm_core.Db
+module Persist = Soqm_maintenance.Persist
+
+(* canonical dump of everything derived.idx covers — for equality
+   between the image fast path and a from-scratch rebuild *)
+let derived_signature (db : Db.t) =
+  let hash =
+    let acc = ref [] in
+    Soqm_storage.Hash_index.iter db.Db.title_index (fun v oids ->
+        acc := (v, List.sort Oid.compare oids) :: !acc);
+    List.sort compare !acc
+  in
+  let sorted =
+    let acc = ref [] in
+    Soqm_storage.Sorted_index.iter_entries db.Db.word_count_index (fun v oid ->
+        acc := (v, oid) :: !acc);
+    List.rev !acc
+  in
+  let text =
+    let acc = ref [] in
+    Soqm_ir.Inverted_index.iter_postings db.Db.text_index (fun w keys ->
+        acc := (w, List.sort Oid.compare keys) :: !acc);
+    List.sort compare !acc
+  in
+  let sets =
+    match Db.maintenance db with
+    | None -> []
+    | Some m ->
+      List.map
+        (fun (name, members) -> (name, List.sort compare members))
+        (Soqm_maintenance.Maintenance.set_members m)
+      |> List.sort compare
+  in
+  (hash, sorted, text, sets)
+
+let base_image (db : Db.t) =
+  List.concat_map
+    (fun (cd : Schema.class_def) ->
+      List.map
+        (fun o ->
+          ( o,
+            List.map
+              (fun (p : Schema.property) ->
+                ( p.Schema.prop_name,
+                  Object_store.peek_prop db.Db.store o p.Schema.prop_name ))
+              cd.Schema.properties ))
+        (Object_store.extent db.Db.store cd.Schema.cls_name))
+    (Schema.classes (Object_store.schema db.Db.store))
+  |> List.sort compare
+
+(* abandon a Db mid-flight: close the paged files without checkpointing,
+   exactly what a crash leaves behind *)
+let crash_db (db : Db.t) =
+  match db.Db.disk with
+  | Some d ->
+    db.Db.disk <- None;
+    Store.close ~checkpoint:false d
+  | None -> Alcotest.fail "no attached disk store to crash"
+
+let some_title store =
+  match Object_store.extent store "Document" with
+  | d :: _ -> Object_store.peek_prop store d "title"
+  | [] -> Alcotest.fail "no documents"
+
+let dirty_up store =
+  (* one of each op kind, all index-relevant *)
+  let sec = List.hd (Object_store.extent store "Section") in
+  let fresh =
+    Object_store.create_object store ~cls:"Paragraph"
+      [
+        ("number", Value.Int 990);
+        ("word_count", Value.Int 4096);
+        ("content", Value.Str "replayed tail paragraph");
+        ("section", Value.Obj sec);
+      ]
+  in
+  let doc = List.hd (Object_store.extent store "Document") in
+  Object_store.set_prop store doc "title" (Value.Str "Tail Title");
+  (match
+     List.find_opt
+       (fun p -> not (Oid.equal p fresh))
+       (Object_store.extent store "Paragraph")
+   with
+  | Some victim -> Object_store.delete_object store victim
+  | None -> ())
+
+let test_derived_fast_open_replays_tail () =
+  F.with_temp_dir "soqm_derived" (fun dir ->
+      let db0 = F.tiny_db () in
+      Db.save db0 dir;
+      check Alcotest.bool "save writes the image" true
+        (Persist.read ~dir <> None);
+      let db = Db.open_disk dir in
+      dirty_up db.Db.store;
+      crash_db db;
+      (* the fast-path preconditions hold on disk: the image's stamp
+         matches the store's checkpoint sequence and the crash left a
+         WAL tail to replay *)
+      (match Persist.read ~dir with
+      | None -> Alcotest.fail "image unreadable after the crash"
+      | Some img ->
+        let t = Store.open_dir dir in
+        check Alcotest.int "image stamped with the checkpoint seq"
+          (Store.checkpoint_seq t) img.Persist.seq;
+        check Alcotest.bool "WAL tail present" true
+          (Store.recovered_ops t <> []);
+        Store.close ~checkpoint:false t);
+      let fast = Db.load dir in
+      let fast_sig = derived_signature fast in
+      let fast_base = base_image fast in
+      (* the image is a pure cache: removing it forces the O(extent)
+         rebuild, which must agree exactly *)
+      Persist.remove ~dir;
+      let rebuilt = Db.load dir in
+      check Alcotest.bool "fast open = from-scratch rebuild" true
+        (fast_sig = derived_signature rebuilt);
+      check Alcotest.bool "base data agrees too" true
+        (fast_base = base_image rebuilt);
+      check F.value "tail update visible through the fast path"
+        (Value.Str "Tail Title")
+        (some_title fast.Db.store))
+
+let test_derived_corrupt_or_stale_falls_back () =
+  F.with_temp_dir "soqm_derived" (fun dir ->
+      let db0 = F.tiny_db () in
+      Db.save db0 dir;
+      let oracle = Db.load dir in
+      let oracle_sig = derived_signature oracle in
+      (* flip a byte inside the image: CRC rejects it, load rebuilds *)
+      let p = Persist.path ~dir in
+      let size = (Unix.stat p).Unix.st_size in
+      let fd = Unix.openfile p [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd (size / 2) Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "\xff" 0 1);
+      Unix.close fd;
+      check Alcotest.(option reject) "corrupt image reads as None" None
+        (Option.map ignore (Persist.read ~dir));
+      let recovered = Db.load dir in
+      check Alcotest.bool "corrupt image falls back to a full rebuild" true
+        (oracle_sig = derived_signature recovered);
+      (* stale stamp: checkpoint the store without rewriting the image *)
+      Db.save db0 dir;
+      let t = Store.open_dir dir in
+      Store.apply t
+        [
+          Wal.Insert
+            {
+              oid = Oid.make ~cls:"Document" ~id:9999;
+              props = [ ("title", Value.Str "Orphan") ];
+            };
+        ];
+      Store.checkpoint t;
+      Store.close t;
+      (match Persist.read ~dir with
+      | Some img ->
+        let t' = Store.open_dir dir in
+        check Alcotest.bool "stamp is stale now" true
+          (img.Persist.seq <> Store.checkpoint_seq t');
+        Store.close ~checkpoint:false t'
+      | None -> Alcotest.fail "image vanished");
+      let stale = Db.load dir in
+      check Alcotest.bool "stale image ignored, document indexed" true
+        (List.length
+           (Soqm_storage.Hash_index.probe stale.Db.title_index
+              (Object_store.counters stale.Db.store)
+              (Value.Str "Orphan"))
+        = 1))
+
+(* torture: random DML against an attached store, crash at a random
+   point, reopen through the image fast path — the derived state must
+   equal a from-scratch rebuild, for any trace and any kill point. *)
+type ddl =
+  | SetWc of int * int
+  | SetTitle of int * int
+  | NewPara of int * int
+  | DelPara of int
+
+let ddl_gen =
+  let open QCheck2.Gen in
+  let ix = int_bound 999 in
+  oneof
+    [
+      map2 (fun i wc -> SetWc (i, wc)) ix (int_range 0 2000);
+      map2 (fun i s -> SetTitle (i, s)) ix (int_bound 9);
+      map2 (fun i wc -> NewPara (i, wc)) ix (int_range 0 2000);
+      map (fun i -> DelPara i) ix;
+    ]
+
+let apply_ddl store op =
+  let pick cls i =
+    match Object_store.extent store cls with
+    | [] -> None
+    | xs -> Some (List.nth xs (i mod List.length xs))
+  in
+  match op with
+  | SetWc (i, wc) -> (
+    match pick "Paragraph" i with
+    | Some p -> Object_store.set_prop store p "word_count" (Value.Int wc)
+    | None -> ())
+  | SetTitle (i, s) -> (
+    match pick "Document" i with
+    | Some d ->
+      Object_store.set_prop store d "title"
+        (Value.Str (Printf.sprintf "Torture Title %d" s))
+    | None -> ())
+  | NewPara (i, wc) -> (
+    match pick "Section" i with
+    | Some sec ->
+      ignore
+        (Object_store.create_object store ~cls:"Paragraph"
+           [
+             ("number", Value.Int (1000 + i));
+             ("word_count", Value.Int wc);
+             ("content", Value.Str (Printf.sprintf "torture body %d" i));
+             ("section", Value.Obj sec);
+           ])
+    | None -> ())
+  | DelPara i -> (
+    match pick "Paragraph" i with
+    | Some p -> Object_store.delete_object store p
+    | None -> ())
+
+(* template database saved once; each case clones the directory *)
+let derived_template =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "soqm_derived_template_%d" (Unix.getpid ()))
+     in
+     if not (Sys.file_exists dir) then begin
+       let db0 = F.tiny_db () in
+       Db.save db0 dir
+     end;
+     dir)
+
+let clone_dir src dst =
+  if not (Sys.file_exists dst) then Unix.mkdir dst 0o755;
+  Array.iter
+    (fun name ->
+      let s = In_channel.with_open_bin (Filename.concat src name)
+          In_channel.input_all
+      in
+      Out_channel.with_open_bin (Filename.concat dst name) (fun oc ->
+          Out_channel.output_string oc s))
+    (Sys.readdir src)
+
+let prop_derived_torture (ops, kill_pct) =
+  let template = Lazy.force derived_template in
+  F.with_temp_dir "soqm_dtorture" (fun dir ->
+      clone_dir template dir;
+      let db = Db.open_disk dir in
+      let keep = List.length ops * kill_pct / 100 in
+      List.iteri
+        (fun i op -> if i < keep then apply_ddl db.Db.store op)
+        ops;
+      crash_db db;
+      let fast = Db.load dir in
+      let fast_sig = derived_signature fast in
+      let fast_base = base_image fast in
+      Persist.remove ~dir;
+      let rebuilt = Db.load dir in
+      if
+        fast_sig <> derived_signature rebuilt
+        || fast_base <> base_image rebuilt
+      then
+        QCheck2.Test.fail_reportf
+          "derived state diverged after %d/%d ops (kill %d%%)" keep
+          (List.length ops) kill_pct;
+      true)
+
+let prop_derived_persistence_torture =
+  QCheck2.Test.make ~count:15
+    ~name:"image + WAL-tail replay = from-scratch rebuild, any kill point"
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 25) ddl_gen) (int_range 0 100))
+    prop_derived_torture
+
+(* ------------------------------------------------------------------ *)
 (* WAL recovery: deterministic cases                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -822,7 +1355,20 @@ let test_recovery_discards_torn_tail () =
       let t = Store.create ~schema:item_schema dir in
       Store.apply t [ Wal.Insert { oid = item 0; props = [ ("n", Value.Int 1) ] } ];
       let committed = Store.wal_bytes t in
-      Store.apply t [ Wal.Insert { oid = item 1; props = [ ("n", Value.Int 2) ] } ];
+      (* the torn batch mixes every record kind, including the
+         pre-imaged update ('V') and snapshotting delete ('E') frames *)
+      Store.apply t
+        [
+          Wal.Insert { oid = item 1; props = [ ("n", Value.Int 2) ] };
+          Wal.Update
+            {
+              oid = item 0;
+              prop = "n";
+              value = Value.Int 10;
+              old_value = Value.Int 1;
+            };
+          Wal.Delete { oid = item 0; props = [ ("n", Value.Int 10) ] };
+        ];
       let full = Store.wal_bytes t in
       Store.close ~checkpoint:false t;
       (* tear the second batch's tail *)
@@ -977,21 +1523,24 @@ let test_group_flush_failure_propagates () =
 let oracle_apply tbl (op : Wal.op) =
   match op with
   | Wal.Insert { oid; props } -> Hashtbl.replace tbl oid props
-  | Wal.Update { oid; prop; value } ->
+  | Wal.Update { oid; prop; value; _ } ->
     let props =
       match Hashtbl.find_opt tbl oid with Some ps -> ps | None -> []
     in
     Hashtbl.replace tbl oid ((prop, value) :: List.remove_assoc prop props)
-  | Wal.Delete { oid } -> Hashtbl.remove tbl oid
+  | Wal.Delete { oid; _ } -> Hashtbl.remove tbl oid
 
 let op_gen =
   let open QCheck2.Gen in
   let oid = map item (int_range 0 19) in
   let value =
-    oneof
+    frequency
       [
-        map (fun n -> Value.Int n) small_signed_int;
-        map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 40));
+        (4, map (fun n -> Value.Int n) small_signed_int);
+        (4, map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 40)));
+        (* oversize: forces a head + continuation chain (v2 records),
+           so torn-tail recovery also tortures chain reassembly *)
+        (1, map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 4200 9000)));
       ]
   in
   oneof
@@ -1001,8 +1550,11 @@ let op_gen =
           Wal.Insert { oid = o; props = [ ("n", Value.Int n); ("s", s) ] })
         oid
         (pair small_signed_int value);
-      map2 (fun o v -> Wal.Update { oid = o; prop = "s"; value = v }) oid value;
-      map (fun o -> Wal.Delete { oid = o }) oid;
+      map2
+        (fun o v ->
+          Wal.Update { oid = o; prop = "s"; value = v; old_value = Value.Null })
+        oid value;
+      map (fun o -> Wal.Delete { oid = o; props = [] }) oid;
     ]
 
 let trace_gen =
@@ -1185,6 +1737,23 @@ let () =
           F.case "corrupt segments fail closed"
             test_colseg_corruption_fails_closed;
           F.case "Db.vacuum plumbing" test_db_vacuum_plumbing;
+        ] );
+      ( "clustering",
+        [
+          F.case "insert-time placement clusters siblings"
+            test_insert_placement_clusters;
+          F.case "`Cluster vacuum improves locality"
+            test_cluster_vacuum_improves_locality;
+        ] );
+      ( "overflow",
+        [ F.case "chains round-trip, recover, vacuum" test_overflow_chains_roundtrip ] );
+      ( "derived-image",
+        [
+          F.case "fast open replays the WAL tail"
+            test_derived_fast_open_replays_tail;
+          F.case "corrupt or stale image falls back"
+            test_derived_corrupt_or_stale_falls_back;
+          QCheck_alcotest.to_alcotest prop_derived_persistence_torture;
         ] );
       ( "group-commit",
         [

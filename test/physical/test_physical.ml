@@ -110,6 +110,46 @@ let test_project_dedups () =
   check Alcotest.bool "fewer authors than documents" true
     (Relation.cardinality r <= min 7 (Object_store.extent_size (store ()) "Document"))
 
+(* The distinctness analysis behind the projection fast path: a
+   projection keeping the scan binding (a key) provably needs no dedup;
+   one dropping it (authors repeat) must keep the dedup table — and in
+   both cases every executor agrees with the interpreted oracle. *)
+let test_keyed_projection () =
+  let keyed =
+    Plan.Project
+      ([ "d"; "a" ],
+        Plan.MapProp ("a", "author", "d", Plan.FullScan ("d", "Document")))
+  in
+  let unkeyed =
+    Plan.Project
+      ([ "a" ], Plan.MapProp ("a", "author", "d", Plan.FullScan ("d", "Document")))
+  in
+  let analysis plan =
+    match (Exec.compile ~fuse:false (ctx ()) plan).Plan.cop with
+    | Plan.CProject (srcs, input) -> Plan.keyed_projection srcs input
+    | _ -> Alcotest.fail "expected an unfused projection root"
+  in
+  check Alcotest.bool "scan binding kept -> keyed" true (analysis keyed);
+  check Alcotest.bool "scan binding dropped -> not keyed" false
+    (analysis unkeyed);
+  let fkeyed plan =
+    match (Exec.compile (ctx ()) plan).Plan.cop with
+    | Plan.CFused (f, _) -> f.Plan.fkeyed
+    | _ -> Alcotest.fail "expected a fused chain"
+  in
+  check Alcotest.bool "fused chain marks keyed" true (fkeyed keyed);
+  check Alcotest.bool "fused chain keeps dedup" false (fkeyed unkeyed);
+  List.iter
+    (fun plan ->
+      let reference = Exec.Interpreted.run (ctx ()) plan in
+      check F.relation "serial fused = interpreted" reference
+        (Exec.run (ctx ()) plan);
+      check F.relation "serial unfused = interpreted" reference
+        (Exec.run_compiled (ctx ()) (Exec.compile ~fuse:false (ctx ()) plan));
+      check F.relation "parallel = interpreted" reference
+        (Exec.run ~jobs:3 ~clamp:false (ctx ()) plan))
+    [ keyed; unkeyed ]
+
 (* ------------------------------------------------------------------ *)
 (* Memoization of tuple-independent chains                             *)
 (* ------------------------------------------------------------------ *)
@@ -332,7 +372,7 @@ let prop_fusion_parity =
         && List.for_all
              (fun jobs ->
                Relation.equal reference
-                 (Exec.run_compiled ~jobs (ctx ()) fused))
+                 (Exec.run_compiled ~jobs ~clamp:false (ctx ()) fused))
              [ 1; 2; 3; 4 ])
 
 (* ------------------------------------------------------------------ *)
@@ -422,7 +462,7 @@ let test_fused_null_semantics () =
       check F.relation
         (Printf.sprintf "parallel fused dedup agrees (jobs=%d)" jobs)
         (Exec.run_compiled (ctx ()) pf)
-        (Exec.run_compiled ~jobs (ctx ()) pf))
+        (Exec.run_compiled ~jobs ~clamp:false (ctx ()) pf))
     [ 2; 3; 4 ]
 
 let test_block_accounting () =
@@ -551,7 +591,8 @@ let prop_parallel_parity =
         let plan = Plan.default_implementation (Translate.of_general g) in
         let serial = run_phys plan in
         List.for_all
-          (fun jobs -> Relation.equal serial (Exec.run ~jobs (ctx ()) plan))
+          (fun jobs ->
+            Relation.equal serial (Exec.run ~jobs ~clamp:false (ctx ()) plan))
           [ 2; 3; 4 ])
 
 let test_parallel_oversubscribed () =
@@ -562,7 +603,7 @@ let test_parallel_oversubscribed () =
         Plan.FullScan ("d", "Document") )
   in
   check F.relation "jobs=8 (> cores) matches serial" (run_phys plan)
-    (Exec.run ~jobs:8 (ctx ()) plan)
+    (Exec.run ~jobs:8 ~clamp:false (ctx ()) plan)
 
 (* The partitioned parallel joins must keep DESIGN.md §7 Null-key
    semantics: equi-joins drop Null keys while bucketing, natural joins
@@ -575,15 +616,15 @@ let test_parallel_null_keys () =
   let right = with_null "k2" (Plan.FullScan ("e", "Document")) in
   let hj = Plan.HashJoin ("k1", "k2", left, right) in
   check Alcotest.int "parallel hash join skips Null keys" 0
-    (Relation.cardinality (Exec.run ~jobs:3 (ctx ()) hj));
+    (Relation.cardinality (Exec.run ~jobs:3 ~clamp:false (ctx ()) hj));
   let l = with_null "k" (Plan.FullScan ("d", "Document")) in
   let nj = Plan.NaturalJoin (l, l) in
   let n_docs = Object_store.extent_size (store ()) "Document" in
   check Alcotest.int "parallel natural join matches Nulls structurally"
     n_docs
-    (Relation.cardinality (Exec.run ~jobs:3 (ctx ()) nj));
+    (Relation.cardinality (Exec.run ~jobs:3 ~clamp:false (ctx ()) nj));
   check F.relation "parallel = serial on Null natural join" (run_phys nj)
-    (Exec.run ~jobs:3 (ctx ()) nj)
+    (Exec.run ~jobs:3 ~clamp:false (ctx ()) nj)
 
 (* Stronger than set equality: the materialized parallel output must be
    row-for-row identical to the serial executor's block stream (morsel
@@ -638,7 +679,7 @@ let test_parallel_analyze_stats () =
   let stats = Exec.make_stats compiled in
   let (r, _), par_counters =
     Soqm_core.Db.with_fresh_counters d (fun () ->
-        (Exec.run_compiled ~stats ~jobs:4 (ctx ()) compiled, ()))
+        (Exec.run_compiled ~stats ~jobs:4 ~clamp:false (ctx ()) compiled, ()))
   in
   check Alcotest.int "root actual rows = result cardinality"
     (Relation.cardinality r) stats.Exec.node_rows.(0);
@@ -707,7 +748,7 @@ let test_parallel_join_partition_stats () =
     (Object_store.extent_size d.Soqm_core.Db.store "Paragraph"
     > Exec.morsel_size);
   let stats = Exec.make_stats compiled in
-  ignore (Exec.run_compiled ~stats ~jobs:4 xctx compiled);
+  ignore (Exec.run_compiled ~stats ~jobs:4 ~clamp:false xctx compiled);
   (* root (cid 0) is the hash join: 4 jobs -> 4 build partitions *)
   check Alcotest.int "hash join used jobs partitions" 4
     stats.Exec.node_partitions.(0)
@@ -807,6 +848,7 @@ let () =
           F.case "union & diff" test_union_diff;
           F.case "flat property" test_flat_prop;
           F.case "project dedups" test_project_dedups;
+          F.case "keyed projection skips dedup" test_keyed_projection;
         ] );
       ( "memoization",
         [
