@@ -1,0 +1,16 @@
+#!/bin/sh
+# Knowledge-compiler gate: build, run the unit suites, then assert the
+# saturation + bounded-checking bounds and refresh BENCH_knowledge.json:
+# the generated word-count family saturates to >= 100 derived rules
+# without truncation, the checker accepts every shipped declared rule
+# and refutes all six seeded-unsound mutations at the default bound,
+# the saturated family engine matches the naive evaluator exactly on
+# the EXP-A mix, and derived rewrites cut the charged cost of the
+# derived-threshold query >= 2x.  Single-core safe: the only speedup
+# gate is counter-based (deterministic), so it is enforced on every
+# host.  `dune runtest` carries the same binary at n_docs=120.
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+dune exec bench/knowledge.exe -- --assert --docs 400 --json BENCH_knowledge.json "$@"

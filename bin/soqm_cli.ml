@@ -66,6 +66,14 @@ let trace_arg =
   let doc = "Print the full optimization trace (the Section 7 demonstrator)." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let saturate_arg =
+  let doc =
+    "Saturate the knowledge base: close the declared specifications under \
+     derivation (transitivity, composition, substitution) and compile the \
+     derived rewrites into the rule set too."
+  in
+  Arg.(value & flag & info [ "saturate" ] ~doc)
+
 let naive_arg =
   let doc = "Also run the query without optimization and compare costs." in
   Arg.(value & flag & info [ "naive" ] ~doc)
@@ -103,16 +111,20 @@ let store_errors f =
           (Unix.error_message e) fn )
 
 let run_cmd =
-  let run query docs hit seed jobs disabled trace naive dot =
+  let run query docs hit seed jobs disabled saturate trace naive dot =
     try
       let db = make_db ~jobs docs hit seed in
       let classes =
         List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
       in
-      let engine = Engine.generate ~classes db in
+      let engine = Engine.generate ~classes ~saturate db in
       let opt = Engine.run_optimized engine query in
       (match opt.Engine.opt with
-      | Some o when trace -> Format.printf "%a@." Soqm_optimizer.Trace.pp_result o
+      | Some o when trace ->
+        Format.printf "%a@."
+          (Soqm_optimizer.Trace.pp_result
+             ~provenance:(Engine.provenance engine))
+          o
       | Some o -> Format.printf "%a@." Soqm_optimizer.Trace.pp_summary o
       | None -> ());
       (match opt.Engine.opt, dot with
@@ -143,7 +155,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ query_arg $ docs_arg $ hit_arg $ seed_arg $ jobs_arg
-       $ disable_arg $ trace_arg $ naive_arg $ dot_arg))
+       $ disable_arg $ saturate_arg $ trace_arg $ naive_arg $ dot_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain: the slot-compiled operator tree                            *)
@@ -274,12 +286,12 @@ let schema_cmd =
   Cmd.v (Cmd.info "schema" ~doc) Term.(const show $ const ())
 
 let repl_cmd =
-  let repl docs hit seed jobs disabled trace =
+  let repl docs hit seed jobs disabled saturate trace =
     let db = make_db ~jobs docs hit seed in
     let classes =
       List.filter (fun c -> not (List.mem c disabled)) Doc_knowledge.all_classes
     in
-    let engine = Engine.generate ~classes db in
+    let engine = Engine.generate ~classes ~saturate db in
     Printf.printf
       "soqm interactive VQL (document schema, %d documents, %d rules)\n\
        type a query, or :schema / :quit\n"
@@ -298,7 +310,10 @@ let repl_cmd =
            let opt = Engine.run_optimized engine query in
            (match opt.Engine.opt with
            | Some o when trace ->
-             Format.printf "%a@." Soqm_optimizer.Trace.pp_result o
+             Format.printf "%a@."
+               (Soqm_optimizer.Trace.pp_result
+                  ~provenance:(Engine.provenance engine))
+               o
            | Some o -> Format.printf "%a@." Soqm_optimizer.Trace.pp_summary o
            | None -> ());
            Format.printf "%a@." Soqm_algebra.Relation.pp opt.Engine.result;
@@ -317,7 +332,7 @@ let repl_cmd =
     (Cmd.info "repl" ~doc)
     Term.(
       const repl $ docs_arg $ hit_arg $ seed_arg $ jobs_arg $ disable_arg
-      $ trace_arg)
+      $ saturate_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* DML: insert / update / delete on a saved database dump              *)
@@ -672,15 +687,16 @@ let stats_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run docs hit seed jobs rounds db_dir pool_pages json =
+  let run docs hit seed jobs rounds db_dir pool_pages saturate json =
     store_errors @@ fun () ->
     let db =
       match db_dir with
       | Some dir -> Db.open_disk ~jobs ?pool_pages dir
       | None -> make_db ~jobs docs hit seed
     in
-    let engine = Engine.generate db in
     let c = Db.counters db in
+    Soqm_vml.Counters.reset_knowledge c;
+    let engine = Engine.generate ~saturate db in
     Soqm_vml.Counters.reset_maintenance c;
     let queries =
       [
@@ -768,10 +784,15 @@ let stats_cmd =
       int "txn_commits" (C.txn_commits s);
       int "txn_conflicts" (C.txn_conflicts s);
       int "txn_aborts" (C.txn_aborts s);
+      int "rules_derived" (C.rules_derived s);
+      int "rules_subsumed" (C.rules_subsumed s);
+      int "models_checked" (C.models_checked s);
+      int "counterexamples_found" (C.counterexamples_found s);
       Printf.printf "{%s}\n" (Buffer.contents buf)
     end
     else begin
       Format.printf "%a@." Soqm_vml.Counters.pp_maintenance s;
+      if saturate then Format.printf "%a@." Soqm_vml.Counters.pp_knowledge s;
       Printf.printf
         "plan cache: %d hit(s), %d miss(es), %.1f%% hit rate, %d cached\n" hits
         misses
@@ -801,7 +822,7 @@ let stats_cmd =
     Term.(
       ret
         (const run $ docs_arg $ hit_arg $ seed_arg $ jobs_arg $ rounds_arg
-       $ db_dir_arg $ pool_pages_arg $ json_arg))
+       $ db_dir_arg $ pool_pages_arg $ saturate_arg $ json_arg))
 
 (* ------------------------------------------------------------------ *)
 (* serve: the concurrent TCP serving subsystem                         *)
@@ -874,15 +895,181 @@ let rules_cmd =
   let doc = "Report the size of the generated optimizer's rule set." in
   Cmd.v (Cmd.info "rules" ~doc) Term.(const show $ docs_arg $ hit_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* knowledge compiler: saturate / check-rules                          *)
+(* ------------------------------------------------------------------ *)
+
+let spec_arg =
+  let doc =
+    "Declare an extra specification in the textual specification language \
+     (repeatable), e.g. 'FORALL p IN Paragraph: p->wordCount() > 800 => \
+     p->wordCount() > 500'."
+  in
+  Arg.(value & opt_all string [] & info [ "spec" ] ~docv:"SPEC" ~doc)
+
+let family_arg =
+  let doc =
+    "Also declare the generated word-count rule family, whose closure \
+     exceeds 100 derived rules (the saturation scaling demonstration)."
+  in
+  Arg.(value & flag & info [ "family" ] ~doc)
+
+let parse_extra_specs schema specs =
+  List.concat_map (Soqm_semantics.Spec_lang.parse_specs schema) specs
+
+let saturate_cmd =
+  let show_rules_arg =
+    let doc = "Print every fact of the closed knowledge base, not only the summary." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let run docs hit seed specs family show_rules =
+    try
+      let db = make_db docs hit seed in
+      let schema = Soqm_vml.Object_store.schema db.Db.store in
+      let extra = parse_extra_specs schema specs in
+      let extra =
+        if family then extra @ Soqm_knowledge.Rulegen.family () else extra
+      in
+      let engine = Engine.generate ~extra_specs:extra ~saturate:true db in
+      let stats = Option.get (Engine.saturation_stats engine) in
+      Printf.printf
+        "declared %d specification(s); derived %d, subsumed %d candidate(s) \
+         in %d round(s)%s\n"
+        stats.Soqm_knowledge.Saturate.declared
+        stats.Soqm_knowledge.Saturate.derived
+        stats.Soqm_knowledge.Saturate.subsumed
+        stats.Soqm_knowledge.Saturate.rounds
+        (if stats.Soqm_knowledge.Saturate.truncated then " (truncated)" else "");
+      Printf.printf "generated optimizer has %d rule(s)\n"
+        (Engine.rule_count engine);
+      if show_rules then
+        List.iter
+          (fun (f : Soqm_knowledge.Saturate.fact) ->
+            match f.Soqm_knowledge.Saturate.prov with
+            | Soqm_knowledge.Saturate.Declared ->
+              Format.printf "  %a@." Soqm_semantics.Equivalence.pp
+                f.Soqm_knowledge.Saturate.spec
+            | Soqm_knowledge.Saturate.Derived trace ->
+              Format.printf "  [derived: %s] %a@." trace
+                Soqm_semantics.Equivalence.pp f.Soqm_knowledge.Saturate.spec)
+          (Engine.knowledge engine);
+      `Ok ()
+    with
+    | Soqm_semantics.Spec_lang.Error msg ->
+      `Error (false, "bad specification: " ^ msg)
+    | Invalid_argument msg -> `Error (false, msg)
+  in
+  let doc =
+    "Close the declared knowledge base under derivation (implication \
+     transitivity, equivalence composition, substitution) and report the \
+     closure: how many rules were derived, how many candidates were \
+     subsumed, and — with $(b,--rules) — every fact with its derivation \
+     trace."
+  in
+  Cmd.v (Cmd.info "saturate" ~doc)
+    Term.(
+      ret
+        (const run $ docs_arg $ hit_arg $ seed_arg $ spec_arg $ family_arg
+       $ show_rules_arg))
+
+let check_rules_cmd =
+  let bound_arg =
+    let doc = "Maximum objects per class in candidate stores." in
+    Arg.(value & opt int 3 & info [ "bound" ] ~docv:"K" ~doc)
+  in
+  let models_arg =
+    let doc = "Candidate stores generated per store size." in
+    Arg.(value & opt int 30 & info [ "models" ] ~docv:"N" ~doc)
+  in
+  let declared_only_arg =
+    let doc = "Check only the declared specifications (skip saturation)." in
+    Arg.(value & flag & info [ "declared-only" ] ~doc)
+  in
+  let run docs hit seed jobs specs family bound models declared_only =
+    try
+      let db = make_db docs hit seed in
+      let schema = Soqm_vml.Object_store.schema db.Db.store in
+      (* --spec rules are *candidates* being vetted: they are checked
+         against the shipped knowledge base but are not part of the
+         trusted base themselves — a candidate must never justify its
+         own derived data *)
+      let candidates = parse_extra_specs schema specs in
+      let extra = if family then Soqm_knowledge.Rulegen.family () else [] in
+      let engine =
+        Engine.generate ~extra_specs:extra ~saturate:(not declared_only) db
+      in
+      let config =
+        {
+          Soqm_knowledge.Check.default_config with
+          bound;
+          models_per_size = models;
+          seed;
+          jobs;
+        }
+      in
+      let install store =
+        Doc_schema.install_internal_methods store;
+        Doc_schema.install_scan_methods store
+      in
+      let results =
+        Engine.check_rules ~config engine
+        @ Soqm_knowledge.Check.check_specs ~config ~install
+            ~counters:(Db.counters db)
+            ~trusted:(Engine.declared_specs engine)
+            schema candidates
+      in
+      let unsound = ref 0 in
+      List.iter
+        (fun (spec, verdict) ->
+          let name = Soqm_semantics.Equivalence.name spec in
+          let tag =
+            match Engine.provenance engine name with
+            | Some trace -> Printf.sprintf " [derived: %s]" trace
+            | None -> ""
+          in
+          match verdict with
+          | Soqm_knowledge.Check.Sound { models } ->
+            Printf.printf "  sound      %s%s (%d models)\n" name tag models
+          | Soqm_knowledge.Check.Unsupported msg ->
+            Printf.printf "  unsupported %s%s: %s\n" name tag msg
+          | Soqm_knowledge.Check.Refuted _ as v ->
+            incr unsound;
+            Format.printf "@[<v>UNSOUND %s%s: %a@]@." name tag
+              Soqm_knowledge.Check.pp_verdict v)
+        results;
+      Printf.printf "%d rule(s) checked, %d unsound\n" (List.length results)
+        !unsound;
+      if !unsound > 0 then
+        `Error (false, Printf.sprintf "%d unsound rule(s)" !unsound)
+      else `Ok ()
+    with
+    | Soqm_semantics.Spec_lang.Error msg ->
+      `Error (false, "bad specification: " ^ msg)
+    | Invalid_argument msg -> `Error (false, msg)
+  in
+  let doc =
+    "Bounded-soundness-check the knowledge base — declared rules, \
+     saturation-derived rules (unless $(b,--declared-only)) and any \
+     $(b,--spec) candidates (vetted against the shipped knowledge, never \
+     against themselves) — by searching for counterexample stores of up \
+     to $(b,--bound) objects per class.  Prints a minimal witness store \
+     for every unsound rule and exits non-zero if any rule is refuted."
+  in
+  Cmd.v (Cmd.info "check-rules" ~doc)
+    Term.(
+      ret
+        (const run $ docs_arg $ hit_arg $ seed_arg $ jobs_arg $ spec_arg
+       $ family_arg $ bound_arg $ models_arg $ declared_only_arg))
+
 let main =
   let doc =
     "semantic query optimization for methods in an object-oriented database"
   in
   Cmd.group (Cmd.info "soqm" ~version:"1.0.0" ~doc)
     [
-      run_cmd; explain_cmd; repl_cmd; schema_cmd; rules_cmd; save_cmd;
-      open_cmd; checkpoint_cmd; vacuum_cmd; insert_cmd; update_cmd; delete_cmd;
-      stats_cmd; serve_cmd;
+      run_cmd; explain_cmd; repl_cmd; schema_cmd; rules_cmd; saturate_cmd;
+      check_rules_cmd; save_cmd; open_cmd; checkpoint_cmd; vacuum_cmd;
+      insert_cmd; update_cmd; delete_cmd; stats_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -25,7 +25,7 @@ let () =
 
   Printf.printf "user query Q:\n  %s\n\n" query;
   let result = Engine.optimize_query engine query in
-  Format.printf "%a@." Soqm_optimizer.Trace.pp_result result;
+  Format.printf "%a@." (Soqm_optimizer.Trace.pp_result ?provenance:None) result;
 
   Printf.printf "\n=== execution at increasing database sizes ===\n";
   Printf.printf "%8s  %14s  %14s  %8s\n" "docs" "naive cost" "optimized cost" "speedup";

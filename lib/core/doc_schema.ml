@@ -99,3 +99,57 @@ let install_internal_methods store =
      sections (set-lifted property access). *)
   Object_store.register_inst_method store ~cls:"Document" ~meth:"paragraphs"
     (Object_store.Body (Prop (Prop (Self, "sections"), "paragraphs")))
+
+(* Index-free variants of the external methods, with the same semantics
+   as the index-backed natives {!Db} registers.  The knowledge checker's
+   candidate stores have no indexes, so they get these scans. *)
+let install_scan_methods store =
+  let contains content s =
+    let words = Soqm_ir.Tokenizer.vocabulary s in
+    words <> [] && List.for_all (Soqm_ir.Tokenizer.contains_word content) words
+  in
+  Object_store.register_own_method store ~cls:"Document" ~meth:"select_by_index"
+    (Object_store.Native
+       (fun store _recv args ->
+         match args with
+         | [ (Value.Str _ as title) ] ->
+           let oids =
+             List.filter
+               (fun oid ->
+                 Value.equal (Object_store.peek_prop store oid "title") title)
+               (Object_store.extent store "Document")
+           in
+           Value.set (List.map (fun o -> Value.Obj o) oids)
+         | _ -> raise (Runtime.Error "select_by_index expects one string")));
+  Object_store.register_own_method store ~cls:"Paragraph"
+    ~meth:"retrieve_by_string"
+    (Object_store.Native
+       (fun store _recv args ->
+         match args with
+         | [ Value.Str s ] ->
+           let oids =
+             List.filter
+               (fun oid ->
+                 match Object_store.peek_prop store oid "content" with
+                 | Value.Str content -> contains content s
+                 | _ -> false)
+               (Object_store.extent store "Paragraph")
+           in
+           Value.set (List.map (fun o -> Value.Obj o) oids)
+         | _ -> raise (Runtime.Error "retrieve_by_string expects one string")));
+  Object_store.register_inst_method store ~cls:"Paragraph"
+    ~meth:"contains_string"
+    (Object_store.Native
+       (fun store recv args ->
+         match (recv, args) with
+         | Value.Obj oid, [ Value.Str s ] -> (
+           match Object_store.peek_prop store oid "content" with
+           | Value.Str content -> Value.Bool (contains content s)
+           | _ -> Value.Bool false)
+         | _ -> raise (Runtime.Error "contains_string expects one string")));
+  Object_store.register_inst_method store ~cls:"Paragraph" ~meth:"wordCount"
+    (Object_store.Native
+       (fun store recv args ->
+         match (recv, args) with
+         | Value.Obj oid, [] -> Object_store.peek_prop store oid "word_count"
+         | _ -> raise (Runtime.Error "wordCount expects no arguments")))

@@ -33,6 +33,12 @@ val install_internal_methods : Object_store.t -> unit
     [select_by_index], [wordCount]) are registered by {!Db}, which owns
     the indexes they probe. *)
 
+val install_scan_methods : Object_store.t -> unit
+(** Register index-free scan implementations of the four external
+    methods, semantically equal to the index-backed natives {!Db}
+    registers.  Used on the knowledge checker's candidate stores, which
+    have no indexes. *)
+
 (** Declared cost weights of the example's methods, exposed so benchmarks
     and documentation can refer to them. *)
 

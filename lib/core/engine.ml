@@ -2,6 +2,8 @@ open Soqm_vml
 open Soqm_algebra
 open Soqm_storage
 open Soqm_optimizer
+module Saturate = Soqm_knowledge.Saturate
+module Check = Soqm_knowledge.Check
 
 type cache_entry = {
   result : Search.result;
@@ -15,8 +17,17 @@ type cache_entry = {
 type t = {
   obj_store : Object_store.t;
   exec : Soqm_physical.Exec.ctx;
-  transformations : Rule.transformation list;
-  implementations : Rule.implementation list;
+  builtins : Rule.transformation list;  (* filtered predefined rules *)
+  (* the rule set is rebuilt by knowledge DML and (re)saturation, so the
+     compiled rules and the knowledge base behind them are mutable *)
+  mutable transformations : Rule.transformation list;
+  mutable implementations : Rule.implementation list;
+  mutable declared_specs : Soqm_semantics.Equivalence.t list;
+  mutable facts : Saturate.fact list;  (* declared + derived knowledge *)
+  mutable saturation : Saturate.config option;  (* None = saturation off *)
+  mutable sat_stats : Saturate.stats option;
+  mutable provenance : (string * string) list;  (* spec name → trace *)
+  mutable checker_install : Object_store.t -> unit;
   opt_ctx : Rule.opt_ctx;
   config : Search.config;
   (* optimization results keyed by the alpha-canonical logical term, so
@@ -25,6 +36,9 @@ type t = {
   plan_cache : (Restricted.t, cache_entry) Hashtbl.t;
   cache_capacity : int;
   mutable epoch_of : unit -> int;
+  mutable knowledge_epoch : int;
+      (* bumped by every rule-set rebuild; added to the maintenance epoch
+         so knowledge DML epoch-invalidates cached plans *)
   mutable cache_tick : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
@@ -68,39 +82,94 @@ let opt_ctx_of (database : Db.t) : Rule.opt_ctx =
         String.equal cls "Paragraph" && String.equal prop "word_count");
   }
 
+(* Compile every knowledge fact into rules.  A {e declared}
+   specification that no rule schema covers still raises [Underivable]
+   (the author must be told); a saturation-derived one is merely
+   knowledge the rule language cannot express — skipped, it remains
+   checkable but contributes no rewrite. *)
+let rules_of_facts schema facts =
+  let ts, is =
+    List.fold_left
+      (fun (ts, is) (f : Saturate.fact) ->
+        match Soqm_semantics.Derive.rules_of_specs schema [ f.Saturate.spec ] with
+        | dt, di -> (dt :: ts, di :: is)
+        | exception Soqm_semantics.Derive.Underivable _
+          when f.Saturate.prov <> Saturate.Declared ->
+          (ts, is))
+      ([], []) facts
+  in
+  (List.concat (List.rev ts), List.concat (List.rev is))
+
+let rebuild_rules t =
+  let schema = Object_store.schema t.obj_store in
+  let facts =
+    match t.saturation with
+    | None ->
+      t.sat_stats <- None;
+      List.map
+        (fun spec -> { Saturate.spec; prov = Saturate.Declared; depth = 0 })
+        t.declared_specs
+    | Some config ->
+      let counters = Object_store.counters t.obj_store in
+      let facts, stats =
+        Saturate.run ~config ~counters schema t.declared_specs
+      in
+      t.sat_stats <- Some stats;
+      facts
+  in
+  t.facts <- facts;
+  t.provenance <- Saturate.provenance_alist facts;
+  let derived_t, derived_i = rules_of_facts schema facts in
+  t.transformations <- t.builtins @ derived_t;
+  t.implementations <- Builtin_rules.implementations @ derived_i;
+  t.knowledge_epoch <- t.knowledge_epoch + 1
+
 let make_engine ~store ~exec ~stats ~has_index ~has_range_index
-    ~builtin_filter ~specs ~inverse_links ~config ~cache_capacity ~jobs =
+    ~builtin_filter ~specs ~inverse_links ~saturate ~config ~cache_capacity
+    ~jobs =
   let schema = Object_store.schema store in
   let specs =
     if inverse_links then
       specs @ Soqm_semantics.Equivalence.from_inverse_links schema
     else specs
   in
-  let derived_t, derived_i = Soqm_semantics.Derive.rules_of_specs schema specs in
   let builtins =
     List.filter
       (fun (r : Rule.transformation) -> builtin_filter r.Rule.t_name)
       Builtin_rules.transformations
   in
-  {
-    obj_store = store;
-    exec;
-    transformations = builtins @ derived_t;
-    implementations = Builtin_rules.implementations @ derived_i;
-    opt_ctx = { Rule.schema; stats; has_index; has_range_index };
-    config;
-    plan_cache = Hashtbl.create 32;
-    cache_capacity;
-    epoch_of = (fun () -> 0);
-    cache_tick = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    jobs = max 1 jobs;
-  }
+  let t =
+    {
+      obj_store = store;
+      exec;
+      builtins;
+      transformations = [];
+      implementations = [];
+      declared_specs = specs;
+      facts = [];
+      saturation = (if saturate then Some Saturate.default_config else None);
+      sat_stats = None;
+      provenance = [];
+      checker_install = (fun _ -> ());
+      opt_ctx = { Rule.schema; stats; has_index; has_range_index };
+      config;
+      plan_cache = Hashtbl.create 32;
+      cache_capacity;
+      epoch_of = (fun () -> 0);
+      knowledge_epoch = 0;
+      cache_tick = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+      jobs = max 1 jobs;
+    }
+  in
+  rebuild_rules t;
+  t
 
 let generate ?(classes = Doc_knowledge.all_classes) ?(extra_specs = [])
-    ?(builtin_filter = fun _ -> true) ?(config = Search.default_config)
-    ?(cache_capacity = 128) (database : Db.t) =
+    ?(builtin_filter = fun _ -> true) ?(saturate = false)
+    ?(config = Search.default_config) ?(cache_capacity = 128)
+    (database : Db.t) =
   (* inverse-link knowledge is one of the document knowledge classes, so
      the generic inverse derivation stays off here *)
   let specs = Doc_knowledge.specs ~classes () @ extra_specs in
@@ -109,9 +178,15 @@ let generate ?(classes = Doc_knowledge.all_classes) ?(extra_specs = [])
       ~stats:database.Db.stats
       ~has_index:(opt_ctx_of database).Rule.has_index
       ~has_range_index:(opt_ctx_of database).Rule.has_range_index
-      ~builtin_filter ~specs ~inverse_links:false ~config ~cache_capacity
-      ~jobs:database.Db.default_jobs
+      ~builtin_filter ~specs ~inverse_links:false ~saturate ~config
+      ~cache_capacity ~jobs:database.Db.default_jobs
   in
+  (* the checker's candidate stores are index-free: give them the
+     internal method bodies plus scan implementations of the externals *)
+  t.checker_install <-
+    (fun store ->
+      Doc_schema.install_internal_methods store;
+      Doc_schema.install_scan_methods store);
   (* knowledge-preserving DML leaves cached plans valid; a statistics
      recollect (or resync) bumps the maintenance epoch and invalidates *)
   (match Db.maintenance database with
@@ -119,13 +194,13 @@ let generate ?(classes = Doc_knowledge.all_classes) ?(extra_specs = [])
   | None -> ());
   t
 
-let generate_custom ?(specs = []) ?(inverse_links = true)
+let generate_custom ?(specs = []) ?(inverse_links = true) ?(saturate = false)
     ?(config = Search.default_config)
     ?(has_range_index = fun ~cls:_ ~prop:_ -> false) ?(cache_capacity = 128)
     ?(jobs = 1) ~store ~exec_ctx:exec ~has_index () =
   make_engine ~store ~exec ~stats:(Statistics.collect store) ~has_index
     ~has_range_index ~builtin_filter:(fun _ -> true) ~specs ~inverse_links
-    ~config ~cache_capacity ~jobs
+    ~saturate ~config ~cache_capacity ~jobs
 
 let store t = t.obj_store
 let set_jobs t jobs = t.jobs <- max 1 jobs
@@ -154,6 +229,61 @@ let safe_to_optimize (database : Db.t) logical =
 
 let set_epoch_source t f = t.epoch_of <- f
 
+(* ------------------------------------------------------------------ *)
+(* knowledge                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let knowledge t = t.facts
+let declared_specs t = t.declared_specs
+let saturation_stats t = t.sat_stats
+
+let set_saturation t config =
+  t.saturation <- config;
+  rebuild_rules t
+
+let provenance t rule_name =
+  (* Derive suffixes equivalence rule names with "/map"/"/flat"; the
+     knowledge base knows the bare specification name *)
+  let base =
+    match String.index_opt rule_name '/' with
+    | Some i -> String.sub rule_name 0 i
+    | None -> rule_name
+  in
+  List.assoc_opt base t.provenance
+
+let add_specs t specs =
+  let schema = Object_store.schema t.obj_store in
+  List.iter
+    (fun spec ->
+      match Soqm_semantics.Equivalence.validate schema spec with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Engine.add_specs: " ^ msg))
+    specs;
+  t.declared_specs <- t.declared_specs @ specs;
+  rebuild_rules t
+
+let retract_spec t name =
+  let keep =
+    List.filter
+      (fun s -> not (String.equal (Soqm_semantics.Equivalence.name s) name))
+      t.declared_specs
+  in
+  if List.length keep = List.length t.declared_specs then false
+  else begin
+    t.declared_specs <- keep;
+    rebuild_rules t;
+    true
+  end
+
+let set_checker_install t f = t.checker_install <- f
+
+let check_rules ?config ?install t =
+  let install = Option.value ~default:t.checker_install install in
+  let counters = Object_store.counters t.obj_store in
+  Check.check_specs ?config ~install ~counters ~trusted:t.declared_specs
+    (Object_store.schema t.obj_store)
+    (Saturate.specs t.facts)
+
 let cache_stats t = (t.cache_hits, t.cache_misses)
 let cache_size t = Hashtbl.length t.plan_cache
 
@@ -172,7 +302,10 @@ let evict_lru t =
 
 let optimize_entry t logical =
   let key = Restricted.alpha_canonical logical in
-  let epoch = t.epoch_of () in
+  (* both summands only ever grow, so the sum strictly increases on any
+     maintenance or knowledge change — stale entries can never collide
+     with a current epoch *)
+  let epoch = t.epoch_of () + t.knowledge_epoch in
   t.cache_tick <- t.cache_tick + 1;
   let counters = Object_store.counters t.obj_store in
   match Hashtbl.find_opt t.plan_cache key with

@@ -17,6 +17,7 @@ val generate :
   ?classes:Doc_knowledge.rule_class list ->
   ?extra_specs:Soqm_semantics.Equivalence.t list ->
   ?builtin_filter:(string -> bool) ->
+  ?saturate:bool ->
   ?config:Search.config ->
   ?cache_capacity:int ->
   Db.t ->
@@ -25,11 +26,15 @@ val generate :
     (builtin) rules plus the rules derived from the knowledge classes
     selected (default: all) and any extra specifications.
     [builtin_filter] keeps only the predefined transformation rules whose
-    name it accepts (default: all) — used by the ablation experiments. *)
+    name it accepts (default: all) — used by the ablation experiments.
+    [saturate] (default [false]) additionally closes the declared
+    knowledge under {!Soqm_knowledge.Saturate} and compiles the derived
+    specifications into rules too. *)
 
 val generate_custom :
   ?specs:Soqm_semantics.Equivalence.t list ->
   ?inverse_links:bool ->
+  ?saturate:bool ->
   ?config:Search.config ->
   ?has_range_index:(cls:string -> prop:string -> bool) ->
   ?cache_capacity:int ->
@@ -96,7 +101,62 @@ val optimize_query : t -> string -> Search.result
 val set_epoch_source : t -> (unit -> int) -> unit
 (** Override where {!optimize} reads the current maintenance epoch.
     {!generate} wires this to the database's attached maintenance
-    automatically; default is the constant 0 (cache never invalidates). *)
+    automatically; default is the constant 0 (cache never invalidates).
+    The engine adds its own knowledge epoch on top, so rule-set rebuilds
+    invalidate cached plans regardless of the source. *)
+
+(** {1 Knowledge}
+
+    The engine owns a declared knowledge base (the specifications it was
+    generated from) and, when saturation is on, its closure under
+    {!Soqm_knowledge.Saturate}.  Changing the knowledge — adding or
+    retracting specifications, toggling saturation — rebuilds the rule
+    set and bumps the knowledge epoch, so every cached plan from the old
+    rule set epoch-invalidates. *)
+
+val knowledge : t -> Soqm_knowledge.Saturate.fact list
+(** The current knowledge base: declared facts first, then the
+    saturation-derived ones (empty derived set when saturation is
+    off). *)
+
+val declared_specs : t -> Soqm_semantics.Equivalence.t list
+
+val saturation_stats : t -> Soqm_knowledge.Saturate.stats option
+(** Statistics of the most recent saturation run; [None] when saturation
+    is off. *)
+
+val set_saturation : t -> Soqm_knowledge.Saturate.config option -> unit
+(** Turn saturation on (with the given configuration) or off ([None]),
+    and rebuild the rule set. *)
+
+val provenance : t -> string -> string option
+(** The derivation trace of a rule by (rule or specification) name —
+    [None] for declared knowledge and builtin rules.  Accepts the
+    ["/map"]/["/flat"] rule-name suffixes {!Soqm_semantics.Derive}
+    appends to equivalence specs. *)
+
+val add_specs : t -> Soqm_semantics.Equivalence.t list -> unit
+(** Declare new knowledge: validate, append, re-saturate (if on) and
+    rebuild the rules.  @raise Invalid_argument when a specification
+    fails validation. *)
+
+val retract_spec : t -> string -> bool
+(** Remove a declared specification by name and rebuild; [false] when no
+    declared specification has that name.  Derived knowledge cannot be
+    retracted directly — it disappears when its parents do. *)
+
+val set_checker_install : t -> (Object_store.t -> unit) -> unit
+(** Method implementations for the soundness checker's candidate stores
+    ({!generate} installs the document schema's internal bodies and scan
+    natives; custom engines start with none). *)
+
+val check_rules :
+  ?config:Soqm_knowledge.Check.config ->
+  ?install:(Object_store.t -> unit) ->
+  t ->
+  (Soqm_semantics.Equivalence.t * Soqm_knowledge.Check.verdict) list
+(** Bounded-soundness-check every current rule (declared and derived)
+    against the declared knowledge as the trusted base, in order. *)
 
 val cache_stats : t -> int * int
 (** Cumulative plan-cache [(hits, misses)] since generation.  Kept on the

@@ -1,12 +1,17 @@
 open Soqm_algebra
 open Soqm_physical
 
-let pp_result ppf (r : Search.result) =
+let pp_rule provenance ppf rule =
+  match provenance rule with
+  | Some trace -> Format.fprintf ppf "rule=%s [derived: %s]" rule trace
+  | None -> Format.pp_print_string ppf rule
+
+let pp_result ?(provenance = fun _ -> None) ppf (r : Search.result) =
   Format.fprintf ppf "@[<v>=== optimization trace ===@,";
   List.iteri
     (fun i (s : Search.step) ->
-      Format.fprintf ppf "@,-- step %d: %s --@,%a@," i s.Search.rule Restricted.pp
-        s.Search.term)
+      Format.fprintf ppf "@,-- step %d: %a --@,%a@," i (pp_rule provenance)
+        s.Search.rule Restricted.pp s.Search.term)
     r.Search.derivation;
   Format.fprintf ppf "@,-- chosen logical expression (%d variants explored%s) --@,%a@,"
     r.Search.variants_explored
@@ -18,7 +23,8 @@ let pp_result ppf (r : Search.result) =
     Format.fprintf ppf "@,-- accepted rewrites per rule --@,%a@,"
       (Format.pp_print_list
          ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
-         (fun ppf (rule, n) -> Format.fprintf ppf "%6d  %s" n rule))
+         (fun ppf (rule, n) ->
+           Format.fprintf ppf "%6d  %a" n (pp_rule provenance) rule))
       r.Search.rule_applications;
   Format.fprintf ppf "@]"
 
@@ -29,4 +35,4 @@ let pp_summary ppf (r : Search.result) =
     (List.length r.Search.derivation - 1)
     r.Search.best_cost
 
-let render r = Format.asprintf "%a" pp_result r
+let render ?provenance r = Format.asprintf "%a" (pp_result ?provenance) r

@@ -7,11 +7,19 @@
     usable as a debugging tool for examining the impact of
     schema-specific equivalences. *)
 
-val pp_result : Format.formatter -> Search.result -> unit
+val pp_result :
+  ?provenance:(string -> string option) ->
+  Format.formatter ->
+  Search.result ->
+  unit
 (** Full trace: each derivation step with its rule name and term, then
-    the chosen logical variant, physical plan and estimated cost. *)
+    the chosen logical variant, physical plan and estimated cost.
+    [provenance] maps a rule name to its saturation derivation trace;
+    rules it knows print as ["rule=<name> [derived: <trace>]"], so
+    explain output distinguishes declared from derived knowledge
+    (default: everything declared). *)
 
 val pp_summary : Format.formatter -> Search.result -> unit
 (** One-line summary: variants explored, derivation length, cost. *)
 
-val render : Search.result -> string
+val render : ?provenance:(string -> string option) -> Search.result -> string

@@ -50,6 +50,10 @@ let with_write m f =
 let clock m = Versions.now m.versions
 let versions m = m.versions
 
+(* Setting the cap is chain surgery on future pushes only; still take the
+   writer path so it cannot interleave with a commit's replay. *)
+let set_max_chain m n = with_write m (fun () -> Versions.set_max_chain m.versions n)
+
 let active_count m =
   Mutex.lock m.active_m;
   let n = Hashtbl.length m.active in

@@ -69,6 +69,16 @@ val prune : manager -> unit
     the one entry at or below the pruning horizon each chain still
     owes its oldest reader). *)
 
+val set_max_chain : manager -> int option -> unit
+(** Cap every per-key version chain at [n] entries (default: unbounded).
+    Normally {!prune} bounds history by the oldest active snapshot; a
+    stalled reader pins that horizon and lets hot-key chains grow without
+    limit.  The cap trades that memory for refusal: when a chain exceeds
+    it, the oldest versions are dropped and a transaction whose snapshot
+    predates the truncation gets {!Versions.Snapshot_too_old} from
+    {!get_prop} instead of a wrong value — abort it and retry afresh.
+    Forwarded to {!Versions.set_max_chain}. *)
+
 val maybe_prune : manager -> unit
 (** {!prune}, rate-limited: fires every few commits.  Called
     automatically by {!commit}. *)
@@ -89,7 +99,9 @@ val is_active : t -> bool
 val get_prop : t -> Oid.t -> string -> Value.t
 (** Own buffered write if any, else the snapshot value.
     @raise Not_found on an object invisible at the snapshot (or deleted
-    by this transaction), [Invalid_argument] on unknown property. *)
+    by this transaction), [Invalid_argument] on unknown property.
+    @raise Versions.Snapshot_too_old when the key's history was capped
+    ({!set_max_chain}) past this transaction's snapshot. *)
 
 val exists : t -> Oid.t -> bool
 val extent : t -> string -> Oid.t list

@@ -6,6 +6,8 @@ open Soqm_vml
    the head-most match is always the latest. *)
 type entry = { ts : int; v : Value.t }
 
+exception Snapshot_too_old of { oid : Oid.t; prop : string; ts : int }
+
 type t = {
   clock : int Atomic.t;  (* last assigned commit timestamp *)
   stable : int Atomic.t;  (* last timestamp whose effects are fully applied *)
@@ -16,6 +18,9 @@ type t = {
   tombs : (Oid.t, int * (string * Value.t) list) Hashtbl.t;
       (* deletion ts + final property values *)
   obj_last : (Oid.t, int) Hashtbl.t;  (* last ts any write touched the oid *)
+  mutable max_chain : int option;  (* per-key entry cap; None = unbounded *)
+  floors : (Oid.t * string, int) Hashtbl.t;
+      (* oldest readable ts after a cap truncation; snapshots below refuse *)
 }
 
 let create () =
@@ -28,7 +33,15 @@ let create () =
     created = Hashtbl.create 256;
     tombs = Hashtbl.create 64;
     obj_last = Hashtbl.create 256;
+    max_chain = None;
+    floors = Hashtbl.create 64;
   }
+
+let set_max_chain t n =
+  (match n with
+  | Some n when n < 1 -> invalid_arg "Versions.set_max_chain: cap must be >= 1"
+  | _ -> ());
+  t.max_chain <- n
 
 (* The snapshot clock lags the allocation clock: a commit's timestamp is
    assigned before its replay, but it only becomes a legal begin
@@ -63,9 +76,32 @@ let event_ts t =
   | Some ts -> ts
   | None -> Atomic.fetch_and_add t.clock 1 + 1
 
+(* Enforce the per-key cap: keep only the newest [n] entries and record
+   the oldest surviving timestamp as the key's floor — a snapshot older
+   than the floor can no longer reconstruct the key and must refuse
+   ([Snapshot_too_old]) rather than silently read a wrong value. *)
+let enforce_cap t key r =
+  match t.max_chain with
+  | None -> ()
+  | Some n ->
+    let rec take i = function
+      | [] -> []
+      | _ :: _ when i = 0 -> []
+      | e :: rest -> e :: take (i - 1) rest
+    in
+    if List.length !r > n then begin
+      let kept = take n !r in
+      r := kept;
+      match List.rev kept with
+      | oldest :: _ -> Hashtbl.replace t.floors key oldest.ts
+      | [] -> ()
+    end
+
 let push_chain t key e =
   match Hashtbl.find_opt t.chains key with
-  | Some r -> r := e :: !r
+  | Some r ->
+    r := e :: !r;
+    enforce_cap t key r
   | None -> Hashtbl.replace t.chains key (ref [ e ])
 
 let record t (ev : Object_store.change) =
@@ -116,12 +152,16 @@ let chain_find t key ~ts =
 let read t store ~ts oid prop =
   if not (visible t store ~ts oid) then raise Not_found;
   let key = (oid, prop) in
-  if last_write t oid prop > ts then
+  if last_write t oid prop > ts then begin
     (* superseded after the snapshot: the newest chain entry at or below
        [ts] is the value that was in force *)
+    (match Hashtbl.find_opt t.floors key with
+    | Some floor when ts < floor -> raise (Snapshot_too_old { oid; prop; ts })
+    | _ -> ());
     match chain_find t key ~ts with
     | Some e -> e.v
     | None -> Value.Null
+  end
   else
     (* unchanged since the snapshot: the live value — which for an
        object deleted after the snapshot survives in its tombstone *)
@@ -176,7 +216,18 @@ let prune t ~min_snapshot =
         end)
       t.chains []
   in
-  List.iter (Hashtbl.remove t.chains) dead;
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.chains key;
+      Hashtbl.remove t.floors key)
+    dead;
+  (* a floor at or below the pruning horizon guards no live snapshot *)
+  let dead_floors =
+    Hashtbl.fold
+      (fun key f acc -> if f <= min_snapshot then key :: acc else acc)
+      t.floors []
+  in
+  List.iter (Hashtbl.remove t.floors) dead_floors;
   let dead_tombs =
     Hashtbl.fold
       (fun oid (d, _) acc -> if d <= min_snapshot then oid :: acc else acc)

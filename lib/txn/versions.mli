@@ -21,7 +21,24 @@ open Soqm_vml
 
 type t
 
+exception Snapshot_too_old of { oid : Oid.t; prop : string; ts : int }
+(** A snapshot tried to read a key whose history has been truncated by
+    the per-chain cap ({!set_max_chain}) past the snapshot's timestamp.
+    Refusing loudly beats silently returning a wrong value; the reader
+    should abort and retry at a fresh snapshot. *)
+
 val create : unit -> t
+
+val set_max_chain : t -> int option -> unit
+(** Bound every per-key version chain to at most [n] superseded entries
+    ([None], the default, keeps history unbounded until {!prune}).  When
+    a write pushes a chain past the cap, the oldest entries are dropped
+    immediately and the key records a {e floor}: the oldest timestamp
+    still reconstructible.  Snapshot reads below a key's floor raise
+    {!Snapshot_too_old} instead of lying — this protects memory against
+    a stalled reader pinning the pruning horizon while hot keys churn.
+    Takes effect on subsequent writes; [n] must be [>= 1].
+    @raise Invalid_argument on a non-positive cap. *)
 
 val observe : t -> Object_store.t -> unit
 (** Subscribe the recorder to the store's change events.  Call once. *)
@@ -76,7 +93,8 @@ val read : t -> Object_store.t -> ts:int -> Oid.t -> string -> Value.t
 (** The key's value as of snapshot [ts]: the live store value when the
     key is unchanged since then, else the right chain entry (or the
     tombstone's final values for an object deleted after [ts]).
-    @raise Not_found if the object is not {!visible} at [ts]. *)
+    @raise Not_found if the object is not {!visible} at [ts].
+    @raise Snapshot_too_old if the key's history was capped past [ts]. *)
 
 val extent : t -> Object_store.t -> ts:int -> string -> Oid.t list
 (** The class extent as of [ts], ascending serial: live objects created

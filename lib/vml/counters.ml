@@ -40,6 +40,13 @@ type t = {
   txn_commits : int Atomic.t;
   txn_conflicts : int Atomic.t;
   txn_aborts : int Atomic.t;
+  (* knowledge-side counters: the saturation pass over the declared
+     specifications and the bounded soundness checker.  Accumulate across
+     a workload like the other non-query families. *)
+  rules_derived : int Atomic.t;
+  rules_subsumed : int Atomic.t;
+  models_checked : int Atomic.t;
+  counterexamples_found : int Atomic.t;
 }
 
 let create () =
@@ -71,6 +78,10 @@ let create () =
     txn_commits = Atomic.make 0;
     txn_conflicts = Atomic.make 0;
     txn_aborts = Atomic.make 0;
+    rules_derived = Atomic.make 0;
+    rules_subsumed = Atomic.make 0;
+    models_checked = Atomic.make 0;
+    counterexamples_found = Atomic.make 0;
   }
 
 (* resets only the query-cost side: per-run reports reset around every
@@ -110,6 +121,12 @@ let reset_txn t =
   Atomic.set t.txn_commits 0;
   Atomic.set t.txn_conflicts 0;
   Atomic.set t.txn_aborts 0
+
+let reset_knowledge t =
+  Atomic.set t.rules_derived 0;
+  Atomic.set t.rules_subsumed 0;
+  Atomic.set t.models_checked 0;
+  Atomic.set t.counterexamples_found 0
 
 let charge_object_fetch t = Atomic.incr t.objects_fetched
 
@@ -160,6 +177,10 @@ let charge_txn_begin t = Atomic.incr t.txn_begins
 let charge_txn_commit t = Atomic.incr t.txn_commits
 let charge_txn_conflict t = Atomic.incr t.txn_conflicts
 let charge_txn_abort t = Atomic.incr t.txn_aborts
+let charge_rules_derived t n = ignore (Atomic.fetch_and_add t.rules_derived n)
+let charge_rules_subsumed t n = ignore (Atomic.fetch_and_add t.rules_subsumed n)
+let charge_models_checked t n = ignore (Atomic.fetch_and_add t.models_checked n)
+let charge_counterexample t = Atomic.incr t.counterexamples_found
 let pages_read t = Atomic.get t.pages_read
 let pages_written t = Atomic.get t.pages_written
 let pool_hits t = Atomic.get t.pool_hits
@@ -173,6 +194,10 @@ let txn_begins t = Atomic.get t.txn_begins
 let txn_commits t = Atomic.get t.txn_commits
 let txn_conflicts t = Atomic.get t.txn_conflicts
 let txn_aborts t = Atomic.get t.txn_aborts
+let rules_derived t = Atomic.get t.rules_derived
+let rules_subsumed t = Atomic.get t.rules_subsumed
+let models_checked t = Atomic.get t.models_checked
+let counterexamples_found t = Atomic.get t.counterexamples_found
 let objects_fetched t = Atomic.get t.objects_fetched
 let property_reads t = Atomic.get t.property_reads
 let index_probes t = Atomic.get t.index_probes
@@ -244,6 +269,10 @@ let snapshot t =
   Atomic.set copy.txn_commits (Atomic.get t.txn_commits);
   Atomic.set copy.txn_conflicts (Atomic.get t.txn_conflicts);
   Atomic.set copy.txn_aborts (Atomic.get t.txn_aborts);
+  Atomic.set copy.rules_derived (Atomic.get t.rules_derived);
+  Atomic.set copy.rules_subsumed (Atomic.get t.rules_subsumed);
+  Atomic.set copy.models_checked (Atomic.get t.models_checked);
+  Atomic.set copy.counterexamples_found (Atomic.get t.counterexamples_found);
   copy
 
 let pp ppf t =
@@ -271,6 +300,13 @@ let pp_txn ppf t =
     "@[<v>transactions begun: %d@ committed: %d@ conflict aborts: %d@ \
      explicit aborts: %d@]"
     (txn_begins t) (txn_commits t) (txn_conflicts t) (txn_aborts t)
+
+let pp_knowledge ppf t =
+  Format.fprintf ppf
+    "@[<v>rules derived: %d@ rules subsumed: %d@ models checked: %d@ \
+     counterexamples found: %d@]"
+    (rules_derived t) (rules_subsumed t) (models_checked t)
+    (counterexamples_found t)
 
 let pp_maintenance ppf t =
   Format.fprintf ppf

@@ -34,6 +34,10 @@ val reset_txn : t -> unit
 (** Zero the transaction counters only (begins, commits, conflict and
     explicit aborts — see {!charge_txn_begin} and friends). *)
 
+val reset_knowledge : t -> unit
+(** Zero the knowledge counters only (saturation and bounded-checker
+    tallies — see {!charge_rules_derived} and friends). *)
+
 val charge_object_fetch : t -> unit
 (** One object dereferenced in the store. *)
 
@@ -171,6 +175,35 @@ val txn_commits : t -> int
 val txn_conflicts : t -> int
 val txn_aborts : t -> int
 
+(** {1 Knowledge counters}
+
+    The knowledge compiler ([Soqm_knowledge]): rules the saturation pass
+    derived from the declared specifications, alpha-variants it dropped
+    as subsumed, and the bounded soundness checker's model/counterexample
+    tallies.  Accumulate across a workload; zero with
+    {!reset_knowledge}. *)
+
+val charge_rules_derived : t -> int -> unit
+(** [n] new specifications produced by a saturation round (transitive
+    implications, composed equivalences, substituted bodies). *)
+
+val charge_rules_subsumed : t -> int -> unit
+(** [n] candidate derivations discarded as alpha-variants of an already
+    known specification (or as trivial identities). *)
+
+val charge_models_checked : t -> int -> unit
+(** [n] candidate object stores the bounded checker evaluated a rule
+    on. *)
+
+val charge_counterexample : t -> unit
+(** One rule refuted: a candidate store where the rule's two sides
+    disagree under naive evaluation. *)
+
+val rules_derived : t -> int
+val rules_subsumed : t -> int
+val models_checked : t -> int
+val counterexamples_found : t -> int
+
 val objects_fetched : t -> int
 val property_reads : t -> int
 val index_probes : t -> int
@@ -205,3 +238,7 @@ val pp_storage : Format.formatter -> t -> unit
 
 val pp_txn : Format.formatter -> t -> unit
 (** Print only the transaction counters. *)
+
+val pp_knowledge : Format.formatter -> t -> unit
+(** Print only the knowledge counters (saturation and bounded-checker
+    activity). *)

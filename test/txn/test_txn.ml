@@ -245,6 +245,43 @@ let test_prune_discards_dead_versions () =
     (Txn.get_prop t oids.(0) "word_count");
   Txn.abort t
 
+(* A stalled reader pins the pruning horizon, so without a cap a hot
+   key's chain grows one entry per commit for as long as the reader
+   lives.  With [set_max_chain] the chain stays bounded and the stalled
+   reader is refused with [Snapshot_too_old] rather than fed a wrong
+   value; untouched keys and fresh snapshots are unaffected. *)
+let test_version_cap_refuses_stalled_reader () =
+  let cap = 8 in
+  let db, oids = counter_db ~cells:2 in
+  let m = Txn.manager db in
+  Txn.set_max_chain m (Some cap);
+  let stalled = Txn.begin_ m in
+  check F.value "stalled reads fine before churn" (Value.Int 0)
+    (Txn.get_prop stalled oids.(0) "word_count");
+  for i = 1 to 100 do
+    match
+      Txn.run m (fun t -> Txn.set_prop t oids.(0) "word_count" (Value.Int i))
+    with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "uncontended commit conflicted"
+  done;
+  (* the stalled reader pinned the horizon through every auto-prune, yet
+     the hot chain never grew past the cap *)
+  check Alcotest.bool "chain bounded despite the stalled reader" true
+    (Versions.live_entries (Txn.versions m) <= cap);
+  Alcotest.match_raises "stalled reader refused, not lied to"
+    (function Versions.Snapshot_too_old _ -> true | _ -> false)
+    (fun () -> ignore (Txn.get_prop stalled oids.(0) "word_count"));
+  (* the refusal is per-key: the cold cell is still readable at the old
+     snapshot, and a fresh transaction reads the hot cell normally *)
+  check F.value "cold key still readable at the old snapshot" (Value.Int 10)
+    (Txn.get_prop stalled oids.(1) "word_count");
+  Txn.abort stalled;
+  let fresh = Txn.begin_ m in
+  check F.value "fresh snapshot reads the latest value" (Value.Int 100)
+    (Txn.get_prop fresh oids.(0) "word_count");
+  Txn.abort fresh
+
 (* ------------------------------------------------------------------ *)
 (* the serial oracle: randomized interleaved schedules                 *)
 (* ------------------------------------------------------------------ *)
@@ -497,7 +534,11 @@ let () =
           F.case "run retries lost updates away" test_run_retries;
         ] );
       ( "pruning",
-        [ F.case "dead versions collapse" test_prune_discards_dead_versions ] );
+        [
+          F.case "dead versions collapse" test_prune_discards_dead_versions;
+          F.case "version cap refuses stalled reader"
+            test_version_cap_refuses_stalled_reader;
+        ] );
       ( "oracle",
         [ QCheck_alcotest.to_alcotest prop_snapshot_isolation_oracle ] );
       ( "durability",
